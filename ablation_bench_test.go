@@ -1,0 +1,138 @@
+package retrasyn
+
+// Ablation benches for the design choices DESIGN.md calls out: the
+// frequency-oracle protocol (the paper picks OUE), consistency
+// post-processing of the estimates (the paper uses raw estimates), and the
+// parallel synthesis path (§VII future work). Utility ablations report the
+// resulting query error / density error as custom benchmark metrics so a
+// single `go test -bench=Ablation` run shows the utility-vs-cost trade-off.
+
+import (
+	"testing"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/core"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/metrics"
+	"retrasyn/internal/trajectory"
+)
+
+// ablationData builds one moderate dataset shared by the ablation benches.
+func ablationData(b *testing.B) (*Dataset, *Grid) {
+	b.Helper()
+	raw, bounds, err := StandardDataset("tdrive", 0.15, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGrid(6, bounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Discretize(raw, g), g
+}
+
+func runEngineAblation(b *testing.B, orig *Dataset, g *Grid, mutate func(*core.Options)) metrics.Report {
+	b.Helper()
+	opts := core.Options{
+		Grid:     g,
+		Epsilon:  1.0,
+		W:        20,
+		Division: allocation.Population,
+		Lambda:   orig.Stats().AvgLength,
+		Seed:     17,
+	}
+	mutate(&opts)
+	e, err := core.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, _ := e.Run(trajectory.NewStream(orig), "syn")
+	return metrics.Evaluate(orig, syn, g, metrics.Options{Seed: 5})
+}
+
+// BenchmarkAblationOracleOUE / OLH / GRR compare the three frequency
+// oracles end-to-end: ns/op is the whole run, and the reported
+// queryerr/densityerr metrics show why the paper picks OUE over GRR (GRR's
+// variance grows with the ~9|C| domain).
+func BenchmarkAblationOracleOUE(b *testing.B) { benchOracle(b, core.OracleOUE) }
+
+// BenchmarkAblationOracleOLH benchmarks the OLH oracle end-to-end.
+func BenchmarkAblationOracleOLH(b *testing.B) { benchOracle(b, core.OracleOLH) }
+
+// BenchmarkAblationOracleGRR benchmarks the GRR oracle end-to-end.
+func BenchmarkAblationOracleGRR(b *testing.B) { benchOracle(b, core.OracleGRR) }
+
+func benchOracle(b *testing.B, kind core.OracleKind) {
+	orig, g := ablationData(b)
+	var r metrics.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = runEngineAblation(b, orig, g, func(o *core.Options) {
+			o.Oracle = kind
+			o.OracleMode = core.PerUser
+		})
+	}
+	b.ReportMetric(r.QueryError, "queryerr")
+	b.ReportMetric(r.DensityError, "densityerr")
+}
+
+// BenchmarkAblationPostProcess sweeps the consistency post-processing
+// choices over the same run.
+func BenchmarkAblationPostProcessNone(b *testing.B) { benchPostProcess(b, ldp.PostProcessNone) }
+
+// BenchmarkAblationPostProcessClamp benchmarks clamping negatives.
+func BenchmarkAblationPostProcessClamp(b *testing.B) { benchPostProcess(b, ldp.PostProcessClamp) }
+
+// BenchmarkAblationPostProcessNormSub benchmarks the simplex projection.
+func BenchmarkAblationPostProcessNormSub(b *testing.B) { benchPostProcess(b, ldp.PostProcessNormSub) }
+
+func benchPostProcess(b *testing.B, pp ldp.PostProcess) {
+	orig, g := ablationData(b)
+	var r metrics.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = runEngineAblation(b, orig, g, func(o *core.Options) { o.PostProcess = pp })
+	}
+	b.ReportMetric(r.QueryError, "queryerr")
+	b.ReportMetric(r.DensityError, "densityerr")
+}
+
+// BenchmarkSynthesisSerial / Parallel8 measure the §VII acceleration on a
+// large synthetic population (40k streams).
+func BenchmarkSynthesisSerial(b *testing.B) { benchSynthWorkers(b, 1) }
+
+// BenchmarkSynthesisParallel8 runs the same workload with 8 workers.
+func BenchmarkSynthesisParallel8(b *testing.B) { benchSynthWorkers(b, 8) }
+
+func benchSynthWorkers(b *testing.B, workers int) {
+	g, err := NewGrid(10, Bounds{MaxX: 30, MaxY: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pop = 40000
+	fw, err := New(Options{
+		Grid: g, Epsilon: 1, Window: 10, Lambda: 20,
+		SynthesisWorkers: workers, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the engine with one timestamp of uniform events so the model and
+	// the synthetic population exist.
+	rng := ldp.NewRand(1, 2)
+	events := make([]Event, pop)
+	for i := range events {
+		events[i] = Event{User: i, State: EnterState(Cell(rng.IntN(g.NumCells())))}
+	}
+	fw.ProcessTimestamp(events, pop)
+	move := make([]Event, pop)
+	for i := range move {
+		c := Cell(rng.IntN(g.NumCells()))
+		ns := g.Neighbors(c)
+		move[i] = Event{User: i, State: MoveState(c, ns[rng.IntN(len(ns))])}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.ProcessTimestamp(move, pop)
+	}
+}

@@ -1,0 +1,25 @@
+package retrasyn
+
+import (
+	"retrasyn/internal/analytics"
+	"retrasyn/internal/grid"
+)
+
+// Downstream analytics over a released dataset — the arbitrary
+// location-based tasks the paper's versatility claim is about. Queries on
+// the synthetic release consume no additional privacy budget.
+
+type (
+	// Analytics indexes a dataset for repeated spatio-temporal queries.
+	Analytics = analytics.Engine
+	// CellCount pairs a cell with a visit count.
+	CellCount = analytics.CellCount
+	// Region is a rectangular block of grid cells (inclusive bounds).
+	Region = grid.Region
+)
+
+// NewAnalytics indexes a (typically synthetic) dataset for range counts,
+// hotspot top-k, flow queries and congestion alerts.
+func NewAnalytics(d *Dataset, g *Grid) *Analytics {
+	return analytics.New(d, g)
+}

@@ -1,0 +1,73 @@
+// Command curator serves the RetraSyn collection protocol over HTTP: device
+// clients announce presence and ship locally perturbed OUE reports, a
+// coordinator ticks timestamps, and anyone can fetch the evolving private
+// synthetic release.
+//
+// Endpoints (see internal/remote):
+//
+//	POST /v1/presence   {user, t}
+//	POST /v1/plan       {t}
+//	GET  /v1/assignment ?user=&t=
+//	POST /v1/report     {user, t, ones}
+//	POST /v1/finalize   {t, active}
+//	GET  /v1/synthetic
+//	GET  /v1/stats
+//
+// Usage:
+//
+//	curator -addr :8080 -k 6 -boundsMax 30 -eps 1.0 -w 20 -lambda 13.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/grid"
+	"retrasyn/internal/remote"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		k        = flag.Int("k", 6, "grid granularity K")
+		boundMin = flag.Float64("boundsMin", 0, "spatial lower bound (both axes)")
+		boundMax = flag.Float64("boundsMax", 30, "spatial upper bound (both axes)")
+		eps      = flag.Float64("eps", 1.0, "privacy budget ε")
+		w        = flag.Int("w", 20, "window size w")
+		lambda   = flag.Float64("lambda", 13.6, "synthesis termination factor λ")
+		division = flag.String("division", "population", `"budget" or "population"`)
+		seed     = flag.Uint64("seed", 2024, "curator randomness seed")
+	)
+	flag.Parse()
+
+	g, err := grid.New(*k, grid.Bounds{MinX: *boundMin, MinY: *boundMin, MaxX: *boundMax, MaxY: *boundMax})
+	if err != nil {
+		log.Fatal(err)
+	}
+	div := allocation.Population
+	switch *division {
+	case "population":
+	case "budget":
+		div = allocation.Budget
+	default:
+		log.Fatalf("curator: unknown division %q", *division)
+	}
+	cur, err := remote.NewCurator(remote.CuratorConfig{
+		Grid: g, Epsilon: *eps, W: *w, Division: div, Lambda: *lambda, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           remote.NewHandler(cur),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("curator: serving w-event ε-LDP collection on %s (ε=%.2f w=%d K=%d, %s division)\n",
+		*addr, *eps, *w, *k, div)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table3                 # one artifact
+//	experiments -exp all -scale 1.0         # the full evaluation
+//	experiments -exp fig6 -scale 0.3        # quicker sweep
+//
+// Artifacts: table1, table3, table4, table5, fig3, fig4, fig5, fig6, fig7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"retrasyn/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "artifact to regenerate (table1|table3|table4|table5|fig3|fig4|fig5|fig6|fig7|all)")
+		scale    = flag.Float64("scale", 1.0, "dataset population scale")
+		eps      = flag.Float64("eps", 1.0, "default privacy budget ε")
+		w        = flag.Int("w", 20, "default window size w")
+		k        = flag.Int("k", 6, "default granularity K")
+		phi      = flag.Int("phi", 10, "default evaluation range φ")
+		seed     = flag.Uint64("seed", 2024, "seed")
+		parallel = flag.Int("parallel", 0, "max concurrent runs (default NumCPU)")
+		bestOf   = flag.Bool("bestof", true, "Table III: report best across allocation strategies")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Scale = *scale
+	p.Epsilon = *eps
+	p.W = *w
+	p.K = *k
+	p.Phi = *phi
+	p.Seed = *seed
+	p.BestOf = *bestOf
+	if *parallel > 0 {
+		p.Parallelism = *parallel
+	}
+	env := experiments.NewEnv(p)
+
+	runners := map[string]func() (fmt.Stringer, error){
+		"table1": func() (fmt.Stringer, error) { return env.Table1() },
+		"table3": func() (fmt.Stringer, error) { return env.Table3(nil) },
+		"table4": func() (fmt.Stringer, error) { return env.Table4() },
+		"table5": func() (fmt.Stringer, error) { return env.Table5() },
+		"fig3":   func() (fmt.Stringer, error) { return env.Fig3() },
+		"fig4":   func() (fmt.Stringer, error) { return env.Fig4(nil) },
+		"fig5":   func() (fmt.Stringer, error) { return env.Fig5(nil) },
+		"fig6":   func() (fmt.Stringer, error) { return env.Fig6(nil) },
+		"fig7":   func() (fmt.Stringer, error) { return env.Fig7(nil) },
+	}
+	order := []string{"table1", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7"}
+
+	var selected []string
+	switch strings.ToLower(*exp) {
+	case "all":
+		selected = order
+	default:
+		if _, ok := runners[strings.ToLower(*exp)]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q (want one of %s, all)\n",
+				*exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		selected = []string{strings.ToLower(*exp)}
+	}
+
+	fmt.Printf("# RetraSyn evaluation — scale=%.2f ε=%.1f w=%d K=%d φ=%d seed=%d\n",
+		p.Scale, p.Epsilon, p.W, p.K, p.Phi, p.Seed)
+	for _, name := range selected {
+		start := time.Now()
+		res, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n================ %s (%.1fs) ================\n\n%s",
+			name, time.Since(start).Seconds(), res.String())
+	}
+}

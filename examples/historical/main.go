@@ -1,0 +1,134 @@
+// Historical analysis: the paper's §V-B "historical metrics" scenario. A
+// full day of trajectory streams is privately released in real time; after
+// the fact, an analyst runs trajectory-level studies — popular trips,
+// travel-length distribution, location popularity ranking — on the released
+// synthetic history, with no further privacy cost (post-processing).
+//
+// The example also contrasts RetraSyn with an LDP-IDS baseline (LPA) to
+// show why entering/quitting modelling matters for trajectory-level tasks:
+// the baseline's never-terminating streams destroy trip and length
+// statistics even when its per-timestamp densities look reasonable.
+//
+// Run with:
+//
+//	go run ./examples/historical
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"retrasyn"
+)
+
+func main() {
+	raw, bounds, err := retrasyn.StandardDataset("tdrive", 0.4, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := retrasyn.NewGrid(6, bounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig := retrasyn.Discretize(raw, g)
+
+	// Release the stream privately with RetraSyn.
+	fw, err := retrasyn.New(retrasyn.Options{
+		Grid: g, Epsilon: 1.0, Window: 20,
+		Lambda: orig.Stats().AvgLength, Seed: 23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	retra, _, err := fw.Run(orig)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and with the LPA baseline for contrast.
+	lpa, err := retrasyn.RunBaseline(orig, g, retrasyn.LPA, 1.0, 20, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Top-5 trips (start→end cells, share of all streams) ===")
+	fmt.Println("ground truth:        ", topTrips(orig, g, 5))
+	fmt.Println("RetraSyn release:    ", topTrips(retra, g, 5))
+	fmt.Println("LPA baseline release:", topTrips(lpa, g, 5))
+
+	fmt.Println("\n=== Travel length distribution (share of streams per bucket) ===")
+	fmt.Printf("%-22s %8s %8s %8s %8s\n", "", "1-5", "6-15", "16-40", ">40")
+	fmt.Printf("%-22s %s\n", "ground truth", lengthBuckets(orig))
+	fmt.Printf("%-22s %s\n", "RetraSyn release", lengthBuckets(retra))
+	fmt.Printf("%-22s %s\n", "LPA baseline release", lengthBuckets(lpa))
+
+	fmt.Println("\n=== Trajectory-level utility ===")
+	fmt.Printf("%-22s %12s %12s %12s\n", "", "KendallTau↑", "TripError↓", "LengthErr↓")
+	for _, row := range []struct {
+		name string
+		syn  *retrasyn.Dataset
+	}{{"RetraSyn", retra}, {"LPA baseline", lpa}} {
+		r := retrasyn.EvaluateUtility(orig, row.syn, g, retrasyn.UtilityOptions{Seed: 3})
+		fmt.Printf("%-22s %12.4f %12.4f %12.4f\n", row.name, r.KendallTau, r.TripError, r.LengthError)
+	}
+	fmt.Println("\nA length error near ln2≈0.693 is the baseline's signature: its synthetic")
+	fmt.Println("streams never terminate, so every trajectory-level statistic collapses.")
+}
+
+// topTrips formats the most frequent (start,end) cell pairs.
+func topTrips(d *retrasyn.Dataset, g *retrasyn.Grid, n int) string {
+	type trip struct {
+		from, to retrasyn.Cell
+	}
+	counts := map[trip]int{}
+	for _, tr := range d.Trajs {
+		counts[trip{tr.Cells[0], tr.Cells[len(tr.Cells)-1]}]++
+	}
+	type kv struct {
+		t trip
+		c int
+	}
+	all := make([]kv, 0, len(counts))
+	for t, c := range counts {
+		all = append(all, kv{t, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].t.from*1000+all[i].t.to < all[j].t.from*1000+all[j].t.to
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := ""
+	for _, e := range all {
+		fr, fc := g.RowCol(e.t.from)
+		tr, tc := g.RowCol(e.t.to)
+		out += fmt.Sprintf(" (%d,%d)→(%d,%d) %.1f%%", fr, fc, tr, tc,
+			100*float64(e.c)/float64(len(d.Trajs)))
+	}
+	return out
+}
+
+// lengthBuckets formats the stream-length distribution.
+func lengthBuckets(d *retrasyn.Dataset) string {
+	var b [4]int
+	for _, tr := range d.Trajs {
+		switch l := tr.Len(); {
+		case l <= 5:
+			b[0]++
+		case l <= 15:
+			b[1]++
+		case l <= 40:
+			b[2]++
+		default:
+			b[3]++
+		}
+	}
+	total := float64(len(d.Trajs))
+	return fmt.Sprintf("%7.1f%% %7.1f%% %7.1f%% %7.1f%%",
+		100*float64(b[0])/total, 100*float64(b[1])/total,
+		100*float64(b[2])/total, 100*float64(b[3])/total)
+}

@@ -1,0 +1,132 @@
+// Traffic monitoring: the paper's motivating application (§I). A stream of
+// vehicles reports locations in real time; the curator never sees raw
+// trajectories, yet continuously maintains a synthetic database from which
+// it serves congestion queries — here, per-timestamp hotspot detection and
+// a congestion alert when a district's synthetic density crosses a
+// threshold.
+//
+// This example drives the streaming API directly (ProcessTimestamp), the
+// way a live deployment would, rather than replaying a recorded dataset.
+//
+// Run with:
+//
+//	go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"retrasyn"
+)
+
+const (
+	k         = 6
+	window    = 20
+	epsilon   = 1.0
+	alertFrac = 0.12 // alert when one cell holds >12% of current vehicles
+)
+
+func main() {
+	// A road-network city with steady commuter flow.
+	net, err := retrasyn.GenerateRoadNetwork(24, retrasyn.Bounds{MaxX: 20, MaxY: 20}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := retrasyn.GenerateBrinkhoffLike(net, retrasyn.BrinkhoffConfig{
+		T: 90, InitialUsers: 1200, NewUsersPerTs: 80, QuitProb: 1.0 / 40, Jitter: 0.1, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := retrasyn.NewGrid(k, retrasyn.Bounds{MaxX: 20, MaxY: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig := retrasyn.Discretize(raw, g)
+
+	fw, err := retrasyn.New(retrasyn.Options{
+		Grid:    g,
+		Epsilon: epsilon,
+		Window:  window,
+		Lambda:  orig.Stats().AvgLength,
+		Seed:    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The device-side event feed: at each timestamp every present vehicle
+	// holds exactly one transition state (enter / move / quit).
+	events, active := retrasyn.NewStreamEvents(orig)
+
+	fmt.Printf("monitoring %d timestamps of live traffic (ε=%.1f, w=%d)...\n\n",
+		orig.T, epsilon, window)
+	alerts := 0
+	for ts := range events {
+		fw.ProcessTimestamp(events[ts], active[ts])
+
+		// Downstream analysis happens on the synthetic database only.
+		if (ts+1)%15 != 0 {
+			continue
+		}
+		syn := fw.Synthetic("live")
+		counts := cellCountsAt(syn, ts, g)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		top := topCells(counts, 3)
+		fmt.Printf("t=%2d | %4d vehicles | top districts:", ts, total)
+		for _, tc := range top {
+			row, col := g.RowCol(tc.cell)
+			fmt.Printf("  (%d,%d)=%d", row, col, tc.count)
+		}
+		if float64(top[0].count) > alertFrac*float64(total) {
+			fmt.Printf("  ⚠ congestion alert")
+			alerts++
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d congestion alerts raised — all served from the private synthetic stream.\n", alerts)
+
+	// Sanity: how faithful was the live hotspot view?
+	r := retrasyn.EvaluateUtility(orig, fw.Synthetic("final"), g, retrasyn.UtilityOptions{Seed: 9})
+	fmt.Printf("hotspot NDCG vs ground truth: %.3f (1.0 = perfect ranking)\n", r.HotspotNDCG)
+}
+
+type cellCount struct {
+	cell  retrasyn.Cell
+	count int
+}
+
+func cellCountsAt(d *retrasyn.Dataset, ts int, g *retrasyn.Grid) map[retrasyn.Cell]int {
+	counts := make(map[retrasyn.Cell]int, g.NumCells())
+	for _, tr := range d.Trajs {
+		if c, ok := tr.CellAt(ts); ok {
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+func topCells(counts map[retrasyn.Cell]int, n int) []cellCount {
+	all := make([]cellCount, 0, len(counts))
+	for c, v := range counts {
+		all = append(all, cellCount{c, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].cell < all[j].cell
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

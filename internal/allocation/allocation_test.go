@@ -1,0 +1,211 @@
+package allocation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDivisionString(t *testing.T) {
+	if Budget.String() != "budget" || Population.String() != "population" {
+		t.Fatal("Division.String mismatch")
+	}
+	if Division(9).String() != "Division(9)" {
+		t.Fatalf("got %q", Division(9).String())
+	}
+}
+
+func TestAdaptivePortionEq10(t *testing.T) {
+	a := NewAdaptive(Population)
+	ctx := Context{W: 20, Dev: math.E - 1, SigRatioMean: 0.5}
+	// p = 8/20 · (1−0.5) · ln(e) = 0.4·0.5·1 = 0.2.
+	if got := a.Portion(ctx); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Portion = %v, want 0.2", got)
+	}
+}
+
+func TestAdaptivePortionCappedAtPMax(t *testing.T) {
+	a := NewAdaptive(Population)
+	ctx := Context{W: 5, Dev: 1e6, SigRatioMean: 0}
+	if got := a.Portion(ctx); got != 0.6 {
+		t.Fatalf("Portion = %v, want p_max 0.6", got)
+	}
+}
+
+func TestAdaptivePortionZeroDev(t *testing.T) {
+	a := NewAdaptive(Population)
+	if got := a.Portion(Context{W: 20, Dev: 0}); got != 0 {
+		t.Fatalf("Portion with Dev=0 = %v", got)
+	}
+}
+
+func TestAdaptivePortionNonNegative(t *testing.T) {
+	a := NewAdaptive(Population)
+	// SigRatioMean > 1 cannot happen, but the guard must hold anyway.
+	if got := a.Portion(Context{W: 20, Dev: 5, SigRatioMean: 1.5}); got != 0 {
+		t.Fatalf("negative portion leaked: %v", got)
+	}
+	if got := a.Portion(Context{W: 0, Dev: 5}); got != 0 {
+		t.Fatalf("W=0 portion = %v", got)
+	}
+}
+
+func TestAdaptiveWindowSizeDampens(t *testing.T) {
+	a := NewAdaptive(Population)
+	small := a.Portion(Context{W: 10, Dev: 1, SigRatioMean: 0})
+	large := a.Portion(Context{W: 50, Dev: 1, SigRatioMean: 0})
+	if large >= small {
+		t.Fatalf("larger window should reduce the portion: w=10→%v, w=50→%v", small, large)
+	}
+}
+
+func TestAdaptiveBudgetDecision(t *testing.T) {
+	a := NewAdaptive(Budget)
+	ctx := Context{W: 20, Epsilon: 1.0, WindowUsed: 0.5, Dev: math.E - 1, SigRatioMean: 0.5}
+	d := a.Decide(ctx)
+	if !d.Report {
+		t.Fatal("expected a report")
+	}
+	// ε_t = p · ε_rm = 0.2 · 0.5 = 0.1.
+	if math.Abs(d.Epsilon-0.1) > 1e-12 {
+		t.Fatalf("Epsilon = %v, want 0.1", d.Epsilon)
+	}
+	if d.Portion != 0 {
+		t.Fatalf("budget decision carries portion %v", d.Portion)
+	}
+}
+
+func TestAdaptiveBudgetFloorSkips(t *testing.T) {
+	a := NewAdaptive(Budget)
+	// Nearly exhausted window → ε_t below the floor → skip.
+	ctx := Context{W: 20, Epsilon: 1.0, WindowUsed: 0.999, Dev: 10}
+	if d := a.Decide(ctx); d.Report {
+		t.Fatalf("tiny budget not skipped: %+v", d)
+	}
+	// Fully exhausted (or overdrawn by float error) window.
+	ctx.WindowUsed = 1.5
+	if d := a.Decide(ctx); d.Report {
+		t.Fatalf("overdrawn window not skipped: %+v", d)
+	}
+}
+
+func TestAdaptivePopulationDecision(t *testing.T) {
+	a := NewAdaptive(Population)
+	d := a.Decide(Context{W: 20, Dev: math.E - 1, SigRatioMean: 0.5})
+	if !d.Report || math.Abs(d.Portion-0.2) > 1e-12 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d.Epsilon != 0 {
+		t.Fatalf("population decision carries epsilon %v", d.Epsilon)
+	}
+	if d2 := a.Decide(Context{W: 20, Dev: 0}); d2.Report {
+		t.Fatalf("zero portion should skip: %+v", d2)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ub := &Uniform{Division: Budget}
+	d := ub.Decide(Context{W: 20, Epsilon: 2.0})
+	if !d.Report || math.Abs(d.Epsilon-0.1) > 1e-12 {
+		t.Fatalf("uniform budget = %+v", d)
+	}
+	up := &Uniform{Division: Population}
+	d = up.Decide(Context{W: 20})
+	if !d.Report || math.Abs(d.Portion-0.05) > 1e-12 {
+		t.Fatalf("uniform population = %+v", d)
+	}
+	if d := ub.Decide(Context{W: 0}); d.Report {
+		t.Fatal("W=0 should skip")
+	}
+}
+
+func TestSample(t *testing.T) {
+	sb := &Sample{Division: Budget}
+	for tt := 0; tt < 25; tt++ {
+		d := sb.Decide(Context{T: tt, W: 10, Epsilon: 1.5})
+		wantReport := tt%10 == 0
+		if d.Report != wantReport {
+			t.Fatalf("t=%d report=%v want %v", tt, d.Report, wantReport)
+		}
+		if d.Report && d.Epsilon != 1.5 {
+			t.Fatalf("sample budget = %v", d.Epsilon)
+		}
+	}
+	sp := &Sample{Division: Population}
+	if d := sp.Decide(Context{T: 10, W: 10}); !d.Report || d.Portion != 1 {
+		t.Fatalf("sample population = %+v", d)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	tests := []struct {
+		s    Strategy
+		want string
+	}{
+		{NewAdaptive(Budget), "adaptive-budget"},
+		{NewAdaptive(Population), "adaptive-population"},
+		{&Uniform{Division: Budget}, "uniform-budget"},
+		{&Sample{Division: Population}, "sample-population"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestUniformBudgetNeverExceedsWindow(t *testing.T) {
+	// Simulate 100 timestamps of uniform budget division and verify the
+	// sliding-window invariant via BudgetWindow + Ledger.
+	const w, eps, T = 10, 1.0, 100
+	u := &Uniform{Division: Budget}
+	bw := NewBudgetWindow(w)
+	ledger := NewLedger(T)
+	for tt := 0; tt < T; tt++ {
+		d := u.Decide(Context{T: tt, W: w, Epsilon: eps, WindowUsed: bw.Used()})
+		spent := 0.0
+		if d.Report {
+			spent = d.Epsilon
+		}
+		bw.Record(spent)
+		ledger.RecordRound(tt, spent, nil)
+	}
+	if got := ledger.MaxWindowSum(w); got > eps+1e-9 {
+		t.Fatalf("uniform strategy exceeded window budget: %v", got)
+	}
+}
+
+func TestAdaptiveBudgetNeverExceedsWindow(t *testing.T) {
+	const w, eps, T = 10, 1.0, 200
+	a := NewAdaptive(Budget)
+	bw := NewBudgetWindow(w)
+	ledger := NewLedger(T)
+	for tt := 0; tt < T; tt++ {
+		// Feed adversarial deviation values to push the strategy hard.
+		dev := float64(tt%7) * 3.0
+		d := a.Decide(Context{T: tt, W: w, Epsilon: eps, WindowUsed: bw.Used(), Dev: dev})
+		spent := 0.0
+		if d.Report {
+			spent = d.Epsilon
+		}
+		bw.Record(spent)
+		ledger.RecordRound(tt, spent, nil)
+	}
+	if got := ledger.MaxWindowSum(w); got > eps+1e-9 {
+		t.Fatalf("adaptive strategy exceeded window budget: %v", got)
+	}
+}
+
+func TestSampleBudgetNeverExceedsWindow(t *testing.T) {
+	const w, eps, T = 10, 2.0, 100
+	s := &Sample{Division: Budget}
+	ledger := NewLedger(T)
+	for tt := 0; tt < T; tt++ {
+		d := s.Decide(Context{T: tt, W: w, Epsilon: eps})
+		if d.Report {
+			ledger.RecordRound(tt, d.Epsilon, nil)
+		}
+	}
+	if got := ledger.MaxWindowSum(w); got > eps+1e-9 {
+		t.Fatalf("sample strategy exceeded window budget: %v", got)
+	}
+}

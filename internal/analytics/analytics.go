@@ -1,0 +1,195 @@
+// Package analytics provides the downstream location-based queries the
+// paper's introduction motivates (traffic monitoring, congestion
+// prediction, emergency response): spatio-temporal range counts, top-k
+// hotspots, inter-region flows and population curves, evaluated over any
+// released dataset. Running these against the synthetic release costs no
+// additional privacy budget (paper Theorem 2) — that is RetraSyn's central
+// versatility claim.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/trajectory"
+)
+
+// Engine indexes one dataset for repeated queries. Building costs one pass
+// over the data; queries are then sub-linear in the dataset size. The engine
+// is immutable and safe for concurrent use.
+type Engine struct {
+	g *grid.System
+	T int
+	// counts[t][c] = points in cell c at timestamp t.
+	counts [][]int32
+	// flows[t] maps packed (from,to) → transitions landing at t.
+	flows []map[uint32]int32
+	// active[t] = streams present at t.
+	active []int
+}
+
+func packPair(a, b grid.Cell) uint32 { return uint32(a)<<16 | uint32(b)&0xffff }
+
+// New indexes the dataset.
+func New(d *trajectory.Dataset, g *grid.System) *Engine {
+	nc := g.NumCells()
+	e := &Engine{
+		g:      g,
+		T:      d.T,
+		counts: make([][]int32, d.T),
+		flows:  make([]map[uint32]int32, d.T),
+		active: make([]int, d.T),
+	}
+	flat := make([]int32, d.T*nc)
+	for t := 0; t < d.T; t++ {
+		e.counts[t], flat = flat[:nc:nc], flat[nc:]
+		e.flows[t] = make(map[uint32]int32)
+	}
+	for _, tr := range d.Trajs {
+		end := tr.End()
+		for t := max(tr.Start, 0); t <= end && t < d.T; t++ {
+			c := tr.Cells[t-tr.Start]
+			e.counts[t][c]++
+			e.active[t]++
+			if t > tr.Start {
+				e.flows[t][packPair(tr.Cells[t-tr.Start-1], c)]++
+			}
+		}
+	}
+	return e
+}
+
+// Timestamps returns the timeline length.
+func (e *Engine) Timestamps() int { return e.T }
+
+// clipWindow clamps [t0, t1] (inclusive) to the timeline and reports
+// whether anything remains.
+func (e *Engine) clipWindow(t0, t1 int) (int, int, bool) {
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 >= e.T {
+		t1 = e.T - 1
+	}
+	return t0, t1, t0 <= t1
+}
+
+// CountRange returns the number of location points inside region r during
+// timestamps [t0, t1] inclusive — the paper's spatio-temporal range query.
+func (e *Engine) CountRange(r grid.Region, t0, t1 int) int {
+	t0, t1, ok := e.clipWindow(t0, t1)
+	if !ok {
+		return 0
+	}
+	total := 0
+	k := e.g.K()
+	for t := t0; t <= t1; t++ {
+		row := e.counts[t]
+		for rr := r.MinRow; rr <= r.MaxRow; rr++ {
+			base := rr * k
+			for cc := r.MinCol; cc <= r.MaxCol; cc++ {
+				total += int(row[base+cc])
+			}
+		}
+	}
+	return total
+}
+
+// ActiveAt returns the number of streams present at timestamp t (the
+// population curve used for congestion control).
+func (e *Engine) ActiveAt(t int) int {
+	if t < 0 || t >= e.T {
+		return 0
+	}
+	return e.active[t]
+}
+
+// CellCount pairs a cell with a count.
+type CellCount struct {
+	Cell  grid.Cell
+	Count int
+}
+
+// TopCells returns the k most-visited cells over [t0, t1] inclusive, most
+// popular first; ties break on the smaller cell id for determinism.
+func (e *Engine) TopCells(t0, t1, k int) []CellCount {
+	t0, t1, ok := e.clipWindow(t0, t1)
+	if !ok || k <= 0 {
+		return nil
+	}
+	sums := make([]int, e.g.NumCells())
+	for t := t0; t <= t1; t++ {
+		for c, v := range e.counts[t] {
+			sums[c] += int(v)
+		}
+	}
+	out := make([]CellCount, 0, len(sums))
+	for c, v := range sums {
+		if v > 0 {
+			out = append(out, CellCount{Cell: grid.Cell(c), Count: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Flow returns the number of single-step transitions from region a to
+// region b landing in [t0, t1] inclusive — an origin/destination flow
+// query (e.g. "trips entering the business district from the north-west").
+func (e *Engine) Flow(a, b grid.Region, t0, t1 int) int {
+	t0, t1, ok := e.clipWindow(t0, t1)
+	if !ok {
+		return 0
+	}
+	total := 0
+	for t := t0; t <= t1; t++ {
+		for key, n := range e.flows[t] {
+			from := grid.Cell(key >> 16)
+			to := grid.Cell(key & 0xffff)
+			if a.ContainsCell(e.g, from) && b.ContainsCell(e.g, to) {
+				total += int(n)
+			}
+		}
+	}
+	return total
+}
+
+// CongestionAlert reports the first timestamp in [t0, t1] at which a single
+// cell holds at least frac of the active population (and that cell), or
+// (-1, Invalid) when none does.
+func (e *Engine) CongestionAlert(t0, t1 int, frac float64) (int, grid.Cell) {
+	t0, t1, ok := e.clipWindow(t0, t1)
+	if !ok || frac <= 0 {
+		return -1, grid.Invalid
+	}
+	for t := t0; t <= t1; t++ {
+		if e.active[t] == 0 {
+			continue
+		}
+		threshold := frac * float64(e.active[t])
+		for c, v := range e.counts[t] {
+			if float64(v) >= threshold && v > 0 {
+				return t, grid.Cell(c)
+			}
+		}
+	}
+	return -1, grid.Invalid
+}
+
+// String summarizes the index.
+func (e *Engine) String() string {
+	points := 0
+	for _, a := range e.active {
+		points += a
+	}
+	return fmt.Sprintf("analytics over %d timestamps, %d points, K=%d", e.T, points, e.g.K())
+}

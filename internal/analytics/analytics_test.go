@@ -1,0 +1,141 @@
+package analytics
+
+import (
+	"strings"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/trajectory"
+)
+
+func fixture() (*Engine, *grid.System) {
+	g := grid.MustNew(4, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	// Cells: 0..15 row-major. Streams:
+	//   A: t0..t2 at 0 → 1 → 5
+	//   B: t1..t3 at 5 → 5 → 6
+	//   C: t0     at 15
+	d := &trajectory.Dataset{T: 5, Trajs: []trajectory.CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{0, 1, 5}},
+		{Start: 1, Cells: []grid.Cell{5, 5, 6}},
+		{Start: 0, Cells: []grid.Cell{15}},
+	}}
+	return New(d, g), g
+}
+
+func TestCountRange(t *testing.T) {
+	e, _ := fixture()
+	all := grid.Region{MinRow: 0, MinCol: 0, MaxRow: 3, MaxCol: 3}
+	if got := e.CountRange(all, 0, 4); got != 7 {
+		t.Fatalf("full count = %d, want 7", got)
+	}
+	// Cell 5 = row 1, col 1. Region {cell 5 only} over all time: A@t2, B@t1,t2 → 3.
+	r5 := grid.Region{MinRow: 1, MinCol: 1, MaxRow: 1, MaxCol: 1}
+	if got := e.CountRange(r5, 0, 4); got != 3 {
+		t.Fatalf("cell-5 count = %d, want 3", got)
+	}
+	// Clipped window.
+	if got := e.CountRange(all, -10, 100); got != 7 {
+		t.Fatalf("clipped count = %d, want 7", got)
+	}
+	if got := e.CountRange(all, 4, 2); got != 0 {
+		t.Fatalf("inverted window count = %d, want 0", got)
+	}
+	if got := e.CountRange(all, 4, 4); got != 0 {
+		t.Fatalf("empty timestamp count = %d, want 0", got)
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	e, _ := fixture()
+	want := []int{2, 2, 2, 1, 0}
+	for ts, w := range want {
+		if got := e.ActiveAt(ts); got != w {
+			t.Fatalf("ActiveAt(%d) = %d, want %d", ts, got, w)
+		}
+	}
+	if e.ActiveAt(-1) != 0 || e.ActiveAt(99) != 0 {
+		t.Fatal("out-of-range ActiveAt nonzero")
+	}
+}
+
+func TestTopCells(t *testing.T) {
+	e, _ := fixture()
+	top := e.TopCells(0, 4, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	// Cell 5 visited 3×, cells 0,1,6,15 once each → top1 = cell5, top2 = cell0 (tie-break).
+	if top[0].Cell != 5 || top[0].Count != 3 {
+		t.Fatalf("top1 = %+v", top[0])
+	}
+	if top[1].Cell != 0 || top[1].Count != 1 {
+		t.Fatalf("top2 = %+v", top[1])
+	}
+	if got := e.TopCells(0, 4, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := e.TopCells(4, 4, 3); len(got) != 0 {
+		t.Fatalf("empty window top = %v", got)
+	}
+}
+
+func TestFlow(t *testing.T) {
+	e, g := fixture()
+	// Transitions: 0→1 (t1), 1→5 (t2), 5→5 (t2), 5→6 (t3).
+	rowTop := grid.Region{MinRow: 0, MinCol: 0, MaxRow: 0, MaxCol: 3} // cells 0..3
+	rowMid := grid.Region{MinRow: 1, MinCol: 0, MaxRow: 1, MaxCol: 3} // cells 4..7
+	if got := e.Flow(rowTop, rowTop, 0, 4); got != 1 {                // 0→1
+		t.Fatalf("top→top = %d, want 1", got)
+	}
+	if got := e.Flow(rowTop, rowMid, 0, 4); got != 1 { // 1→5
+		t.Fatalf("top→mid = %d, want 1", got)
+	}
+	if got := e.Flow(rowMid, rowMid, 0, 4); got != 2 { // 5→5, 5→6
+		t.Fatalf("mid→mid = %d, want 2", got)
+	}
+	// Time-sliced: only t3 flows.
+	if got := e.Flow(rowMid, rowMid, 3, 3); got != 1 {
+		t.Fatalf("mid→mid @t3 = %d, want 1", got)
+	}
+	_ = g
+}
+
+func TestCongestionAlert(t *testing.T) {
+	e, _ := fixture()
+	// At t1: active=2, cell5 holds 1 → 50%. Threshold 0.5 triggers at t1?
+	// t0: active=2, cells 0 and 15 hold 1 each → 50% as well → t0 fires first.
+	ts, cell := e.CongestionAlert(0, 4, 0.5)
+	if ts != 0 {
+		t.Fatalf("alert at t=%d, want 0", ts)
+	}
+	if cell != 0 && cell != 15 {
+		t.Fatalf("alert cell = %d", cell)
+	}
+	// Impossible threshold.
+	if ts, _ := e.CongestionAlert(0, 4, 1.1); ts != -1 {
+		t.Fatalf("impossible alert fired at %d", ts)
+	}
+	if ts, _ := e.CongestionAlert(0, 4, 0); ts != -1 {
+		t.Fatal("zero threshold should be rejected")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	e, _ := fixture()
+	s := e.String()
+	if !strings.Contains(s, "5 timestamps") || !strings.Contains(s, "7 points") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	g := grid.MustNew(3, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	e := New(&trajectory.Dataset{T: 4}, g)
+	all := grid.Region{MinRow: 0, MinCol: 0, MaxRow: 2, MaxCol: 2}
+	if e.CountRange(all, 0, 3) != 0 || len(e.TopCells(0, 3, 5)) != 0 {
+		t.Fatal("empty dataset produced counts")
+	}
+	if ts, _ := e.CongestionAlert(0, 3, 0.5); ts != -1 {
+		t.Fatal("alert on empty dataset")
+	}
+}

@@ -1,0 +1,526 @@
+// Package core assembles RetraSyn (paper Algorithm 1): per timestamp it
+// collects the reporting users' transition states through OUE under the
+// configured allocation strategy, refreshes the global mobility model with
+// the DMU mechanism, and advances the real-time synthesizer. Both the
+// budget-division and population-division variants are provided, along with
+// the paper's ablations (AllUpdate: no DMU; NoEQ: no entering/quitting
+// modelling).
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/dmu"
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/mobility"
+	"retrasyn/internal/synthesis"
+	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
+)
+
+// OracleMode selects how the OUE collection round is simulated.
+type OracleMode int
+
+const (
+	// PerUser runs the faithful per-user perturbation path — every sampled
+	// user's report is individually randomized and aggregated. Use for
+	// fidelity measurements (Table V user-side timing) and moderate scales.
+	PerUser OracleMode = iota
+	// Aggregate samples the aggregate count vector directly (statistically
+	// identical to PerUser; see ldp.AggregateOracle). Use for paper-scale
+	// populations. Only available for the OUE oracle.
+	Aggregate
+)
+
+// OracleKind selects the frequency-oracle protocol users run.
+type OracleKind int
+
+const (
+	// OracleOUE is Optimized Unary Encoding, the paper's choice (optimal
+	// variance; |S|-bit reports).
+	OracleOUE OracleKind = iota
+	// OracleOLH is Optimized Local Hashing (matching variance, O(1)-size
+	// reports, O(|S|) server work per report) — the frequency-oracle
+	// ablation.
+	OracleOLH
+	// OracleGRR is Generalized Randomized Response (variance grows with
+	// |S|; included to demonstrate why the paper avoids it).
+	OracleGRR
+)
+
+// String implements fmt.Stringer.
+func (k OracleKind) String() string {
+	switch k {
+	case OracleOUE:
+		return "OUE"
+	case OracleOLH:
+		return "OLH"
+	case OracleGRR:
+		return "GRR"
+	default:
+		return fmt.Sprintf("OracleKind(%d)", int(k))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	Grid    *grid.System
+	Epsilon float64
+	// W is the w-event window size.
+	W int
+	// Division selects budget or population division.
+	Division allocation.Division
+	// Strategy decides per-timestamp allocation; defaults to the paper's
+	// adaptive strategy for the configured division.
+	Strategy allocation.Strategy
+	// Lambda is the synthesis termination factor λ (Eq. 8); the paper sets
+	// it to the dataset's average trajectory length.
+	Lambda float64
+	// Kappa is the tracker history length κ of Eq. 9–10 (default 5).
+	Kappa int
+	// DisableDMU refreshes the whole model every round (AllUpdate ablation).
+	DisableDMU bool
+	// DisableEQ drops entering/quitting modelling (NoEQ ablation): the
+	// domain is movement-only, synthetic streams never terminate, and the
+	// population is fixed at its initial size with uniform random starts.
+	DisableEQ bool
+	// OracleMode selects the collection simulation path.
+	OracleMode OracleMode
+	// Oracle selects the frequency-oracle protocol (default OUE, the
+	// paper's choice).
+	Oracle OracleKind
+	// PostProcess optionally projects each round's estimates toward the
+	// probability simplex before they feed the DMU and the model — a
+	// privacy-free extension (Theorem 2) evaluated by the post-processing
+	// ablation bench. Default none (the paper's behaviour).
+	PostProcess ldp.PostProcess
+	// SynthesisWorkers > 1 parallelizes the new-point-generation phase of
+	// synthesis across that many goroutines (the paper §VII's future-work
+	// acceleration). Default 1 (sequential, matching the paper).
+	SynthesisWorkers int
+	// Seed drives all engine randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+}
+
+func (o *Options) defaults() error {
+	if o.Grid == nil {
+		return fmt.Errorf("core: Grid is required")
+	}
+	if !(o.Epsilon > 0) {
+		return fmt.Errorf("core: Epsilon must be > 0, got %v", o.Epsilon)
+	}
+	if o.W < 1 {
+		return fmt.Errorf("core: W must be ≥ 1, got %d", o.W)
+	}
+	if o.Kappa == 0 {
+		o.Kappa = 5
+	}
+	if o.Strategy == nil {
+		o.Strategy = allocation.NewAdaptive(o.Division)
+	}
+	if !o.DisableEQ && !(o.Lambda > 0) {
+		return fmt.Errorf("core: Lambda must be > 0, got %v", o.Lambda)
+	}
+	if o.OracleMode == Aggregate && o.Oracle != OracleOUE {
+		return fmt.Errorf("core: the aggregate simulation path supports only the OUE oracle, not %v", o.Oracle)
+	}
+	return nil
+}
+
+// StepResult reports what one processed timestamp did.
+type StepResult struct {
+	T              int
+	Reported       bool
+	NumReporters   int
+	Epsilon        float64 // per-user budget spent by reporters
+	NumSignificant int     // |S*| of the DMU selection (domain size at init)
+}
+
+// ComponentTimings accumulates per-component wall time, matching the
+// paper's Table V decomposition.
+type ComponentTimings struct {
+	UserSide          time.Duration // client-side perturbation
+	ModelConstruction time.Duration // aggregation and debiasing
+	DMU               time.Duration // significant-transition selection + update
+	Synthesis         time.Duration // generation and size adjustment
+}
+
+// Total sums the components.
+func (c ComponentTimings) Total() time.Duration {
+	return c.UserSide + c.ModelConstruction + c.DMU + c.Synthesis
+}
+
+// RunStats aggregates an engine run.
+type RunStats struct {
+	Timestamps   int
+	Rounds       int // timestamps with a collection round
+	TotalReports int // user reports collected
+	Timings      ComponentTimings
+}
+
+// Engine is the streaming curator. Feed it one timestamp at a time with
+// ProcessTimestamp, or drive a whole recorded stream with Run. Not safe for
+// concurrent use.
+type Engine struct {
+	opts  Options
+	dom   *transition.Domain
+	model *mobility.Model
+	synth *synthesis.Synthesizer
+	rng   *rand.Rand
+
+	budgetWin *allocation.BudgetWindow
+	dev       *allocation.DevTracker
+	sig       *allocation.SigTracker
+	users     *UserTracker
+	ledger    *allocation.Ledger
+
+	bootstrapped bool
+	lastT        int // last processed timestamp; -1 before the first
+	stats        RunStats
+
+	// scratch buffers reused across timestamps
+	trueCounts []int
+	sampleBuf  []trajectory.Event
+}
+
+// New creates an engine. The ledger capacity is sized lazily on first use
+// when ledgerT is 0.
+func New(opts Options) (*Engine, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	var dom *transition.Domain
+	if opts.DisableEQ {
+		dom = transition.NewMoveOnlyDomain(opts.Grid)
+	} else {
+		dom = transition.NewDomain(opts.Grid)
+	}
+	rng := ldp.NewRand(opts.Seed, opts.Seed^0x9e3779b97f4a7c15)
+	synth, err := synthesis.New(opts.Grid, synthesis.Options{
+		Lambda:             opts.Lambda,
+		DisableTermination: opts.DisableEQ,
+		Workers:            opts.SynthesisWorkers,
+		Seed:               opts.Seed ^ 0x5851f42d4c957f2d,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:       opts,
+		dom:        dom,
+		model:      mobility.NewModel(dom),
+		synth:      synth,
+		rng:        rng,
+		dev:        allocation.NewDevTracker(opts.Kappa),
+		sig:        allocation.NewSigTracker(opts.Kappa),
+		trueCounts: make([]int, dom.Size()),
+		lastT:      -1,
+	}
+	if opts.Division == allocation.Budget {
+		e.budgetWin = allocation.NewBudgetWindow(opts.W)
+	} else {
+		e.users = NewUserTracker(opts.W)
+	}
+	// Seed the deviation history with the pre-collection all-zero vector, so
+	// the first collected estimate registers as drift (Dev ≈ ‖f̂‖₁) instead of
+	// deadlocking the adaptive strategy at Dev = 0.
+	e.dev.Push(make([]float64, dom.Size()))
+	return e, nil
+}
+
+// Domain exposes the engine's transition domain (for tests and tooling).
+func (e *Engine) Domain() *transition.Domain { return e.dom }
+
+// Model exposes the global mobility model.
+func (e *Engine) Model() *mobility.Model { return e.model }
+
+// Ledger returns the privacy ledger recorded so far (nil until Run or
+// EnableLedger).
+func (e *Engine) Ledger() *allocation.Ledger { return e.ledger }
+
+// EnableLedger starts recording collection rounds for a timeline of length T.
+func (e *Engine) EnableLedger(T int) { e.ledger = allocation.NewLedger(T) }
+
+// Stats returns the accumulated run statistics.
+func (e *Engine) Stats() RunStats { return e.stats }
+
+// Run processes a whole recorded stream and returns the released synthetic
+// database.
+func (e *Engine) Run(stream *trajectory.Stream, name string) (*trajectory.Dataset, RunStats) {
+	if e.ledger == nil {
+		e.EnableLedger(stream.T)
+	}
+	for t := 0; t < stream.T; t++ {
+		e.ProcessTimestamp(t, stream.At(t), stream.Active[t])
+	}
+	return e.Synthetic(name, stream.T), e.stats
+}
+
+// Synthetic returns the current released synthetic database.
+func (e *Engine) Synthetic(name string, T int) *trajectory.Dataset {
+	return e.synth.Dataset(name, T)
+}
+
+// ProcessTimestamp ingests the events of timestamp t (one transition state
+// per present user) and the publicly known active-user count, runs the
+// collection/DMU/synthesis pipeline, and returns what happened.
+func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount int) StepResult {
+	if t <= e.lastT {
+		panic(fmt.Sprintf("core: ProcessTimestamp(%d) after timestamp %d — timestamps must be strictly increasing", t, e.lastT))
+	}
+	e.lastT = t
+	e.stats.Timestamps++
+	res := StepResult{T: t}
+
+	// Alg. 1 lines 7–9: register arrivals, recycle the t−w reporters.
+	if e.users != nil {
+		e.users.BeginTimestamp(t)
+		for _, ev := range events {
+			e.users.Register(ev.User)
+		}
+	}
+
+	pool := e.eligible(events)
+	decision := e.decide(t, len(pool))
+
+	var est []float64
+	errUpd := 0.0
+	epsRound := 0.0
+	if decision.Report && len(pool) > 0 {
+		reporters := pool
+		if e.opts.Division == allocation.Population {
+			n := int(decision.Portion*float64(len(pool)) + 0.5)
+			if n < 1 {
+				// The strategy decided to collect; tiny pools still
+				// contribute one report so small deployments make progress
+				// (the per-user window invariant is enforced regardless).
+				n = 1
+			}
+			if n > len(pool) {
+				n = len(pool)
+			}
+			reporters = e.sampleEvents(pool, n)
+			epsRound = e.opts.Epsilon
+		} else {
+			epsRound = decision.Epsilon
+		}
+		if len(reporters) > 0 {
+			est, errUpd = e.collect(reporters, epsRound)
+			res.Reported = true
+			res.NumReporters = len(reporters)
+			res.Epsilon = epsRound
+			e.stats.Rounds++
+			e.stats.TotalReports += len(reporters)
+			if e.users != nil {
+				for _, ev := range reporters {
+					e.users.MarkReported(ev.User, t)
+				}
+			}
+			if e.ledger != nil {
+				ids := make([]int, len(reporters))
+				for i, ev := range reporters {
+					ids[i] = ev.User
+				}
+				e.ledger.RecordRound(t, epsRound, ids)
+			}
+		}
+	}
+
+	// Alg. 1 line 8 (after potential final q_j report): retire quitters.
+	if e.users != nil {
+		for _, ev := range events {
+			if ev.State.Kind == transition.Quit {
+				e.users.MarkQuitted(ev.User)
+			}
+		}
+	}
+
+	// Window accounting for budget division records actual expenditure.
+	if e.budgetWin != nil {
+		spent := 0.0
+		if res.Reported {
+			spent = epsRound
+		}
+		e.budgetWin.Record(spent)
+	}
+
+	// DMU (paper §III-C).
+	sigRatio := 0.0
+	if res.Reported {
+		start := time.Now()
+		e.opts.PostProcess.Apply(est)
+		switch {
+		case !e.bootstrapped:
+			e.model.SetAll(est)
+			e.bootstrapped = true
+			res.NumSignificant = e.dom.Size()
+			// Initialization is not a DMU selection; don't damp Eq. 10.
+		case e.opts.DisableDMU:
+			sel := dmu.SelectAllVar(e.dom.Size(), errUpd)
+			e.model.SetAll(est)
+			res.NumSignificant = len(sel.Significant)
+			sigRatio = sel.Ratio(e.dom.Size())
+		default:
+			sel := dmu.SelectVar(e.model.Freqs(), est, errUpd)
+			e.model.Update(sel.Significant, est)
+			res.NumSignificant = len(sel.Significant)
+			sigRatio = sel.Ratio(e.dom.Size())
+		}
+		e.stats.Timings.DMU += time.Since(start)
+	}
+	e.sig.Push(sigRatio)
+	// Eq. 9 tracks the frequencies *collected* at recent timestamps: the
+	// deviation history advances only on reporting rounds. (Pushing the
+	// frozen model on silent timestamps would decay Dev to zero and
+	// permanently silence the adaptive strategy after a starved round.)
+	if res.Reported {
+		e.dev.Push(est)
+	}
+
+	// Real-time synthesis (paper §III-D).
+	start := time.Now()
+	snap := e.model.Snapshot()
+	if e.opts.DisableEQ && e.synth.ActiveCount() == 0 && activeCount == 0 {
+		// NoEQ initializes a fixed-size population; wait for users to exist.
+	} else {
+		e.synth.Step(t, activeCount, snap)
+	}
+	e.stats.Timings.Synthesis += time.Since(start)
+	return res
+}
+
+// eligible filters the timestamp's events down to sampleable ones: states
+// inside the domain (NoEQ drops enter/quit events) and — for population
+// division — users currently active.
+func (e *Engine) eligible(events []trajectory.Event) []trajectory.Event {
+	e.sampleBuf = e.sampleBuf[:0]
+	for _, ev := range events {
+		if _, ok := e.dom.Index(ev.State); !ok {
+			continue
+		}
+		if e.users != nil && !e.users.IsActive(ev.User) {
+			continue
+		}
+		e.sampleBuf = append(e.sampleBuf, ev)
+	}
+	return e.sampleBuf
+}
+
+// decide consults the strategy, bootstrapping the very first collection
+// round at 1/w resources when the adaptive strategy would stay silent
+// (Alg. 1 lines 1–5).
+func (e *Engine) decide(t, poolSize int) allocation.Decision {
+	ctx := allocation.Context{
+		T:            t,
+		W:            e.opts.W,
+		Epsilon:      e.opts.Epsilon,
+		Dev:          e.dev.Dev(),
+		SigRatioMean: e.sig.Mean(),
+	}
+	if e.budgetWin != nil {
+		ctx.WindowUsed = e.budgetWin.Used()
+	}
+	d := e.opts.Strategy.Decide(ctx)
+	if !e.bootstrapped && poolSize > 0 && !d.Report {
+		if e.opts.Division == allocation.Budget {
+			return allocation.Decision{Report: true, Epsilon: e.opts.Epsilon / float64(e.opts.W)}
+		}
+		return allocation.Decision{Report: true, Portion: 1 / float64(e.opts.W)}
+	}
+	return d
+}
+
+// sampleEvents draws n events without replacement via partial
+// Fisher-Yates. The pool slice is permuted in place (it is the engine's
+// scratch buffer).
+func (e *Engine) sampleEvents(pool []trajectory.Event, n int) []trajectory.Event {
+	for i := 0; i < n; i++ {
+		j := i + e.rng.IntN(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:n]
+}
+
+// collect runs one frequency-oracle round over the reporters, returning the
+// debiased estimates and the per-state update error (the oracle's variance
+// at this round's budget and population) the DMU selection needs.
+func (e *Engine) collect(reporters []trajectory.Event, eps float64) ([]float64, float64) {
+	n := len(reporters)
+	switch e.opts.Oracle {
+	case OracleOLH:
+		oracle := ldp.MustOLH(e.dom.Size(), eps)
+		reports := make([]ldp.OLHReport, n)
+		start := time.Now()
+		for i, ev := range reporters {
+			idx, _ := e.dom.Index(ev.State)
+			reports[i] = oracle.Perturb(e.rng, e.rng, idx)
+		}
+		e.stats.Timings.UserSide += time.Since(start)
+
+		start = time.Now()
+		agg := ldp.NewOLHAggregator(oracle)
+		for _, r := range reports {
+			agg.Add(r)
+		}
+		est := agg.EstimateAll()
+		e.stats.Timings.ModelConstruction += time.Since(start)
+		return est, oracle.Variance(n)
+
+	case OracleGRR:
+		oracle := ldp.MustGRR(e.dom.Size(), eps)
+		reports := make([]int, n)
+		start := time.Now()
+		for i, ev := range reporters {
+			idx, _ := e.dom.Index(ev.State)
+			reports[i] = oracle.Perturb(e.rng, idx)
+		}
+		e.stats.Timings.UserSide += time.Since(start)
+
+		start = time.Now()
+		agg := ldp.NewGRRAggregator(oracle)
+		for _, r := range reports {
+			agg.Add(r)
+		}
+		est := agg.EstimateAll()
+		e.stats.Timings.ModelConstruction += time.Since(start)
+		return est, oracle.Variance(n)
+	}
+
+	oracle := ldp.MustOUE(e.dom.Size(), eps)
+	if e.opts.OracleMode == Aggregate {
+		start := time.Now()
+		for i := range e.trueCounts {
+			e.trueCounts[i] = 0
+		}
+		for _, ev := range reporters {
+			idx, _ := e.dom.Index(ev.State)
+			e.trueCounts[idx]++
+		}
+		agg := ldp.NewAggregateOracle(oracle).Collect(e.rng, e.trueCounts)
+		est := agg.EstimateAll()
+		e.stats.Timings.ModelConstruction += time.Since(start)
+		return est, oracle.Variance(n)
+	}
+	// Faithful per-user path: perturbation is user-side work, aggregation
+	// and debiasing are curator-side model construction.
+	reports := make([][]int, n)
+	start := time.Now()
+	for i, ev := range reporters {
+		idx, _ := e.dom.Index(ev.State)
+		reports[i] = oracle.Perturb(e.rng, idx)
+	}
+	e.stats.Timings.UserSide += time.Since(start)
+
+	start = time.Now()
+	agg := ldp.NewAggregator(oracle)
+	for _, r := range reports {
+		agg.Add(r)
+	}
+	est := agg.EstimateAll()
+	e.stats.Timings.ModelConstruction += time.Since(start)
+	return est, oracle.Variance(n)
+}

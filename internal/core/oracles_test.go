@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+)
+
+func TestOracleKindString(t *testing.T) {
+	tests := []struct {
+		k    OracleKind
+		want string
+	}{
+		{OracleOUE, "OUE"}, {OracleOLH, "OLH"}, {OracleGRR, "GRR"},
+		{OracleKind(9), "OracleKind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestAggregateModeRequiresOUE(t *testing.T) {
+	opts := defaultOpts(allocation.Population)
+	opts.OracleMode = Aggregate
+	opts.Oracle = OracleOLH
+	if _, err := New(opts); err == nil {
+		t.Fatal("aggregate + OLH accepted")
+	}
+	opts.Oracle = OracleGRR
+	if _, err := New(opts); err == nil {
+		t.Fatal("aggregate + GRR accepted")
+	}
+	opts.Oracle = OracleOUE
+	if _, err := New(opts); err != nil {
+		t.Fatalf("aggregate + OUE rejected: %v", err)
+	}
+}
+
+func TestEngineRunsWithEveryOracle(t *testing.T) {
+	g := testGrid()
+	data := walkDataset(g, 300, 30, 8, 61)
+	stream := trajectory.NewStream(data)
+	for _, kind := range []OracleKind{OracleOUE, OracleOLH, OracleGRR} {
+		t.Run(kind.String(), func(t *testing.T) {
+			opts := defaultOpts(allocation.Population)
+			opts.Oracle = kind
+			opts.OracleMode = PerUser
+			e, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			syn, stats := e.Run(stream, "syn")
+			if err := syn.Validate(g, true); err != nil {
+				t.Fatalf("invalid output: %v", err)
+			}
+			if stats.Rounds == 0 {
+				t.Fatal("no rounds")
+			}
+			// Per-user oracles must record user-side work.
+			if stats.Timings.UserSide <= 0 {
+				t.Fatal("no user-side timing recorded")
+			}
+		})
+	}
+}
+
+func TestEngineRunsWithEveryPostProcess(t *testing.T) {
+	g := testGrid()
+	data := walkDataset(g, 300, 30, 8, 67)
+	stream := trajectory.NewStream(data)
+	for _, pp := range []ldp.PostProcess{
+		ldp.PostProcessNone, ldp.PostProcessClamp,
+		ldp.PostProcessNormSub, ldp.PostProcessNormMul,
+	} {
+		t.Run(pp.String(), func(t *testing.T) {
+			opts := defaultOpts(allocation.Population)
+			opts.PostProcess = pp
+			e, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			syn, _ := e.Run(stream, "syn")
+			if err := syn.Validate(g, true); err != nil {
+				t.Fatalf("invalid output: %v", err)
+			}
+		})
+	}
+}
+
+func TestNormSubModelIsDistribution(t *testing.T) {
+	// With norm-sub post-processing, the model frequencies after every
+	// update form a probability distribution (up to DMU partial updates
+	// mixing rounds — the bootstrap round is fully normalized).
+	g := testGrid()
+	data := walkDataset(g, 300, 10, 8, 71)
+	stream := trajectory.NewStream(data)
+	opts := defaultOpts(allocation.Population)
+	opts.PostProcess = ldp.PostProcessNormSub
+	e, _ := New(opts)
+	for tt := 0; tt < 2; tt++ {
+		e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
+	}
+	sum := 0.0
+	for _, f := range e.Model().Freqs() {
+		if f < 0 {
+			t.Fatalf("negative model frequency %v under norm-sub", f)
+		}
+		sum += f
+	}
+	if sum <= 0 {
+		t.Fatal("empty model after bootstrap")
+	}
+}
+
+func TestParallelSynthesisEngine(t *testing.T) {
+	g := testGrid()
+	data := walkDataset(g, 3000, 20, 12, 73)
+	stream := trajectory.NewStream(data)
+	opts := defaultOpts(allocation.Population)
+	opts.SynthesisWorkers = 8
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, _ := e.Run(stream, "syn")
+	if err := syn.Validate(g, true); err != nil {
+		t.Fatalf("parallel engine output invalid: %v", err)
+	}
+	// Size mirroring must survive parallel generation.
+	counts := syn.ActiveCounts()
+	for ts, want := range stream.Active {
+		if counts[ts] != want {
+			t.Fatalf("t=%d: synthetic active %d, real %d", ts, counts[ts], want)
+		}
+	}
+}
+
+func TestParallelEngineDeterministic(t *testing.T) {
+	g := testGrid()
+	data := walkDataset(g, 2500, 15, 10, 79)
+	stream := trajectory.NewStream(data)
+	run := func() int {
+		opts := defaultOpts(allocation.Population)
+		opts.SynthesisWorkers = 4
+		e, _ := New(opts)
+		syn, _ := e.Run(stream, "syn")
+		sum := len(syn.Trajs)
+		for _, tr := range syn.Trajs {
+			sum = sum*31 + tr.Start + tr.Len()
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("parallel engine not deterministic")
+	}
+}

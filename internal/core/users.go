@@ -1,0 +1,87 @@
+package core
+
+// userStatus mirrors Algorithm 1's user lifecycle: active users are eligible
+// for sampling; inactive users have reported within the current window and
+// await recycling; quitted users have stopped sharing.
+type userStatus uint8
+
+const (
+	statusActive userStatus = iota
+	statusInactive
+	statusQuitted
+)
+
+// UserTracker maintains the dynamic active user set for population-division
+// allocation (paper §III-E/F): it registers arrivals, marks reporters
+// inactive, recycles them once they fall outside the sliding window
+// (Alg. 1 line 9), and retires quitted users.
+type UserTracker struct {
+	w      int
+	status map[int]userStatus
+	// reported[t % w] holds the users who reported at timestamp t; they are
+	// recycled when timestamp t+w begins.
+	reported [][]int
+	active   int
+}
+
+// NewUserTracker creates a tracker for window size w.
+func NewUserTracker(w int) *UserTracker {
+	if w < 1 {
+		w = 1
+	}
+	return &UserTracker{
+		w:        w,
+		status:   make(map[int]userStatus),
+		reported: make([][]int, w),
+	}
+}
+
+// BeginTimestamp recycles the users who reported at t−w: inactive users
+// become active again; quitted users stay quitted.
+func (u *UserTracker) BeginTimestamp(t int) {
+	slot := t % u.w
+	for _, id := range u.reported[slot] {
+		if u.status[id] == statusInactive {
+			u.status[id] = statusActive
+			u.active++
+		}
+	}
+	u.reported[slot] = u.reported[slot][:0]
+}
+
+// Register ensures a user is known; unknown users arrive active
+// (Alg. 1 line 7). Registering an existing user is a no-op.
+func (u *UserTracker) Register(id int) {
+	if _, ok := u.status[id]; !ok {
+		u.status[id] = statusActive
+		u.active++
+	}
+}
+
+// IsActive reports whether the user is currently eligible for sampling.
+func (u *UserTracker) IsActive(id int) bool {
+	return u.status[id] == statusActive
+}
+
+// NumActive returns |U_A|.
+func (u *UserTracker) NumActive() int { return u.active }
+
+// MarkReported transitions a sampled user to inactive until recycled at
+// t+w (Alg. 1 line 14).
+func (u *UserTracker) MarkReported(id, t int) {
+	if u.status[id] == statusActive {
+		u.active--
+	}
+	u.status[id] = statusInactive
+	slot := t % u.w
+	u.reported[slot] = append(u.reported[slot], id)
+}
+
+// MarkQuitted retires a user permanently (Alg. 1 line 8). Quitted users are
+// never recycled.
+func (u *UserTracker) MarkQuitted(id int) {
+	if u.status[id] == statusActive {
+		u.active--
+	}
+	u.status[id] = statusQuitted
+}

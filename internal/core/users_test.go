@@ -1,0 +1,109 @@
+package core
+
+import "testing"
+
+func TestUserTrackerLifecycle(t *testing.T) {
+	u := NewUserTracker(3)
+	u.Register(1)
+	u.Register(2)
+	if !u.IsActive(1) || !u.IsActive(2) || u.NumActive() != 2 {
+		t.Fatalf("registration failed: active=%d", u.NumActive())
+	}
+	// Re-registration is a no-op.
+	u.Register(1)
+	if u.NumActive() != 2 {
+		t.Fatalf("double registration changed count: %d", u.NumActive())
+	}
+
+	u.MarkReported(1, 0)
+	if u.IsActive(1) || u.NumActive() != 1 {
+		t.Fatal("reported user still active")
+	}
+
+	// Recycling happens exactly w timestamps later.
+	u.BeginTimestamp(1)
+	u.BeginTimestamp(2)
+	if u.IsActive(1) {
+		t.Fatal("user recycled early")
+	}
+	u.BeginTimestamp(3) // 3 = 0 + w
+	if !u.IsActive(1) {
+		t.Fatal("user not recycled at t+w")
+	}
+	if u.NumActive() != 2 {
+		t.Fatalf("active = %d after recycle", u.NumActive())
+	}
+}
+
+func TestUserTrackerQuitNotRecycled(t *testing.T) {
+	u := NewUserTracker(2)
+	u.Register(7)
+	u.MarkReported(7, 0)
+	u.MarkQuitted(7)
+	u.BeginTimestamp(2) // would recycle a non-quitted user
+	if u.IsActive(7) {
+		t.Fatal("quitted user recycled")
+	}
+	if u.NumActive() != 0 {
+		t.Fatalf("active = %d", u.NumActive())
+	}
+}
+
+func TestUserTrackerQuitWhileActive(t *testing.T) {
+	u := NewUserTracker(2)
+	u.Register(3)
+	u.MarkQuitted(3)
+	if u.NumActive() != 0 {
+		t.Fatalf("active = %d", u.NumActive())
+	}
+	// Quitting twice stays consistent.
+	u.MarkQuitted(3)
+	if u.NumActive() != 0 {
+		t.Fatalf("active after double quit = %d", u.NumActive())
+	}
+}
+
+func TestUserTrackerWindowOne(t *testing.T) {
+	u := NewUserTracker(1)
+	u.Register(1)
+	u.MarkReported(1, 0)
+	u.BeginTimestamp(1)
+	if !u.IsActive(1) {
+		t.Fatal("w=1 should recycle at the next timestamp")
+	}
+}
+
+func TestUserTrackerClampW(t *testing.T) {
+	u := NewUserTracker(0) // clamped to 1
+	u.Register(1)
+	u.MarkReported(1, 5)
+	u.BeginTimestamp(6)
+	if !u.IsActive(1) {
+		t.Fatal("clamped tracker failed to recycle")
+	}
+}
+
+func TestUserTrackerManyUsersSlots(t *testing.T) {
+	u := NewUserTracker(4)
+	for id := 0; id < 100; id++ {
+		u.Register(id)
+	}
+	// Report 25 users at each of 4 timestamps.
+	for tt := 0; tt < 4; tt++ {
+		u.BeginTimestamp(tt)
+		for id := tt * 25; id < (tt+1)*25; id++ {
+			u.MarkReported(id, tt)
+		}
+	}
+	if u.NumActive() != 0 {
+		t.Fatalf("active = %d, want 0", u.NumActive())
+	}
+	// Users recycle in report order as the window slides.
+	for tt := 4; tt < 8; tt++ {
+		u.BeginTimestamp(tt)
+		want := (tt - 3) * 25
+		if u.NumActive() != want {
+			t.Fatalf("t=%d active = %d, want %d", tt, u.NumActive(), want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package datagen
+
+import (
+	"fmt"
+
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+)
+
+// BrinkhoffConfig parameterizes the network-constrained moving-object
+// generator, mirroring the process the paper used to create the Oldenburg
+// and SanJoaquin datasets: an initial population plus a constant per-
+// timestamp arrival stream, movement along shortest road-network paths at
+// one node per timestamp, and random quitting.
+type BrinkhoffConfig struct {
+	// T is the timeline length.
+	T int
+	// InitialUsers enter at t=0.
+	InitialUsers int
+	// NewUsersPerTs enter at every subsequent timestamp.
+	NewUsersPerTs int
+	// QuitProb is the per-timestamp probability that an object stops
+	// reporting; 1/QuitProb approximates the mean stream length.
+	QuitProb float64
+	// Jitter adds positional noise (in coordinate units) around node
+	// locations, emulating GPS error.
+	Jitter float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *BrinkhoffConfig) validate() error {
+	if c.T < 1 {
+		return fmt.Errorf("datagen: T must be ≥ 1, got %d", c.T)
+	}
+	if c.InitialUsers < 0 || c.NewUsersPerTs < 0 {
+		return fmt.Errorf("datagen: negative user counts")
+	}
+	if c.QuitProb < 0 || c.QuitProb > 1 {
+		return fmt.Errorf("datagen: QuitProb %v outside [0,1]", c.QuitProb)
+	}
+	return nil
+}
+
+// BrinkhoffLike generates a raw dataset of network-constrained movers on
+// net. Each object starts at a random node, follows the shortest path to a
+// random destination one node per timestamp, picks a fresh destination on
+// arrival, and quits with QuitProb per step (always emitting at least one
+// point).
+func BrinkhoffLike(net *RoadNetwork, cfg BrinkhoffConfig) (*trajectory.RawDataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if net == nil || net.NumNodes() == 0 {
+		return nil, fmt.Errorf("datagen: empty road network")
+	}
+	rng := ldp.NewRand(cfg.Seed, cfg.Seed^0x5bf03635)
+	d := &trajectory.RawDataset{Name: "brinkhoff", T: cfg.T}
+	spawn := func(start int) {
+		tr := trajectory.RawTrajectory{Start: start}
+		node := rng.IntN(net.NumNodes())
+		path := net.planPath(rng, node)
+		step := 0
+		for t := start; t < cfg.T; t++ {
+			p := net.Nodes[node]
+			tr.Points = append(tr.Points, trajectory.RawPoint{
+				X: p.X + (rng.Float64()-0.5)*cfg.Jitter,
+				Y: p.Y + (rng.Float64()-0.5)*cfg.Jitter,
+			})
+			if len(tr.Points) > 1 || cfg.QuitProb >= 1 {
+				if ldp.Bernoulli(rng, cfg.QuitProb) {
+					break
+				}
+			}
+			step++
+			if step >= len(path) {
+				path = net.planPath(rng, node)
+				step = 1
+				if len(path) < 2 {
+					step = 0
+				}
+			}
+			if step < len(path) {
+				node = int(path[step])
+			}
+		}
+		if len(tr.Points) > 0 {
+			d.Trajs = append(d.Trajs, tr)
+		}
+	}
+	for i := 0; i < cfg.InitialUsers; i++ {
+		spawn(0)
+	}
+	for t := 1; t < cfg.T; t++ {
+		for i := 0; i < cfg.NewUsersPerTs; i++ {
+			spawn(t)
+		}
+	}
+	return d, nil
+}
+
+// planPath picks a random destination and returns the shortest path from
+// the current node (length ≥ 1; falls back to staying put when the network
+// is split, which repairConnectivity prevents in generated networks).
+func (net *RoadNetwork) planPath(rng ldp.Rand, from int) []int32 {
+	for attempt := 0; attempt < 4; attempt++ {
+		dest := rng.IntN(net.NumNodes())
+		if dest == from {
+			continue
+		}
+		if path, ok := net.ShortestPath(from, dest); ok {
+			return path
+		}
+	}
+	return []int32{int32(from)}
+}

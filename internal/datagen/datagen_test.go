@@ -1,0 +1,321 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/trajectory"
+)
+
+func TestGenerateRoadNetworkValidation(t *testing.T) {
+	if _, err := GenerateRoadNetwork(1, 0, 0, 1, 1, 1); err == nil {
+		t.Error("side=1 accepted")
+	}
+	if _, err := GenerateRoadNetwork(5, 1, 0, 0, 1, 1); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestRoadNetworkConnected(t *testing.T) {
+	net, err := GenerateRoadNetwork(12, 0, 0, 10, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 144 {
+		t.Fatalf("nodes = %d", net.NumNodes())
+	}
+	// BFS from node 0 must reach every node.
+	seen := make([]bool, net.NumNodes())
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range net.Adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	if count != net.NumNodes() {
+		t.Fatalf("network disconnected: reached %d of %d", count, net.NumNodes())
+	}
+}
+
+func TestRoadNetworkNodesInBounds(t *testing.T) {
+	net, _ := GenerateRoadNetwork(10, -5, 3, 7, 21, 3)
+	for i, p := range net.Nodes {
+		if p.X < -5 || p.X > 7 || p.Y < 3 || p.Y > 21 {
+			t.Fatalf("node %d at (%v,%v) outside bounds", i, p.X, p.Y)
+		}
+	}
+}
+
+func TestShortestPathProperties(t *testing.T) {
+	net, _ := GenerateRoadNetwork(10, 0, 0, 10, 10, 11)
+	// Self path.
+	p, ok := net.ShortestPath(3, 3)
+	if !ok || len(p) != 1 || p[0] != 3 {
+		t.Fatalf("self path = %v,%v", p, ok)
+	}
+	// Arbitrary pairs: path endpoints correct, consecutive nodes adjacent.
+	for _, pair := range [][2]int{{0, 99}, {5, 77}, {42, 13}} {
+		p, ok := net.ShortestPath(pair[0], pair[1])
+		if !ok {
+			t.Fatalf("no path %v", pair)
+		}
+		if int(p[0]) != pair[0] || int(p[len(p)-1]) != pair[1] {
+			t.Fatalf("path endpoints %v for %v", p, pair)
+		}
+		for i := 1; i < len(p); i++ {
+			adjacent := false
+			for _, u := range net.Adj[p[i-1]] {
+				if u == p[i] {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				t.Fatalf("non-edge step %d→%d in path", p[i-1], p[i])
+			}
+		}
+	}
+}
+
+func TestShortestPathOptimalOnKnownGraph(t *testing.T) {
+	// Hand-built 4-node line graph: 0—1—2—3 at unit spacing.
+	net := &RoadNetwork{
+		Nodes: []trajectory.RawPoint{{X: 0}, {X: 1}, {X: 2}, {X: 3}},
+		Adj:   [][]int32{{1}, {0, 2}, {1, 3}, {2}},
+	}
+	p, ok := net.ShortestPath(0, 3)
+	if !ok || len(p) != 4 {
+		t.Fatalf("path = %v,%v want the 4-node line", p, ok)
+	}
+	// Disconnected pair.
+	net2 := &RoadNetwork{
+		Nodes: []trajectory.RawPoint{{X: 0}, {X: 1}},
+		Adj:   [][]int32{{}, {}},
+	}
+	if _, ok := net2.ShortestPath(0, 1); ok {
+		t.Fatal("found a path in a disconnected graph")
+	}
+}
+
+func TestBrinkhoffLikeValidation(t *testing.T) {
+	net, _ := GenerateRoadNetwork(5, 0, 0, 1, 1, 1)
+	bad := []BrinkhoffConfig{
+		{T: 0},
+		{T: 10, InitialUsers: -1},
+		{T: 10, QuitProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := BrinkhoffLike(net, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := BrinkhoffLike(nil, BrinkhoffConfig{T: 10}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestBrinkhoffLikeShape(t *testing.T) {
+	net, _ := GenerateRoadNetwork(10, 0, 0, 10, 10, 5)
+	d, err := BrinkhoffLike(net, BrinkhoffConfig{
+		T: 50, InitialUsers: 100, NewUsersPerTs: 10, QuitProb: 0.05, Jitter: 0.1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStreams := 100 + 49*10
+	if len(d.Trajs) != wantStreams {
+		t.Fatalf("streams = %d, want %d", len(d.Trajs), wantStreams)
+	}
+	for _, tr := range d.Trajs {
+		if tr.Start < 0 || tr.End() >= d.T || len(tr.Points) == 0 {
+			t.Fatalf("bad stream %+v", tr.Start)
+		}
+	}
+	// Mean length should be near 1/QuitProb = 20 (truncated by timeline).
+	stats := float64(d.NumPoints()) / float64(len(d.Trajs))
+	if stats < 8 || stats > 25 {
+		t.Fatalf("mean length = %v, want ≈ 12–20 (timeline-truncated geometric)", stats)
+	}
+}
+
+func TestBrinkhoffAdjacencyAfterDiscretize(t *testing.T) {
+	// Node-per-timestamp movement on the lattice must mostly respect grid
+	// adjacency at moderate K; splitting handles the rest.
+	net, _ := GenerateRoadNetwork(20, 0, 0, 20, 20, 13)
+	d, _ := BrinkhoffLike(net, BrinkhoffConfig{
+		T: 40, InitialUsers: 50, NewUsersPerTs: 5, QuitProb: 0.02, Jitter: 0.05, Seed: 3,
+	})
+	g := grid.MustNew(6, grid.Bounds{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20})
+	cells := trajectory.Discretize(d, g, trajectory.DiscretizeOptions{SplitNonAdjacent: true})
+	if err := cells.Validate(g, true); err != nil {
+		t.Fatal(err)
+	}
+	// Splitting should not explode the stream count (most steps adjacent).
+	if len(cells.Trajs) > 2*len(d.Trajs) {
+		t.Fatalf("splitting exploded: %d raw → %d cell streams", len(d.Trajs), len(cells.Trajs))
+	}
+}
+
+func TestTDriveLikeValidation(t *testing.T) {
+	bad := []TDriveConfig{
+		{T: 0, MaxX: 1, MaxY: 1},
+		{T: 10, MaxX: 0, MaxY: 1},
+		{T: 10, MaxX: 1, MaxY: 1, ArrivalsPerTs: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := TDriveLike(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTDriveLikeShape(t *testing.T) {
+	d, err := TDriveLike(TDriveConfig{
+		T: 100, InitialUsers: 50, ArrivalsPerTs: 20, MeanLength: 10,
+		MaxX: 30, MaxY: 30, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Trajs) < 500 {
+		t.Fatalf("only %d streams generated", len(d.Trajs))
+	}
+	mean := float64(d.NumPoints()) / float64(len(d.Trajs))
+	if mean < 6 || mean > 14 {
+		t.Fatalf("mean session length = %v, want ≈ 10 (timeline-truncated)", mean)
+	}
+	for _, tr := range d.Trajs {
+		for _, p := range tr.Points {
+			if p.X < 0 || p.X > 30 || p.Y < 0 || p.Y > 30 {
+				t.Fatalf("point (%v,%v) out of bounds", p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestTDriveRushHourModulation(t *testing.T) {
+	d, _ := TDriveLike(TDriveConfig{
+		T: 200, DayLength: 100, ArrivalsPerTs: 30, MeanLength: 8,
+		MaxX: 30, MaxY: 30, Seed: 23,
+	})
+	// Count session starts near rush peaks vs night trough.
+	starts := make([]int, 200)
+	for _, tr := range d.Trajs {
+		starts[tr.Start]++
+	}
+	rush, quiet := 0, 0
+	for t := 20; t < 30; t++ { // around phase 0.25 of day 1
+		rush += starts[t]
+	}
+	for t := 95; t < 100; t++ { // around phase ~0.97 (night)
+		quiet += starts[t]
+	}
+	quiet *= 2 // same number of slots
+	if rush <= quiet {
+		t.Fatalf("no rush-hour modulation: rush=%d quiet=%d", rush, quiet)
+	}
+}
+
+func TestTDriveFlowReversal(t *testing.T) {
+	// Transition drift is the property DMU depends on: the spatial
+	// distribution of session origins must differ between morning and
+	// evening.
+	d, _ := TDriveLike(TDriveConfig{
+		T: 200, DayLength: 200, InitialUsers: 0, ArrivalsPerTs: 50, MeanLength: 8,
+		MaxX: 30, MaxY: 30, Seed: 25, Hotspots: 4,
+	})
+	g := grid.MustNew(6, grid.Bounds{MinX: 0, MinY: 0, MaxX: 30, MaxY: 30})
+	morning := make([]float64, g.NumCells())
+	evening := make([]float64, g.NumCells())
+	for _, tr := range d.Trajs {
+		c := g.CellOf(tr.Points[0].X, tr.Points[0].Y)
+		switch {
+		case tr.Start >= 30 && tr.Start < 70: // around morning peak (phase .25)
+			morning[c]++
+		case tr.Start >= 130 && tr.Start < 170: // around evening peak (phase .75)
+			evening[c]++
+		}
+	}
+	l1 := 0.0
+	sm, se := 0.0, 0.0
+	for i := range morning {
+		sm += morning[i]
+		se += evening[i]
+	}
+	if sm == 0 || se == 0 {
+		t.Fatal("no rush sessions found")
+	}
+	for i := range morning {
+		l1 += math.Abs(morning[i]/sm - evening[i]/se)
+	}
+	if l1 < 0.2 {
+		t.Fatalf("origin distributions do not drift between rushes: L1=%v", l1)
+	}
+}
+
+func TestStandardSpecs(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			d, err := spec.Generate(0.05, 1) // tiny scale for test speed
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Name != spec.Name {
+				t.Fatalf("name = %q", d.Name)
+			}
+			if len(d.Trajs) == 0 {
+				t.Fatal("empty dataset")
+			}
+			for _, tr := range d.Trajs {
+				for _, p := range tr.Points {
+					if !spec.Bounds.Contains(p.X, p.Y) {
+						t.Fatalf("point (%v,%v) outside spec bounds", p.X, p.Y)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"tdrive", "oldenburg", "sanjoaquin", "TDriveSim", "OldenburgSim", "SanJoaquinSim"} {
+		if _, ok := SpecByName(name); !ok {
+			t.Errorf("SpecByName(%q) failed", name)
+		}
+	}
+	if _, ok := SpecByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(100, 0.5) != 50 {
+		t.Error("scaled(100, .5)")
+	}
+	if scaled(3, 0.01) != 1 {
+		t.Error("tiny scale should clamp to 1")
+	}
+	if scaled(0, 1) != 0 {
+		t.Error("scaled(0, 1)")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, _ := TDriveLike(TDriveConfig{T: 50, ArrivalsPerTs: 10, MaxX: 10, MaxY: 10, Seed: 31})
+	b, _ := TDriveLike(TDriveConfig{T: 50, ArrivalsPerTs: 10, MaxX: 10, MaxY: 10, Seed: 31})
+	if len(a.Trajs) != len(b.Trajs) || a.NumPoints() != b.NumPoints() {
+		t.Fatal("same-seed generation differs")
+	}
+	c, _ := TDriveLike(TDriveConfig{T: 50, ArrivalsPerTs: 10, MaxX: 10, MaxY: 10, Seed: 32})
+	if len(a.Trajs) == len(c.Trajs) && a.NumPoints() == c.NumPoints() {
+		t.Fatal("different seeds produced identical output (suspicious)")
+	}
+}

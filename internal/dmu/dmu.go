@@ -1,0 +1,85 @@
+// Package dmu implements RetraSyn's Dynamic Mobility Update mechanism
+// (paper §III-C): at each reporting timestamp the curator decides, per
+// transition state, whether to refresh the global mobility model with the
+// freshly perturbed estimate or to keep approximating with the extant value.
+//
+// Equation 7's objective is separable across states, so the optimum selects
+// state s exactly when the approximation error |f̃_s − f̂_s|² (squared drift
+// between the model's value f̃ and the new estimate f̂) exceeds the update
+// error Err_upd = 4e^{ε_t} / (n_t (e^{ε_t} − 1)²), the OUE variance of the
+// fresh estimate.
+package dmu
+
+import (
+	"fmt"
+
+	"retrasyn/internal/ldp"
+)
+
+// Selection is the outcome of one DMU round.
+type Selection struct {
+	// Significant holds the indices of the significant transitions S*, in
+	// increasing order.
+	Significant []int
+	// ErrUpd is the per-state update error used as the threshold.
+	ErrUpd float64
+	// TotalErr is the minimized value of Eq. 7 over all states.
+	TotalErr float64
+}
+
+// Ratio returns |S*| / |S|, the share of significant transitions — the
+// signal the adaptive allocation strategy tracks (Eq. 10).
+func (s Selection) Ratio(domainSize int) float64 {
+	if domainSize == 0 {
+		return 0
+	}
+	return float64(len(s.Significant)) / float64(domainSize)
+}
+
+// Select performs the DMU decision under the paper's OUE protocol. current
+// is the model's extant frequency vector f̃, estimated the freshly collected
+// estimates f̂ (same length), eps and n the budget and report-population of
+// the collection round.
+func Select(current, estimated []float64, eps float64, n int) Selection {
+	return SelectVar(current, estimated, ldp.Variance(eps, n))
+}
+
+// SelectVar is Select with an explicit per-state update error, for engines
+// running a frequency oracle other than OUE.
+func SelectVar(current, estimated []float64, errUpd float64) Selection {
+	if len(current) != len(estimated) {
+		panic(fmt.Sprintf("dmu: length mismatch %d vs %d", len(current), len(estimated)))
+	}
+	sel := Selection{ErrUpd: errUpd}
+	for i := range current {
+		d := current[i] - estimated[i]
+		appErr := d * d
+		if appErr > errUpd {
+			sel.Significant = append(sel.Significant, i)
+			sel.TotalErr += errUpd
+		} else {
+			sel.TotalErr += appErr
+		}
+	}
+	return sel
+}
+
+// SelectAll returns a selection marking every state significant — the
+// AllUpdate ablation, which refreshes the entire model each round without
+// weighing perturbation noise against drift.
+func SelectAll(size int, eps float64, n int) Selection {
+	return SelectAllVar(size, ldp.Variance(eps, n))
+}
+
+// SelectAllVar is SelectAll with an explicit per-state update error.
+func SelectAllVar(size int, errUpd float64) Selection {
+	sel := Selection{
+		Significant: make([]int, size),
+		ErrUpd:      errUpd,
+	}
+	for i := range sel.Significant {
+		sel.Significant[i] = i
+	}
+	sel.TotalErr = float64(size) * sel.ErrUpd
+	return sel
+}

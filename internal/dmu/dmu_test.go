@@ -1,0 +1,176 @@
+package dmu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"retrasyn/internal/ldp"
+)
+
+func TestSelectThreshold(t *testing.T) {
+	// ε=1, n=100 → ErrUpd = 4e/(100(e−1)²) ≈ 0.036832.
+	eps, n := 1.0, 100
+	errUpd := ldp.Variance(eps, n)
+	sd := math.Sqrt(errUpd)
+
+	current := []float64{0.5, 0.5, 0.5, 0.5}
+	estimated := []float64{
+		0.5,        // no drift → not significant
+		0.5 + sd/2, // drift² = errUpd/4 → not significant
+		0.5 + 2*sd, // drift² = 4·errUpd → significant
+		0.5 - 3*sd, // negative drift also significant
+	}
+	sel := Select(current, estimated, eps, n)
+	want := []int{2, 3}
+	if len(sel.Significant) != len(want) {
+		t.Fatalf("Significant = %v, want %v", sel.Significant, want)
+	}
+	for i, idx := range want {
+		if sel.Significant[i] != idx {
+			t.Fatalf("Significant = %v, want %v", sel.Significant, want)
+		}
+	}
+	if math.Abs(sel.ErrUpd-errUpd) > 1e-15 {
+		t.Fatalf("ErrUpd = %v, want %v", sel.ErrUpd, errUpd)
+	}
+}
+
+func TestSelectTotalErr(t *testing.T) {
+	eps, n := 1.0, 50
+	errUpd := ldp.Variance(eps, n)
+	current := []float64{0, 0}
+	estimated := []float64{0.001, 10} // tiny drift, huge drift
+	sel := Select(current, estimated, eps, n)
+	want := 0.001*0.001 + errUpd
+	if math.Abs(sel.TotalErr-want) > 1e-12 {
+		t.Fatalf("TotalErr = %v, want %v", sel.TotalErr, want)
+	}
+}
+
+func TestSelectBoundaryNotSignificant(t *testing.T) {
+	// Drift² at (or within float error just below) ErrUpd keeps the
+	// approximation — selection requires strictly exceeding the threshold.
+	eps, n := 1.0, 100
+	sd := math.Sqrt(ldp.Variance(eps, n)) * (1 - 1e-12)
+	sel := Select([]float64{0}, []float64{sd}, eps, n)
+	if len(sel.Significant) != 0 {
+		t.Fatalf("boundary drift selected: %v", sel.Significant)
+	}
+}
+
+func TestSelectLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Select([]float64{1}, []float64{1, 2}, 1.0, 10)
+}
+
+func TestSelectZeroUsers(t *testing.T) {
+	// n=0 → infinite update error → nothing significant.
+	sel := Select([]float64{0, 0}, []float64{5, -5}, 1.0, 0)
+	if len(sel.Significant) != 0 {
+		t.Fatalf("selected with n=0: %v", sel.Significant)
+	}
+}
+
+func TestSelectMoreUsersSelectMore(t *testing.T) {
+	// A fixed drift becomes significant once the population is large enough.
+	current := []float64{0.5}
+	estimated := []float64{0.55}
+	small := Select(current, estimated, 1.0, 10)
+	big := Select(current, estimated, 1.0, 100000)
+	if len(small.Significant) != 0 {
+		t.Fatalf("drift significant with tiny population: ErrUpd=%v", small.ErrUpd)
+	}
+	if len(big.Significant) != 1 {
+		t.Fatal("drift not significant with large population")
+	}
+}
+
+func TestSelectOptimalityProperty(t *testing.T) {
+	// The selection minimizes Eq. 7: no single flip can reduce TotalErr.
+	f := func(seed uint64, n uint16) bool {
+		rng := ldp.NewRand(seed, seed+1)
+		size := int(n%50) + 1
+		current := make([]float64, size)
+		estimated := make([]float64, size)
+		for i := range current {
+			current[i] = rng.Float64()
+			estimated[i] = rng.Float64()
+		}
+		users := int(n%1000) + 1
+		sel := Select(current, estimated, 1.0, users)
+		errUpd := sel.ErrUpd
+		selected := make(map[int]bool, len(sel.Significant))
+		for _, i := range sel.Significant {
+			selected[i] = true
+		}
+		for i := range current {
+			d := current[i] - estimated[i]
+			appErr := d * d
+			var cost, flipped float64
+			if selected[i] {
+				cost, flipped = errUpd, appErr
+			} else {
+				cost, flipped = appErr, errUpd
+			}
+			if flipped < cost-1e-15 {
+				return false // flipping state i would improve Eq. 7
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	sel := Selection{Significant: []int{1, 2, 3}}
+	if got := sel.Ratio(12); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("Ratio = %v, want 0.25", got)
+	}
+	if got := sel.Ratio(0); got != 0 {
+		t.Fatalf("Ratio(0) = %v", got)
+	}
+}
+
+func TestSelectAll(t *testing.T) {
+	sel := SelectAll(5, 1.0, 100)
+	if len(sel.Significant) != 5 {
+		t.Fatalf("SelectAll size = %d", len(sel.Significant))
+	}
+	for i, idx := range sel.Significant {
+		if idx != i {
+			t.Fatalf("SelectAll order = %v", sel.Significant)
+		}
+	}
+	if got, want := sel.TotalErr, 5*ldp.Variance(1.0, 100); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("TotalErr = %v, want %v", got, want)
+	}
+	if got := sel.Ratio(5); got != 1 {
+		t.Fatalf("Ratio = %v", got)
+	}
+}
+
+func TestSelectAllBeatsOrTiesNothing(t *testing.T) {
+	// Sanity: DMU's minimized error never exceeds AllUpdate's.
+	rng := ldp.NewRand(3, 7)
+	for trial := 0; trial < 50; trial++ {
+		size := 30
+		current := make([]float64, size)
+		estimated := make([]float64, size)
+		for i := range current {
+			current[i] = rng.Float64() * 0.1
+			estimated[i] = current[i] + (rng.Float64()-0.5)*0.2
+		}
+		dmuSel := Select(current, estimated, 1.0, 200)
+		allSel := SelectAll(size, 1.0, 200)
+		if dmuSel.TotalErr > allSel.TotalErr+1e-12 {
+			t.Fatalf("DMU error %v exceeds AllUpdate error %v", dmuSel.TotalErr, allSel.TotalErr)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import "retrasyn/internal/metrics"
+
+// MetricName identifies one of the paper's eight utility metrics.
+type MetricName string
+
+// The metric names in Table III row-group order.
+const (
+	MetricDensity    MetricName = "Density Error"
+	MetricQuery      MetricName = "Query Error"
+	MetricNDCG       MetricName = "Hotspot NDCG"
+	MetricTransition MetricName = "Transition Error"
+	MetricPattern    MetricName = "Pattern F1"
+	MetricKendall    MetricName = "Kendall Tau"
+	MetricTrip       MetricName = "Trip Error"
+	MetricLength     MetricName = "Length Error"
+)
+
+// AllMetrics lists the metrics in presentation order.
+func AllMetrics() []MetricName {
+	return []MetricName{
+		MetricDensity, MetricQuery, MetricNDCG, MetricTransition,
+		MetricPattern, MetricKendall, MetricTrip, MetricLength,
+	}
+}
+
+// LargerBetter reports the optimization direction of a metric.
+func LargerBetter(m MetricName) bool {
+	switch m {
+	case MetricNDCG, MetricPattern, MetricKendall:
+		return true
+	default:
+		return false
+	}
+}
+
+// MetricValue extracts a metric from a report.
+func MetricValue(r metrics.Report, m MetricName) float64 {
+	switch m {
+	case MetricDensity:
+		return r.DensityError
+	case MetricQuery:
+		return r.QueryError
+	case MetricNDCG:
+		return r.HotspotNDCG
+	case MetricTransition:
+		return r.TransitionError
+	case MetricPattern:
+		return r.PatternF1
+	case MetricKendall:
+		return r.KendallTau
+	case MetricTrip:
+		return r.TripError
+	case MetricLength:
+		return r.LengthError
+	default:
+		panic("experiments: unknown metric " + string(m))
+	}
+}
+
+// setMetric writes a metric into a report (used to merge best-of-strategy
+// reports).
+func setMetric(r *metrics.Report, m MetricName, v float64) {
+	switch m {
+	case MetricDensity:
+		r.DensityError = v
+	case MetricQuery:
+		r.QueryError = v
+	case MetricNDCG:
+		r.HotspotNDCG = v
+	case MetricTransition:
+		r.TransitionError = v
+	case MetricPattern:
+		r.PatternF1 = v
+	case MetricKendall:
+		r.KendallTau = v
+	case MetricTrip:
+		r.TripError = v
+	case MetricLength:
+		r.LengthError = v
+	}
+}
+
+// mergeBest keeps, per metric, the better value of the two reports.
+func mergeBest(a, b metrics.Report) metrics.Report {
+	out := a
+	for _, m := range AllMetrics() {
+		va, vb := MetricValue(a, m), MetricValue(b, m)
+		if LargerBetter(m) {
+			if vb > va {
+				setMetric(&out, m, vb)
+			}
+		} else if vb < va {
+			setMetric(&out, m, vb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+// Package grid implements the uniform K×K geospatial discretization used by
+// RetraSyn (paper §III-B). Continuous two-dimensional locations are mapped to
+// grid cells; mobility is constrained to transitions between a cell and its
+// (at most eight) adjacent cells plus itself, the paper's reachability
+// constraint that shrinks the movement-state domain from |C|² to O(9|C|).
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell identifies a grid cell as row*K + col. The zero cell is the
+// bottom-left corner of the space.
+type Cell int32
+
+// Invalid is returned for points outside the grid bounds by CellOfOK.
+const Invalid Cell = -1
+
+// Bounds describes the continuous bounding box of the space being
+// discretized. Max coordinates are exclusive for interior points; points
+// exactly on the max edge are clamped into the last row/column, matching the
+// common half-open convention for spatial partitioning.
+type Bounds struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the bounds describe a non-degenerate box.
+func (b Bounds) Valid() bool {
+	return b.MaxX > b.MinX && b.MaxY > b.MinY &&
+		!math.IsNaN(b.MinX) && !math.IsNaN(b.MinY) &&
+		!math.IsInf(b.MaxX, 0) && !math.IsInf(b.MaxY, 0)
+}
+
+// Contains reports whether (x, y) lies inside the bounds (max edges
+// inclusive, consistent with CellOf clamping).
+func (b Bounds) Contains(x, y float64) bool {
+	return x >= b.MinX && x <= b.MaxX && y >= b.MinY && y <= b.MaxY
+}
+
+// Width returns MaxX − MinX.
+func (b Bounds) Width() float64 { return b.MaxX - b.MinX }
+
+// Height returns MaxY − MinY.
+func (b Bounds) Height() float64 { return b.MaxY - b.MinY }
+
+// System is a K×K uniform grid over a bounding box with precomputed
+// neighbourhoods. It is immutable after construction and safe for concurrent
+// use.
+type System struct {
+	k      int
+	bounds Bounds
+	cellW  float64
+	cellH  float64
+
+	// neighbors[c] lists the reachable cells from c: the 3×3 block around c
+	// clipped to the grid, always including c itself. Order is deterministic
+	// (row-major over the block).
+	neighbors [][]Cell
+}
+
+// New constructs a K×K grid over the given bounds. K must be ≥ 1 and the
+// bounds non-degenerate.
+func New(k int, b Bounds) (*System, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("grid: K must be ≥ 1, got %d", k)
+	}
+	if !b.Valid() {
+		return nil, fmt.Errorf("grid: invalid bounds %+v", b)
+	}
+	s := &System{
+		k:      k,
+		bounds: b,
+		cellW:  b.Width() / float64(k),
+		cellH:  b.Height() / float64(k),
+	}
+	s.neighbors = make([][]Cell, k*k)
+	for c := range s.neighbors {
+		s.neighbors[c] = buildNeighbors(Cell(c), k)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; intended for tests and literals with
+// constant arguments.
+func MustNew(k int, b Bounds) *System {
+	s, err := New(k, b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func buildNeighbors(c Cell, k int) []Cell {
+	row, col := int(c)/k, int(c)%k
+	out := make([]Cell, 0, 9)
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			r, cc := row+dr, col+dc
+			if r < 0 || r >= k || cc < 0 || cc >= k {
+				continue
+			}
+			out = append(out, Cell(r*k+cc))
+		}
+	}
+	return out
+}
+
+// K returns the grid granularity.
+func (s *System) K() int { return s.k }
+
+// NumCells returns K².
+func (s *System) NumCells() int { return s.k * s.k }
+
+// Bounds returns the continuous bounding box.
+func (s *System) Bounds() Bounds { return s.bounds }
+
+// CellOf maps a continuous point into its cell, clamping points outside the
+// bounds onto the nearest boundary cell. Use CellOfOK to detect out-of-bounds
+// points instead of clamping.
+func (s *System) CellOf(x, y float64) Cell {
+	col := s.clampIndex((x - s.bounds.MinX) / s.cellW)
+	row := s.clampIndex((y - s.bounds.MinY) / s.cellH)
+	return Cell(row*s.k + col)
+}
+
+// CellOfOK maps a continuous point into its cell, returning Invalid and
+// false when the point lies outside the bounds.
+func (s *System) CellOfOK(x, y float64) (Cell, bool) {
+	if !s.bounds.Contains(x, y) {
+		return Invalid, false
+	}
+	return s.CellOf(x, y), true
+}
+
+func (s *System) clampIndex(f float64) int {
+	i := int(math.Floor(f))
+	if i < 0 {
+		return 0
+	}
+	if i >= s.k {
+		return s.k - 1
+	}
+	return i
+}
+
+// Center returns the continuous centre point of a cell.
+func (s *System) Center(c Cell) (x, y float64) {
+	row, col := s.RowCol(c)
+	return s.bounds.MinX + (float64(col)+0.5)*s.cellW,
+		s.bounds.MinY + (float64(row)+0.5)*s.cellH
+}
+
+// RowCol decomposes a cell index into its row and column.
+func (s *System) RowCol(c Cell) (row, col int) {
+	return int(c) / s.k, int(c) % s.k
+}
+
+// CellAt returns the cell at (row, col); it panics if out of range.
+func (s *System) CellAt(row, col int) Cell {
+	if row < 0 || row >= s.k || col < 0 || col >= s.k {
+		panic(fmt.Sprintf("grid: cell (%d,%d) out of range for K=%d", row, col, s.k))
+	}
+	return Cell(row*s.k + col)
+}
+
+// ValidCell reports whether c is a cell of this grid.
+func (s *System) ValidCell(c Cell) bool {
+	return c >= 0 && int(c) < s.k*s.k
+}
+
+// Neighbors returns the reachable cells from c under the paper's adjacency
+// constraint: the 3×3 block around c clipped to the grid, including c itself.
+// The returned slice is shared and must not be modified.
+func (s *System) Neighbors(c Cell) []Cell {
+	return s.neighbors[c]
+}
+
+// Adjacent reports whether a transition from a to b satisfies the
+// reachability constraint (b in the 3×3 block of a, possibly a itself).
+func (s *System) Adjacent(a, b Cell) bool {
+	ra, ca := s.RowCol(a)
+	rb, cb := s.RowCol(b)
+	dr, dc := ra-rb, ca-cb
+	return dr >= -1 && dr <= 1 && dc >= -1 && dc <= 1
+}
+
+// NeighborRank returns the position of b within Neighbors(a), or -1 when b
+// is not reachable from a. The rank is stable and is used to index
+// per-source-cell movement states.
+func (s *System) NeighborRank(a, b Cell) int {
+	for i, n := range s.neighbors[a] {
+		if n == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalMoveStates returns Σ_c |Neighbors(c)|, the number of movement
+// transition states under the reachability constraint.
+func (s *System) TotalMoveStates() int {
+	n := 0
+	for _, ns := range s.neighbors {
+		n += len(ns)
+	}
+	return n
+}
+
+// CellDistance returns the Chebyshev distance between two cells (the number
+// of timestamps a user moving one step per timestamp needs to travel between
+// them).
+func (s *System) CellDistance(a, b Cell) int {
+	ra, ca := s.RowCol(a)
+	rb, cb := s.RowCol(b)
+	dr, dc := ra-rb, ca-cb
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	if dr > dc {
+		return dr
+	}
+	return dc
+}
+
+// Region is a rectangular block of cells, used by spatio-temporal range
+// queries (metric §V-B). Rows/cols are inclusive.
+type Region struct {
+	MinRow, MinCol, MaxRow, MaxCol int
+}
+
+// ContainsCell reports whether the region contains cell c of grid s.
+func (r Region) ContainsCell(s *System, c Cell) bool {
+	row, col := s.RowCol(c)
+	return row >= r.MinRow && row <= r.MaxRow && col >= r.MinCol && col <= r.MaxCol
+}
+
+// NumCells returns the number of cells covered by the region.
+func (r Region) NumCells() int {
+	return (r.MaxRow - r.MinRow + 1) * (r.MaxCol - r.MinCol + 1)
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("rows[%d,%d]×cols[%d,%d]", r.MinRow, r.MaxRow, r.MinCol, r.MaxCol)
+}

@@ -1,0 +1,329 @@
+package grid
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func testBounds() Bounds { return Bounds{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10} }
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		k       int
+		b       Bounds
+		wantErr bool
+	}{
+		{"ok", 4, testBounds(), false},
+		{"k=1 degenerate grid is allowed", 1, testBounds(), false},
+		{"zero k", 0, testBounds(), true},
+		{"negative k", -3, testBounds(), true},
+		{"inverted x bounds", 4, Bounds{MinX: 10, MaxX: 0, MinY: 0, MaxY: 10}, true},
+		{"inverted y bounds", 4, Bounds{MinX: 0, MaxX: 10, MinY: 10, MaxY: 0}, true},
+		{"zero-area bounds", 4, Bounds{}, true},
+		{"nan bounds", 4, Bounds{MinX: math.NaN(), MaxX: 1, MinY: 0, MaxY: 1}, true},
+		{"inf bounds", 4, Bounds{MinX: 0, MaxX: math.Inf(1), MinY: 0, MaxY: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.k, tt.b)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%d, %+v) error = %v, wantErr %v", tt.k, tt.b, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with invalid K did not panic")
+		}
+	}()
+	MustNew(0, testBounds())
+}
+
+func TestCellOfCorners(t *testing.T) {
+	s := MustNew(4, testBounds())
+	tests := []struct {
+		x, y float64
+		want Cell
+	}{
+		{0, 0, 0},
+		{9.99, 0, 3},
+		{0, 9.99, 12},
+		{9.99, 9.99, 15},
+		{10, 10, 15},   // max edge clamps into last cell
+		{5, 5, 10},     // centre point falls in cell (2,2)
+		{2.5, 0, 1},    // second column
+		{0, 2.5, 4},    // second row
+		{-5, -5, 0},    // clamped below
+		{100, 100, 15}, // clamped above
+	}
+	for _, tt := range tests {
+		if got := s.CellOf(tt.x, tt.y); got != tt.want {
+			t.Errorf("CellOf(%v,%v) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestCellOfOK(t *testing.T) {
+	s := MustNew(4, testBounds())
+	if c, ok := s.CellOfOK(5, 5); !ok || c != 10 {
+		t.Errorf("CellOfOK(5,5) = %d,%v want 10,true", c, ok)
+	}
+	if _, ok := s.CellOfOK(-0.001, 5); ok {
+		t.Error("CellOfOK out of bounds (x) returned ok")
+	}
+	if _, ok := s.CellOfOK(5, 10.001); ok {
+		t.Error("CellOfOK out of bounds (y) returned ok")
+	}
+}
+
+func TestCenterRoundTrip(t *testing.T) {
+	s := MustNew(7, Bounds{MinX: -3, MinY: 2, MaxX: 11, MaxY: 30})
+	for c := Cell(0); int(c) < s.NumCells(); c++ {
+		x, y := s.Center(c)
+		if got := s.CellOf(x, y); got != c {
+			t.Fatalf("CellOf(Center(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestCenterRoundTripProperty(t *testing.T) {
+	f := func(kSeed uint8, minX, minY, w, h float64) bool {
+		k := int(kSeed%16) + 1
+		w, h = math.Abs(w)+0.001, math.Abs(h)+0.001
+		if math.IsInf(minX, 0) || math.IsInf(minY, 0) || math.IsNaN(minX) || math.IsNaN(minY) ||
+			math.IsInf(w, 0) || math.IsInf(h, 0) || math.Abs(minX) > 1e9 || math.Abs(minY) > 1e9 || w > 1e9 || h > 1e9 {
+			return true // skip pathological floats
+		}
+		b := Bounds{MinX: minX, MinY: minY, MaxX: minX + w, MaxY: minY + h}
+		s, err := New(k, b)
+		if err != nil {
+			return false
+		}
+		for c := Cell(0); int(c) < s.NumCells(); c++ {
+			x, y := s.Center(c)
+			if s.CellOf(x, y) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowColInverse(t *testing.T) {
+	s := MustNew(9, testBounds())
+	for c := Cell(0); int(c) < s.NumCells(); c++ {
+		r, col := s.RowCol(c)
+		if got := s.CellAt(r, col); got != c {
+			t.Fatalf("CellAt(RowCol(%d)) = %d", c, got)
+		}
+	}
+}
+
+func TestCellAtPanics(t *testing.T) {
+	s := MustNew(3, testBounds())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CellAt out of range did not panic")
+		}
+	}()
+	s.CellAt(3, 0)
+}
+
+func TestNeighborsCounts(t *testing.T) {
+	s := MustNew(4, testBounds())
+	tests := []struct {
+		row, col int
+		want     int
+	}{
+		{0, 0, 4}, // corner: self + 3
+		{0, 1, 6}, // edge: self + 5
+		{1, 1, 9}, // interior: full 3×3
+		{3, 3, 4}, // opposite corner
+		{3, 1, 6}, // top edge
+		{2, 0, 6}, // left edge
+		{2, 2, 9}, // interior
+	}
+	for _, tt := range tests {
+		c := s.CellAt(tt.row, tt.col)
+		if got := len(s.Neighbors(c)); got != tt.want {
+			t.Errorf("len(Neighbors(%d,%d)) = %d, want %d", tt.row, tt.col, got, tt.want)
+		}
+	}
+}
+
+func TestNeighborsIncludeSelf(t *testing.T) {
+	s := MustNew(5, testBounds())
+	for c := Cell(0); int(c) < s.NumCells(); c++ {
+		found := false
+		for _, n := range s.Neighbors(c) {
+			if n == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Neighbors(%d) does not include self", c)
+		}
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	s := MustNew(6, testBounds())
+	for a := Cell(0); int(a) < s.NumCells(); a++ {
+		for _, b := range s.Neighbors(a) {
+			if s.NeighborRank(b, a) < 0 {
+				t.Fatalf("neighbour relation not symmetric: %d→%d", a, b)
+			}
+		}
+	}
+}
+
+func TestAdjacentMatchesNeighbors(t *testing.T) {
+	s := MustNew(5, testBounds())
+	for a := Cell(0); int(a) < s.NumCells(); a++ {
+		for b := Cell(0); int(b) < s.NumCells(); b++ {
+			inList := s.NeighborRank(a, b) >= 0
+			if got := s.Adjacent(a, b); got != inList {
+				t.Fatalf("Adjacent(%d,%d)=%v but neighbour-list membership=%v", a, b, got, inList)
+			}
+		}
+	}
+}
+
+func TestK1SingleCell(t *testing.T) {
+	s := MustNew(1, testBounds())
+	if s.NumCells() != 1 {
+		t.Fatalf("NumCells = %d", s.NumCells())
+	}
+	if got := len(s.Neighbors(0)); got != 1 {
+		t.Fatalf("K=1 neighbours = %d, want 1 (self only)", got)
+	}
+	if s.TotalMoveStates() != 1 {
+		t.Fatalf("TotalMoveStates = %d", s.TotalMoveStates())
+	}
+}
+
+func TestTotalMoveStates(t *testing.T) {
+	// K=4: 4 corners×4 + 8 edges×6 + 4 interior×9 = 16+48+36 = 100.
+	s := MustNew(4, testBounds())
+	if got := s.TotalMoveStates(); got != 100 {
+		t.Fatalf("TotalMoveStates(K=4) = %d, want 100", got)
+	}
+	// K=2: all four cells see the full grid: 4×4 = 16.
+	s2 := MustNew(2, testBounds())
+	if got := s2.TotalMoveStates(); got != 16 {
+		t.Fatalf("TotalMoveStates(K=2) = %d, want 16", got)
+	}
+}
+
+func TestTotalMoveStatesBound(t *testing.T) {
+	// The paper's O(9|C|) bound: Σ|N(c)| ≤ 9K².
+	for k := 1; k <= 12; k++ {
+		s := MustNew(k, testBounds())
+		if got, bound := s.TotalMoveStates(), 9*k*k; got > bound {
+			t.Fatalf("K=%d: TotalMoveStates %d exceeds 9|C|=%d", k, got, bound)
+		}
+	}
+}
+
+func TestCellDistance(t *testing.T) {
+	s := MustNew(8, testBounds())
+	tests := []struct {
+		a, b Cell
+		want int
+	}{
+		{s.CellAt(0, 0), s.CellAt(0, 0), 0},
+		{s.CellAt(0, 0), s.CellAt(0, 1), 1},
+		{s.CellAt(0, 0), s.CellAt(1, 1), 1},
+		{s.CellAt(0, 0), s.CellAt(7, 7), 7},
+		{s.CellAt(2, 5), s.CellAt(6, 3), 4},
+	}
+	for _, tt := range tests {
+		if got := s.CellDistance(tt.a, tt.b); got != tt.want {
+			t.Errorf("CellDistance(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := s.CellDistance(tt.b, tt.a); got != tt.want {
+			t.Errorf("CellDistance not symmetric for (%d,%d)", tt.a, tt.b)
+		}
+	}
+}
+
+func TestAdjacencyEquivalentToUnitDistance(t *testing.T) {
+	s := MustNew(6, testBounds())
+	for a := Cell(0); int(a) < s.NumCells(); a++ {
+		for b := Cell(0); int(b) < s.NumCells(); b++ {
+			want := s.CellDistance(a, b) <= 1
+			if got := s.Adjacent(a, b); got != want {
+				t.Fatalf("Adjacent(%d,%d)=%v, CellDistance=%d", a, b, got, s.CellDistance(a, b))
+			}
+		}
+	}
+}
+
+func TestRegion(t *testing.T) {
+	s := MustNew(6, testBounds())
+	r := Region{MinRow: 1, MinCol: 2, MaxRow: 3, MaxCol: 4}
+	if got := r.NumCells(); got != 9 {
+		t.Fatalf("NumCells = %d, want 9", got)
+	}
+	inside := 0
+	for c := Cell(0); int(c) < s.NumCells(); c++ {
+		if r.ContainsCell(s, c) {
+			inside++
+		}
+	}
+	if inside != 9 {
+		t.Fatalf("cells inside region = %d, want 9", inside)
+	}
+	if !r.ContainsCell(s, s.CellAt(1, 2)) || !r.ContainsCell(s, s.CellAt(3, 4)) {
+		t.Error("region excludes its own corners")
+	}
+	if r.ContainsCell(s, s.CellAt(0, 2)) || r.ContainsCell(s, s.CellAt(4, 4)) {
+		t.Error("region includes cells outside")
+	}
+}
+
+func TestValidCell(t *testing.T) {
+	s := MustNew(3, testBounds())
+	if !s.ValidCell(0) || !s.ValidCell(8) {
+		t.Error("valid cells reported invalid")
+	}
+	if s.ValidCell(-1) || s.ValidCell(9) || s.ValidCell(Invalid) {
+		t.Error("invalid cells reported valid")
+	}
+}
+
+func TestRandomPointsAlwaysInGrid(t *testing.T) {
+	s := MustNew(10, Bounds{MinX: -50, MinY: 17, MaxX: 3, MaxY: 40})
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 10000; i++ {
+		x := -50 + rng.Float64()*53
+		y := 17 + rng.Float64()*23
+		c := s.CellOf(x, y)
+		if !s.ValidCell(c) {
+			t.Fatalf("CellOf(%v,%v) = %d invalid", x, y, c)
+		}
+	}
+}
+
+func TestNeighborRankStable(t *testing.T) {
+	s := MustNew(5, testBounds())
+	c := s.CellAt(2, 2)
+	ns := s.Neighbors(c)
+	for i, n := range ns {
+		if got := s.NeighborRank(c, n); got != i {
+			t.Fatalf("NeighborRank(%d,%d) = %d, want %d", c, n, got, i)
+		}
+	}
+	if got := s.NeighborRank(c, s.CellAt(0, 0)); got != -1 {
+		t.Fatalf("NeighborRank to non-neighbour = %d, want -1", got)
+	}
+}

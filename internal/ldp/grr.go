@@ -1,0 +1,114 @@
+package ldp
+
+import (
+	"fmt"
+	"math"
+)
+
+// GRR implements Generalized Randomized Response (direct encoding): the user
+// reports the true value with probability p = e^ε/(e^ε+d−1) and any other
+// single value uniformly otherwise. It is included as the classic frequency
+// oracle to compare against OUE — GRR's variance grows linearly with the
+// domain size, which is why the paper adopts OUE for the ~9|C| transition
+// domain.
+type GRR struct {
+	domain int
+	eps    float64
+	p      float64 // probability of reporting the true value
+}
+
+// NewGRR constructs a GRR oracle.
+func NewGRR(domain int, eps float64) (*GRR, error) {
+	if domain <= 1 {
+		return nil, fmt.Errorf("ldp: GRR domain must be ≥ 2, got %d", domain)
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("ldp: GRR requires ε > 0, got %v", eps)
+	}
+	e := math.Exp(eps)
+	return &GRR{domain: domain, eps: eps, p: e / (e + float64(domain) - 1)}, nil
+}
+
+// MustGRR is NewGRR but panics on error.
+func MustGRR(domain int, eps float64) *GRR {
+	g, err := NewGRR(domain, eps)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Domain returns the domain size.
+func (g *GRR) Domain() int { return g.domain }
+
+// Epsilon returns the privacy budget.
+func (g *GRR) Epsilon() float64 { return g.eps }
+
+// P returns the truthful-report probability e^ε/(e^ε+d−1).
+func (g *GRR) P() float64 { return g.p }
+
+// Variance returns the per-index frequency estimation variance for n users:
+// Var = (d−2+e^ε) / (n (e^ε−1)²) · ... the standard GRR variance
+// q(1−q)/(n(p−q)²) evaluated at the oracle's parameters, where
+// q = (1−p)/(d−1).
+func (g *GRR) Variance(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	q := (1 - g.p) / float64(g.domain-1)
+	return q * (1 - q) / (float64(n) * (g.p - q) * (g.p - q))
+}
+
+// Perturb returns the randomized value for trueIdx.
+func (g *GRR) Perturb(rng Rand, trueIdx int) int {
+	if trueIdx < 0 || trueIdx >= g.domain {
+		panic(fmt.Sprintf("ldp: GRR.Perturb index %d out of domain %d", trueIdx, g.domain))
+	}
+	if Bernoulli(rng, g.p) {
+		return trueIdx
+	}
+	// Uniform over the other d−1 values.
+	v := rng.IntN(g.domain - 1)
+	if v >= trueIdx {
+		v++
+	}
+	return v
+}
+
+// GRRAggregator accumulates GRR reports and debiases frequencies.
+type GRRAggregator struct {
+	oracle *GRR
+	counts []int
+	n      int
+}
+
+// NewGRRAggregator creates an empty aggregator.
+func NewGRRAggregator(g *GRR) *GRRAggregator {
+	return &GRRAggregator{oracle: g, counts: make([]int, g.domain)}
+}
+
+// Add ingests one perturbed value.
+func (a *GRRAggregator) Add(value int) {
+	a.counts[value]++
+	a.n++
+}
+
+// N returns the number of reports ingested.
+func (a *GRRAggregator) N() int { return a.n }
+
+// EstimateAll returns unbiased frequency estimates:
+// f̂(x) = (count(x)/n − q) / (p − q) with q = (1−p)/(d−1).
+func (a *GRRAggregator) EstimateAll() []float64 {
+	out := make([]float64, len(a.counts))
+	if a.n == 0 {
+		return out
+	}
+	p := a.oracle.p
+	q := (1 - p) / float64(a.oracle.domain-1)
+	inv := 1 / (p - q)
+	nInv := 1 / float64(a.n)
+	for i, c := range a.counts {
+		out[i] = (float64(c)*nInv - q) * inv
+	}
+	return out
+}

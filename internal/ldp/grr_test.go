@@ -1,0 +1,140 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewGRRValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		domain  int
+		eps     float64
+		wantErr bool
+	}{
+		{"ok", 10, 1.0, false},
+		{"domain 1", 1, 1.0, true},
+		{"domain 0", 0, 1.0, true},
+		{"zero eps", 10, 0, true},
+		{"nan eps", 10, math.NaN(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewGRR(tt.domain, tt.eps)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGRRP(t *testing.T) {
+	g := MustGRR(4, 1.0)
+	want := math.E / (math.E + 3)
+	if math.Abs(g.P()-want) > 1e-12 {
+		t.Fatalf("P = %v, want %v", g.P(), want)
+	}
+}
+
+func TestGRRPerturbRange(t *testing.T) {
+	g := MustGRR(6, 1.0)
+	rng := NewRand(2, 3)
+	for i := 0; i < 5000; i++ {
+		v := g.Perturb(rng, i%6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Perturb returned %d out of domain", v)
+		}
+	}
+}
+
+func TestGRRPerturbPanics(t *testing.T) {
+	g := MustGRR(6, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-domain index")
+		}
+	}()
+	g.Perturb(NewRand(1, 1), 6)
+}
+
+func TestGRRTruthRate(t *testing.T) {
+	g := MustGRR(5, 1.5)
+	rng := NewRand(7, 8)
+	const trials = 40000
+	truthful := 0
+	for i := 0; i < trials; i++ {
+		if g.Perturb(rng, 2) == 2 {
+			truthful++
+		}
+	}
+	rate := float64(truthful) / trials
+	if math.Abs(rate-g.P()) > 0.01 {
+		t.Fatalf("truthful rate = %v, want %v", rate, g.P())
+	}
+}
+
+func TestGRRLieUniform(t *testing.T) {
+	g := MustGRR(4, 1.0)
+	rng := NewRand(17, 18)
+	counts := make([]int, 4)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		counts[g.Perturb(rng, 0)]++
+	}
+	// Lies should split evenly across the three non-true values.
+	lieTotal := counts[1] + counts[2] + counts[3]
+	for i := 1; i < 4; i++ {
+		frac := float64(counts[i]) / float64(lieTotal)
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Fatalf("lie fraction for %d = %v, want ≈1/3", i, frac)
+		}
+	}
+}
+
+func TestGRRUnbiased(t *testing.T) {
+	const n = 40000
+	g := MustGRR(4, 1.0)
+	rng := NewRand(5, 5)
+	agg := NewGRRAggregator(g)
+	// 60% hold 0, 40% hold 1.
+	for i := 0; i < n; i++ {
+		v := 0
+		if rng.Float64() > 0.6 {
+			v = 1
+		}
+		agg.Add(g.Perturb(rng, v))
+	}
+	est := agg.EstimateAll()
+	sd := math.Sqrt(g.Variance(n))
+	wants := []float64{0.6, 0.4, 0, 0}
+	for i, want := range wants {
+		if math.Abs(est[i]-want) > 6*sd {
+			t.Errorf("estimate[%d] = %v, want %v ± %v", i, est[i], want, 6*sd)
+		}
+	}
+}
+
+func TestGRRVarianceWorseThanOUELargeDomain(t *testing.T) {
+	// The reason the paper uses OUE: for large domains at moderate ε, GRR's
+	// variance dominates OUE's.
+	const d, n = 900, 1000 // ~9|C| for K=10
+	g := MustGRR(d, 1.0)
+	o := MustOUE(d, 1.0)
+	if g.Variance(n) <= o.Variance(n) {
+		t.Fatalf("expected GRR variance (%v) > OUE variance (%v) at d=%d",
+			g.Variance(n), o.Variance(n), d)
+	}
+}
+
+func TestGRRAggregatorEmpty(t *testing.T) {
+	g := MustGRR(3, 1.0)
+	agg := NewGRRAggregator(g)
+	for _, e := range agg.EstimateAll() {
+		if e != 0 {
+			t.Fatal("empty aggregator should estimate 0")
+		}
+	}
+	if agg.N() != 0 {
+		t.Fatal("empty aggregator N should be 0")
+	}
+}

@@ -1,0 +1,147 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewOLHValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		domain  int
+		eps     float64
+		wantErr bool
+	}{
+		{"ok", 100, 1.0, false},
+		{"zero domain", 0, 1.0, true},
+		{"zero eps", 10, 0, true},
+		{"nan eps", 10, math.NaN(), true},
+		{"inf eps", 10, math.Inf(1), true},
+		{"tiny eps still valid", 10, 0.01, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewOLH(tt.domain, tt.eps)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestOLHHashRange(t *testing.T) {
+	o := MustOLH(50, 1.0)
+	if o.G() != 4 { // round(e)+1 = 3+1
+		t.Fatalf("G = %d, want 4", o.G())
+	}
+	rng := NewRand(1, 2)
+	for i := 0; i < 2000; i++ {
+		h := o.Hash(rng.Uint64(), i%50)
+		if h < 0 || h >= o.G() {
+			t.Fatalf("Hash out of range: %d", h)
+		}
+	}
+}
+
+func TestOLHHashUniform(t *testing.T) {
+	o := MustOLH(10, 1.0)
+	rng := NewRand(3, 4)
+	counts := make([]int, o.G())
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[o.Hash(rng.Uint64(), 7)]++
+	}
+	want := float64(trials) / float64(o.G())
+	for h, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("hash bucket %d count %d, want ≈%.0f", h, c, want)
+		}
+	}
+}
+
+func TestOLHPerturbPanics(t *testing.T) {
+	o := MustOLH(5, 1.0)
+	rng := NewRand(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	o.Perturb(rng, rng, 5)
+}
+
+func TestOLHTruthRate(t *testing.T) {
+	o := MustOLH(20, 1.0)
+	rng := NewRand(5, 6)
+	const trials = 40000
+	truthful := 0
+	for i := 0; i < trials; i++ {
+		r := o.Perturb(rng, rng, 3)
+		if r.Value == o.Hash(r.Seed, 3) {
+			truthful++
+		}
+	}
+	// Truthful report rate p, plus accidental collisions when lying:
+	// P[report supports truth] = p + (1−p)·0 since a lie never equals the
+	// true hash by construction.
+	rate := float64(truthful) / trials
+	e := math.Exp(1.0)
+	p := e / (e + float64(o.G()) - 1)
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("truthful rate = %v, want %v", rate, p)
+	}
+}
+
+func TestOLHUnbiased(t *testing.T) {
+	const n = 40000
+	o := MustOLH(8, 1.0)
+	rng := NewRand(7, 8)
+	agg := NewOLHAggregator(o)
+	// 50% hold 0, 30% hold 1, 20% hold 2.
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		v := 0
+		switch {
+		case u < 0.5:
+			v = 0
+		case u < 0.8:
+			v = 1
+		default:
+			v = 2
+		}
+		agg.Add(o.Perturb(rng, rng, v))
+	}
+	if agg.N() != n {
+		t.Fatalf("N = %d", agg.N())
+	}
+	est := agg.EstimateAll()
+	sd := math.Sqrt(o.Variance(n))
+	wants := []float64{0.5, 0.3, 0.2, 0, 0, 0, 0, 0}
+	for i, want := range wants {
+		if math.Abs(est[i]-want) > 6*sd {
+			t.Errorf("estimate[%d] = %v, want %v ± %v", i, est[i], want, 6*sd)
+		}
+	}
+}
+
+func TestOLHVarianceNearOUE(t *testing.T) {
+	// OLH's variance should sit within a factor ~1.5 of OUE's (equal in the
+	// continuous-g limit; integer rounding of g costs a little).
+	for _, eps := range []float64{0.5, 1.0, 2.0} {
+		olh := MustOLH(100, eps)
+		ratio := olh.Variance(1000) / Variance(eps, 1000)
+		if ratio < 0.5 || ratio > 1.6 {
+			t.Errorf("ε=%v: OLH/OUE variance ratio = %v", eps, ratio)
+		}
+	}
+}
+
+func TestOLHAggregatorEmpty(t *testing.T) {
+	o := MustOLH(4, 1.0)
+	agg := NewOLHAggregator(o)
+	for _, e := range agg.EstimateAll() {
+		if e != 0 {
+			t.Fatal("empty aggregator estimate nonzero")
+		}
+	}
+}

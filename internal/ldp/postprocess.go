@@ -1,0 +1,125 @@
+package ldp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PostProcess names a consistency post-processing method applied to a
+// frequency-estimate vector before it feeds the mobility model. Since each
+// user holds exactly one transition state, the true vector is a probability
+// distribution; projecting the noisy estimate back onto (or toward) the
+// simplex is privacy-free (paper Theorem 2) and reduces the mass the
+// clamped noise would otherwise inject into the synthesizer. The taxonomy
+// follows Wang et al., "Locally Differentially Private Frequency Estimation
+// with Consistency" (NDSS'20).
+type PostProcess int
+
+const (
+	// PostProcessNone keeps the raw unbiased estimates (RetraSyn's default:
+	// the DMU comparison wants unbiased inputs; negatives are clamped only
+	// at probability-conversion time).
+	PostProcessNone PostProcess = iota
+	// PostProcessClamp zeroes negative estimates (Base-Cut without the
+	// renormalization).
+	PostProcessClamp
+	// PostProcessNormSub shifts all estimates by a common δ and clamps at
+	// zero such that the result sums to one — the maximum-likelihood
+	// projection onto the simplex under Gaussian noise, and the
+	// best-performing general-purpose method in the NDSS'20 study.
+	PostProcessNormSub
+	// PostProcessNormMul scales the positive estimates to sum to one.
+	PostProcessNormMul
+)
+
+// String implements fmt.Stringer.
+func (p PostProcess) String() string {
+	switch p {
+	case PostProcessNone:
+		return "none"
+	case PostProcessClamp:
+		return "clamp"
+	case PostProcessNormSub:
+		return "norm-sub"
+	case PostProcessNormMul:
+		return "norm-mul"
+	default:
+		return fmt.Sprintf("PostProcess(%d)", int(p))
+	}
+}
+
+// Apply transforms est in place and returns it.
+func (p PostProcess) Apply(est []float64) []float64 {
+	switch p {
+	case PostProcessClamp:
+		for i, v := range est {
+			if v < 0 {
+				est[i] = 0
+			}
+		}
+	case PostProcessNormSub:
+		normSub(est)
+	case PostProcessNormMul:
+		normMul(est)
+	}
+	return est
+}
+
+// normSub finds δ with Σ max(0, est_i − δ) = 1 and applies it. If even
+// δ = min(est) cannot reach mass 1 (total mass below 1 after clamping),
+// it falls back to clamping and scaling up.
+func normSub(est []float64) {
+	n := len(est)
+	if n == 0 {
+		return
+	}
+	sorted := make([]float64, n)
+	copy(sorted, est)
+	sort.Float64s(sorted)
+
+	// Walk thresholds from the largest value down: with the top k values
+	// active, Σ_top-k (v − δ) = 1 → δ = (Σ top-k − 1)/k. Valid when δ lies
+	// between the (k+1)-th and k-th largest values.
+	suffix := 0.0
+	for k := 1; k <= n; k++ {
+		v := sorted[n-k]
+		suffix += v
+		delta := (suffix - 1) / float64(k)
+		lower := -1e308
+		if k < n {
+			lower = sorted[n-k-1]
+		}
+		if delta <= v && delta >= lower {
+			for i, e := range est {
+				if e-delta > 0 {
+					est[i] = e - delta
+				} else {
+					est[i] = 0
+				}
+			}
+			return
+		}
+	}
+	// All mass below 1 even at δ = min: clamp and scale.
+	normMul(est)
+}
+
+// normMul clamps negatives and scales to unit mass (no-op on all-zero
+// input).
+func normMul(est []float64) {
+	total := 0.0
+	for i, v := range est {
+		if v < 0 {
+			est[i] = 0
+		} else {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	inv := 1 / total
+	for i := range est {
+		est[i] *= inv
+	}
+}

@@ -1,0 +1,137 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPostProcessString(t *testing.T) {
+	tests := []struct {
+		p    PostProcess
+		want string
+	}{
+		{PostProcessNone, "none"},
+		{PostProcessClamp, "clamp"},
+		{PostProcessNormSub, "norm-sub"},
+		{PostProcessNormMul, "norm-mul"},
+		{PostProcess(9), "PostProcess(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPostProcessNoneIdentity(t *testing.T) {
+	est := []float64{-0.5, 0.3, 1.2}
+	out := PostProcessNone.Apply(est)
+	want := []float64{-0.5, 0.3, 1.2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("None changed input: %v", out)
+		}
+	}
+}
+
+func TestPostProcessClamp(t *testing.T) {
+	est := []float64{-0.5, 0.3, -0.0001, 1.2}
+	out := PostProcessClamp.Apply(est)
+	if out[0] != 0 || out[2] != 0 {
+		t.Fatalf("negatives not clamped: %v", out)
+	}
+	if out[1] != 0.3 || out[3] != 1.2 {
+		t.Fatalf("positives altered: %v", out)
+	}
+}
+
+func TestNormSubExact(t *testing.T) {
+	// est = [0.9, 0.5, -0.2]: with k=2, δ = (1.4−1)/2 = 0.2, giving
+	// [0.7, 0.3, 0] which sums to 1 and keeps order.
+	est := []float64{0.9, 0.5, -0.2}
+	out := PostProcessNormSub.Apply(est)
+	want := []float64{0.7, 0.3, 0}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("norm-sub = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestNormSubSumsToOneProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := NewRand(seed, seed+1)
+		size := int(n%40) + 1
+		est := make([]float64, size)
+		for i := range est {
+			est[i] = rng.Float64()*2 - 0.5 // mass roughly ~size/2, can exceed 1
+		}
+		out := PostProcessNormSub.Apply(est)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		// Sums to 1 (norm-sub) or keeps whatever positive mass exists scaled
+		// to 1 (fallback); either way the result is a distribution unless
+		// the input had no positive mass at all.
+		return math.Abs(sum-1) < 1e-9 || sum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormSubPreservesOrder(t *testing.T) {
+	est := []float64{0.05, 0.4, 0.1, 0.6, -0.1}
+	out := PostProcessNormSub.Apply(append([]float64(nil), est...))
+	for i := range est {
+		for j := range est {
+			if est[i] < est[j] && out[i] > out[j]+1e-12 {
+				t.Fatalf("order violated: in %v out %v", est, out)
+			}
+		}
+	}
+}
+
+func TestNormMul(t *testing.T) {
+	est := []float64{2, -1, 2}
+	out := PostProcessNormMul.Apply(est)
+	want := []float64{0.5, 0, 0.5}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("norm-mul = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestNormMulAllNegative(t *testing.T) {
+	est := []float64{-1, -2}
+	out := PostProcessNormMul.Apply(est)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("all-negative input not zeroed: %v", out)
+	}
+}
+
+func TestNormSubLowMassFallback(t *testing.T) {
+	// Total positive mass far below 1: the threshold walk cannot reach mass
+	// 1, so the fallback scales up.
+	est := []float64{0.1, 0.05, -0.3}
+	out := PostProcessNormSub.Apply(est)
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fallback sum = %v, want 1 (%v)", sum, out)
+	}
+}
+
+func TestNormSubEmpty(t *testing.T) {
+	if out := PostProcessNormSub.Apply(nil); len(out) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}

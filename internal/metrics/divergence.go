@@ -1,0 +1,133 @@
+// Package metrics implements the paper's utility metrics (§V-B): the
+// streaming metrics — density error, spatio-temporal range query error,
+// hotspot NDCG, transition error and pattern F1 — and the historical
+// trajectory-level metrics — Kendall's tau, trip error and length error.
+// All divergence-based metrics use the Jensen-Shannon divergence with
+// natural logarithm, whose maximum ln 2 ≈ 0.6931 is the constant the paper
+// reports for the baselines' length error.
+package metrics
+
+import "math"
+
+// Ln2 is the maximum attainable Jensen-Shannon divergence (natural log).
+const Ln2 = math.Ln2
+
+// JSD computes the Jensen-Shannon divergence between two non-negative
+// weight vectors of equal length. Inputs are normalized internally; they
+// need not sum to one. Conventions for degenerate inputs: two empty (all
+// zero) vectors diverge by 0; one empty vector diverges maximally (ln 2).
+func JSD(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("metrics: JSD length mismatch")
+	}
+	sp, sq := sum(p), sum(q)
+	switch {
+	case sp <= 0 && sq <= 0:
+		return 0
+	case sp <= 0 || sq <= 0:
+		return Ln2
+	}
+	d := 0.0
+	for i := range p {
+		pi, qi := p[i]/sp, q[i]/sq
+		m := (pi + qi) / 2
+		if pi > 0 {
+			d += 0.5 * pi * math.Log(pi/m)
+		}
+		if qi > 0 {
+			d += 0.5 * qi * math.Log(qi/m)
+		}
+	}
+	if d < 0 {
+		return 0 // guard against float underflow
+	}
+	if d > Ln2 {
+		return Ln2
+	}
+	return d
+}
+
+// JSDSparse computes the Jensen-Shannon divergence between two sparse
+// non-negative weight maps, treating missing keys as zero.
+func JSDSparse[K comparable](p, q map[K]float64) float64 {
+	sp, sq := 0.0, 0.0
+	for _, v := range p {
+		sp += v
+	}
+	for _, v := range q {
+		sq += v
+	}
+	switch {
+	case sp <= 0 && sq <= 0:
+		return 0
+	case sp <= 0 || sq <= 0:
+		return Ln2
+	}
+	d := 0.0
+	for k, v := range p {
+		pi := v / sp
+		qi := q[k] / sq
+		m := (pi + qi) / 2
+		if pi > 0 {
+			d += 0.5 * pi * math.Log(pi/m)
+		}
+	}
+	for k, v := range q {
+		qi := v / sq
+		pi := p[k] / sp
+		m := (pi + qi) / 2
+		if qi > 0 {
+			d += 0.5 * qi * math.Log(qi/m)
+		}
+	}
+	if d < 0 {
+		return 0
+	}
+	if d > Ln2 {
+		return Ln2
+	}
+	return d
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// KendallTau computes Kendall's tau-b rank correlation between two equally
+// long score vectors, with the standard tie correction. It returns 0 when
+// either vector is entirely tied (no ranking information).
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("metrics: KendallTau length mismatch")
+	}
+	n := len(a)
+	var concordant, discordant, tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				// joint tie: excluded from both denominator terms
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denomA := concordant + discordant + tiesA
+	denomB := concordant + discordant + tiesB
+	if denomA == 0 || denomB == 0 {
+		return 0
+	}
+	return (concordant - discordant) / math.Sqrt(denomA*denomB)
+}

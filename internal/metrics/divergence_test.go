@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"retrasyn/internal/ldp"
+)
+
+func TestJSDIdentical(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	if got := JSD(p, p); got != 0 {
+		t.Fatalf("JSD(p,p) = %v", got)
+	}
+}
+
+func TestJSDDisjointIsLn2(t *testing.T) {
+	p := []float64{1, 0, 0}
+	q := []float64{0, 0, 1}
+	if got := JSD(p, q); math.Abs(got-Ln2) > 1e-12 {
+		t.Fatalf("JSD(disjoint) = %v, want ln2=%v", got, Ln2)
+	}
+}
+
+func TestJSDDegenerate(t *testing.T) {
+	zero := []float64{0, 0}
+	if got := JSD(zero, zero); got != 0 {
+		t.Fatalf("JSD(0,0) = %v", got)
+	}
+	if got := JSD(zero, []float64{1, 1}); got != Ln2 {
+		t.Fatalf("JSD(0,q) = %v, want ln2", got)
+	}
+	if got := JSD([]float64{1, 1}, zero); got != Ln2 {
+		t.Fatalf("JSD(p,0) = %v, want ln2", got)
+	}
+}
+
+func TestJSDUnnormalizedInputs(t *testing.T) {
+	p := []float64{2, 3, 5}
+	q := []float64{200, 300, 500}
+	if got := JSD(p, q); got > 1e-12 {
+		t.Fatalf("JSD of proportional vectors = %v, want 0", got)
+	}
+}
+
+func TestJSDKnownValue(t *testing.T) {
+	// JSD([1,0],[0.5,0.5]) = 0.5·KL([1,0]‖[.75,.25]) + 0.5·KL([.5,.5]‖[.75,.25])
+	p := []float64{1, 0}
+	q := []float64{0.5, 0.5}
+	want := 0.5*(1*math.Log(1/0.75)) + 0.5*(0.5*math.Log(0.5/0.75)+0.5*math.Log(0.5/0.25))
+	if got := JSD(p, q); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("JSD = %v, want %v", got, want)
+	}
+}
+
+func TestJSDPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	JSD([]float64{1}, []float64{1, 2})
+}
+
+func TestJSDPropertyBoundsAndSymmetry(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := ldp.NewRand(seed, seed*3+1)
+		size := int(n%20) + 1
+		p := make([]float64, size)
+		q := make([]float64, size)
+		for i := range p {
+			p[i] = rng.Float64()
+			q[i] = rng.Float64()
+		}
+		d1, d2 := JSD(p, q), JSD(q, p)
+		return d1 >= 0 && d1 <= Ln2+1e-12 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSDSparseMatchesDense(t *testing.T) {
+	p := map[int]float64{0: 0.2, 1: 0.3, 2: 0.5}
+	q := map[int]float64{0: 0.1, 2: 0.6, 3: 0.3}
+	dp := []float64{0.2, 0.3, 0.5, 0}
+	dq := []float64{0.1, 0, 0.6, 0.3}
+	if got, want := JSDSparse(p, q), JSD(dp, dq); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sparse %v ≠ dense %v", got, want)
+	}
+}
+
+func TestJSDSparseDegenerate(t *testing.T) {
+	if got := JSDSparse(map[int]float64{}, map[int]float64{}); got != 0 {
+		t.Fatalf("JSDSparse(∅,∅) = %v", got)
+	}
+	if got := JSDSparse(map[int]float64{1: 1}, map[int]float64{}); got != Ln2 {
+		t.Fatalf("JSDSparse(p,∅) = %v", got)
+	}
+}
+
+func TestJSDSparseDisjoint(t *testing.T) {
+	p := map[int]float64{1: 1}
+	q := map[int]float64{2: 1}
+	if got := JSDSparse(p, q); math.Abs(got-Ln2) > 1e-12 {
+		t.Fatalf("JSDSparse(disjoint) = %v", got)
+	}
+}
+
+func TestKendallTauPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := KendallTau(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tau(a,a) = %v", got)
+	}
+	b := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, b); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("tau(a,reverse) = %v", got)
+	}
+}
+
+func TestKendallTauKnown(t *testing.T) {
+	// Classic example without ties: a=[1,2,3,4,5], b=[3,4,1,2,5]:
+	// concordant pairs 6, discordant 4 → tau = 0.2... compute: pairs=10,
+	// b-order: (1,2)c? b1<b2 → c; (1,3): 3>1 d; (1,4): 3>2 d; (1,5) c;
+	// (2,3): 4>1 d; (2,4): 4>2 d; (2,5) c; (3,4): 1<2 c; (3,5) c; (4,5) c.
+	// c=6, d=4 → tau = 2/10 = 0.2.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{3, 4, 1, 2, 5}
+	if got := KendallTau(a, b); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("tau = %v, want 0.2", got)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// All-tied vector carries no ranking signal.
+	a := []float64{1, 1, 1}
+	b := []float64{1, 2, 3}
+	if got := KendallTau(a, b); got != 0 {
+		t.Fatalf("tau with fully tied a = %v", got)
+	}
+	// Partial ties use the tau-b correction: stays within [−1, 1].
+	c := []float64{1, 1, 2, 3}
+	d := []float64{1, 2, 2, 4}
+	got := KendallTau(c, d)
+	if got < -1 || got > 1 {
+		t.Fatalf("tau-b out of range: %v", got)
+	}
+}
+
+func TestKendallTauRangeProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := ldp.NewRand(seed, seed+13)
+		size := int(n%15) + 2
+		a := make([]float64, size)
+		b := make([]float64, size)
+		for i := range a {
+			a[i] = float64(rng.IntN(5)) // deliberate ties
+			b[i] = float64(rng.IntN(5))
+		}
+		tau := KendallTau(a, b)
+		return tau >= -1-1e-9 && tau <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTauPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KendallTau([]float64{1}, []float64{1, 2})
+}

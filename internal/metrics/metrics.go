@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+)
+
+// Options parameterizes Evaluate. Zero values select the paper's defaults.
+type Options struct {
+	// Phi is the evaluation time-range size φ (default 10).
+	Phi int
+	// NumQueries is the number of random range queries (default 100).
+	NumQueries int
+	// NumWindows is the number of random time ranges for hotspot NDCG and
+	// pattern F1 (default 100).
+	NumWindows int
+	// NHotspots is nh of NDCG@nh (default 10).
+	NHotspots int
+	// TopNPatterns is the N of the top-N pattern comparison (default 100).
+	TopNPatterns int
+	// PatternMinLen/PatternMaxLen bound mined pattern lengths (default 2–4).
+	PatternMinLen, PatternMaxLen int
+	// SanityFraction is the range-query sanity bound as a fraction of the
+	// original dataset's total point count (default 0.01, following the
+	// AdaTrace/LDPTrace convention the paper cites): the relative error
+	// denominator is max(trueCount, SanityFraction·|D|), damping queries
+	// with extremely small counts.
+	SanityFraction float64
+	// Seed drives query/window sampling.
+	Seed uint64
+}
+
+func (o *Options) defaults() {
+	if o.Phi <= 0 {
+		o.Phi = 10
+	}
+	if o.NumQueries <= 0 {
+		o.NumQueries = 100
+	}
+	if o.NumWindows <= 0 {
+		o.NumWindows = 100
+	}
+	if o.NHotspots <= 0 {
+		o.NHotspots = 10
+	}
+	if o.TopNPatterns <= 0 {
+		o.TopNPatterns = 100
+	}
+	if o.PatternMinLen <= 0 {
+		o.PatternMinLen = 2
+	}
+	if o.PatternMaxLen < o.PatternMinLen {
+		o.PatternMaxLen = o.PatternMinLen + 2
+	}
+	if o.SanityFraction <= 0 {
+		o.SanityFraction = 0.01
+	}
+}
+
+// Report carries all eight utility metrics of the paper's evaluation.
+// Larger is better for HotspotNDCG, PatternF1 and KendallTau; smaller is
+// better for the rest.
+type Report struct {
+	DensityError    float64
+	QueryError      float64
+	HotspotNDCG     float64
+	TransitionError float64
+	PatternF1       float64
+	KendallTau      float64
+	TripError       float64
+	LengthError     float64
+}
+
+// Evaluator computes metrics between one original dataset and any number of
+// synthetic counterparts, caching the original's summary.
+type Evaluator struct {
+	g        *grid.System
+	opts     Options
+	orig     *summary
+	origData *trajectory.Dataset
+}
+
+// NewEvaluator prepares an evaluator for the original dataset.
+func NewEvaluator(orig *trajectory.Dataset, g *grid.System, opts Options) *Evaluator {
+	opts.defaults()
+	return &Evaluator{g: g, opts: opts, orig: newSummary(orig, g), origData: orig}
+}
+
+// Evaluate computes the full report for one synthetic dataset against the
+// evaluator's original.
+func (e *Evaluator) Evaluate(syn *trajectory.Dataset) Report {
+	s := newSummary(syn, e.g)
+	rng := ldp.NewRand(e.opts.Seed, e.opts.Seed^0xa5a5a5a5)
+	return Report{
+		DensityError:    densityError(e.orig, s),
+		QueryError:      e.queryError(s, rng),
+		HotspotNDCG:     e.hotspotNDCG(s, rng),
+		TransitionError: transitionError(e.orig, s),
+		PatternF1:       e.patternF1(syn, rng),
+		KendallTau:      KendallTau(e.orig.totalVisits, s.totalVisits),
+		TripError:       JSDSparse(e.orig.trips, s.trips),
+		LengthError:     JSD(e.orig.lengths, s.lengths),
+	}
+}
+
+// Evaluate is the one-shot convenience wrapper.
+func Evaluate(orig, syn *trajectory.Dataset, g *grid.System, opts Options) Report {
+	return NewEvaluator(orig, g, opts).Evaluate(syn)
+}
+
+// densityError averages the per-timestamp JSD between the cell-occupancy
+// distributions, over timestamps where either side has points.
+func densityError(orig, syn *summary) float64 {
+	total, n := 0.0, 0
+	for t := 0; t < orig.T && t < syn.T; t++ {
+		if orig.pointsAt[t] == 0 && syn.pointsAt[t] == 0 {
+			continue
+		}
+		total += JSD(orig.cellCounts[t], syn.cellCounts[t])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// transitionError averages the per-timestamp JSD between single-step
+// transition distributions.
+func transitionError(orig, syn *summary) float64 {
+	total, n := 0.0, 0
+	for t := 1; t < orig.T && t < syn.T; t++ {
+		if len(orig.transCounts[t]) == 0 && len(syn.transCounts[t]) == 0 {
+			continue
+		}
+		total += JSDSparse(orig.transCounts[t], syn.transCounts[t])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// queryError averages the sanity-bounded relative error of random
+// spatio-temporal range queries (random cell-aligned rectangle × random
+// φ-window).
+func (e *Evaluator) queryError(syn *summary, rng *rand.Rand) float64 {
+	k := e.g.K()
+	phi := min(e.opts.Phi, e.orig.T)
+	sanity := e.opts.SanityFraction * e.orig.totalPoints()
+	if sanity < 1 {
+		sanity = 1
+	}
+	total := 0.0
+	for q := 0; q < e.opts.NumQueries; q++ {
+		r := randomRegion(rng, k)
+		t0 := 0
+		if e.orig.T > phi {
+			t0 = rng.IntN(e.orig.T - phi + 1)
+		}
+		co := e.orig.regionWindowCount(r, t0, phi)
+		cs := syn.regionWindowCount(r, t0, phi)
+		total += math.Abs(co-cs) / math.Max(co, sanity)
+	}
+	return total / float64(e.opts.NumQueries)
+}
+
+func randomRegion(rng *rand.Rand, k int) grid.Region {
+	// Random rectangle with side lengths up to half the grid (at least 1).
+	maxSide := max(1, k/2)
+	h := 1 + rng.IntN(maxSide)
+	w := 1 + rng.IntN(maxSide)
+	r0 := rng.IntN(k - h + 1)
+	c0 := rng.IntN(k - w + 1)
+	return grid.Region{MinRow: r0, MinCol: c0, MaxRow: r0 + h - 1, MaxCol: c0 + w - 1}
+}
+
+// hotspotNDCG averages NDCG@nh of the synthetic top cells against the
+// original's cell popularity, over random φ-windows.
+func (e *Evaluator) hotspotNDCG(syn *summary, rng *rand.Rand) float64 {
+	phi := min(e.opts.Phi, e.orig.T)
+	nh := e.opts.NHotspots
+	total, n := 0.0, 0
+	for w := 0; w < e.opts.NumWindows; w++ {
+		t0 := 0
+		if e.orig.T > phi {
+			t0 = rng.IntN(e.orig.T - phi + 1)
+		}
+		oc := e.orig.windowCellCounts(t0, phi)
+		if sum(oc) == 0 {
+			continue
+		}
+		sc := syn.windowCellCounts(t0, phi)
+		total += ndcg(oc, sc, nh)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// ndcg scores the predicted top-nh ranking (by pred scores) with the true
+// relevance (rel scores): DCG(pred order)/DCG(ideal order).
+func ndcg(rel, pred []float64, nh int) float64 {
+	idealOrder := topIndices(rel, nh)
+	predOrder := topIndices(pred, nh)
+	idcg := 0.0
+	for i, c := range idealOrder {
+		idcg += rel[c] / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	dcg := 0.0
+	for i, c := range predOrder {
+		dcg += rel[c] / math.Log2(float64(i)+2)
+	}
+	return dcg / idcg
+}
+
+// topIndices returns the indices of the n largest scores (ties broken by
+// index for determinism), skipping zero scores.
+func topIndices(scores []float64, n int) []int {
+	idx := make([]int, 0, len(scores))
+	for i, s := range scores {
+		if s > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > n {
+		idx = idx[:n]
+	}
+	return idx
+}

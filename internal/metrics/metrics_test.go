@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+)
+
+func testGrid() *grid.System {
+	return grid.MustNew(4, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+}
+
+func walkDataset(g *grid.System, users, T int, meanLen float64, seed uint64) *trajectory.Dataset {
+	rng := ldp.NewRand(seed, seed+1)
+	d := &trajectory.Dataset{Name: "walk", T: T}
+	for u := 0; u < users; u++ {
+		start := rng.IntN(T)
+		c := grid.Cell(rng.IntN(g.NumCells()))
+		cells := []grid.Cell{c}
+		for t := start + 1; t < T; t++ {
+			if rng.Float64() < 1/meanLen {
+				break
+			}
+			ns := g.Neighbors(c)
+			c = ns[rng.IntN(len(ns))]
+			cells = append(cells, c)
+		}
+		d.Trajs = append(d.Trajs, trajectory.CellTrajectory{Start: start, Cells: cells})
+	}
+	return d
+}
+
+func TestSelfEvaluationIsPerfect(t *testing.T) {
+	g := testGrid()
+	d := walkDataset(g, 200, 30, 8, 5)
+	r := Evaluate(d, d, g, Options{Seed: 1})
+	if r.DensityError != 0 {
+		t.Errorf("DensityError(d,d) = %v", r.DensityError)
+	}
+	if r.TransitionError != 0 {
+		t.Errorf("TransitionError(d,d) = %v", r.TransitionError)
+	}
+	if r.QueryError != 0 {
+		t.Errorf("QueryError(d,d) = %v", r.QueryError)
+	}
+	if math.Abs(r.HotspotNDCG-1) > 1e-12 {
+		t.Errorf("HotspotNDCG(d,d) = %v", r.HotspotNDCG)
+	}
+	if math.Abs(r.PatternF1-1) > 1e-12 {
+		t.Errorf("PatternF1(d,d) = %v", r.PatternF1)
+	}
+	if math.Abs(r.KendallTau-1) > 1e-12 {
+		t.Errorf("KendallTau(d,d) = %v", r.KendallTau)
+	}
+	if r.TripError != 0 {
+		t.Errorf("TripError(d,d) = %v", r.TripError)
+	}
+	if r.LengthError != 0 {
+		t.Errorf("LengthError(d,d) = %v", r.LengthError)
+	}
+}
+
+func TestMetricsOrderRandomWorseThanSelf(t *testing.T) {
+	g := testGrid()
+	orig := walkDataset(g, 300, 30, 8, 7)
+	noise := walkDataset(g, 300, 30, 8, 99)
+	perfect := Evaluate(orig, orig, g, Options{Seed: 2})
+	noisy := Evaluate(orig, noise, g, Options{Seed: 2})
+	if noisy.DensityError <= perfect.DensityError {
+		t.Error("random dataset should have higher density error")
+	}
+	if noisy.TransitionError <= perfect.TransitionError {
+		t.Error("random dataset should have higher transition error")
+	}
+	if noisy.KendallTau >= perfect.KendallTau {
+		t.Error("random dataset should have lower Kendall tau")
+	}
+}
+
+func TestLengthErrorDisjointLengthsIsLn2(t *testing.T) {
+	// Original: all length 3. Synthetic: all length 20 — the baseline
+	// signature from Table III (0.6931).
+	g := testGrid()
+	orig := &trajectory.Dataset{T: 25}
+	syn := &trajectory.Dataset{T: 25}
+	for u := 0; u < 50; u++ {
+		orig.Trajs = append(orig.Trajs, trajectory.CellTrajectory{
+			Start: u % 20, Cells: []grid.Cell{0, 1, 2}})
+		cells := make([]grid.Cell, 20)
+		syn.Trajs = append(syn.Trajs, trajectory.CellTrajectory{Start: 0, Cells: cells})
+	}
+	r := Evaluate(orig, syn, g, Options{Seed: 3})
+	if math.Abs(r.LengthError-Ln2) > 1e-9 {
+		t.Fatalf("LengthError = %v, want ln2 = %v", r.LengthError, Ln2)
+	}
+}
+
+func TestQueryErrorDetectsMissingMass(t *testing.T) {
+	g := testGrid()
+	orig := walkDataset(g, 400, 30, 10, 11)
+	// Synthetic dataset with half the points removed.
+	syn := &trajectory.Dataset{T: orig.T, Trajs: orig.Trajs[:len(orig.Trajs)/2]}
+	r := Evaluate(orig, syn, g, Options{Seed: 4})
+	if r.QueryError < 0.2 {
+		t.Fatalf("QueryError = %v, want substantial error for halved mass", r.QueryError)
+	}
+}
+
+func TestTripErrorDetectsWrongEndpoints(t *testing.T) {
+	g := testGrid()
+	orig := &trajectory.Dataset{T: 10}
+	syn := &trajectory.Dataset{T: 10}
+	for u := 0; u < 40; u++ {
+		orig.Trajs = append(orig.Trajs, trajectory.CellTrajectory{
+			Start: 0, Cells: []grid.Cell{0, 1, 2}}) // trips 0→2
+		syn.Trajs = append(syn.Trajs, trajectory.CellTrajectory{
+			Start: 0, Cells: []grid.Cell{15, 14, 13}}) // trips 15→13
+	}
+	r := Evaluate(orig, syn, g, Options{Seed: 5})
+	if math.Abs(r.TripError-Ln2) > 1e-9 {
+		t.Fatalf("TripError = %v, want ln2 for disjoint trips", r.TripError)
+	}
+}
+
+func TestNDCGHandComputed(t *testing.T) {
+	rel := []float64{10, 5, 3, 0}
+	// Prediction ranks cell2 first, then cell0, then cell1.
+	pred := []float64{5, 3, 10, 0}
+	// ideal order: 0,1,2 → idcg = 10/log2(2) + 5/log2(3) + 3/log2(4)
+	idcg := 10/math.Log2(2) + 5/math.Log2(3) + 3/math.Log2(4)
+	// predicted order: 2,0,1 → dcg = 3/log2(2) + 10/log2(3) + 5/log2(4)
+	dcg := 3/math.Log2(2) + 10/math.Log2(3) + 5/math.Log2(4)
+	want := dcg / idcg
+	if got := ndcg(rel, pred, 10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ndcg = %v, want %v", got, want)
+	}
+}
+
+func TestNDCGPerfectPrediction(t *testing.T) {
+	rel := []float64{10, 5, 3, 1}
+	if got := ndcg(rel, rel, 4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ndcg(rel,rel) = %v", got)
+	}
+}
+
+func TestNDCGEmptyRelevance(t *testing.T) {
+	if got := ndcg([]float64{0, 0}, []float64{1, 2}, 5); got != 0 {
+		t.Fatalf("ndcg with empty relevance = %v", got)
+	}
+}
+
+func TestTopIndices(t *testing.T) {
+	scores := []float64{0, 5, 3, 5, 0, 1}
+	got := topIndices(scores, 3)
+	want := []int{1, 3, 2} // 5(idx1), 5(idx3, tie→larger index later), 3
+	if len(got) != 3 {
+		t.Fatalf("topIndices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topIndices = %v, want %v", got, want)
+		}
+	}
+	// Zero scores are excluded entirely.
+	if got := topIndices([]float64{0, 0}, 5); len(got) != 0 {
+		t.Fatalf("topIndices of zeros = %v", got)
+	}
+}
+
+func TestEvaluateEmptySynthetic(t *testing.T) {
+	g := testGrid()
+	orig := walkDataset(g, 100, 20, 6, 13)
+	syn := &trajectory.Dataset{T: 20}
+	r := Evaluate(orig, syn, g, Options{Seed: 6})
+	if math.Abs(r.DensityError-Ln2) > 1e-9 {
+		t.Errorf("DensityError vs empty = %v, want ln2", r.DensityError)
+	}
+	if r.PatternF1 != 0 {
+		t.Errorf("PatternF1 vs empty = %v, want 0", r.PatternF1)
+	}
+	if r.HotspotNDCG != 0 {
+		t.Errorf("HotspotNDCG vs empty = %v, want 0", r.HotspotNDCG)
+	}
+}
+
+func TestEvaluateBothEmpty(t *testing.T) {
+	g := testGrid()
+	orig := &trajectory.Dataset{T: 20}
+	syn := &trajectory.Dataset{T: 20}
+	r := Evaluate(orig, syn, g, Options{Seed: 7})
+	if r.DensityError != 0 || r.TransitionError != 0 {
+		t.Errorf("both-empty errors: %+v", r)
+	}
+}
+
+func TestEvaluatorReuse(t *testing.T) {
+	g := testGrid()
+	orig := walkDataset(g, 200, 25, 8, 17)
+	ev := NewEvaluator(orig, g, Options{Seed: 8})
+	r1 := ev.Evaluate(orig)
+	r2 := ev.Evaluate(walkDataset(g, 200, 25, 8, 18))
+	if r1.DensityError != 0 {
+		t.Error("first evaluation wrong")
+	}
+	if r2.DensityError <= 0 {
+		t.Error("second evaluation wrong")
+	}
+	// Same evaluator, same seed → deterministic.
+	r3 := ev.Evaluate(orig)
+	if r3 != r1 {
+		t.Error("evaluator is not deterministic across calls")
+	}
+}
+
+func TestPhiLargerThanTimeline(t *testing.T) {
+	g := testGrid()
+	orig := walkDataset(g, 100, 10, 5, 19)
+	r := Evaluate(orig, orig, g, Options{Phi: 100, Seed: 9})
+	if math.Abs(r.PatternF1-1) > 1e-12 || r.QueryError != 0 {
+		t.Fatalf("oversized φ broke evaluation: %+v", r)
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/trajectory"
+)
+
+func TestMinePatternsHandComputed(t *testing.T) {
+	d := &trajectory.Dataset{T: 10, Trajs: []trajectory.CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{1, 2, 3}},
+		{Start: 0, Cells: []grid.Cell{1, 2}},
+	}}
+	counts := minePatterns(d, 0, 10, 2, 3)
+	key12 := uint64(1)<<patternCellBits | 2 | uint64(2)<<60
+	key23 := uint64(2)<<patternCellBits | 3 | uint64(2)<<60
+	key123 := (uint64(1)<<patternCellBits|2)<<patternCellBits | 3 | uint64(3)<<60
+	if counts[key12] != 2 {
+		t.Fatalf("count(1→2) = %d, want 2", counts[key12])
+	}
+	if counts[key23] != 1 {
+		t.Fatalf("count(2→3) = %d, want 1", counts[key23])
+	}
+	if counts[key123] != 1 {
+		t.Fatalf("count(1→2→3) = %d, want 1", counts[key123])
+	}
+	if len(counts) != 3 {
+		t.Fatalf("mined %d patterns, want 3: %v", len(counts), counts)
+	}
+}
+
+func TestMinePatternsWindowClipping(t *testing.T) {
+	d := &trajectory.Dataset{T: 10, Trajs: []trajectory.CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{1, 2, 3, 4, 5}},
+	}}
+	// Window [1,3): only cells at t=1,2 (values 2,3) are visible.
+	counts := minePatterns(d, 1, 2, 2, 3)
+	key23 := uint64(2)<<patternCellBits | 3 | uint64(2)<<60
+	if counts[key23] != 1 || len(counts) != 1 {
+		t.Fatalf("window clipping failed: %v", counts)
+	}
+}
+
+func TestMinePatternsTooShort(t *testing.T) {
+	d := &trajectory.Dataset{T: 5, Trajs: []trajectory.CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{7}},
+	}}
+	if counts := minePatterns(d, 0, 5, 2, 4); len(counts) != 0 {
+		t.Fatalf("mined patterns from a 1-point stream: %v", counts)
+	}
+}
+
+func TestTopPatternsDeterministicTieBreak(t *testing.T) {
+	d := &trajectory.Dataset{T: 10, Trajs: []trajectory.CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{1, 2}},
+		{Start: 0, Cells: []grid.Cell{3, 4}},
+		{Start: 0, Cells: []grid.Cell{5, 6}},
+	}}
+	a := topPatterns(d, 0, 10, 2, 2, 2)
+	b := topPatterns(d, 0, 10, 2, 2, 2)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("topPatterns sizes: %d, %d", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+}
+
+func TestF1(t *testing.T) {
+	mk := func(keys ...uint64) map[uint64]bool {
+		m := map[uint64]bool{}
+		for _, k := range keys {
+			m[k] = true
+		}
+		return m
+	}
+	tests := []struct {
+		a, b map[uint64]bool
+		want float64
+	}{
+		{mk(1, 2, 3), mk(1, 2, 3), 1},
+		{mk(1, 2), mk(3, 4), 0},
+		{mk(1, 2, 3, 4), mk(3, 4, 5, 6), 0.5},
+		{mk(), mk(), 1},
+		{mk(1), mk(), 0},
+		{mk(), mk(1), 0},
+	}
+	for i, tt := range tests {
+		if got := f1(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("case %d: f1 = %v, want %v", i, got, tt.want)
+		}
+	}
+}
+
+func TestPatternKeysNoCollision(t *testing.T) {
+	// Patterns of different lengths or cells must map to distinct keys.
+	d := &trajectory.Dataset{T: 10, Trajs: []trajectory.CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{0, 0, 0}},
+	}}
+	counts := minePatterns(d, 0, 10, 2, 3)
+	// Expect exactly: (0,0)×2, (0,0,0)×1 — two distinct keys.
+	if len(counts) != 2 {
+		t.Fatalf("key collision across lengths: %v", counts)
+	}
+}

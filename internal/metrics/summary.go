@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"retrasyn/internal/grid"
+	"retrasyn/internal/trajectory"
+)
+
+// summary caches the per-timestamp spatial statistics of one dataset so the
+// eight metrics can share a single pass over the data.
+type summary struct {
+	g *grid.System
+	T int
+	// cellCounts[t][c] = points in cell c at timestamp t.
+	cellCounts [][]float64
+	// transCounts[t] maps packed (from,to) → count of transitions landing at
+	// timestamp t (i.e. cell at t−1 → cell at t).
+	transCounts []map[uint32]float64
+	// totalVisits[c] = points in cell c over the whole timeline.
+	totalVisits []float64
+	// trips maps packed (start,end) → completed-stream count.
+	trips map[uint32]float64
+	// lengths[ℓ] = streams of length ℓ (capped at maxLen bucket).
+	lengths []float64
+	// pointsAt[t] = total points at timestamp t.
+	pointsAt []float64
+}
+
+const lengthBuckets = 512
+
+func packPair(a, b grid.Cell) uint32 { return uint32(a)<<16 | uint32(b)&0xffff }
+
+func newSummary(d *trajectory.Dataset, g *grid.System) *summary {
+	nc := g.NumCells()
+	s := &summary{
+		g:           g,
+		T:           d.T,
+		cellCounts:  make([][]float64, d.T),
+		transCounts: make([]map[uint32]float64, d.T),
+		totalVisits: make([]float64, nc),
+		trips:       make(map[uint32]float64),
+		lengths:     make([]float64, lengthBuckets+1),
+		pointsAt:    make([]float64, d.T),
+	}
+	flat := make([]float64, d.T*nc)
+	for t := 0; t < d.T; t++ {
+		s.cellCounts[t], flat = flat[:nc:nc], flat[nc:]
+		s.transCounts[t] = make(map[uint32]float64)
+	}
+	for _, tr := range d.Trajs {
+		end := tr.End()
+		for t := tr.Start; t <= end && t < d.T; t++ {
+			if t < 0 {
+				continue
+			}
+			c := tr.Cells[t-tr.Start]
+			s.cellCounts[t][c]++
+			s.totalVisits[c]++
+			s.pointsAt[t]++
+			if t > tr.Start {
+				s.transCounts[t][packPair(tr.Cells[t-tr.Start-1], c)]++
+			}
+		}
+		s.trips[packPair(tr.Cells[0], tr.Cells[len(tr.Cells)-1])]++
+		l := tr.Len()
+		if l > lengthBuckets {
+			l = lengthBuckets
+		}
+		s.lengths[l]++
+	}
+	return s
+}
+
+// regionWindowCount sums the points inside region r during [t0, t0+phi).
+func (s *summary) regionWindowCount(r grid.Region, t0, phi int) float64 {
+	total := 0.0
+	for t := t0; t < t0+phi && t < s.T; t++ {
+		row := s.cellCounts[t]
+		for rr := r.MinRow; rr <= r.MaxRow; rr++ {
+			base := rr * s.g.K()
+			for cc := r.MinCol; cc <= r.MaxCol; cc++ {
+				total += row[base+cc]
+			}
+		}
+	}
+	return total
+}
+
+// windowCellCounts sums per-cell counts over [t0, t0+phi).
+func (s *summary) windowCellCounts(t0, phi int) []float64 {
+	out := make([]float64, s.g.NumCells())
+	for t := t0; t < t0+phi && t < s.T; t++ {
+		for c, v := range s.cellCounts[t] {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// windowPoints sums total points over [t0, t0+phi).
+func (s *summary) windowPoints(t0, phi int) float64 {
+	total := 0.0
+	for t := t0; t < t0+phi && t < s.T; t++ {
+		total += s.pointsAt[t]
+	}
+	return total
+}
+
+// totalPoints is the dataset's point count (the |D| of the sanity bound).
+func (s *summary) totalPoints() float64 {
+	return s.windowPoints(0, s.T)
+}

@@ -1,0 +1,220 @@
+// Package mobility implements RetraSyn's global mobility model (paper
+// §III-B): the curator-side frequency table over the transition-state
+// domain, and the derived probability distributions of Eq. 6 — the movement
+// distribution M (with the quitting frequency folded into the denominator),
+// the entering distribution E, and the quitting distribution Q.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/transition"
+)
+
+// Model holds the current estimated frequency of every transition state.
+// Frequencies are population fractions as produced by the OUE aggregator;
+// they are kept raw (possibly negative) so the DMU error comparison stays
+// unbiased, and clamped at zero only when converted to probabilities
+// (post-processing, paper Theorem 2). Model is not safe for concurrent use.
+type Model struct {
+	dom  *transition.Domain
+	freq []float64
+	init bool
+}
+
+// NewModel creates an all-zero model over the domain.
+func NewModel(dom *transition.Domain) *Model {
+	return &Model{dom: dom, freq: make([]float64, dom.Size())}
+}
+
+// Domain returns the transition-state domain.
+func (m *Model) Domain() *transition.Domain { return m.dom }
+
+// Initialized reports whether the model has received at least one update.
+func (m *Model) Initialized() bool { return m.init }
+
+// Freq returns the current frequency estimate of state idx.
+func (m *Model) Freq(idx int) float64 { return m.freq[idx] }
+
+// Freqs returns the full frequency vector. The returned slice is the
+// model's backing store; callers must not modify it.
+func (m *Model) Freqs() []float64 { return m.freq }
+
+// SetAll replaces every frequency with the new estimates (the AllUpdate
+// ablation path, and the initialization at the first collection).
+func (m *Model) SetAll(est []float64) {
+	if len(est) != len(m.freq) {
+		panic(fmt.Sprintf("mobility: SetAll length %d ≠ domain %d", len(est), len(m.freq)))
+	}
+	copy(m.freq, est)
+	m.init = true
+}
+
+// Update replaces the frequencies of the selected states only, leaving the
+// rest at their previous values (the DMU partial refresh, paper §III-C).
+func (m *Model) Update(selected []int, est []float64) {
+	if len(est) != len(m.freq) {
+		panic(fmt.Sprintf("mobility: Update length %d ≠ domain %d", len(est), len(m.freq)))
+	}
+	for _, idx := range selected {
+		m.freq[idx] = est[idx]
+	}
+	m.init = true
+}
+
+// Snapshot freezes the model into sampling-ready distributions. Building a
+// snapshot costs O(|S|); the synthesizer takes one per timestamp after the
+// model update.
+func (m *Model) Snapshot() *Snapshot {
+	return newSnapshot(m)
+}
+
+// Snapshot holds the Eq. 6 distributions in cumulative form for O(log n)
+// sampling. It is immutable and safe for concurrent use.
+type Snapshot struct {
+	dom *transition.Domain
+	g   *grid.System
+
+	// moveCum[c] is the cumulative clamped frequency over Neighbors(c), in
+	// neighbour-rank order. A zero total marks an uninformative row.
+	moveCum [][]float64
+	// quitProb[c] = f_cQ / (Σ_x f_cx + f_cQ), the unreweighted per-step quit
+	// probability of Eq. 6; zero for move-only domains.
+	quitProb []float64
+	enterCum []float64 // cumulative over cells; nil for move-only domains
+	quitCum  []float64
+	quitFreq []float64 // clamped f_jQ per cell, for weighted termination
+}
+
+func newSnapshot(m *Model) *Snapshot {
+	dom := m.dom
+	g := dom.Grid()
+	nc := g.NumCells()
+	s := &Snapshot{
+		dom:      dom,
+		g:        g,
+		moveCum:  make([][]float64, nc),
+		quitProb: make([]float64, nc),
+	}
+	for c := 0; c < nc; c++ {
+		base, n := dom.MoveBlock(grid.Cell(c))
+		cum := make([]float64, n)
+		sum := 0.0
+		for r := 0; r < n; r++ {
+			sum += clampNonNeg(m.freq[base+r])
+			cum[r] = sum
+		}
+		s.moveCum[c] = cum
+		if dom.HasEQ() {
+			fq := clampNonNeg(m.freq[dom.QuitIndex(grid.Cell(c))])
+			if denom := sum + fq; denom > 0 {
+				s.quitProb[c] = fq / denom
+			}
+		}
+	}
+	if dom.HasEQ() {
+		s.enterCum = make([]float64, nc)
+		s.quitCum = make([]float64, nc)
+		s.quitFreq = make([]float64, nc)
+		esum, qsum := 0.0, 0.0
+		for c := 0; c < nc; c++ {
+			esum += clampNonNeg(m.freq[dom.EnterIndex(grid.Cell(c))])
+			s.enterCum[c] = esum
+			fq := clampNonNeg(m.freq[dom.QuitIndex(grid.Cell(c))])
+			s.quitFreq[c] = fq
+			qsum += fq
+			s.quitCum[c] = qsum
+		}
+	}
+	return s
+}
+
+func clampNonNeg(f float64) float64 {
+	if f < 0 || math.IsNaN(f) {
+		return 0
+	}
+	return f
+}
+
+// Grid returns the grid system of the snapshot.
+func (s *Snapshot) Grid() *grid.System { return s.g }
+
+// QuitProb returns the per-step quitting probability of cell c before
+// length reweighting (Eq. 6's quit term).
+func (s *Snapshot) QuitProb(c grid.Cell) float64 { return s.quitProb[c] }
+
+// MoveProb returns P(m_cj) for the rank-th neighbour of c under Eq. 6
+// (movement mass conditioned on the full denominator including quit).
+func (s *Snapshot) MoveProb(c grid.Cell, rank int) float64 {
+	cum := s.moveCum[c]
+	total := cum[len(cum)-1]
+	fq := 0.0
+	if s.quitFreq != nil {
+		fq = s.quitFreq[c]
+	}
+	denom := total + fq
+	if denom == 0 {
+		return 0
+	}
+	v := cum[rank]
+	if rank > 0 {
+		v -= cum[rank-1]
+	}
+	return v / denom
+}
+
+// SampleMove draws the next cell from the movement distribution of c,
+// conditioned on not quitting. When the row carries no mass (all estimates
+// non-positive — e.g. early timestamps under heavy noise), it falls back to
+// a uniform draw over the reachable cells so synthesis can always proceed.
+func (s *Snapshot) SampleMove(rng ldp.Rand, c grid.Cell) grid.Cell {
+	ns := s.g.Neighbors(c)
+	cum := s.moveCum[c]
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return ns[rng.IntN(len(ns))]
+	}
+	u := rng.Float64() * total
+	idx := sort.SearchFloat64s(cum, u)
+	if idx >= len(ns) {
+		idx = len(ns) - 1
+	}
+	return ns[idx]
+}
+
+// SampleEnter draws a starting cell from the entering distribution E, with
+// a uniform fallback when E carries no mass. It panics for move-only
+// domains.
+func (s *Snapshot) SampleEnter(rng ldp.Rand) grid.Cell {
+	if s.enterCum == nil {
+		panic("mobility: SampleEnter on a move-only domain")
+	}
+	return sampleCum(rng, s.enterCum)
+}
+
+// QuitWeight returns the clamped quitting frequency f_jQ of cell c, used to
+// weight which synthetic streams terminate during size adjustment
+// (P(quit|c_last=c_j) = Pr(q_j)). Zero for move-only domains.
+func (s *Snapshot) QuitWeight(c grid.Cell) float64 {
+	if s.quitFreq == nil {
+		return 0
+	}
+	return s.quitFreq[c]
+}
+
+func sampleCum(rng ldp.Rand, cum []float64) grid.Cell {
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return grid.Cell(rng.IntN(len(cum)))
+	}
+	u := rng.Float64() * total
+	idx := sort.SearchFloat64s(cum, u)
+	if idx >= len(cum) {
+		idx = len(cum) - 1
+	}
+	return grid.Cell(idx)
+}

@@ -1,0 +1,294 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/transition"
+)
+
+func newDomain(k int) *transition.Domain {
+	g := grid.MustNew(k, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	return transition.NewDomain(g)
+}
+
+func TestModelSetAllAndFreq(t *testing.T) {
+	dom := newDomain(2)
+	m := NewModel(dom)
+	if m.Initialized() {
+		t.Fatal("fresh model should be uninitialized")
+	}
+	est := make([]float64, dom.Size())
+	for i := range est {
+		est[i] = float64(i)
+	}
+	m.SetAll(est)
+	if !m.Initialized() {
+		t.Fatal("model should be initialized after SetAll")
+	}
+	for i := range est {
+		if m.Freq(i) != est[i] {
+			t.Fatalf("Freq(%d) = %v", i, m.Freq(i))
+		}
+	}
+}
+
+func TestModelPartialUpdate(t *testing.T) {
+	dom := newDomain(2)
+	m := NewModel(dom)
+	base := make([]float64, dom.Size())
+	for i := range base {
+		base[i] = 1
+	}
+	m.SetAll(base)
+	est := make([]float64, dom.Size())
+	for i := range est {
+		est[i] = 2
+	}
+	m.Update([]int{0, 3, 7}, est)
+	for i := 0; i < dom.Size(); i++ {
+		want := 1.0
+		if i == 0 || i == 3 || i == 7 {
+			want = 2.0
+		}
+		if m.Freq(i) != want {
+			t.Fatalf("Freq(%d) = %v, want %v", i, m.Freq(i), want)
+		}
+	}
+}
+
+func TestModelLengthPanics(t *testing.T) {
+	m := NewModel(newDomain(2))
+	t.Run("SetAll", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		m.SetAll([]float64{1})
+	})
+	t.Run("Update", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		m.Update(nil, []float64{1})
+	})
+}
+
+// buildModel sets a hand-crafted frequency table on a K=2 grid where every
+// cell is adjacent to every other (4 neighbours each).
+func buildModel(t *testing.T) (*Model, *transition.Domain) {
+	t.Helper()
+	dom := newDomain(2)
+	m := NewModel(dom)
+	est := make([]float64, dom.Size())
+	// Moves from cell 0: to 0,1,2,3 with frequencies .1,.2,.3,.4 (rank order).
+	base, n := dom.MoveBlock(0)
+	vals := []float64{0.1, 0.2, 0.3, 0.4}
+	for r := 0; r < n; r++ {
+		est[base+r] = vals[r]
+	}
+	// Quit at cell 0: frequency 1.0 → denominator 2.0 for Eq. 6.
+	est[dom.QuitIndex(0)] = 1.0
+	// Enter distribution: cell 2 has twice the mass of cell 1.
+	est[dom.EnterIndex(1)] = 0.1
+	est[dom.EnterIndex(2)] = 0.2
+	m.SetAll(est)
+	return m, dom
+}
+
+func TestSnapshotEq6(t *testing.T) {
+	m, _ := buildModel(t)
+	s := m.Snapshot()
+	// Pr(quit|0) = 1.0 / (0.1+0.2+0.3+0.4 + 1.0) = 0.5.
+	if got := s.QuitProb(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("QuitProb(0) = %v, want 0.5", got)
+	}
+	// Pr(m_0→rank3) = 0.4/2.0 = 0.2.
+	if got := s.MoveProb(0, 3); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MoveProb(0,3) = %v, want 0.2", got)
+	}
+	// Move probabilities plus quit probability sum to 1 for cell 0.
+	sum := s.QuitProb(0)
+	for r := 0; r < 4; r++ {
+		sum += s.MoveProb(0, r)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("Σ move + quit = %v, want 1", sum)
+	}
+}
+
+func TestSnapshotNegativeClamped(t *testing.T) {
+	dom := newDomain(2)
+	m := NewModel(dom)
+	est := make([]float64, dom.Size())
+	base, _ := dom.MoveBlock(0)
+	est[base] = -0.5 // negative OUE estimate
+	est[base+1] = 0.5
+	m.SetAll(est)
+	s := m.Snapshot()
+	if got := s.MoveProb(0, 0); got != 0 {
+		t.Fatalf("negative frequency not clamped: MoveProb = %v", got)
+	}
+	if got := s.MoveProb(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MoveProb(0,1) = %v, want 1", got)
+	}
+}
+
+func TestSampleMoveDistribution(t *testing.T) {
+	m, dom := buildModel(t)
+	s := m.Snapshot()
+	g := dom.Grid()
+	rng := ldp.NewRand(1, 2)
+	counts := map[grid.Cell]int{}
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[s.SampleMove(rng, 0)]++
+	}
+	// Conditional on not quitting, moves follow 0.1:0.2:0.3:0.4.
+	want := []float64{0.1, 0.2, 0.3, 0.4}
+	for r, n := range g.Neighbors(0) {
+		got := float64(counts[n]) / trials
+		if math.Abs(got-want[r]) > 0.01 {
+			t.Fatalf("SampleMove rank %d rate = %v, want %v", r, got, want[r])
+		}
+	}
+}
+
+func TestSampleMoveUniformFallback(t *testing.T) {
+	dom := newDomain(3)
+	m := NewModel(dom) // all-zero
+	s := m.Snapshot()
+	rng := ldp.NewRand(3, 4)
+	g := dom.Grid()
+	center := g.CellAt(1, 1)
+	counts := map[grid.Cell]int{}
+	const trials = 18000
+	for i := 0; i < trials; i++ {
+		c := s.SampleMove(rng, center)
+		if g.NeighborRank(center, c) < 0 {
+			t.Fatalf("sampled non-neighbour %d", c)
+		}
+		counts[c]++
+	}
+	for _, n := range g.Neighbors(center) {
+		rate := float64(counts[n]) / trials
+		if math.Abs(rate-1.0/9) > 0.015 {
+			t.Fatalf("fallback not uniform: rate(%d) = %v", n, rate)
+		}
+	}
+}
+
+func TestSampleEnter(t *testing.T) {
+	m, _ := buildModel(t)
+	s := m.Snapshot()
+	rng := ldp.NewRand(5, 6)
+	counts := make([]int, 4)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		counts[s.SampleEnter(rng)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("cells with zero enter mass sampled: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-2) > 0.15 {
+		t.Fatalf("enter ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestSampleEnterUniformFallback(t *testing.T) {
+	dom := newDomain(2)
+	s := NewModel(dom).Snapshot()
+	rng := ldp.NewRand(9, 9)
+	counts := make([]int, 4)
+	for i := 0; i < 20000; i++ {
+		counts[s.SampleEnter(rng)]++
+	}
+	for c, n := range counts {
+		rate := float64(n) / 20000
+		if math.Abs(rate-0.25) > 0.02 {
+			t.Fatalf("fallback enter not uniform: cell %d rate %v", c, rate)
+		}
+	}
+}
+
+func TestSampleEnterPanicsMoveOnly(t *testing.T) {
+	g := grid.MustNew(2, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	dom := transition.NewMoveOnlyDomain(g)
+	s := NewModel(dom).Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.SampleEnter(ldp.NewRand(1, 1))
+}
+
+func TestMoveOnlySnapshotNoQuit(t *testing.T) {
+	g := grid.MustNew(2, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	dom := transition.NewMoveOnlyDomain(g)
+	m := NewModel(dom)
+	est := make([]float64, dom.Size())
+	for i := range est {
+		est[i] = 1
+	}
+	m.SetAll(est)
+	s := m.Snapshot()
+	for c := grid.Cell(0); int(c) < g.NumCells(); c++ {
+		if s.QuitProb(c) != 0 {
+			t.Fatalf("move-only QuitProb(%d) = %v", c, s.QuitProb(c))
+		}
+		if s.QuitWeight(c) != 0 {
+			t.Fatalf("move-only QuitWeight(%d) = %v", c, s.QuitWeight(c))
+		}
+	}
+	// Moves sum to 1 without quit mass.
+	sum := 0.0
+	for r := range g.Neighbors(0) {
+		sum += s.MoveProb(0, r)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("move-only Σ MoveProb = %v", sum)
+	}
+}
+
+func TestQuitWeight(t *testing.T) {
+	m, _ := buildModel(t)
+	s := m.Snapshot()
+	if got := s.QuitWeight(0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("QuitWeight(0) = %v, want 1.0", got)
+	}
+	if got := s.QuitWeight(1); got != 0 {
+		t.Fatalf("QuitWeight(1) = %v, want 0", got)
+	}
+}
+
+func TestSnapshotIsFrozen(t *testing.T) {
+	m, dom := buildModel(t)
+	s := m.Snapshot()
+	before := s.MoveProb(0, 3)
+	// Mutating the model afterwards must not affect the snapshot.
+	zero := make([]float64, dom.Size())
+	m.SetAll(zero)
+	if got := s.MoveProb(0, 3); got != before {
+		t.Fatalf("snapshot changed after model mutation: %v → %v", before, got)
+	}
+}
+
+func TestSnapshotNaNClamped(t *testing.T) {
+	dom := newDomain(2)
+	m := NewModel(dom)
+	est := make([]float64, dom.Size())
+	est[0] = math.NaN()
+	est[1] = 1
+	m.SetAll(est)
+	s := m.Snapshot()
+	if got := s.MoveProb(0, 0); got != 0 {
+		t.Fatalf("NaN frequency not clamped: %v", got)
+	}
+}

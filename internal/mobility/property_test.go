@@ -1,0 +1,75 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/transition"
+)
+
+// Property: for any frequency vector — including negative and NaN-free
+// noisy inputs — every snapshot row is a valid sub-distribution: the
+// movement probabilities plus the quit probability of a cell sum to 1 when
+// the row carries mass, and to 0 otherwise.
+func TestSnapshotRowsNormalizedProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		g := grid.MustNew(k, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+		dom := transition.NewDomain(g)
+		rng := ldp.NewRand(seed, seed^3)
+		est := make([]float64, dom.Size())
+		for i := range est {
+			est[i] = rng.Float64()*0.4 - 0.1 // noisy, some negatives
+		}
+		m := NewModel(dom)
+		m.SetAll(est)
+		s := m.Snapshot()
+		for c := grid.Cell(0); int(c) < g.NumCells(); c++ {
+			sum := s.QuitProb(c)
+			for r := range g.Neighbors(c) {
+				p := s.MoveProb(c, r)
+				if p < 0 || p > 1 {
+					return false
+				}
+				sum += p
+			}
+			if sum != 0 && math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sampling never escapes the neighbourhood, for any model state.
+func TestSampleMoveStaysAdjacentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := grid.MustNew(4, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+		dom := transition.NewDomain(g)
+		rng := ldp.NewRand(seed, seed^5)
+		est := make([]float64, dom.Size())
+		for i := range est {
+			est[i] = rng.Float64() - 0.5
+		}
+		m := NewModel(dom)
+		m.SetAll(est)
+		s := m.Snapshot()
+		for trial := 0; trial < 50; trial++ {
+			c := grid.Cell(rng.IntN(g.NumCells()))
+			next := s.SampleMove(rng, c)
+			if !g.Adjacent(c, next) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
+)
+
+// Client is the device side of the protocol: it owns one user's trajectory
+// and never ships a raw location — only presence metadata and locally
+// perturbed OUE bits.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	user    int
+	traj    trajectory.CellTrajectory
+	dom     *transition.Domain
+	rng     ldp.Rand
+}
+
+// NewClient builds a device client. The domain must match the curator's
+// grid (in a deployment the curator publishes the grid parameters).
+func NewClient(baseURL string, httpClient *http.Client, user int, traj trajectory.CellTrajectory, dom *transition.Domain, seed uint64) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		baseURL: baseURL,
+		http:    httpClient,
+		user:    user,
+		traj:    traj,
+		dom:     dom,
+		rng:     ldp.NewRand(seed, seed^0xbb67ae8584caa73b),
+	}
+}
+
+// StateAt returns the client's transition state at timestamp t and whether
+// it has one: enter at Start, moves while continuing, and the final
+// graceful quit report at End+1.
+func (c *Client) StateAt(t int) (transition.State, bool) {
+	switch {
+	case t == c.traj.Start:
+		return transition.EnterState(c.traj.Cells[0]), true
+	case t > c.traj.Start && t <= c.traj.End():
+		i := t - c.traj.Start
+		return transition.MoveState(c.traj.Cells[i-1], c.traj.Cells[i]), true
+	case t == c.traj.End()+1:
+		return transition.QuitState(c.traj.Cells[len(c.traj.Cells)-1]), true
+	default:
+		return transition.State{}, false
+	}
+}
+
+// LocatedAt reports whether the client has a location (counts toward the
+// public active population) at t.
+func (c *Client) LocatedAt(t int) bool {
+	return t >= c.traj.Start && t <= c.traj.End()
+}
+
+// AnnouncePresence tells the curator the client has a state at t.
+func (c *Client) AnnouncePresence(t int) error {
+	if _, ok := c.StateAt(t); !ok {
+		return nil
+	}
+	return c.post("/v1/presence", presenceRequest{User: c.user, T: t})
+}
+
+// MaybeReport polls the assignment for t and, if sampled, perturbs the
+// client's state locally and ships the report. It returns whether a report
+// was sent.
+func (c *Client) MaybeReport(t int) (bool, error) {
+	state, ok := c.StateAt(t)
+	if !ok {
+		return false, nil
+	}
+	resp, err := c.http.Get(fmt.Sprintf("%s/v1/assignment?user=%d&t=%d", c.baseURL, c.user, t))
+	if err != nil {
+		return false, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("remote: assignment poll failed: %s", resp.Status)
+	}
+	var a Assignment
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return false, err
+	}
+	if !a.Report {
+		return false, nil
+	}
+	idx, ok := c.dom.Index(state)
+	if !ok {
+		return false, fmt.Errorf("remote: state %v outside domain", state)
+	}
+	oracle, err := ldp.NewOUE(c.dom.Size(), a.Epsilon)
+	if err != nil {
+		return false, err
+	}
+	ones := oracle.Perturb(c.rng, idx) // the only thing that leaves the device
+	if err := c.post("/v1/report", reportRequest{User: c.user, T: t, Ones: ones}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (c *Client) post(path string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("remote: %s → %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck — best-effort connection reuse
+	resp.Body.Close()
+}
+
+// Coordinator drives the per-timestamp protocol against a curator endpoint
+// (in production: a scheduler tick).
+type Coordinator struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewCoordinator builds a coordinator for the endpoint.
+func NewCoordinator(baseURL string, httpClient *http.Client) *Coordinator {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Coordinator{baseURL: baseURL, http: httpClient}
+}
+
+// Plan opens the round for timestamp t.
+func (co *Coordinator) Plan(t int) error {
+	return co.post("/v1/plan", planRequest{T: t})
+}
+
+// Finalize closes timestamp t with the public active count.
+func (co *Coordinator) Finalize(t, active int) error {
+	return co.post("/v1/finalize", finalizeRequest{T: t, Active: active})
+}
+
+// Synthetic fetches the current release.
+func (co *Coordinator) Synthetic() (*trajectory.RawDataset, []byte, error) {
+	resp, err := co.http.Get(co.baseURL + "/v1/synthetic")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("remote: synthetic fetch failed: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return nil, body, err
+}
+
+func (co *Coordinator) post(path string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := co.http.Post(co.baseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("remote: %s → %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

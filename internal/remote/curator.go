@@ -1,0 +1,392 @@
+// Package remote is the distributed deployment composition of the library
+// (paper §VII): an HTTP curator that runs the RetraSyn collection protocol
+// against real clients over the network, and the matching device-side
+// client. Perturbation happens strictly on the client; the curator only
+// ever sees OUE reports, presence metadata and the public active count —
+// the same trust model the paper assumes, now with the transport in place.
+//
+// Per-timestamp protocol, driven by a coordinator (e.g. a cron tick):
+//
+//  1. clients POST /v1/presence        — "I am present at timestamp t"
+//  2. coordinator POST /v1/plan        — curator recycles, samples, fixes ε_t
+//  3. clients GET /v1/assignment       — "am I sampled, at what budget?"
+//  4. sampled clients POST /v1/report  — locally perturbed OUE bits
+//  5. coordinator POST /v1/finalize    — aggregate, DMU, synthesis step
+//  6. anyone GET /v1/synthetic         — the current private release
+package remote
+
+import (
+	"fmt"
+	"sync"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/dmu"
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/mobility"
+	"retrasyn/internal/synthesis"
+	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
+)
+
+// CuratorConfig configures a Curator.
+type CuratorConfig struct {
+	Grid    *grid.System
+	Epsilon float64
+	W       int
+	// Division selects budget or population division (default population).
+	Division allocation.Division
+	// Strategy defaults to the adaptive strategy for the division.
+	Strategy allocation.Strategy
+	// Lambda is the Eq. 8 termination factor.
+	Lambda float64
+	// Kappa is the tracker history length (default 5).
+	Kappa int
+	// Seed drives curator-side randomness (sampling, synthesis).
+	Seed uint64
+}
+
+func (c *CuratorConfig) validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("remote: Grid is required")
+	}
+	if !(c.Epsilon > 0) {
+		return fmt.Errorf("remote: Epsilon must be > 0")
+	}
+	if c.W < 1 {
+		return fmt.Errorf("remote: W must be ≥ 1")
+	}
+	if !(c.Lambda > 0) {
+		return fmt.Errorf("remote: Lambda must be > 0")
+	}
+	if c.Kappa == 0 {
+		c.Kappa = 5
+	}
+	if c.Strategy == nil {
+		c.Strategy = allocation.NewAdaptive(c.Division)
+	}
+	return nil
+}
+
+// phase tracks the per-timestamp protocol state machine.
+type phase int
+
+const (
+	phaseIdle    phase = iota // accepting presence for the next timestamp
+	phasePlanned              // assignments fixed, accepting reports
+)
+
+// Assignment is the curator's answer to a sampled (or skipped) client.
+type Assignment struct {
+	Report  bool    `json:"report"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// Curator is the server-side protocol engine. All methods are safe for
+// concurrent use (one mutex; handler work is short).
+type Curator struct {
+	cfg CuratorConfig
+	dom *transition.Domain
+
+	mu           sync.Mutex
+	t            int
+	phase        phase
+	present      map[int]bool // users who announced presence for t
+	prevPresent  map[int]bool // presence at t−1, for quit inference
+	assignments  map[int]Assignment
+	epsRound     float64
+	agg          *ldp.Aggregator
+	oracle       *ldp.OUE
+	model        *mobility.Model
+	synth        *synthesis.Synthesizer
+	users        *UserRoster
+	dev          *allocation.DevTracker
+	sig          *allocation.SigTracker
+	budgetWin    *allocation.BudgetWindow
+	ledger       *allocation.Ledger
+	rng          ldp.Rand
+	bootstrapped bool
+	rounds       int
+	reports      int
+}
+
+// UserRoster is the curator's view of user states; it reuses the engine's
+// tracker semantics via composition.
+type UserRoster struct {
+	w        int
+	status   map[int]uint8 // 0 active, 1 inactive, 2 quitted
+	reported [][]int
+}
+
+func newRoster(w int) *UserRoster {
+	return &UserRoster{w: w, status: make(map[int]uint8), reported: make([][]int, w)}
+}
+
+func (r *UserRoster) begin(t int) {
+	slot := t % r.w
+	for _, id := range r.reported[slot] {
+		if r.status[id] == 1 {
+			r.status[id] = 0
+		}
+	}
+	r.reported[slot] = r.reported[slot][:0]
+}
+
+func (r *UserRoster) register(id int) {
+	if _, ok := r.status[id]; !ok {
+		r.status[id] = 0
+	}
+}
+
+func (r *UserRoster) active(id int) bool { return r.status[id] == 0 }
+
+func (r *UserRoster) markReported(id, t int) {
+	r.status[id] = 1
+	r.reported[t%r.w] = append(r.reported[t%r.w], id)
+}
+
+func (r *UserRoster) markQuitted(id int) { r.status[id] = 2 }
+
+// NewCurator constructs the server-side engine.
+func NewCurator(cfg CuratorConfig) (*Curator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dom := transition.NewDomain(cfg.Grid)
+	rng := ldp.NewRand(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908)
+	synth, err := synthesis.New(cfg.Grid, synthesis.Options{Lambda: cfg.Lambda}, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := &Curator{
+		cfg:         cfg,
+		dom:         dom,
+		present:     make(map[int]bool),
+		prevPresent: make(map[int]bool),
+		model:       mobility.NewModel(dom),
+		synth:       synth,
+		users:       newRoster(cfg.W),
+		dev:         allocation.NewDevTracker(cfg.Kappa),
+		sig:         allocation.NewSigTracker(cfg.Kappa),
+		rng:         rng,
+		t:           -1,
+	}
+	if cfg.Division == allocation.Budget {
+		c.budgetWin = allocation.NewBudgetWindow(cfg.W)
+	}
+	c.dev.Push(make([]float64, dom.Size()))
+	return c, nil
+}
+
+// EnableLedger records rounds for post-hoc privacy verification.
+func (c *Curator) EnableLedger(T int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ledger = allocation.NewLedger(T)
+}
+
+// Ledger returns the recorded ledger (nil unless enabled).
+func (c *Curator) Ledger() *allocation.Ledger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ledger
+}
+
+// Presence registers that user id is present at timestamp t (has a
+// transition state to contribute). Presence for a past timestamp is
+// rejected.
+func (c *Curator) Presence(user, t int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t <= c.t {
+		return fmt.Errorf("remote: presence for closed timestamp %d (current %d)", t, c.t)
+	}
+	c.present[user] = true
+	return nil
+}
+
+// Plan closes presence collection for timestamp t, recycles the window,
+// decides the round and fixes the per-user assignments.
+func (c *Curator) Plan(t int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != phaseIdle {
+		return fmt.Errorf("remote: Plan(%d) while a round is open", t)
+	}
+	if t <= c.t {
+		return fmt.Errorf("remote: Plan(%d) after timestamp %d", t, c.t)
+	}
+	c.t = t
+	c.users.begin(t)
+	for id := range c.present {
+		c.users.register(id)
+	}
+
+	ctx := allocation.Context{
+		T: t, W: c.cfg.W, Epsilon: c.cfg.Epsilon,
+		Dev: c.dev.Dev(), SigRatioMean: c.sig.Mean(),
+	}
+	if c.budgetWin != nil {
+		ctx.WindowUsed = c.budgetWin.Used()
+	}
+	decision := c.cfg.Strategy.Decide(ctx)
+	pool := make([]int, 0, len(c.present))
+	for id := range c.present {
+		if c.users.active(id) {
+			pool = append(pool, id)
+		}
+	}
+	if !c.bootstrapped && len(pool) > 0 && !decision.Report {
+		if c.cfg.Division == allocation.Budget {
+			decision = allocation.Decision{Report: true, Epsilon: c.cfg.Epsilon / float64(c.cfg.W)}
+		} else {
+			decision = allocation.Decision{Report: true, Portion: 1 / float64(c.cfg.W)}
+		}
+	}
+
+	c.assignments = make(map[int]Assignment, len(pool))
+	c.epsRound = 0
+	if decision.Report && len(pool) > 0 {
+		sampled := pool
+		c.epsRound = decision.Epsilon
+		if c.cfg.Division == allocation.Population {
+			c.epsRound = c.cfg.Epsilon
+			n := int(decision.Portion*float64(len(pool)) + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			if n > len(pool) {
+				n = len(pool)
+			}
+			// Deterministic partial Fisher-Yates over a sorted pool.
+			sortInts(pool)
+			for i := 0; i < n; i++ {
+				j := i + c.rng.IntN(len(pool)-i)
+				pool[i], pool[j] = pool[j], pool[i]
+			}
+			sampled = pool[:n]
+		}
+		for _, id := range sampled {
+			c.assignments[id] = Assignment{Report: true, Epsilon: c.epsRound}
+		}
+		c.oracle = ldp.MustOUE(c.dom.Size(), c.epsRound)
+		c.agg = ldp.NewAggregator(c.oracle)
+	} else {
+		c.oracle, c.agg = nil, nil
+	}
+	c.phase = phasePlanned
+	return nil
+}
+
+// AssignmentFor answers a client's poll after Plan.
+func (c *Curator) AssignmentFor(user, t int) (Assignment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != phasePlanned || t != c.t {
+		return Assignment{}, fmt.Errorf("remote: no open round for timestamp %d", t)
+	}
+	return c.assignments[user], nil
+}
+
+// Report ingests a sampled client's perturbed OUE bits (indices of ones).
+func (c *Curator) Report(user, t int, ones []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != phasePlanned || t != c.t {
+		return fmt.Errorf("remote: report outside an open round")
+	}
+	a, ok := c.assignments[user]
+	if !ok || !a.Report {
+		return fmt.Errorf("remote: user %d was not sampled at timestamp %d", user, t)
+	}
+	for _, i := range ones {
+		if i < 0 || i >= c.dom.Size() {
+			return fmt.Errorf("remote: report bit %d outside domain", i)
+		}
+	}
+	delete(c.assignments, user) // one report per assignment
+	c.agg.Add(ones)
+	c.users.markReported(user, t)
+	c.reports++
+	if c.ledger != nil {
+		c.ledger.RecordRound(t, a.Epsilon, []int{user})
+	}
+	return nil
+}
+
+// Finalize closes timestamp t: aggregates whatever reports arrived, applies
+// the DMU update, infers quits from absence, and advances the synthesizer
+// toward activeCount (the public population size).
+func (c *Curator) Finalize(t, activeCount int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != phasePlanned || t != c.t {
+		return fmt.Errorf("remote: Finalize(%d) without a matching Plan", t)
+	}
+
+	sigRatio := 0.0
+	if c.agg != nil && c.agg.N() > 0 {
+		est := c.agg.EstimateAll()
+		errUpd := c.oracle.Variance(c.agg.N())
+		switch {
+		case !c.bootstrapped:
+			c.model.SetAll(est)
+			c.bootstrapped = true
+		default:
+			sel := dmu.SelectVar(c.model.Freqs(), est, errUpd)
+			c.model.Update(sel.Significant, est)
+			sigRatio = sel.Ratio(c.dom.Size())
+		}
+		c.dev.Push(est)
+		c.rounds++
+	}
+	c.sig.Push(sigRatio)
+	if c.budgetWin != nil {
+		spent := 0.0
+		if c.agg != nil && c.agg.N() > 0 {
+			spent = c.epsRound
+		}
+		c.budgetWin.Record(spent)
+	}
+
+	// Quit inference: users present at t−1 but silent at t have stopped
+	// sharing.
+	for id := range c.prevPresent {
+		if !c.present[id] {
+			c.users.markQuitted(id)
+		}
+	}
+	c.prevPresent, c.present = c.present, make(map[int]bool)
+
+	c.synth.Step(t, activeCount, c.model.Snapshot())
+	c.phase = phaseIdle
+	c.assignments = nil
+	return nil
+}
+
+// Synthetic returns the current private release.
+func (c *Curator) Synthetic(name string) *trajectory.Dataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.synth.Dataset(name, c.t+1)
+}
+
+// Stats summarizes the curator's activity.
+func (c *Curator) Stats() (rounds, reports int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rounds, c.reports
+}
+
+// Domain exposes the transition domain clients need for encoding.
+func (c *Curator) Domain() *transition.Domain { return c.dom }
+
+func sortInts(s []int) {
+	// Insertion sort suffices for the modest pools the sampler sees; keeps
+	// determinism without importing sort for a hot path.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

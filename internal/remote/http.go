@@ -1,0 +1,126 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"retrasyn/internal/trajectory"
+)
+
+// HTTP transport for the curator. All bodies are JSON; errors map to 4xx
+// with a plain-text reason.
+
+type presenceRequest struct {
+	User int `json:"user"`
+	T    int `json:"t"`
+}
+
+type planRequest struct {
+	T int `json:"t"`
+}
+
+type reportRequest struct {
+	User int   `json:"user"`
+	T    int   `json:"t"`
+	Ones []int `json:"ones"`
+}
+
+type finalizeRequest struct {
+	T      int `json:"t"`
+	Active int `json:"active"`
+}
+
+type statsResponse struct {
+	Rounds  int `json:"rounds"`
+	Reports int `json:"reports"`
+}
+
+// NewHandler exposes the curator over HTTP.
+func NewHandler(c *Curator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/presence", func(w http.ResponseWriter, r *http.Request) {
+		var req presenceRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Presence(req.User, req.T); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		var req planRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Plan(req.T); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/assignment", func(w http.ResponseWriter, r *http.Request) {
+		user, err1 := strconv.Atoi(r.URL.Query().Get("user"))
+		t, err2 := strconv.Atoi(r.URL.Query().Get("t"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "remote: bad user/t query parameters", http.StatusBadRequest)
+			return
+		}
+		a, err := c.AssignmentFor(user, t)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, a)
+	})
+	mux.HandleFunc("POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		var req reportRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Report(req.User, req.T, req.Ones); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/finalize", func(w http.ResponseWriter, r *http.Request) {
+		var req finalizeRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Finalize(req.T, req.Active); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/synthetic", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := trajectory.WriteCells(w, c.Synthetic("remote")); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		rounds, reports := c.Stats()
+		writeJSON(w, statsResponse{Rounds: rounds, Reports: reports})
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		http.Error(w, "remote: malformed JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

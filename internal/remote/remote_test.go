@@ -1,0 +1,234 @@
+package remote
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+)
+
+func testGrid() *grid.System {
+	return grid.MustNew(4, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+}
+
+func testConfig(g *grid.System) CuratorConfig {
+	return CuratorConfig{
+		Grid: g, Epsilon: 1.0, W: 5,
+		Division: allocation.Population, Lambda: 6, Seed: 11,
+	}
+}
+
+// buildClients creates device clients holding random-walk trajectories.
+func buildClients(t *testing.T, g *grid.System, cur *Curator, baseURL string, n, T int) ([]*Client, *trajectory.Dataset) {
+	t.Helper()
+	rng := ldp.NewRand(3, 5)
+	d := &trajectory.Dataset{Name: "remote", T: T}
+	clients := make([]*Client, n)
+	for u := 0; u < n; u++ {
+		start := rng.IntN(T / 2)
+		c := grid.Cell(rng.IntN(g.NumCells()))
+		cells := []grid.Cell{c}
+		for ts := start + 1; ts < T; ts++ {
+			if rng.Float64() < 0.1 {
+				break
+			}
+			ns := g.Neighbors(c)
+			c = ns[rng.IntN(len(ns))]
+			cells = append(cells, c)
+		}
+		tr := trajectory.CellTrajectory{Start: start, Cells: cells}
+		d.Trajs = append(d.Trajs, tr)
+		clients[u] = NewClient(baseURL, nil, u, tr, cur.Domain(), uint64(u)+100)
+	}
+	return clients, d
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	g := testGrid()
+	cur, err := NewCurator(testConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 25
+	cur.EnableLedger(T)
+	srv := httptest.NewServer(NewHandler(cur))
+	defer srv.Close()
+
+	clients, orig := buildClients(t, g, cur, srv.URL, 120, T)
+	co := NewCoordinator(srv.URL, nil)
+
+	for ts := 0; ts < T; ts++ {
+		active := 0
+		for _, c := range clients {
+			if err := c.AnnouncePresence(ts); err != nil {
+				t.Fatalf("t=%d presence: %v", ts, err)
+			}
+			if c.LocatedAt(ts) {
+				active++
+			}
+		}
+		if err := co.Plan(ts); err != nil {
+			t.Fatalf("t=%d plan: %v", ts, err)
+		}
+		for _, c := range clients {
+			if _, err := c.MaybeReport(ts); err != nil {
+				t.Fatalf("t=%d report: %v", ts, err)
+			}
+		}
+		if err := co.Finalize(ts, active); err != nil {
+			t.Fatalf("t=%d finalize: %v", ts, err)
+		}
+	}
+
+	rounds, reports := cur.Stats()
+	if rounds == 0 || reports == 0 {
+		t.Fatalf("no activity: rounds=%d reports=%d", rounds, reports)
+	}
+	syn := cur.Synthetic("remote")
+	if err := syn.Validate(g, true); err != nil {
+		t.Fatalf("invalid release: %v", err)
+	}
+	// Size mirroring holds over the wire too.
+	synActive := syn.ActiveCounts()
+	for ts, want := range orig.ActiveCounts() {
+		if synActive[ts] != want {
+			t.Fatalf("t=%d: synthetic active %d, real %d", ts, synActive[ts], want)
+		}
+	}
+	// w-event invariant: no user reported twice in any window.
+	got := cur.Ledger().MaxUserWindowSum(5, func(int) float64 { return 1.0 })
+	if got > 1.0+1e-9 {
+		t.Fatalf("per-user window budget %v exceeds ε", got)
+	}
+	// The release is served over HTTP as CSV.
+	_, body, err := co.Synthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "T,25") {
+		t.Fatalf("unexpected CSV header: %q", string(body[:20]))
+	}
+}
+
+func TestCuratorConfigValidation(t *testing.T) {
+	g := testGrid()
+	bad := []CuratorConfig{
+		{Epsilon: 1, W: 5, Lambda: 5},
+		{Grid: g, W: 5, Lambda: 5},
+		{Grid: g, Epsilon: 1, Lambda: 5},
+		{Grid: g, Epsilon: 1, W: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCurator(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestProtocolStateMachine(t *testing.T) {
+	g := testGrid()
+	cur, _ := NewCurator(testConfig(g))
+	// Finalize before Plan.
+	if err := cur.Finalize(0, 10); err == nil {
+		t.Fatal("Finalize without Plan accepted")
+	}
+	if err := cur.Plan(0); err != nil {
+		t.Fatal(err)
+	}
+	// Double Plan.
+	if err := cur.Plan(1); err == nil {
+		t.Fatal("Plan during open round accepted")
+	}
+	if err := cur.Finalize(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Plan for a past timestamp.
+	if err := cur.Plan(0); err == nil {
+		t.Fatal("Plan for closed timestamp accepted")
+	}
+	// Presence for a closed timestamp.
+	if err := cur.Presence(1, 0); err == nil {
+		t.Fatal("stale presence accepted")
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	g := testGrid()
+	cur, _ := NewCurator(testConfig(g))
+	cur.Presence(7, 0)
+	if err := cur.Plan(0); err != nil {
+		t.Fatal(err)
+	}
+	// Unsampled user (bootstrap samples 1/w of 1 user → that one user).
+	if err := cur.Report(99, 0, []int{1}); err == nil {
+		t.Fatal("unsampled user's report accepted")
+	}
+	a, _ := cur.AssignmentFor(7, 0)
+	if a.Report {
+		// Out-of-domain bit.
+		if err := cur.Report(7, 0, []int{cur.Domain().Size()}); err == nil {
+			t.Fatal("out-of-domain bit accepted")
+		}
+		// Valid report, then a duplicate.
+		if err := cur.Report(7, 0, []int{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.Report(7, 0, []int{1}); err == nil {
+			t.Fatal("duplicate report accepted")
+		}
+	}
+}
+
+func TestClientStateAt(t *testing.T) {
+	g := testGrid()
+	cur, _ := NewCurator(testConfig(g))
+	tr := trajectory.CellTrajectory{Start: 3, Cells: []grid.Cell{0, 1, 5}}
+	c := NewClient("http://unused", nil, 1, tr, cur.Domain(), 9)
+
+	if _, ok := c.StateAt(2); ok {
+		t.Fatal("state before start")
+	}
+	s, ok := c.StateAt(3)
+	if !ok || s.Kind.String() != "enter" {
+		t.Fatalf("t=3 state = %v", s)
+	}
+	s, _ = c.StateAt(4)
+	if s.From != 0 || s.To != 1 {
+		t.Fatalf("t=4 move = %v", s)
+	}
+	s, ok = c.StateAt(6) // End()+1 = graceful quit
+	if !ok || s.Kind.String() != "quit" || s.From != 5 {
+		t.Fatalf("t=6 state = %v", s)
+	}
+	if _, ok := c.StateAt(7); ok {
+		t.Fatal("state after quit")
+	}
+	if !c.LocatedAt(5) || c.LocatedAt(6) {
+		t.Fatal("LocatedAt mismatch")
+	}
+}
+
+func TestQuitInference(t *testing.T) {
+	g := testGrid()
+	cur, _ := NewCurator(testConfig(g))
+	// User 1 present at t=0, silent at t=1 → quitted; it must not be
+	// sampleable at t=2 even after recycling windows pass.
+	cur.Presence(1, 0)
+	cur.Plan(0)
+	cur.Finalize(0, 1)
+	cur.Plan(1)
+	cur.Finalize(1, 0)
+	for ts := 2; ts < 10; ts++ {
+		cur.Presence(1, ts) // a confused device reappears
+		cur.Plan(ts)
+		a, _ := cur.AssignmentFor(1, ts)
+		if a.Report {
+			t.Fatalf("quitted user sampled at t=%d", ts)
+		}
+		cur.Finalize(ts, 0)
+	}
+}

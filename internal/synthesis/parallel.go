@@ -1,0 +1,83 @@
+package synthesis
+
+import (
+	"sync"
+
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/mobility"
+	"retrasyn/internal/trajectory"
+)
+
+// Parallel new-point generation — the acceleration the paper's §VII names
+// as future work. Phase 1 of Step (per-stream termination + Markov move) is
+// embarrassingly parallel; with Options.Workers > 1 the population is
+// sharded across workers, each drawing from its own deterministic
+// per-(step, shard) generator, and the shard results are merged in shard
+// order so a run is reproducible for a fixed (Seed, Workers) pair.
+// Size adjustment stays sequential — it is O(population) at worst and needs
+// a single sampling stream.
+
+// parallelThreshold is the population below which sharding costs more than
+// it saves.
+const parallelThreshold = 2048
+
+type shardResult struct {
+	kept      []*stream
+	completed []trajectory.CellTrajectory
+}
+
+// stepParallel runs phase 1 across workers. It must only be called with
+// opts.Workers > 1.
+func (s *Synthesizer) stepParallel(snap *mobility.Snapshot) {
+	n := len(s.active)
+	workers := s.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	results := make([]shardResult, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := ldp.NewRand(
+				s.opts.Seed^(uint64(s.stepCount)*0x9e3779b97f4a7c15),
+				uint64(w)*0xd1b54a32d192ed03+1,
+			)
+			res := shardResult{kept: make([]*stream, 0, hi-lo)}
+			for _, st := range s.active[lo:hi] {
+				if !s.opts.DisableTermination {
+					p := float64(len(st.cells)) / s.opts.Lambda * snap.QuitProb(st.last())
+					if p > s.opts.MaxQuitProb {
+						p = s.opts.MaxQuitProb
+					}
+					if ldp.Bernoulli(rng, p) {
+						res.completed = append(res.completed,
+							trajectory.CellTrajectory{Start: st.start, Cells: st.cells})
+						continue
+					}
+				}
+				st.cells = append(st.cells, snap.SampleMove(rng, st.last()))
+				res.kept = append(res.kept, st)
+			}
+			results[w] = res
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	keep := s.active[:0]
+	for _, res := range results {
+		keep = append(keep, res.kept...)
+		s.completed = append(s.completed, res.completed...)
+	}
+	for i := len(keep); i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = keep
+}

@@ -1,0 +1,117 @@
+package synthesis
+
+import (
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/transition"
+)
+
+func newMoveOnlyDomain(g *grid.System) *transition.Domain {
+	return transition.NewMoveOnlyDomain(g)
+}
+
+func TestParallelInvariantsMatchSerial(t *testing.T) {
+	// Parallel generation draws from different generators than the serial
+	// path, so the streams differ — but every structural invariant must
+	// hold: adjacency, contiguity, exact size adjustment, point counts.
+	g, dom := newSetup(4)
+	snap := uniformSnapshot(dom, 0.3)
+	const pop = 3000 // above parallelThreshold
+	s, err := New(g, Options{Lambda: 8, Workers: 8, Seed: 42}, ldp.NewRand(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(0, pop, snap)
+	for ts := 1; ts <= 20; ts++ {
+		s.Step(ts, pop, snap)
+		if s.ActiveCount() != pop {
+			t.Fatalf("t=%d: population %d, want %d", ts, s.ActiveCount(), pop)
+		}
+	}
+	d := s.Dataset("par", 21)
+	if err := d.Validate(g, true); err != nil {
+		t.Fatalf("parallel output invalid: %v", err)
+	}
+	points := 0
+	for _, tr := range d.Trajs {
+		points += tr.Len()
+	}
+	if points != pop*21 {
+		t.Fatalf("points = %d, want %d", points, pop*21)
+	}
+}
+
+func TestParallelDeterministicForFixedSeedAndWorkers(t *testing.T) {
+	g, dom := newSetup(4)
+	snap := uniformSnapshot(dom, 0.2)
+	run := func() int {
+		s, _ := New(g, Options{Lambda: 8, Workers: 4, Seed: 7}, ldp.NewRand(3, 4))
+		s.Init(0, 2500, snap)
+		for ts := 1; ts <= 10; ts++ {
+			s.Step(ts, 2500, snap)
+		}
+		// Fingerprint: total completed streams plus a cell checksum.
+		d := s.Dataset("x", 11)
+		sum := len(d.Trajs) * 1000003
+		for _, tr := range d.Trajs {
+			for _, c := range tr.Cells {
+				sum = sum*31 + int(c)
+			}
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("parallel synthesis not deterministic for fixed (seed, workers)")
+	}
+}
+
+func TestParallelSmallPopulationFallsBackToSerial(t *testing.T) {
+	// Below the threshold the serial path runs even with Workers set; the
+	// shared-rng stream must then match a Workers=1 configuration exactly.
+	g, dom := newSetup(4)
+	snap := uniformSnapshot(dom, 0.2)
+	run := func(workers int) []int {
+		s, _ := New(g, Options{Lambda: 8, Workers: workers, Seed: 9}, ldp.NewRand(5, 6))
+		s.Init(0, 100, snap) // « parallelThreshold
+		for ts := 1; ts <= 10; ts++ {
+			s.Step(ts, 100, snap)
+		}
+		d := s.Dataset("x", 11)
+		out := make([]int, 0, 300)
+		for _, tr := range d.Trajs {
+			out = append(out, tr.Start, tr.Len(), int(tr.Cells[0]))
+		}
+		return out
+	}
+	a, b := run(8), run(1)
+	if len(a) != len(b) {
+		t.Fatalf("shapes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("small-population parallel run diverged from serial")
+		}
+	}
+}
+
+func TestParallelWithTerminationDisabled(t *testing.T) {
+	g, _ := newSetup(4)
+	dom := newMoveOnlyDomain(g)
+	snap := uniformSnapshot(dom, 0)
+	s, _ := New(g, Options{DisableTermination: true, Workers: 4, Seed: 3}, ldp.NewRand(7, 8))
+	s.Init(0, 3000, snap)
+	for ts := 1; ts <= 5; ts++ {
+		s.Step(ts, 0, snap)
+		if s.ActiveCount() != 3000 {
+			t.Fatalf("NoEQ parallel population changed: %d", s.ActiveCount())
+		}
+	}
+	d := s.Dataset("x", 6)
+	for _, tr := range d.Trajs {
+		if tr.Len() != 6 {
+			t.Fatalf("stream length %d, want 6", tr.Len())
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package synthesis implements RetraSyn's real-time trajectory generator
+// (paper §III-D): at every timestamp each live synthetic stream either
+// terminates — with the length-reweighted quitting probability of Eq. 8 —
+// or extends by one cell drawn from the Markov movement distribution; then
+// the synthetic population is resized to match the (publicly known) number
+// of active real users, appending new streams started from the entering
+// distribution E and terminating surplus streams weighted by the quitting
+// distribution Q.
+package synthesis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/mobility"
+	"retrasyn/internal/trajectory"
+)
+
+// Options configures a Synthesizer.
+type Options struct {
+	// Lambda is the termination restriction factor λ of Eq. 8; the paper sets
+	// it to the dataset's average trajectory length. Must be > 0 unless
+	// DisableTermination is set.
+	Lambda float64
+	// DisableTermination turns off stream quitting and size adjustment (the
+	// NoEQ ablation and the LDP-IDS baselines): streams never terminate, and
+	// the population is fixed at initialization.
+	DisableTermination bool
+	// MaxQuitProb caps the reweighted quit probability of Eq. 8 — ℓ/λ grows
+	// without bound, so an explicit ceiling keeps the probability valid.
+	// Defaults to 1.
+	MaxQuitProb float64
+	// Workers > 1 parallelizes new-point generation across that many
+	// goroutines once the population is large enough (the paper §VII's
+	// future-work acceleration). Runs are deterministic for a fixed
+	// (Seed, Workers) pair but differ from the serial stream.
+	Workers int
+	// Seed drives the per-shard generators of the parallel path.
+	Seed uint64
+}
+
+// Synthesizer owns the evolving synthetic database T_syn. It is not safe
+// for concurrent use.
+type Synthesizer struct {
+	g    *grid.System
+	opts Options
+	rng  ldp.Rand
+
+	active    []*stream
+	completed []trajectory.CellTrajectory
+	started   bool
+	now       int // last processed timestamp
+	stepCount int // steps processed, keys the parallel shard generators
+}
+
+type stream struct {
+	start int
+	cells []grid.Cell
+}
+
+func (s *stream) last() grid.Cell { return s.cells[len(s.cells)-1] }
+
+// New creates a synthesizer over grid g.
+func New(g *grid.System, opts Options, rng ldp.Rand) (*Synthesizer, error) {
+	if opts.MaxQuitProb == 0 {
+		opts.MaxQuitProb = 1
+	}
+	if opts.MaxQuitProb < 0 || opts.MaxQuitProb > 1 {
+		return nil, fmt.Errorf("synthesis: MaxQuitProb %v outside (0,1]", opts.MaxQuitProb)
+	}
+	if !opts.DisableTermination && !(opts.Lambda > 0) {
+		return nil, fmt.Errorf("synthesis: Lambda must be > 0, got %v", opts.Lambda)
+	}
+	return &Synthesizer{g: g, opts: opts, rng: rng}, nil
+}
+
+// ActiveCount returns the number of live synthetic streams.
+func (s *Synthesizer) ActiveCount() int { return len(s.active) }
+
+// Init seeds the synthetic database at timestamp t with target streams whose
+// starting cells are drawn from the snapshot's entering distribution (or
+// uniformly, for move-only models — the NoEQ/baseline initialization the
+// paper describes as "randomly initialized").
+func (s *Synthesizer) Init(t, target int, snap *mobility.Snapshot) {
+	s.started = true
+	s.now = t
+	for i := 0; i < target; i++ {
+		s.spawn(t, snap)
+	}
+}
+
+func (s *Synthesizer) spawn(t int, snap *mobility.Snapshot) {
+	var c grid.Cell
+	if s.opts.DisableTermination {
+		c = grid.Cell(s.rng.IntN(s.g.NumCells()))
+	} else {
+		c = snap.SampleEnter(s.rng)
+	}
+	s.active = append(s.active, &stream{start: t, cells: []grid.Cell{c}})
+}
+
+// Step advances the synthetic database to timestamp t (which must be the
+// successor of the last processed timestamp): new point generation followed
+// by size adjustment toward target. If the synthesizer has not been
+// initialized yet, Step initializes it at t with target streams.
+func (s *Synthesizer) Step(t, target int, snap *mobility.Snapshot) {
+	if !s.started {
+		s.Init(t, target, snap)
+		return
+	}
+	s.now = t
+	s.stepCount++
+
+	// Phase 1 — new point generation (Eq. 8 termination + Markov move).
+	if s.opts.Workers > 1 && len(s.active) >= parallelThreshold {
+		s.stepParallel(snap)
+	} else {
+		keep := s.active[:0]
+		for _, st := range s.active {
+			if !s.opts.DisableTermination {
+				p := float64(len(st.cells)) / s.opts.Lambda * snap.QuitProb(st.last())
+				if p > s.opts.MaxQuitProb {
+					p = s.opts.MaxQuitProb
+				}
+				if ldp.Bernoulli(s.rng, p) {
+					s.completed = append(s.completed, trajectory.CellTrajectory{Start: st.start, Cells: st.cells})
+					continue
+				}
+			}
+			st.cells = append(st.cells, snap.SampleMove(s.rng, st.last()))
+			keep = append(keep, st)
+		}
+		// Zero dropped tail pointers so completed streams can be collected.
+		for i := len(keep); i < len(s.active); i++ {
+			s.active[i] = nil
+		}
+		s.active = keep
+	}
+
+	// Phase 2 — size adjustment.
+	if s.opts.DisableTermination {
+		return
+	}
+	switch {
+	case target > len(s.active):
+		for len(s.active) < target {
+			s.spawn(t, snap)
+		}
+	case target < len(s.active):
+		s.terminate(len(s.active)-target, snap)
+	}
+}
+
+// terminate removes k streams, weighted by the quitting distribution over
+// their most recent locations (weighted sampling without replacement via
+// exponential keys). Streams whose last cell carries no quit mass still get
+// a small floor weight so termination always succeeds. Terminated streams
+// drop the point appended earlier in the same Step — a stream terminated at
+// timestamp t has its final location at t−1, exactly like an Eq. 8 quit —
+// which keeps the per-timestamp point count of T_syn equal to the target.
+func (s *Synthesizer) terminate(k int, snap *mobility.Snapshot) {
+	type keyed struct {
+		idx int
+		key float64
+	}
+	keys := make([]keyed, len(s.active))
+	const floor = 1e-12
+	for i, st := range s.active {
+		w := snap.QuitWeight(st.last()) + floor
+		u := s.rng.Float64()
+		for u == 0 {
+			u = s.rng.Float64()
+		}
+		// A-Res weighted reservoir key: u^(1/w); larger keys win.
+		keys[i] = keyed{idx: i, key: math.Pow(u, 1/w)}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key > keys[b].key })
+	doomed := make(map[int]bool, k)
+	for i := 0; i < k && i < len(keys); i++ {
+		doomed[keys[i].idx] = true
+	}
+	keep := s.active[:0]
+	for i, st := range s.active {
+		if doomed[i] {
+			cells := st.cells[:len(st.cells)-1]
+			if len(cells) > 0 {
+				s.completed = append(s.completed, trajectory.CellTrajectory{Start: st.start, Cells: cells})
+			}
+			continue
+		}
+		keep = append(keep, st)
+	}
+	for i := len(keep); i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = keep
+}
+
+// Dataset returns the released synthetic database over timeline [0, T):
+// all completed streams plus the still-active ones.
+func (s *Synthesizer) Dataset(name string, T int) *trajectory.Dataset {
+	d := &trajectory.Dataset{Name: name, T: T}
+	d.Trajs = make([]trajectory.CellTrajectory, 0, len(s.completed)+len(s.active))
+	d.Trajs = append(d.Trajs, s.completed...)
+	for _, st := range s.active {
+		d.Trajs = append(d.Trajs, trajectory.CellTrajectory{Start: st.start, Cells: st.cells})
+	}
+	return d
+}

@@ -1,0 +1,121 @@
+package trajectory
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The CSV-like interchange format, one stream per line:
+//
+//	start,x1,y1,x2,y2,...
+//
+// with a header line "T,<timeline length>,<name>". It is intentionally
+// simple — the datasets here are synthetic and regenerated on demand; the
+// files exist so cmd/datagen output can be inspected and re-fed to
+// cmd/retrasyn.
+
+// WriteRaw serializes a raw dataset.
+func WriteRaw(w io.Writer, d *RawDataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "T,%d,%s\n", d.T, d.Name); err != nil {
+		return err
+	}
+	for _, tr := range d.Trajs {
+		if _, err := fmt.Fprintf(bw, "%d", tr.Start); err != nil {
+			return err
+		}
+		for _, p := range tr.Points {
+			if _, err := fmt.Fprintf(bw, ",%g,%g", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRaw parses a raw dataset written by WriteRaw.
+func ReadRaw(r io.Reader) (*RawDataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trajectory: empty input")
+	}
+	header := strings.SplitN(sc.Text(), ",", 3)
+	if len(header) < 2 || header[0] != "T" {
+		return nil, fmt.Errorf("trajectory: malformed header %q", sc.Text())
+	}
+	t, err := strconv.Atoi(header[1])
+	if err != nil || t <= 0 {
+		return nil, fmt.Errorf("trajectory: bad timeline length %q", header[1])
+	}
+	d := &RawDataset{T: t}
+	if len(header) == 3 {
+		d.Name = header[2]
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 3 || len(fields)%2 == 0 {
+			return nil, fmt.Errorf("trajectory: line %d: want start,x1,y1,... got %d fields", line, len(fields))
+		}
+		start, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad start %q", line, fields[0])
+		}
+		pts := make([]RawPoint, 0, (len(fields)-1)/2)
+		for i := 1; i < len(fields); i += 2 {
+			x, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trajectory: line %d: bad x %q", line, fields[i])
+			}
+			y, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trajectory: line %d: bad y %q", line, fields[i+1])
+			}
+			pts = append(pts, RawPoint{X: x, Y: y})
+		}
+		tr := RawTrajectory{Start: start, Points: pts}
+		if start < 0 || tr.End() >= d.T {
+			return nil, fmt.Errorf("trajectory: line %d: span [%d,%d] outside timeline [0,%d)", line, start, tr.End(), d.T)
+		}
+		d.Trajs = append(d.Trajs, tr)
+	}
+	return d, sc.Err()
+}
+
+// WriteCells serializes a discretized dataset, one stream per line:
+// start,c1,c2,... with the same header as WriteRaw.
+func WriteCells(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "T,%d,%s\n", d.T, d.Name); err != nil {
+		return err
+	}
+	for _, tr := range d.Trajs {
+		if _, err := fmt.Fprintf(bw, "%d", tr.Start); err != nil {
+			return err
+		}
+		for _, c := range tr.Cells {
+			if _, err := fmt.Fprintf(bw, ",%d", c); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

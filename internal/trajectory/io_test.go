@@ -1,0 +1,98 @@
+package trajectory
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"retrasyn/internal/grid"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	d := &RawDataset{Name: "demo", T: 10, Trajs: []RawTrajectory{
+		{Start: 0, Points: []RawPoint{{0.5, 1.5}, {2.25, 3.75}}},
+		{Start: 4, Points: []RawPoint{{-1, -2}, {0, 0}, {1e6, 1e-6}}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.T != d.T || len(got.Trajs) != len(d.Trajs) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i, tr := range d.Trajs {
+		g := got.Trajs[i]
+		if g.Start != tr.Start || len(g.Points) != len(tr.Points) {
+			t.Fatalf("traj %d shape mismatch", i)
+		}
+		for j, p := range tr.Points {
+			if g.Points[j] != p {
+				t.Fatalf("traj %d point %d = %+v, want %+v", i, j, g.Points[j], p)
+			}
+		}
+	}
+}
+
+func TestReadRawErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header tag", "X,10\n"},
+		{"bad T", "T,abc\n"},
+		{"zero T", "T,0\n"},
+		{"even fields", "T,10\n0,1,2,3\n"},
+		{"one field", "T,10\n0\n"},
+		{"bad start", "T,10\nxx,1,2\n"},
+		{"bad x", "T,10\n0,aa,2\n"},
+		{"bad y", "T,10\n0,1,bb\n"},
+		{"negative start", "T,10\n-1,1,2\n"},
+		{"beyond timeline", "T,2\n1,1,2,3,4\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadRaw(strings.NewReader(tt.input)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestReadRawSkipsBlankLines(t *testing.T) {
+	d, err := ReadRaw(strings.NewReader("T,5,x\n\n0,1,2\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Trajs) != 1 {
+		t.Fatalf("trajs = %d", len(d.Trajs))
+	}
+}
+
+func TestReadRawNoName(t *testing.T) {
+	d, err := ReadRaw(strings.NewReader("T,5\n0,1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "" || d.T != 5 {
+		t.Fatalf("header = %+v", d)
+	}
+}
+
+func TestWriteCells(t *testing.T) {
+	d := &Dataset{Name: "cells", T: 4, Trajs: []CellTrajectory{
+		{Start: 1, Cells: []grid.Cell{3, 4, 5}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCells(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	want := "T,4,cells\n1,3,4,5\n"
+	if buf.String() != want {
+		t.Fatalf("output = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,269 @@
+package trajectory
+
+import (
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/transition"
+)
+
+func newGrid(k int) *grid.System {
+	return grid.MustNew(k, grid.Bounds{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10})
+}
+
+func TestCellTrajectoryAccessors(t *testing.T) {
+	tr := CellTrajectory{Start: 3, Cells: []grid.Cell{1, 2, 3}}
+	if tr.End() != 5 {
+		t.Fatalf("End = %d", tr.End())
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if c, ok := tr.CellAt(4); !ok || c != 2 {
+		t.Fatalf("CellAt(4) = %d,%v", c, ok)
+	}
+	if _, ok := tr.CellAt(2); ok {
+		t.Fatal("CellAt before start should be absent")
+	}
+	if _, ok := tr.CellAt(6); ok {
+		t.Fatal("CellAt after end should be absent")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := &Dataset{T: 10, Trajs: []CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{0, 1}},
+		{Start: 3, Cells: []grid.Cell{2, 3, 4, 5}},
+	}}
+	s := d.Stats()
+	if s.Size != 2 || s.NumPoints != 6 || s.Timestamps != 10 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.AvgLength != 3 {
+		t.Fatalf("AvgLength = %v", s.AvgLength)
+	}
+	empty := &Dataset{T: 5}
+	if got := empty.Stats(); got.AvgLength != 0 || got.Size != 0 {
+		t.Fatalf("empty Stats = %+v", got)
+	}
+}
+
+func TestActiveCounts(t *testing.T) {
+	d := &Dataset{T: 6, Trajs: []CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{0, 0, 0}}, // active 0,1,2
+		{Start: 2, Cells: []grid.Cell{1, 1}},    // active 2,3
+		{Start: 5, Cells: []grid.Cell{2}},       // active 5
+	}}
+	want := []int{1, 1, 2, 1, 0, 1}
+	got := d.ActiveCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ActiveCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := newGrid(4)
+	ok := &Dataset{T: 5, Trajs: []CellTrajectory{{Start: 0, Cells: []grid.Cell{0, 1, 2}}}}
+	if err := ok.Validate(g, true); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		d    *Dataset
+		adj  bool
+	}{
+		{"empty trajectory", &Dataset{T: 5, Trajs: []CellTrajectory{{Start: 0}}}, false},
+		{"negative start", &Dataset{T: 5, Trajs: []CellTrajectory{{Start: -1, Cells: []grid.Cell{0}}}}, false},
+		{"beyond timeline", &Dataset{T: 2, Trajs: []CellTrajectory{{Start: 1, Cells: []grid.Cell{0, 1}}}}, false},
+		{"invalid cell", &Dataset{T: 5, Trajs: []CellTrajectory{{Start: 0, Cells: []grid.Cell{99}}}}, false},
+		{"non-adjacent", &Dataset{T: 5, Trajs: []CellTrajectory{{Start: 0, Cells: []grid.Cell{0, 15}}}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.d.Validate(g, tt.adj); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	// Non-adjacent accepted when adjacency not required.
+	if err := tests[4].d.Validate(g, false); err != nil {
+		t.Fatalf("non-adjacent rejected without adjacency requirement: %v", err)
+	}
+}
+
+func TestDiscretizeBasic(t *testing.T) {
+	g := newGrid(4) // cell width 2.5
+	raw := &RawDataset{T: 4, Trajs: []RawTrajectory{
+		{Start: 0, Points: []RawPoint{{1, 1}, {3, 1}, {3, 3.2}}},
+	}}
+	d := Discretize(raw, g, DiscretizeOptions{SplitNonAdjacent: true})
+	if len(d.Trajs) != 1 {
+		t.Fatalf("got %d trajectories", len(d.Trajs))
+	}
+	want := []grid.Cell{g.CellAt(0, 0), g.CellAt(0, 1), g.CellAt(1, 1)}
+	for i, c := range d.Trajs[0].Cells {
+		if c != want[i] {
+			t.Fatalf("cells = %v, want %v", d.Trajs[0].Cells, want)
+		}
+	}
+	if err := d.Validate(g, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretizeSplitsJumps(t *testing.T) {
+	g := newGrid(4)
+	// Point 3 jumps across the grid → split into two streams.
+	raw := &RawDataset{T: 5, Trajs: []RawTrajectory{
+		{Start: 1, Points: []RawPoint{{0.1, 0.1}, {2.6, 0.1}, {9.9, 9.9}, {9.9, 8.0}}},
+	}}
+	d := Discretize(raw, g, DiscretizeOptions{SplitNonAdjacent: true})
+	if len(d.Trajs) != 2 {
+		t.Fatalf("got %d trajectories, want 2", len(d.Trajs))
+	}
+	if d.Trajs[0].Start != 1 || d.Trajs[0].Len() != 2 {
+		t.Fatalf("first segment = %+v", d.Trajs[0])
+	}
+	if d.Trajs[1].Start != 3 || d.Trajs[1].Len() != 2 {
+		t.Fatalf("second segment = %+v", d.Trajs[1])
+	}
+	if err := d.Validate(g, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without splitting, the jump is preserved.
+	d2 := Discretize(raw, g, DiscretizeOptions{SplitNonAdjacent: false})
+	if len(d2.Trajs) != 1 || d2.Trajs[0].Len() != 4 {
+		t.Fatalf("unsplit = %+v", d2.Trajs)
+	}
+}
+
+func TestDiscretizeMinLength(t *testing.T) {
+	g := newGrid(4)
+	raw := &RawDataset{T: 5, Trajs: []RawTrajectory{
+		{Start: 0, Points: []RawPoint{{0.1, 0.1}, {9.9, 9.9}, {9.9, 8.0}}},
+	}}
+	d := Discretize(raw, g, DiscretizeOptions{SplitNonAdjacent: true, MinLength: 2})
+	// Split yields a 1-point and a 2-point segment; MinLength=2 keeps only the latter.
+	if len(d.Trajs) != 1 || d.Trajs[0].Len() != 2 {
+		t.Fatalf("trajs = %+v", d.Trajs)
+	}
+}
+
+func TestDiscretizeEmptyTrajectorySkipped(t *testing.T) {
+	g := newGrid(4)
+	raw := &RawDataset{T: 5, Trajs: []RawTrajectory{{Start: 0}}}
+	d := Discretize(raw, g, DiscretizeOptions{SplitNonAdjacent: true})
+	if len(d.Trajs) != 0 {
+		t.Fatalf("trajs = %+v", d.Trajs)
+	}
+}
+
+func TestNewStreamEvents(t *testing.T) {
+	d := &Dataset{T: 6, Trajs: []CellTrajectory{
+		{Start: 1, Cells: []grid.Cell{5, 6, 7}}, // enter@1, move@2, move@3, quit@4
+		{Start: 4, Cells: []grid.Cell{2, 3}},    // enter@4, move@5, quit beyond timeline
+	}}
+	s := NewStream(d)
+	if s.T != 6 || s.NumUser != 2 {
+		t.Fatalf("stream header = %+v", s)
+	}
+
+	expect := map[int][]transition.State{
+		1: {transition.EnterState(5)},
+		2: {transition.MoveState(5, 6)},
+		3: {transition.MoveState(6, 7)},
+		4: {transition.QuitState(7), transition.EnterState(2)},
+		5: {transition.MoveState(2, 3)},
+	}
+	for t0 := 0; t0 < 6; t0++ {
+		want := expect[t0]
+		got := s.At(t0)
+		if len(got) != len(want) {
+			t.Fatalf("t=%d: %d events, want %d (%v)", t0, len(got), len(want), got)
+		}
+		for _, w := range want {
+			found := false
+			for _, e := range got {
+				if e.State == w {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("t=%d: missing %v in %v", t0, w, got)
+			}
+		}
+	}
+	wantActive := []int{0, 1, 1, 1, 1, 1}
+	for i, w := range wantActive {
+		if s.Active[i] != w {
+			t.Fatalf("Active = %v, want %v", s.Active, wantActive)
+		}
+	}
+}
+
+func TestStreamEventUsersDistinct(t *testing.T) {
+	d := &Dataset{T: 4, Trajs: []CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{0, 1}},
+		{Start: 0, Cells: []grid.Cell{2, 3}},
+	}}
+	s := NewStream(d)
+	seen := map[int]bool{}
+	for _, e := range s.At(0) {
+		if seen[e.User] {
+			t.Fatal("duplicate user at timestamp 0")
+		}
+		seen[e.User] = true
+		if e.State.Kind != transition.Enter {
+			t.Fatalf("first event kind = %v", e.State.Kind)
+		}
+	}
+}
+
+func TestStreamOnePerUserPerTimestamp(t *testing.T) {
+	d := &Dataset{T: 8, Trajs: []CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{0, 1, 2, 3}},
+		{Start: 2, Cells: []grid.Cell{4, 5, 6}},
+		{Start: 6, Cells: []grid.Cell{7}},
+	}}
+	s := NewStream(d)
+	for t0 := 0; t0 < d.T; t0++ {
+		seen := map[int]bool{}
+		for _, e := range s.At(t0) {
+			if seen[e.User] {
+				t.Fatalf("user %d has two events at t=%d", e.User, t0)
+			}
+			seen[e.User] = true
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := &Dataset{T: 3, Trajs: []CellTrajectory{
+		{Start: 0, Cells: []grid.Cell{0}},
+		{Start: 0, Cells: []grid.Cell{1}},
+		{Start: 0, Cells: []grid.Cell{2}},
+	}}
+	s := d.Subset(2)
+	if len(s.Trajs) != 2 {
+		t.Fatalf("Subset(2) has %d trajs", len(s.Trajs))
+	}
+	if s2 := d.Subset(99); len(s2.Trajs) != 3 {
+		t.Fatalf("oversized subset has %d trajs", len(s2.Trajs))
+	}
+}
+
+func TestRawDatasetNumPoints(t *testing.T) {
+	d := &RawDataset{T: 4, Trajs: []RawTrajectory{
+		{Start: 0, Points: []RawPoint{{0, 0}, {1, 1}}},
+		{Start: 1, Points: []RawPoint{{2, 2}}},
+	}}
+	if d.NumPoints() != 3 {
+		t.Fatalf("NumPoints = %d", d.NumPoints())
+	}
+	if d.Trajs[0].End() != 1 {
+		t.Fatalf("End = %d", d.Trajs[0].End())
+	}
+}

@@ -1,0 +1,232 @@
+// Package transition defines the transition-state domain S = {m_ij} ∪ {e_i}
+// ∪ {q_j} of paper §III-B: movement states between adjacent grid cells
+// (reachability constraint), entering states and quitting states, with a
+// dense contiguous index space suitable for one-hot LDP encoding.
+package transition
+
+import (
+	"fmt"
+
+	"retrasyn/internal/grid"
+)
+
+// Kind discriminates the three transition families.
+type Kind uint8
+
+const (
+	// Move is a movement m_ij from cell i to adjacent cell j (possibly i).
+	Move Kind = iota
+	// Enter is an entering event e_i: a new stream begins at cell i.
+	Enter
+	// Quit is a quitting event q_j: a stream ends with final location j.
+	Quit
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Move:
+		return "move"
+	case Enter:
+		return "enter"
+	case Quit:
+		return "quit"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// State is one transition state. For Move, From and To are both set; for
+// Enter only To (the starting cell) is meaningful; for Quit only From (the
+// final cell) is meaningful. Unused fields hold grid.Invalid.
+type State struct {
+	Kind Kind
+	From grid.Cell
+	To   grid.Cell
+}
+
+// MoveState constructs a movement state.
+func MoveState(from, to grid.Cell) State {
+	return State{Kind: Move, From: from, To: to}
+}
+
+// EnterState constructs an entering state at cell c.
+func EnterState(c grid.Cell) State {
+	return State{Kind: Enter, From: grid.Invalid, To: c}
+}
+
+// QuitState constructs a quitting state at cell c.
+func QuitState(c grid.Cell) State {
+	return State{Kind: Quit, From: c, To: grid.Invalid}
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s.Kind {
+	case Move:
+		return fmt.Sprintf("m(%d→%d)", s.From, s.To)
+	case Enter:
+		return fmt.Sprintf("e(%d)", s.To)
+	case Quit:
+		return fmt.Sprintf("q(%d)", s.From)
+	default:
+		return "invalid"
+	}
+}
+
+// Domain is the dense index space over S for a given grid. Layout:
+//
+//	[0, nMove)                    movement states, grouped by source cell in
+//	                              neighbour-rank order
+//	[nMove, nMove+|C|)            entering states e_0 … e_{|C|−1}
+//	[nMove+|C|, nMove+2|C|)       quitting states q_0 … q_{|C|−1}
+//
+// The movement block for source cell c starts at moveBase[c] and has
+// len(Neighbors(c)) entries. The domain is immutable and safe for concurrent
+// use. With or without enter/quit states (the NoEQ ablation and the LDP-IDS
+// baselines use a movement-only domain).
+type Domain struct {
+	g         *grid.System
+	moveBase  []int // per source cell, start of its movement block
+	nMove     int
+	enterBase int // -1 when EQ states are disabled
+	quitBase  int
+	size      int
+	states    []State // index → state
+}
+
+// NewDomain builds the full domain including entering/quitting states.
+func NewDomain(g *grid.System) *Domain {
+	return newDomain(g, true)
+}
+
+// NewMoveOnlyDomain builds a domain restricted to movement states, used by
+// the NoEQ ablation and the LDP-IDS baselines.
+func NewMoveOnlyDomain(g *grid.System) *Domain {
+	return newDomain(g, false)
+}
+
+func newDomain(g *grid.System, withEQ bool) *Domain {
+	nc := g.NumCells()
+	d := &Domain{
+		g:         g,
+		moveBase:  make([]int, nc),
+		enterBase: -1,
+		quitBase:  -1,
+	}
+	off := 0
+	for c := 0; c < nc; c++ {
+		d.moveBase[c] = off
+		off += len(g.Neighbors(grid.Cell(c)))
+	}
+	d.nMove = off
+	d.size = off
+	if withEQ {
+		d.enterBase = d.size
+		d.size += nc
+		d.quitBase = d.size
+		d.size += nc
+	}
+	d.states = make([]State, d.size)
+	for c := 0; c < nc; c++ {
+		for r, to := range g.Neighbors(grid.Cell(c)) {
+			d.states[d.moveBase[c]+r] = MoveState(grid.Cell(c), to)
+		}
+	}
+	if withEQ {
+		for c := 0; c < nc; c++ {
+			d.states[d.enterBase+c] = EnterState(grid.Cell(c))
+			d.states[d.quitBase+c] = QuitState(grid.Cell(c))
+		}
+	}
+	return d
+}
+
+// Grid returns the underlying grid system.
+func (d *Domain) Grid() *grid.System { return d.g }
+
+// Size returns |S|.
+func (d *Domain) Size() int { return d.size }
+
+// NumMoveStates returns the number of movement states.
+func (d *Domain) NumMoveStates() int { return d.nMove }
+
+// HasEQ reports whether entering/quitting states are part of the domain.
+func (d *Domain) HasEQ() bool { return d.enterBase >= 0 }
+
+// MoveIndex returns the index of m(from→to), or (-1, false) when the
+// transition violates the reachability constraint.
+func (d *Domain) MoveIndex(from, to grid.Cell) (int, bool) {
+	r := d.g.NeighborRank(from, to)
+	if r < 0 {
+		return -1, false
+	}
+	return d.moveBase[from] + r, true
+}
+
+// MoveBlock returns the index range [base, base+n) of movement states whose
+// source is cell c; states within the block are ordered by neighbour rank.
+func (d *Domain) MoveBlock(c grid.Cell) (base, n int) {
+	return d.moveBase[c], len(d.g.Neighbors(c))
+}
+
+// EnterIndex returns the index of e_c. It panics when the domain has no
+// enter/quit states.
+func (d *Domain) EnterIndex(c grid.Cell) int {
+	if d.enterBase < 0 {
+		panic("transition: domain has no entering states")
+	}
+	return d.enterBase + int(c)
+}
+
+// QuitIndex returns the index of q_c. It panics when the domain has no
+// enter/quit states.
+func (d *Domain) QuitIndex(c grid.Cell) int {
+	if d.quitBase < 0 {
+		panic("transition: domain has no quitting states")
+	}
+	return d.quitBase + int(c)
+}
+
+// Index maps a State to its domain index. ok is false for states outside the
+// domain (unreachable moves, or enter/quit in a movement-only domain).
+func (d *Domain) Index(s State) (idx int, ok bool) {
+	switch s.Kind {
+	case Move:
+		if !d.g.ValidCell(s.From) || !d.g.ValidCell(s.To) {
+			return -1, false
+		}
+		return d.MoveIndex(s.From, s.To)
+	case Enter:
+		if d.enterBase < 0 || !d.g.ValidCell(s.To) {
+			return -1, false
+		}
+		return d.enterBase + int(s.To), true
+	case Quit:
+		if d.quitBase < 0 || !d.g.ValidCell(s.From) {
+			return -1, false
+		}
+		return d.quitBase + int(s.From), true
+	default:
+		return -1, false
+	}
+}
+
+// StateAt returns the State for a domain index; it panics on out-of-range
+// indices.
+func (d *Domain) StateAt(idx int) State {
+	return d.states[idx]
+}
+
+// IsMove reports whether idx is a movement state.
+func (d *Domain) IsMove(idx int) bool { return idx < d.nMove }
+
+// IsEnter reports whether idx is an entering state.
+func (d *Domain) IsEnter(idx int) bool {
+	return d.enterBase >= 0 && idx >= d.enterBase && idx < d.enterBase+d.g.NumCells()
+}
+
+// IsQuit reports whether idx is a quitting state.
+func (d *Domain) IsQuit(idx int) bool {
+	return d.quitBase >= 0 && idx >= d.quitBase
+}

@@ -1,0 +1,245 @@
+package transition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"retrasyn/internal/grid"
+)
+
+func newGrid(k int) *grid.System {
+	return grid.MustNew(k, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+}
+
+func TestDomainSize(t *testing.T) {
+	// K=4: movement = 100 (see grid tests), |C| = 16 → full = 100+32 = 132.
+	g := newGrid(4)
+	d := NewDomain(g)
+	if d.Size() != 132 {
+		t.Fatalf("Size = %d, want 132", d.Size())
+	}
+	if d.NumMoveStates() != 100 {
+		t.Fatalf("NumMoveStates = %d, want 100", d.NumMoveStates())
+	}
+	if !d.HasEQ() {
+		t.Fatal("full domain should have EQ states")
+	}
+
+	m := NewMoveOnlyDomain(g)
+	if m.Size() != 100 {
+		t.Fatalf("move-only Size = %d, want 100", m.Size())
+	}
+	if m.HasEQ() {
+		t.Fatal("move-only domain should not have EQ states")
+	}
+}
+
+func TestDomainSizeBound(t *testing.T) {
+	// |S| ≤ 9|C| + 2|C| = 11|C| for all K.
+	for k := 1; k <= 10; k++ {
+		g := newGrid(k)
+		d := NewDomain(g)
+		if d.Size() > 11*g.NumCells() {
+			t.Fatalf("K=%d: |S|=%d exceeds 11|C|=%d", k, d.Size(), 11*g.NumCells())
+		}
+	}
+}
+
+func TestIndexBijection(t *testing.T) {
+	g := newGrid(5)
+	d := NewDomain(g)
+	seen := make(map[int]bool)
+	check := func(s State) {
+		idx, ok := d.Index(s)
+		if !ok {
+			t.Fatalf("Index(%v) not ok", s)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d for %v", idx, s)
+		}
+		seen[idx] = true
+		if got := d.StateAt(idx); got != s {
+			t.Fatalf("StateAt(Index(%v)) = %v", s, got)
+		}
+	}
+	for c := grid.Cell(0); int(c) < g.NumCells(); c++ {
+		for _, to := range g.Neighbors(c) {
+			check(MoveState(c, to))
+		}
+		check(EnterState(c))
+		check(QuitState(c))
+	}
+	if len(seen) != d.Size() {
+		t.Fatalf("enumerated %d states, domain size %d", len(seen), d.Size())
+	}
+}
+
+func TestIndexBijectionProperty(t *testing.T) {
+	f := func(kSeed uint8) bool {
+		k := int(kSeed%8) + 1
+		g := newGrid(k)
+		d := NewDomain(g)
+		for idx := 0; idx < d.Size(); idx++ {
+			s := d.StateAt(idx)
+			got, ok := d.Index(s)
+			if !ok || got != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveIndexUnreachable(t *testing.T) {
+	g := newGrid(5)
+	d := NewDomain(g)
+	// (0,0) → (3,3) violates reachability.
+	if _, ok := d.MoveIndex(g.CellAt(0, 0), g.CellAt(3, 3)); ok {
+		t.Fatal("unreachable move indexed")
+	}
+	if _, ok := d.Index(MoveState(g.CellAt(0, 0), g.CellAt(0, 4))); ok {
+		t.Fatal("unreachable move state indexed")
+	}
+}
+
+func TestIndexInvalidCells(t *testing.T) {
+	g := newGrid(3)
+	d := NewDomain(g)
+	if _, ok := d.Index(MoveState(grid.Invalid, 0)); ok {
+		t.Fatal("invalid From indexed")
+	}
+	if _, ok := d.Index(MoveState(0, grid.Cell(99))); ok {
+		t.Fatal("out-of-range To indexed")
+	}
+	if _, ok := d.Index(EnterState(grid.Invalid)); ok {
+		t.Fatal("invalid enter indexed")
+	}
+	if _, ok := d.Index(QuitState(grid.Cell(9))); ok {
+		t.Fatal("out-of-range quit indexed")
+	}
+	if _, ok := d.Index(State{Kind: Kind(9)}); ok {
+		t.Fatal("bogus kind indexed")
+	}
+}
+
+func TestMoveOnlyDomainRejectsEQ(t *testing.T) {
+	g := newGrid(3)
+	d := NewMoveOnlyDomain(g)
+	if _, ok := d.Index(EnterState(0)); ok {
+		t.Fatal("move-only domain indexed an enter state")
+	}
+	if _, ok := d.Index(QuitState(0)); ok {
+		t.Fatal("move-only domain indexed a quit state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnterIndex on move-only domain did not panic")
+		}
+	}()
+	d.EnterIndex(0)
+}
+
+func TestQuitIndexPanicsMoveOnly(t *testing.T) {
+	d := NewMoveOnlyDomain(newGrid(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuitIndex on move-only domain did not panic")
+		}
+	}()
+	d.QuitIndex(0)
+}
+
+func TestMoveBlock(t *testing.T) {
+	g := newGrid(4)
+	d := NewDomain(g)
+	total := 0
+	for c := grid.Cell(0); int(c) < g.NumCells(); c++ {
+		base, n := d.MoveBlock(c)
+		if n != len(g.Neighbors(c)) {
+			t.Fatalf("MoveBlock(%d) n=%d want %d", c, n, len(g.Neighbors(c)))
+		}
+		for r := 0; r < n; r++ {
+			s := d.StateAt(base + r)
+			if s.Kind != Move || s.From != c {
+				t.Fatalf("block entry %d of cell %d = %v", r, c, s)
+			}
+			if s.To != g.Neighbors(c)[r] {
+				t.Fatalf("block order mismatch for cell %d rank %d", c, r)
+			}
+		}
+		total += n
+	}
+	if total != d.NumMoveStates() {
+		t.Fatalf("sum of blocks %d ≠ NumMoveStates %d", total, d.NumMoveStates())
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	g := newGrid(3)
+	d := NewDomain(g)
+	for idx := 0; idx < d.Size(); idx++ {
+		s := d.StateAt(idx)
+		if d.IsMove(idx) != (s.Kind == Move) {
+			t.Fatalf("IsMove(%d) mismatch for %v", idx, s)
+		}
+		if d.IsEnter(idx) != (s.Kind == Enter) {
+			t.Fatalf("IsEnter(%d) mismatch for %v", idx, s)
+		}
+		if d.IsQuit(idx) != (s.Kind == Quit) {
+			t.Fatalf("IsQuit(%d) mismatch for %v", idx, s)
+		}
+	}
+}
+
+func TestEnterQuitIndexLayout(t *testing.T) {
+	g := newGrid(3)
+	d := NewDomain(g)
+	for c := grid.Cell(0); int(c) < g.NumCells(); c++ {
+		ei, qi := d.EnterIndex(c), d.QuitIndex(c)
+		if got := d.StateAt(ei); got != EnterState(c) {
+			t.Fatalf("StateAt(EnterIndex(%d)) = %v", c, got)
+		}
+		if got := d.StateAt(qi); got != QuitState(c) {
+			t.Fatalf("StateAt(QuitIndex(%d)) = %v", c, got)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	tests := []struct {
+		s    State
+		want string
+	}{
+		{MoveState(1, 2), "m(1→2)"},
+		{EnterState(3), "e(3)"},
+		{QuitState(4), "q(4)"},
+		{State{Kind: Kind(7)}, "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+	if Kind(0).String() != "move" || Kind(1).String() != "enter" || Kind(2).String() != "quit" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("Kind(9).String() = %q", Kind(9).String())
+	}
+}
+
+func TestK1Domain(t *testing.T) {
+	g := newGrid(1)
+	d := NewDomain(g)
+	// 1 move (self-loop) + 1 enter + 1 quit.
+	if d.Size() != 3 {
+		t.Fatalf("K=1 Size = %d, want 3", d.Size())
+	}
+	idx, ok := d.MoveIndex(0, 0)
+	if !ok || idx != 0 {
+		t.Fatalf("self move index = %d,%v", idx, ok)
+	}
+}

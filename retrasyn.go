@@ -1,0 +1,253 @@
+// Package retrasyn is a Go implementation of RetraSyn — real-time
+// trajectory synthesis with local differential privacy (Hu et al., ICDE
+// 2024). An untrusted curator collects users' movement transition states
+// through the OUE frequency oracle under w-event ε-LDP, maintains a global
+// mobility model refreshed by the Dynamic Mobility Update mechanism, and
+// continuously releases a synthetic trajectory database whose
+// spatial-temporal distribution tracks the hidden real stream.
+//
+// The package is a facade over the implementation packages: construct a
+// Framework with New, feed it one timestamp of user events at a time (or
+// replay a recorded Dataset with Run), and read the evolving synthetic
+// database with Synthetic. Utility evaluation, dataset generators, and the
+// LDP-IDS baselines are exposed alongside.
+//
+// Minimal usage:
+//
+//	g, _ := retrasyn.NewGrid(6, retrasyn.Bounds{MaxX: 30, MaxY: 30})
+//	fw, _ := retrasyn.New(retrasyn.Options{
+//		Grid:    g,
+//		Epsilon: 1.0,
+//		Window:  20,
+//		Lambda:  13.6,
+//	})
+//	syn, _, _ := fw.Run(dataset) // dataset: *retrasyn.Dataset
+package retrasyn
+
+import (
+	"fmt"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/core"
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldpids"
+	"retrasyn/internal/metrics"
+	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
+)
+
+// Re-exported building blocks. Aliases keep the public API nameable while
+// the implementation lives in internal packages.
+type (
+	// Grid is the K×K uniform spatial discretization.
+	Grid = grid.System
+	// Bounds is a continuous bounding box.
+	Bounds = grid.Bounds
+	// Cell identifies a grid cell.
+	Cell = grid.Cell
+	// Dataset is a discretized trajectory-stream database.
+	Dataset = trajectory.Dataset
+	// CellTrajectory is one discretized stream.
+	CellTrajectory = trajectory.CellTrajectory
+	// RawDataset is a continuous (pre-discretization) database.
+	RawDataset = trajectory.RawDataset
+	// Event is one user's transition state at a timestamp.
+	Event = trajectory.Event
+	// State is a transition state (movement, entering, or quitting).
+	State = transition.State
+	// UtilityReport carries the paper's eight utility metrics.
+	UtilityReport = metrics.Report
+	// UtilityOptions parameterizes utility evaluation.
+	UtilityOptions = metrics.Options
+	// RunStats aggregates engine statistics, including the per-component
+	// timings of the paper's Table V.
+	RunStats = core.RunStats
+)
+
+// MoveState, EnterState and QuitState construct transition states for
+// streaming ingestion.
+var (
+	MoveState  = transition.MoveState
+	EnterState = transition.EnterState
+	QuitState  = transition.QuitState
+)
+
+// NewGrid constructs a K×K grid over the bounds.
+func NewGrid(k int, b Bounds) (*Grid, error) { return grid.New(k, b) }
+
+// Division selects how the privacy resource is split across timestamps.
+type Division = allocation.Division
+
+// Division values.
+const (
+	// BudgetDivision splits the budget ε across timestamps.
+	BudgetDivision = allocation.Budget
+	// PopulationDivision splits the users across timestamps; each sampled
+	// user spends the whole ε and rests for a window.
+	PopulationDivision = allocation.Population
+)
+
+// Strategy names accepted by Options.Strategy.
+const (
+	// StrategyAdaptive is the paper's portion-based adaptive strategy
+	// (Eq. 10); the default.
+	StrategyAdaptive = "adaptive"
+	// StrategyUniform spreads resources evenly over the window.
+	StrategyUniform = "uniform"
+	// StrategySample spends the whole window's resources at its first
+	// timestamp.
+	StrategySample = "sample"
+)
+
+// Options configures a Framework.
+type Options struct {
+	// Grid is the spatial discretization (required).
+	Grid *Grid
+	// Epsilon is the w-event privacy budget ε (required, > 0).
+	Epsilon float64
+	// Window is the protected window size w (required, ≥ 1).
+	Window int
+	// Division selects budget or population division (default population,
+	// the variant the paper finds strongest).
+	Division Division
+	// Strategy is one of StrategyAdaptive (default), StrategyUniform,
+	// StrategySample.
+	Strategy string
+	// Lambda is the termination-restriction factor λ of Eq. 8; the paper
+	// uses the dataset's average stream length. Required unless DisableEQ.
+	Lambda float64
+	// DisableDMU refreshes the whole mobility model every round (the
+	// AllUpdate ablation).
+	DisableDMU bool
+	// DisableEQ drops entering/quitting modelling (the NoEQ ablation).
+	DisableEQ bool
+	// FaithfulClients simulates every user's perturbation individually
+	// instead of sampling the aggregate (slower, bit-identical semantics;
+	// see ldp.AggregateOracle for why the default is statistically
+	// equivalent).
+	FaithfulClients bool
+	// SynthesisWorkers > 1 parallelizes synthetic-point generation (the
+	// paper's future-work acceleration). Default sequential.
+	SynthesisWorkers int
+	// Seed drives all randomness; equal seeds reproduce runs.
+	Seed uint64
+}
+
+// Framework is the streaming curator: feed events per timestamp, read the
+// synthetic database at any point. Not safe for concurrent use.
+type Framework struct {
+	engine *core.Engine
+	t      int
+}
+
+// New constructs a Framework.
+func New(opts Options) (*Framework, error) {
+	division := opts.Division
+	var strategy allocation.Strategy
+	switch opts.Strategy {
+	case "", StrategyAdaptive:
+		strategy = allocation.NewAdaptive(division)
+	case StrategyUniform:
+		strategy = &allocation.Uniform{Division: division}
+	case StrategySample:
+		strategy = &allocation.Sample{Division: division}
+	default:
+		return nil, fmt.Errorf("retrasyn: unknown strategy %q", opts.Strategy)
+	}
+	mode := core.Aggregate
+	if opts.FaithfulClients {
+		mode = core.PerUser
+	}
+	engine, err := core.New(core.Options{
+		Grid:             opts.Grid,
+		Epsilon:          opts.Epsilon,
+		W:                opts.Window,
+		Division:         division,
+		Strategy:         strategy,
+		Lambda:           opts.Lambda,
+		DisableDMU:       opts.DisableDMU,
+		DisableEQ:        opts.DisableEQ,
+		OracleMode:       mode,
+		SynthesisWorkers: opts.SynthesisWorkers,
+		Seed:             opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{engine: engine}, nil
+}
+
+// ProcessTimestamp ingests one timestamp of user events (one transition
+// state per present user) together with the publicly known count of active
+// users, advancing the synthetic database. Timestamps must be fed in order
+// starting from 0.
+func (f *Framework) ProcessTimestamp(events []Event, activeUsers int) {
+	f.engine.ProcessTimestamp(f.t, events, activeUsers)
+	f.t++
+}
+
+// Timestamp returns the next timestamp to be processed.
+func (f *Framework) Timestamp() int { return f.t }
+
+// Synthetic returns the current released synthetic database over the
+// timestamps processed so far.
+func (f *Framework) Synthetic(name string) *Dataset {
+	return f.engine.Synthetic(name, f.t)
+}
+
+// Stats returns accumulated run statistics.
+func (f *Framework) Stats() RunStats { return f.engine.Stats() }
+
+// Run replays a recorded dataset through the framework and returns the
+// released synthetic database. The dataset is converted to per-timestamp
+// transition-state events exactly as user devices would report them.
+func (f *Framework) Run(orig *Dataset) (*Dataset, RunStats, error) {
+	if f.t != 0 {
+		return nil, RunStats{}, fmt.Errorf("retrasyn: Run on a framework that already processed %d timestamps", f.t)
+	}
+	stream := trajectory.NewStream(orig)
+	syn, stats := f.engine.Run(stream, orig.Name+"-syn")
+	f.t = stream.T
+	return syn, stats, nil
+}
+
+// EvaluateUtility computes the paper's eight utility metrics of a synthetic
+// database against the original.
+func EvaluateUtility(orig, syn *Dataset, g *Grid, opts UtilityOptions) UtilityReport {
+	return metrics.Evaluate(orig, syn, g, opts)
+}
+
+// Discretize maps a raw continuous dataset onto a grid, splitting streams
+// at reachability violations — the preprocessing the paper applies before
+// collection.
+func Discretize(raw *RawDataset, g *Grid) *Dataset {
+	return trajectory.Discretize(raw, g, trajectory.DiscretizeOptions{SplitNonAdjacent: true})
+}
+
+// BaselineMethod selects an LDP-IDS mechanism.
+type BaselineMethod = ldpids.Method
+
+// Baseline methods.
+const (
+	LBD = ldpids.LBD
+	LBA = ldpids.LBA
+	LPD = ldpids.LPD
+	LPA = ldpids.LPA
+)
+
+// RunBaseline replays a dataset through an LDP-IDS baseline (the paper's
+// comparison systems) and returns its released synthetic database.
+func RunBaseline(orig *Dataset, g *Grid, method BaselineMethod, epsilon float64, window int, seed uint64) (*Dataset, error) {
+	e, err := ldpids.New(ldpids.Options{
+		Grid:    g,
+		Epsilon: epsilon,
+		W:       window,
+		Method:  method,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	syn, _ := e.Run(trajectory.NewStream(orig), orig.Name+"-"+method.String())
+	return syn, nil
+}

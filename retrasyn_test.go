@@ -1,0 +1,199 @@
+package retrasyn
+
+import (
+	"math"
+	"testing"
+)
+
+func smallDataset(t *testing.T) (*Dataset, *Grid) {
+	t.Helper()
+	raw, bounds, err := StandardDataset("tdrive", 0.03, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(4, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Discretize(raw, g), g
+}
+
+func TestFrameworkRunEndToEnd(t *testing.T) {
+	orig, g := smallDataset(t)
+	fw, err := New(Options{
+		Grid:    g,
+		Epsilon: 1.0,
+		Window:  10,
+		Lambda:  orig.Stats().AvgLength,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, stats, err := fw.Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Timestamps != orig.T {
+		t.Fatalf("timestamps = %d", stats.Timestamps)
+	}
+	if err := syn.Validate(g, true); err != nil {
+		t.Fatalf("invalid synthetic dataset: %v", err)
+	}
+	report := EvaluateUtility(orig, syn, g, UtilityOptions{Seed: 1})
+	if report.DensityError < 0 || report.DensityError > math.Ln2+1e-9 {
+		t.Fatalf("density error out of range: %v", report.DensityError)
+	}
+	if math.IsNaN(report.KendallTau) {
+		t.Fatal("NaN Kendall tau")
+	}
+}
+
+func TestFrameworkRunTwicRejected(t *testing.T) {
+	orig, g := smallDataset(t)
+	fw, _ := New(Options{Grid: g, Epsilon: 1, Window: 10, Lambda: 5})
+	if _, _, err := fw.Run(orig); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fw.Run(orig); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestFrameworkStreamingAPI(t *testing.T) {
+	orig, g := smallDataset(t)
+	fw, err := New(Options{Grid: g, Epsilon: 1, Window: 10, Lambda: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, active := NewStreamEvents(orig)
+	for ts := range events {
+		if fw.Timestamp() != ts {
+			t.Fatalf("Timestamp = %d, want %d", fw.Timestamp(), ts)
+		}
+		fw.ProcessTimestamp(events[ts], active[ts])
+	}
+	syn := fw.Synthetic("streamed")
+	if syn.T != orig.T {
+		t.Fatalf("synthetic timeline = %d", syn.T)
+	}
+	if err := syn.Validate(g, true); err != nil {
+		t.Fatal(err)
+	}
+	// Population division guarantees size mirroring.
+	synActive := syn.ActiveCounts()
+	for ts, want := range active {
+		if synActive[ts] != want {
+			t.Fatalf("t=%d: synthetic active %d, real %d", ts, synActive[ts], want)
+		}
+	}
+}
+
+func TestFrameworkOptionsValidation(t *testing.T) {
+	_, g := smallDataset(t)
+	bad := []Options{
+		{Grid: nil, Epsilon: 1, Window: 10, Lambda: 5},
+		{Grid: g, Epsilon: 0, Window: 10, Lambda: 5},
+		{Grid: g, Epsilon: 1, Window: 0, Lambda: 5},
+		{Grid: g, Epsilon: 1, Window: 10, Lambda: 0},
+		{Grid: g, Epsilon: 1, Window: 10, Lambda: 5, Strategy: "zigzag"},
+	}
+	for i, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// All valid strategies and divisions construct.
+	for _, s := range []string{"", StrategyAdaptive, StrategyUniform, StrategySample} {
+		for _, d := range []Division{BudgetDivision, PopulationDivision} {
+			if _, err := New(Options{Grid: g, Epsilon: 1, Window: 10, Lambda: 5, Strategy: s, Division: d}); err != nil {
+				t.Errorf("strategy %q division %v rejected: %v", s, d, err)
+			}
+		}
+	}
+}
+
+func TestFrameworkAblations(t *testing.T) {
+	orig, g := smallDataset(t)
+	for _, opts := range []Options{
+		{Grid: g, Epsilon: 1, Window: 10, Lambda: 8, DisableDMU: true},
+		{Grid: g, Epsilon: 1, Window: 10, DisableEQ: true},
+		{Grid: g, Epsilon: 1, Window: 10, Lambda: 8, FaithfulClients: true},
+	} {
+		fw, err := New(opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		syn, _, err := fw.Run(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := syn.Validate(g, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	orig, g := smallDataset(t)
+	for _, m := range []BaselineMethod{LBD, LBA, LPD, LPA} {
+		syn, err := RunBaseline(orig, g, m, 1.0, 10, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := syn.Validate(g, true); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestStandardDatasetNames(t *testing.T) {
+	for _, name := range []string{"tdrive", "oldenburg", "sanjoaquin"} {
+		raw, bounds, err := StandardDataset(name, 0.02, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(raw.Trajs) == 0 || !bounds.Valid() {
+			t.Fatalf("%s: degenerate output", name)
+		}
+	}
+	if _, _, err := StandardDataset("mars", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenerateHelpers(t *testing.T) {
+	net, err := GenerateRoadNetwork(6, Bounds{MaxX: 5, MaxY: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := GenerateBrinkhoffLike(net, BrinkhoffConfig{T: 20, InitialUsers: 10, QuitProb: 0.1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Trajs) != 10 {
+		t.Fatalf("streams = %d", len(raw.Trajs))
+	}
+	td, err := GenerateTDriveLike(TDriveConfig{T: 20, ArrivalsPerTs: 5, MaxX: 10, MaxY: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Trajs) == 0 {
+		t.Fatal("empty tdrive output")
+	}
+}
+
+func TestStateConstructors(t *testing.T) {
+	m := MoveState(1, 2)
+	if m.From != 1 || m.To != 2 {
+		t.Fatal("MoveState")
+	}
+	e := EnterState(3)
+	if e.To != 3 {
+		t.Fatal("EnterState")
+	}
+	q := QuitState(4)
+	if q.From != 4 {
+		t.Fatal("QuitState")
+	}
+}
