@@ -1,0 +1,172 @@
+package retrasyn
+
+// Benchmarks of the staged-pipeline additions: sharded OUE report
+// aggregation vs the sequential fold, and the multi-shard Coordinator vs a
+// single pipeline instance. Run with
+//
+//	go test -bench 'Aggregation|Coordinator' -run - .
+//
+// RETRASYN_EMIT_BENCH=1 go test -run TestEmitBenchPipelineJSON .
+// re-measures both and writes the results to BENCH_pipeline.json.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"retrasyn/internal/ldp"
+)
+
+// paperScaleReports is one paper-scale OUE round: 100k reporters over the
+// K=6 transition domain (|S| = 328).
+const (
+	benchReports = 100_000
+	benchDomain  = 328
+)
+
+var benchRound struct {
+	once    sync.Once
+	oracle  *ldp.OUE
+	reports [][]int
+}
+
+func benchReportsOnce() (*ldp.OUE, [][]int) {
+	benchRound.once.Do(func() {
+		benchRound.oracle = ldp.MustOUE(benchDomain, 1.0)
+		rng := ldp.NewRand(1, 2)
+		benchRound.reports = make([][]int, benchReports)
+		for i := range benchRound.reports {
+			benchRound.reports[i] = benchRound.oracle.Perturb(rng, i%benchDomain)
+		}
+	})
+	return benchRound.oracle, benchRound.reports
+}
+
+// BenchmarkOUEAggregationSequential folds one 100k-report round with the
+// sequential per-report loop the monolithic engine used.
+func BenchmarkOUEAggregationSequential(b *testing.B) {
+	oracle, reports := benchReportsOnce()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := ldp.NewAggregator(oracle)
+		agg.AddReports(reports, 1)
+		agg.EstimateAll()
+	}
+}
+
+// BenchmarkOUEAggregationSharded folds the same round sharded across
+// runtime.NumCPU() workers.
+func BenchmarkOUEAggregationSharded(b *testing.B) {
+	oracle, reports := benchReportsOnce()
+	workers := runtime.NumCPU()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := ldp.NewAggregator(oracle)
+		agg.AddReports(reports, workers)
+		agg.EstimateAll()
+	}
+}
+
+// benchCoordinatorData caches the coordinator benchmark's input stream.
+var benchCoordinatorData struct {
+	once sync.Once
+	orig *Dataset
+	g    *Grid
+}
+
+func coordinatorDataOnce(b *testing.B) (*Dataset, *Grid) {
+	benchCoordinatorData.once.Do(func() {
+		raw, bounds, err := StandardDataset("tdrive", 0.3, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := NewGrid(6, bounds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCoordinatorData.orig = Discretize(raw, g)
+		benchCoordinatorData.g = g
+	})
+	return benchCoordinatorData.orig, benchCoordinatorData.g
+}
+
+func benchCoordinator(b *testing.B, shards int) {
+	orig, g := coordinatorDataOnce(b)
+	lambda := orig.Stats().AvgLength
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw, err := New(Options{
+			Grid: g, Epsilon: 1.0, Window: 10,
+			Lambda: lambda, Shards: shards, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fw.Run(orig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoordinator1Shard drives the full stream through a single
+// sequential pipeline instance.
+func BenchmarkCoordinator1Shard(b *testing.B) { benchCoordinator(b, 1) }
+
+// BenchmarkCoordinatorPShards fans the same stream out across
+// runtime.NumCPU() pipeline instances.
+func BenchmarkCoordinatorPShards(b *testing.B) { benchCoordinator(b, runtime.NumCPU()) }
+
+// TestEmitBenchPipelineJSON measures the pipeline benchmarks and writes
+// BENCH_pipeline.json. Gated behind RETRASYN_EMIT_BENCH so the regular
+// suite stays fast.
+func TestEmitBenchPipelineJSON(t *testing.T) {
+	if os.Getenv("RETRASYN_EMIT_BENCH") == "" {
+		t.Skip("set RETRASYN_EMIT_BENCH=1 to measure and write BENCH_pipeline.json")
+	}
+	type entry struct {
+		Name     string  `json:"name"`
+		NsPerOp  float64 `json:"ns_per_op"`
+		Speedup  float64 `json:"speedup_vs_baseline,omitempty"`
+		Baseline string  `json:"baseline,omitempty"`
+	}
+	measure := func(name string, f func(*testing.B)) entry {
+		r := testing.Benchmark(f)
+		return entry{Name: name, NsPerOp: float64(r.NsPerOp())}
+	}
+	seqAgg := measure("OUEAggregationSequential/100k-reports", BenchmarkOUEAggregationSequential)
+	shardAgg := measure("OUEAggregationSharded/100k-reports", BenchmarkOUEAggregationSharded)
+	shardAgg.Speedup = seqAgg.NsPerOp / shardAgg.NsPerOp
+	shardAgg.Baseline = seqAgg.Name
+	coord1 := measure("Coordinator/1-shard", BenchmarkCoordinator1Shard)
+	coordP := measure("Coordinator/NumCPU-shards", BenchmarkCoordinatorPShards)
+	coordP.Speedup = coord1.NsPerOp / coordP.NsPerOp
+	coordP.Baseline = coord1.Name
+
+	out := struct {
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Results    []entry `json:"results"`
+	}{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Results:    []entry{seqAgg, shardAgg, coord1, coordP},
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("aggregation speedup ×%.2f, coordinator speedup ×%.2f", shardAgg.Speedup, coordP.Speedup)
+	// On a single-CPU host the sharded paths fall back to (or degenerate
+	// into) the sequential fold, so a speedup is only expected with real
+	// parallelism available.
+	if runtime.NumCPU() > 1 && shardAgg.Speedup <= 1 {
+		t.Errorf("sharded aggregation is not faster than sequential (×%.2f)", shardAgg.Speedup)
+	}
+}

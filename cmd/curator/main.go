@@ -1,7 +1,8 @@
 // Command curator serves the RetraSyn collection protocol over HTTP: device
 // clients announce presence and ship locally perturbed OUE reports, a
 // coordinator ticks timestamps, and anyone can fetch the evolving private
-// synthetic release.
+// synthetic release. Estimation, model update and synthesis run on the same
+// internal/pipeline stages as the in-process engine.
 //
 // Endpoints (see internal/remote):
 //
@@ -11,7 +12,7 @@
 //	POST /v1/report     {user, t, ones}
 //	POST /v1/finalize   {t, active}
 //	GET  /v1/synthetic
-//	GET  /v1/stats
+//	GET  /v1/stats      — rounds, reports, and per-pipeline-stage wall time
 //
 // Usage:
 //

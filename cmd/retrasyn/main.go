@@ -32,6 +32,7 @@ func main() {
 		division = flag.String("division", "population", `"budget" or "population"`)
 		strategy = flag.String("strategy", "adaptive", `"adaptive", "uniform", or "sample"`)
 		method   = flag.String("method", "retrasyn", `"retrasyn", "lbd", "lba", "lpd", or "lpa"`)
+		shards   = flag.Int("shards", 1, "parallel pipeline shards (users fanned out by ID; 1 = sequential engine)")
 		seed     = flag.Uint64("seed", 2024, "run seed")
 		out      = flag.String("out", "", "write the synthetic cell streams to this CSV path")
 		quiet    = flag.Bool("quiet", false, "suppress the utility report")
@@ -67,6 +68,7 @@ func main() {
 			Division: div,
 			Strategy: *strategy,
 			Lambda:   stats.AvgLength,
+			Shards:   *shards,
 			Seed:     *seed,
 		})
 		if err != nil {

@@ -65,7 +65,9 @@ func main() {
 		orig.T, epsilon, window)
 	alerts := 0
 	for ts := range events {
-		fw.ProcessTimestamp(events[ts], active[ts])
+		if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
+			log.Fatal(err)
+		}
 
 		// Downstream analysis happens on the synthetic database only.
 		if (ts+1)%15 != 0 {

@@ -1,0 +1,3 @@
+module retrasyn
+
+go 1.22

@@ -1,22 +1,22 @@
-// Package core assembles RetraSyn (paper Algorithm 1): per timestamp it
-// collects the reporting users' transition states through OUE under the
-// configured allocation strategy, refreshes the global mobility model with
-// the DMU mechanism, and advances the real-time synthesizer. Both the
-// budget-division and population-division variants are provided, along with
-// the paper's ablations (AllUpdate: no DMU; NoEQ: no entering/quitting
-// modelling).
+// Package core assembles RetraSyn (paper Algorithm 1) on top of the staged
+// pipeline: per timestamp it decides the allocation, samples the reporting
+// users, and drives the Collector → Estimator → ModelUpdater → Synthesizer
+// stages of internal/pipeline. The package owns the glue the stages don't:
+// allocation strategy state, user lifecycle tracking, window accounting and
+// the privacy ledger. Both the budget-division and population-division
+// variants are provided, along with the paper's ablations (AllUpdate: no
+// DMU; NoEQ: no entering/quitting modelling).
 package core
 
 import (
 	"fmt"
 	"math/rand/v2"
-	"time"
 
 	"retrasyn/internal/allocation"
-	"retrasyn/internal/dmu"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
+	"retrasyn/internal/pipeline"
 	"retrasyn/internal/synthesis"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
@@ -102,6 +102,11 @@ type Options struct {
 	// synthesis across that many goroutines (the paper §VII's future-work
 	// acceleration). Default 1 (sequential, matching the paper).
 	SynthesisWorkers int
+	// AggregationWorkers shards the curator-side report-aggregation fold of
+	// the per-user paths across that many goroutines; the fold is exactly
+	// order-independent, so the estimates are unchanged. Default
+	// runtime.NumCPU(); 1 forces the sequential fold.
+	AggregationWorkers int
 	// Seed drives all engine randomness; equal seeds reproduce runs exactly.
 	Seed uint64
 }
@@ -128,49 +133,35 @@ func (o *Options) defaults() error {
 	if o.OracleMode == Aggregate && o.Oracle != OracleOUE {
 		return fmt.Errorf("core: the aggregate simulation path supports only the OUE oracle, not %v", o.Oracle)
 	}
+	if o.AggregationWorkers == 0 {
+		o.AggregationWorkers = ldp.DefaultWorkers()
+	}
 	return nil
 }
 
 // StepResult reports what one processed timestamp did.
-type StepResult struct {
-	T              int
-	Reported       bool
-	NumReporters   int
-	Epsilon        float64 // per-user budget spent by reporters
-	NumSignificant int     // |S*| of the DMU selection (domain size at init)
-}
+type StepResult = pipeline.StepResult
 
 // ComponentTimings accumulates per-component wall time, matching the
 // paper's Table V decomposition.
-type ComponentTimings struct {
-	UserSide          time.Duration // client-side perturbation
-	ModelConstruction time.Duration // aggregation and debiasing
-	DMU               time.Duration // significant-transition selection + update
-	Synthesis         time.Duration // generation and size adjustment
-}
-
-// Total sums the components.
-func (c ComponentTimings) Total() time.Duration {
-	return c.UserSide + c.ModelConstruction + c.DMU + c.Synthesis
-}
+type ComponentTimings = pipeline.Timings
 
 // RunStats aggregates an engine run.
-type RunStats struct {
-	Timestamps   int
-	Rounds       int // timestamps with a collection round
-	TotalReports int // user reports collected
-	Timings      ComponentTimings
-}
+type RunStats = pipeline.RunStats
 
-// Engine is the streaming curator. Feed it one timestamp at a time with
-// ProcessTimestamp, or drive a whole recorded stream with Run. Not safe for
-// concurrent use.
+// Engine is the streaming curator: the allocation / user-tracking glue of
+// Algorithm 1 wrapped around a staged internal/pipeline.Pipeline. Feed it
+// one timestamp at a time with ProcessTimestamp, or drive a whole recorded
+// stream with Run. Not safe for concurrent use; run one Engine per shard
+// under a pipeline.Coordinator for parallel streams.
 type Engine struct {
-	opts  Options
-	dom   *transition.Domain
-	model *mobility.Model
-	synth *synthesis.Synthesizer
-	rng   *rand.Rand
+	opts    Options
+	dom     *transition.Domain
+	model   *mobility.Model
+	synth   *synthesis.Synthesizer
+	rng     *rand.Rand
+	pipe    pipeline.Pipeline
+	updater *pipeline.DMUUpdater
 
 	budgetWin *allocation.BudgetWindow
 	dev       *allocation.DevTracker
@@ -178,13 +169,11 @@ type Engine struct {
 	users     *UserTracker
 	ledger    *allocation.Ledger
 
-	bootstrapped bool
-	lastT        int // last processed timestamp; -1 before the first
-	stats        RunStats
+	lastT int // last processed timestamp; -1 before the first
+	stats RunStats
 
-	// scratch buffers reused across timestamps
-	trueCounts []int
-	sampleBuf  []trajectory.Event
+	// scratch buffer reused across timestamps
+	sampleBuf []trajectory.Event
 }
 
 // New creates an engine. The ledger capacity is sized lazily on first use
@@ -209,16 +198,23 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	model := mobility.NewModel(dom)
 	e := &Engine{
-		opts:       opts,
-		dom:        dom,
-		model:      mobility.NewModel(dom),
-		synth:      synth,
-		rng:        rng,
-		dev:        allocation.NewDevTracker(opts.Kappa),
-		sig:        allocation.NewSigTracker(opts.Kappa),
-		trueCounts: make([]int, dom.Size()),
-		lastT:      -1,
+		opts:  opts,
+		dom:   dom,
+		model: model,
+		synth: synth,
+		rng:   rng,
+		dev:   allocation.NewDevTracker(opts.Kappa),
+		sig:   allocation.NewSigTracker(opts.Kappa),
+		lastT: -1,
+	}
+	e.updater = &pipeline.DMUUpdater{Model: model, DisableDMU: opts.DisableDMU}
+	e.pipe = pipeline.Pipeline{
+		Collector:   newCollector(opts, dom, rng),
+		Estimator:   &pipeline.DebiasEstimator{Post: opts.PostProcess},
+		Updater:     e.updater,
+		Synthesizer: &pipeline.SynthesisStage{Model: model, Synth: synth, WaitForUsers: opts.DisableEQ},
 	}
 	if opts.Division == allocation.Budget {
 		e.budgetWin = allocation.NewBudgetWindow(opts.W)
@@ -230,6 +226,20 @@ func New(opts Options) (*Engine, error) {
 	// deadlocking the adaptive strategy at Dev = 0.
 	e.dev.Push(make([]float64, dom.Size()))
 	return e, nil
+}
+
+// newCollector picks the collection stage for the configured oracle.
+func newCollector(opts Options, dom *transition.Domain, rng pipeline.Rand) pipeline.Collector {
+	switch {
+	case opts.Oracle == OracleOLH:
+		return &pipeline.OLHCollector{Dom: dom, Rng: rng, Workers: opts.AggregationWorkers}
+	case opts.Oracle == OracleGRR:
+		return &pipeline.GRRCollector{Dom: dom, Rng: rng}
+	case opts.OracleMode == Aggregate:
+		return &pipeline.OUEAggregateCollector{Dom: dom, Rng: rng}
+	default:
+		return &pipeline.OUEPerUserCollector{Dom: dom, Rng: rng, Workers: opts.AggregationWorkers}
+	}
 }
 
 // Domain exposes the engine's transition domain (for tests and tooling).
@@ -255,6 +265,7 @@ func (e *Engine) Run(stream *trajectory.Stream, name string) (*trajectory.Datase
 		e.EnableLedger(stream.T)
 	}
 	for t := 0; t < stream.T; t++ {
+		// The error path is unreachable: t increases strictly from 0.
 		e.ProcessTimestamp(t, stream.At(t), stream.Active[t])
 	}
 	return e.Synthetic(name, stream.T), e.stats
@@ -266,15 +277,16 @@ func (e *Engine) Synthetic(name string, T int) *trajectory.Dataset {
 }
 
 // ProcessTimestamp ingests the events of timestamp t (one transition state
-// per present user) and the publicly known active-user count, runs the
-// collection/DMU/synthesis pipeline, and returns what happened.
-func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount int) StepResult {
+// per present user) and the publicly known active-user count, drives the
+// collection/DMU/synthesis pipeline, and returns what happened. Timestamps
+// must be strictly increasing; an out-of-order timestamp returns an error
+// and leaves the engine untouched.
+func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount int) (StepResult, error) {
 	if t <= e.lastT {
-		panic(fmt.Sprintf("core: ProcessTimestamp(%d) after timestamp %d — timestamps must be strictly increasing", t, e.lastT))
+		return StepResult{}, fmt.Errorf("core: ProcessTimestamp(%d) after timestamp %d — timestamps must be strictly increasing", t, e.lastT)
 	}
 	e.lastT = t
 	e.stats.Timestamps++
-	res := StepResult{T: t}
 
 	// Alg. 1 lines 7–9: register arrivals, recycle the t−w reporters.
 	if e.users != nil {
@@ -287,9 +299,13 @@ func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount 
 	pool := e.eligible(events)
 	decision := e.decide(t, len(pool))
 
-	var est []float64
-	errUpd := 0.0
-	epsRound := 0.0
+	ctx := &pipeline.StepContext{
+		T:           t,
+		ActiveCount: activeCount,
+		Decision:    decision,
+		Timings:     &e.stats.Timings,
+	}
+	ctx.Result.T = t
 	if decision.Report && len(pool) > 0 {
 		reporters := pool
 		if e.opts.Division == allocation.Population {
@@ -304,29 +320,38 @@ func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount 
 				n = len(pool)
 			}
 			reporters = e.sampleEvents(pool, n)
-			epsRound = e.opts.Epsilon
+			ctx.Epsilon = e.opts.Epsilon
 		} else {
-			epsRound = decision.Epsilon
+			ctx.Epsilon = decision.Epsilon
 		}
-		if len(reporters) > 0 {
-			est, errUpd = e.collect(reporters, epsRound)
-			res.Reported = true
-			res.NumReporters = len(reporters)
-			res.Epsilon = epsRound
-			e.stats.Rounds++
-			e.stats.TotalReports += len(reporters)
-			if e.users != nil {
-				for _, ev := range reporters {
-					e.users.MarkReported(ev.User, t)
-				}
+		ctx.Reporters = reporters
+		ctx.Result.Reported = true
+		ctx.Result.NumReporters = len(reporters)
+		ctx.Result.Epsilon = ctx.Epsilon
+		if e.ledger != nil {
+			ids := make([]int, len(reporters))
+			for i, ev := range reporters {
+				ids[i] = ev.User
 			}
-			if e.ledger != nil {
-				ids := make([]int, len(reporters))
-				for i, ev := range reporters {
-					ids[i] = ev.User
-				}
-				e.ledger.RecordRound(t, epsRound, ids)
+			ctx.LedgerIDs = ids
+		}
+	}
+
+	// Collector → Estimator → ModelUpdater → Synthesizer.
+	e.pipe.Step(ctx)
+
+	// Post-step glue: round accounting, user lifecycle, window bookkeeping
+	// and the Eq. 9–10 trackers.
+	if ctx.Result.Reported {
+		e.stats.Rounds++
+		e.stats.TotalReports += ctx.Result.NumReporters
+		if e.users != nil {
+			for _, ev := range ctx.Reporters {
+				e.users.MarkReported(ev.User, t)
 			}
+		}
+		if e.ledger != nil {
+			e.ledger.RecordRound(t, ctx.Epsilon, ctx.LedgerIDs)
 		}
 	}
 
@@ -342,55 +367,21 @@ func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount 
 	// Window accounting for budget division records actual expenditure.
 	if e.budgetWin != nil {
 		spent := 0.0
-		if res.Reported {
-			spent = epsRound
+		if ctx.Result.Reported {
+			spent = ctx.Epsilon
 		}
 		e.budgetWin.Record(spent)
 	}
 
-	// DMU (paper §III-C).
-	sigRatio := 0.0
-	if res.Reported {
-		start := time.Now()
-		e.opts.PostProcess.Apply(est)
-		switch {
-		case !e.bootstrapped:
-			e.model.SetAll(est)
-			e.bootstrapped = true
-			res.NumSignificant = e.dom.Size()
-			// Initialization is not a DMU selection; don't damp Eq. 10.
-		case e.opts.DisableDMU:
-			sel := dmu.SelectAllVar(e.dom.Size(), errUpd)
-			e.model.SetAll(est)
-			res.NumSignificant = len(sel.Significant)
-			sigRatio = sel.Ratio(e.dom.Size())
-		default:
-			sel := dmu.SelectVar(e.model.Freqs(), est, errUpd)
-			e.model.Update(sel.Significant, est)
-			res.NumSignificant = len(sel.Significant)
-			sigRatio = sel.Ratio(e.dom.Size())
-		}
-		e.stats.Timings.DMU += time.Since(start)
-	}
-	e.sig.Push(sigRatio)
+	e.sig.Push(ctx.SigRatio)
 	// Eq. 9 tracks the frequencies *collected* at recent timestamps: the
 	// deviation history advances only on reporting rounds. (Pushing the
 	// frozen model on silent timestamps would decay Dev to zero and
 	// permanently silence the adaptive strategy after a starved round.)
-	if res.Reported {
-		e.dev.Push(est)
+	if ctx.Result.Reported {
+		e.dev.Push(ctx.Estimates)
 	}
-
-	// Real-time synthesis (paper §III-D).
-	start := time.Now()
-	snap := e.model.Snapshot()
-	if e.opts.DisableEQ && e.synth.ActiveCount() == 0 && activeCount == 0 {
-		// NoEQ initializes a fixed-size population; wait for users to exist.
-	} else {
-		e.synth.Step(t, activeCount, snap)
-	}
-	e.stats.Timings.Synthesis += time.Since(start)
-	return res
+	return ctx.Result, nil
 }
 
 // eligible filters the timestamp's events down to sampleable ones: states
@@ -425,7 +416,7 @@ func (e *Engine) decide(t, poolSize int) allocation.Decision {
 		ctx.WindowUsed = e.budgetWin.Used()
 	}
 	d := e.opts.Strategy.Decide(ctx)
-	if !e.bootstrapped && poolSize > 0 && !d.Report {
+	if !e.updater.Bootstrapped() && poolSize > 0 && !d.Report {
 		if e.opts.Division == allocation.Budget {
 			return allocation.Decision{Report: true, Epsilon: e.opts.Epsilon / float64(e.opts.W)}
 		}
@@ -443,84 +434,4 @@ func (e *Engine) sampleEvents(pool []trajectory.Event, n int) []trajectory.Event
 		pool[i], pool[j] = pool[j], pool[i]
 	}
 	return pool[:n]
-}
-
-// collect runs one frequency-oracle round over the reporters, returning the
-// debiased estimates and the per-state update error (the oracle's variance
-// at this round's budget and population) the DMU selection needs.
-func (e *Engine) collect(reporters []trajectory.Event, eps float64) ([]float64, float64) {
-	n := len(reporters)
-	switch e.opts.Oracle {
-	case OracleOLH:
-		oracle := ldp.MustOLH(e.dom.Size(), eps)
-		reports := make([]ldp.OLHReport, n)
-		start := time.Now()
-		for i, ev := range reporters {
-			idx, _ := e.dom.Index(ev.State)
-			reports[i] = oracle.Perturb(e.rng, e.rng, idx)
-		}
-		e.stats.Timings.UserSide += time.Since(start)
-
-		start = time.Now()
-		agg := ldp.NewOLHAggregator(oracle)
-		for _, r := range reports {
-			agg.Add(r)
-		}
-		est := agg.EstimateAll()
-		e.stats.Timings.ModelConstruction += time.Since(start)
-		return est, oracle.Variance(n)
-
-	case OracleGRR:
-		oracle := ldp.MustGRR(e.dom.Size(), eps)
-		reports := make([]int, n)
-		start := time.Now()
-		for i, ev := range reporters {
-			idx, _ := e.dom.Index(ev.State)
-			reports[i] = oracle.Perturb(e.rng, idx)
-		}
-		e.stats.Timings.UserSide += time.Since(start)
-
-		start = time.Now()
-		agg := ldp.NewGRRAggregator(oracle)
-		for _, r := range reports {
-			agg.Add(r)
-		}
-		est := agg.EstimateAll()
-		e.stats.Timings.ModelConstruction += time.Since(start)
-		return est, oracle.Variance(n)
-	}
-
-	oracle := ldp.MustOUE(e.dom.Size(), eps)
-	if e.opts.OracleMode == Aggregate {
-		start := time.Now()
-		for i := range e.trueCounts {
-			e.trueCounts[i] = 0
-		}
-		for _, ev := range reporters {
-			idx, _ := e.dom.Index(ev.State)
-			e.trueCounts[idx]++
-		}
-		agg := ldp.NewAggregateOracle(oracle).Collect(e.rng, e.trueCounts)
-		est := agg.EstimateAll()
-		e.stats.Timings.ModelConstruction += time.Since(start)
-		return est, oracle.Variance(n)
-	}
-	// Faithful per-user path: perturbation is user-side work, aggregation
-	// and debiasing are curator-side model construction.
-	reports := make([][]int, n)
-	start := time.Now()
-	for i, ev := range reporters {
-		idx, _ := e.dom.Index(ev.State)
-		reports[i] = oracle.Perturb(e.rng, idx)
-	}
-	e.stats.Timings.UserSide += time.Since(start)
-
-	start = time.Now()
-	agg := ldp.NewAggregator(oracle)
-	for _, r := range reports {
-		agg.Add(r)
-	}
-	est := agg.EstimateAll()
-	e.stats.Timings.ModelConstruction += time.Since(start)
-	return est, oracle.Variance(n)
 }

@@ -246,7 +246,7 @@ func TestAllUpdateAblationSelectsEverything(t *testing.T) {
 	domainSize := e.Domain().Size()
 	sawRound := false
 	for tt := 0; tt < data.T; tt++ {
-		res := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
+		res, _ := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
 		if res.Reported {
 			sawRound = true
 			if res.NumSignificant != domainSize {
@@ -267,7 +267,7 @@ func TestDMUSelectsSubset(t *testing.T) {
 	domainSize := e.Domain().Size()
 	partial := false
 	for tt := 0; tt < data.T; tt++ {
-		res := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
+		res, _ := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
 		if res.Reported && res.NumSignificant < domainSize && res.NumSignificant >= 0 {
 			partial = true
 		}
@@ -394,7 +394,7 @@ func TestAdaptiveRecoversFromStarvedRounds(t *testing.T) {
 	e, _ := New(opts)
 	lastRound := -1
 	for tt := 0; tt < data.T; tt++ {
-		res := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
+		res, _ := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
 		if res.Reported {
 			lastRound = tt
 		}
@@ -415,7 +415,7 @@ func TestBootstrapForcesFirstRound(t *testing.T) {
 	stream := trajectory.NewStream(data)
 	e, _ := New(defaultOpts(allocation.Population))
 	for tt := 0; tt < data.T; tt++ {
-		res := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
+		res, _ := e.ProcessTimestamp(tt, stream.At(tt), stream.Active[tt])
 		if len(stream.At(tt)) > 0 {
 			if !res.Reported {
 				t.Fatalf("first populated timestamp %d did not bootstrap", tt)

@@ -50,7 +50,7 @@ func TestEngineSkipsUnreachableMoves(t *testing.T) {
 		{User: 2, State: transition.MoveState(g.CellAt(0, 0), g.CellAt(0, 1))}, // fine
 		{User: 3, State: transition.EnterState(g.CellAt(2, 2))},                // fine
 	}
-	res := e.ProcessTimestamp(0, events, 3)
+	res, _ := e.ProcessTimestamp(0, events, 3)
 	if !res.Reported {
 		t.Fatal("valid events not collected")
 	}
@@ -66,22 +66,34 @@ func TestEngineInvalidCellEvents(t *testing.T) {
 		{User: 2, State: transition.EnterState(grid.Cell(9999))},
 		{User: 3, State: transition.State{Kind: transition.Kind(7)}},
 	}
-	res := e.ProcessTimestamp(0, events, 0)
+	res, _ := e.ProcessTimestamp(0, events, 0)
 	if res.Reported {
 		t.Fatal("garbage events produced a collection round")
 	}
 }
 
-func TestEngineNonMonotoneTimestampPanics(t *testing.T) {
+func TestEngineNonMonotoneTimestampErrors(t *testing.T) {
 	e, _ := New(defaultOpts(allocation.Population))
-	e.ProcessTimestamp(0, nil, 0)
-	e.ProcessTimestamp(1, nil, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("repeated timestamp did not panic")
-		}
-	}()
-	e.ProcessTimestamp(1, nil, 0)
+	if _, err := e.ProcessTimestamp(0, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ProcessTimestamp(1, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ProcessTimestamp(1, nil, 0); err == nil {
+		t.Fatal("repeated timestamp did not error")
+	}
+	if _, err := e.ProcessTimestamp(0, nil, 0); err == nil {
+		t.Fatal("past timestamp did not error")
+	}
+	// The rejected timestamps must not corrupt the stream position: the
+	// next in-order timestamp still processes.
+	if _, err := e.ProcessTimestamp(2, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Timestamps != 3 {
+		t.Fatalf("timestamps = %d, want 3", e.Stats().Timestamps)
+	}
 }
 
 func TestEngineTimestampGapsAllowed(t *testing.T) {
@@ -109,7 +121,7 @@ func TestEngineQuitForUnknownUser(t *testing.T) {
 	events2 := []trajectory.Event{
 		{User: 42, State: transition.MoveState(g.CellAt(1, 1), g.CellAt(1, 2))},
 	}
-	res := e.ProcessTimestamp(1, events2, 1)
+	res, _ := e.ProcessTimestamp(1, events2, 1)
 	if res.NumReporters > 0 {
 		t.Fatal("quitted user was sampled again")
 	}
@@ -170,7 +182,7 @@ func TestEngineBudgetDivisionZeroActive(t *testing.T) {
 	// zero expenditure and never report.
 	e, _ := New(defaultOpts(allocation.Budget))
 	for ts := 0; ts < 50; ts++ {
-		if res := e.ProcessTimestamp(ts, nil, 0); res.Reported {
+		if res, _ := e.ProcessTimestamp(ts, nil, 0); res.Reported {
 			t.Fatal("report on empty timestamp")
 		}
 	}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/trajectory"
+)
+
+// Golden-output pins: the staged-pipeline refactor must keep the engine
+// bit-identical to the seed implementation — same seed, same stream, same
+// synthetic release. These hashes were captured from the pre-pipeline
+// monolithic engine; any drift in the per-timestamp randomness order or the
+// estimate arithmetic shows up here immediately.
+
+// datasetHash canonically hashes a synthetic release: stream count, then
+// every (start, cells...) in released order.
+func datasetHash(d *trajectory.Dataset) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(len(d.Trajs))
+	for _, tr := range d.Trajs {
+		put(tr.Start)
+		put(len(tr.Cells))
+		for _, c := range tr.Cells {
+			put(int(c))
+		}
+	}
+	return h.Sum64()
+}
+
+func goldenRun(t *testing.T, mutate func(*Options)) uint64 {
+	t.Helper()
+	g := testGrid()
+	data := walkDataset(g, 350, 40, 9, 97)
+	stream := trajectory.NewStream(data)
+	opts := defaultOpts(allocation.Population)
+	opts.Seed = 20240731
+	if mutate != nil {
+		mutate(&opts)
+	}
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, _ := e.Run(stream, "golden")
+	return datasetHash(syn)
+}
+
+func TestGoldenSeedEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		want   uint64
+	}{
+		{"population-aggregate", func(o *Options) { o.OracleMode = Aggregate }, 0xcf9fef2bea6a477f},
+		{"budget-aggregate", func(o *Options) {
+			o.Division = allocation.Budget
+			o.Strategy = allocation.NewAdaptive(allocation.Budget)
+			o.OracleMode = Aggregate
+		}, 0x5c40718e80d25377},
+		{"population-peruser", func(o *Options) { o.OracleMode = PerUser }, 0xa6b0bec1b7dd4d65},
+		{"budget-peruser", func(o *Options) {
+			o.Division = allocation.Budget
+			o.Strategy = allocation.NewAdaptive(allocation.Budget)
+			o.OracleMode = PerUser
+		}, 0x89b3ec625393cfa5},
+		{"allupdate", func(o *Options) { o.DisableDMU = true }, 0xe2cb3b933a199467},
+		{"noeq", func(o *Options) {
+			o.DisableEQ = true
+			o.Lambda = 0
+		}, 0xdbded9bd0f1eab8d},
+		{"olh", func(o *Options) {
+			o.OracleMode = PerUser
+			o.Oracle = OracleOLH
+		}, 0x294dbd3314263d28},
+		{"grr", func(o *Options) {
+			o.OracleMode = PerUser
+			o.Oracle = OracleGRR
+		}, 0xe924526e54acd11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := goldenRun(t, tc.mutate)
+			if tc.want == 0 {
+				t.Logf("golden[%s] = %#x", tc.name, got)
+				t.Fatal("golden hash not pinned yet")
+			}
+			if got != tc.want {
+				t.Fatalf("synthetic release drifted from the seed engine: got %#x, want %#x", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"time"
+
+	"retrasyn/internal/dmu"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/mobility"
+	"retrasyn/internal/synthesis"
+	"retrasyn/internal/transition"
+)
+
+// Concrete stages. Each mirrors one section of the original monolithic
+// ProcessTimestamp, preserving the random-draw order exactly so single-shard
+// sequential runs stay bit-identical to the seed engine.
+
+// OUEPerUserCollector is the faithful per-user OUE path: every sampled
+// user's report is individually randomized, then the curator folds the
+// sparse reports — sharded across Workers goroutines for large rounds,
+// which changes nothing about the counts (integer addition commutes).
+type OUEPerUserCollector struct {
+	Dom *transition.Domain
+	Rng Rand
+	// Workers shards the curator-side aggregation fold; ≤ 1 keeps the fold
+	// sequential.
+	Workers int
+}
+
+// Collect implements Collector.
+func (c *OUEPerUserCollector) Collect(ctx *StepContext) {
+	oracle := ldp.MustOUE(c.Dom.Size(), ctx.Epsilon)
+	reports := make([][]int, len(ctx.Reporters))
+	start := time.Now()
+	for i, ev := range ctx.Reporters {
+		idx, _ := c.Dom.Index(ev.State)
+		reports[i] = oracle.Perturb(c.Rng, idx)
+	}
+	ctx.Timings.UserSide += time.Since(start)
+
+	start = time.Now()
+	agg := ldp.NewAggregator(oracle)
+	agg.AddReports(reports, c.Workers)
+	ctx.Aggregate = agg
+	ctx.ErrUpd = oracle.Variance(len(ctx.Reporters))
+	ctx.Timings.ModelConstruction += time.Since(start)
+}
+
+// OUEAggregateCollector samples the aggregate count vector directly
+// (statistically identical to the per-user path; see ldp.AggregateOracle),
+// making paper-scale populations tractable.
+type OUEAggregateCollector struct {
+	Dom *transition.Domain
+	Rng Rand
+
+	trueCounts []int // scratch reused across rounds
+}
+
+// Collect implements Collector.
+func (c *OUEAggregateCollector) Collect(ctx *StepContext) {
+	oracle := ldp.MustOUE(c.Dom.Size(), ctx.Epsilon)
+	start := time.Now()
+	if c.trueCounts == nil {
+		c.trueCounts = make([]int, c.Dom.Size())
+	}
+	for i := range c.trueCounts {
+		c.trueCounts[i] = 0
+	}
+	for _, ev := range ctx.Reporters {
+		idx, _ := c.Dom.Index(ev.State)
+		c.trueCounts[idx]++
+	}
+	ctx.Aggregate = ldp.NewAggregateOracle(oracle).Collect(c.Rng, c.trueCounts)
+	ctx.ErrUpd = oracle.Variance(len(ctx.Reporters))
+	ctx.Timings.ModelConstruction += time.Since(start)
+}
+
+// OLHCollector runs the Optimized Local Hashing ablation: O(1)-size reports,
+// O(|S|) server work per report — the support counting is sharded across
+// Workers goroutines.
+type OLHCollector struct {
+	Dom     *transition.Domain
+	Rng     Rand
+	Workers int
+}
+
+// Collect implements Collector.
+func (c *OLHCollector) Collect(ctx *StepContext) {
+	oracle := ldp.MustOLH(c.Dom.Size(), ctx.Epsilon)
+	reports := make([]ldp.OLHReport, len(ctx.Reporters))
+	start := time.Now()
+	for i, ev := range ctx.Reporters {
+		idx, _ := c.Dom.Index(ev.State)
+		reports[i] = oracle.Perturb(c.Rng, c.Rng, idx)
+	}
+	ctx.Timings.UserSide += time.Since(start)
+
+	start = time.Now()
+	agg := ldp.NewOLHAggregator(oracle)
+	agg.AddReports(reports, c.Workers)
+	ctx.Aggregate = agg
+	ctx.ErrUpd = oracle.Variance(len(ctx.Reporters))
+	ctx.Timings.ModelConstruction += time.Since(start)
+}
+
+// GRRCollector runs the Generalized Randomized Response ablation.
+type GRRCollector struct {
+	Dom *transition.Domain
+	Rng Rand
+}
+
+// Collect implements Collector.
+func (c *GRRCollector) Collect(ctx *StepContext) {
+	oracle := ldp.MustGRR(c.Dom.Size(), ctx.Epsilon)
+	reports := make([]int, len(ctx.Reporters))
+	start := time.Now()
+	for i, ev := range ctx.Reporters {
+		idx, _ := c.Dom.Index(ev.State)
+		reports[i] = oracle.Perturb(c.Rng, idx)
+	}
+	ctx.Timings.UserSide += time.Since(start)
+
+	start = time.Now()
+	agg := ldp.NewGRRAggregator(oracle)
+	for _, r := range reports {
+		agg.Add(r)
+	}
+	ctx.Aggregate = agg
+	ctx.ErrUpd = oracle.Variance(len(ctx.Reporters))
+	ctx.Timings.ModelConstruction += time.Since(start)
+}
+
+// DebiasEstimator produces the unbiased frequency estimates and applies the
+// optional privacy-free consistency post-processing (paper Theorem 2).
+// Debiasing is model-construction work; post-processing is charged to the
+// DMU component like the monolith did.
+type DebiasEstimator struct {
+	Post ldp.PostProcess
+}
+
+// Estimate implements Estimator.
+func (e *DebiasEstimator) Estimate(ctx *StepContext) {
+	start := time.Now()
+	ctx.Estimates = ctx.Aggregate.EstimateAll()
+	ctx.Timings.ModelConstruction += time.Since(start)
+
+	start = time.Now()
+	e.Post.Apply(ctx.Estimates)
+	ctx.Timings.DMU += time.Since(start)
+}
+
+// DMUUpdater refreshes the global mobility model (paper §III-C): the first
+// round initializes the whole model; afterwards either the Dynamic Mobility
+// Update selects the significant transitions, or — with DisableDMU, the
+// AllUpdate ablation — every state refreshes.
+type DMUUpdater struct {
+	Model      *mobility.Model
+	DisableDMU bool
+
+	bootstrapped bool
+}
+
+// Bootstrapped reports whether the model has been initialized by a first
+// collection round.
+func (u *DMUUpdater) Bootstrapped() bool { return u.bootstrapped }
+
+// Update implements ModelUpdater.
+func (u *DMUUpdater) Update(ctx *StepContext) {
+	start := time.Now()
+	est := ctx.Estimates
+	switch {
+	case !u.bootstrapped:
+		u.Model.SetAll(est)
+		u.bootstrapped = true
+		ctx.Result.NumSignificant = len(est)
+		// Initialization is not a DMU selection; don't damp Eq. 10.
+	case u.DisableDMU:
+		sel := dmu.SelectAllVar(len(est), ctx.ErrUpd)
+		u.Model.SetAll(est)
+		ctx.Result.NumSignificant = len(sel.Significant)
+		ctx.SigRatio = sel.Ratio(len(est))
+	default:
+		sel := dmu.SelectVar(u.Model.Freqs(), est, ctx.ErrUpd)
+		u.Model.Update(sel.Significant, est)
+		ctx.Result.NumSignificant = len(sel.Significant)
+		ctx.SigRatio = sel.Ratio(len(est))
+	}
+	ctx.Timings.DMU += time.Since(start)
+}
+
+// SynthesisStage advances the real-time synthesizer (paper §III-D) from a
+// fresh snapshot of the model.
+type SynthesisStage struct {
+	Model *mobility.Model
+	Synth *synthesis.Synthesizer
+	// WaitForUsers defers initialization until users exist — the NoEQ
+	// ablation initializes a fixed-size population, so starting it at zero
+	// would pin the run empty.
+	WaitForUsers bool
+}
+
+// Step implements Synthesizer.
+func (s *SynthesisStage) Step(ctx *StepContext) {
+	start := time.Now()
+	snap := s.Model.Snapshot()
+	if s.WaitForUsers && s.Synth.ActiveCount() == 0 && ctx.ActiveCount == 0 {
+		// Wait for users to exist before fixing the population size.
+	} else {
+		s.Synth.Step(ctx.T, ctx.ActiveCount, snap)
+	}
+	ctx.Timings.Synthesis += time.Since(start)
+}

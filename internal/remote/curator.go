@@ -20,10 +20,10 @@ import (
 	"sync"
 
 	"retrasyn/internal/allocation"
-	"retrasyn/internal/dmu"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
+	"retrasyn/internal/pipeline"
 	"retrasyn/internal/synthesis"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
@@ -88,26 +88,32 @@ type Curator struct {
 	cfg CuratorConfig
 	dom *transition.Domain
 
-	mu           sync.Mutex
-	t            int
-	phase        phase
-	present      map[int]bool // users who announced presence for t
-	prevPresent  map[int]bool // presence at t−1, for quit inference
-	assignments  map[int]Assignment
-	epsRound     float64
-	agg          *ldp.Aggregator
-	oracle       *ldp.OUE
-	model        *mobility.Model
-	synth        *synthesis.Synthesizer
-	users        *UserRoster
-	dev          *allocation.DevTracker
-	sig          *allocation.SigTracker
-	budgetWin    *allocation.BudgetWindow
-	ledger       *allocation.Ledger
-	rng          ldp.Rand
-	bootstrapped bool
-	rounds       int
-	reports      int
+	mu          sync.Mutex
+	t           int
+	phase       phase
+	present     map[int]bool // users who announced presence for t
+	prevPresent map[int]bool // presence at t−1, for quit inference
+	assignments map[int]Assignment
+	epsRound    float64
+	agg         *ldp.Aggregator
+	oracle      *ldp.OUE
+	model       *mobility.Model
+	users       *UserRoster
+	dev         *allocation.DevTracker
+	sig         *allocation.SigTracker
+	budgetWin   *allocation.BudgetWindow
+	ledger      *allocation.Ledger
+	rng         ldp.Rand
+	rounds      int
+	reports     int
+
+	// The estimation / model-update / synthesis stages are shared with the
+	// in-process engine (internal/pipeline); only collection differs — here
+	// the reports arrive over the network.
+	estimator  *pipeline.DebiasEstimator
+	updater    *pipeline.DMUUpdater
+	synthStage *pipeline.SynthesisStage
+	timings    pipeline.Timings
 }
 
 // UserRoster is the curator's view of user states; it reuses the engine's
@@ -158,18 +164,21 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 	if err != nil {
 		return nil, err
 	}
+	model := mobility.NewModel(dom)
 	c := &Curator{
 		cfg:         cfg,
 		dom:         dom,
 		present:     make(map[int]bool),
 		prevPresent: make(map[int]bool),
-		model:       mobility.NewModel(dom),
-		synth:       synth,
+		model:       model,
 		users:       newRoster(cfg.W),
 		dev:         allocation.NewDevTracker(cfg.Kappa),
 		sig:         allocation.NewSigTracker(cfg.Kappa),
 		rng:         rng,
 		t:           -1,
+		estimator:   &pipeline.DebiasEstimator{},
+		updater:     &pipeline.DMUUpdater{Model: model},
+		synthStage:  &pipeline.SynthesisStage{Model: model, Synth: synth},
 	}
 	if cfg.Division == allocation.Budget {
 		c.budgetWin = allocation.NewBudgetWindow(cfg.W)
@@ -236,7 +245,7 @@ func (c *Curator) Plan(t int) error {
 			pool = append(pool, id)
 		}
 	}
-	if !c.bootstrapped && len(pool) > 0 && !decision.Report {
+	if !c.updater.Bootstrapped() && len(pool) > 0 && !decision.Report {
 		if c.cfg.Division == allocation.Budget {
 			decision = allocation.Decision{Report: true, Epsilon: c.cfg.Epsilon / float64(c.cfg.W)}
 		} else {
@@ -324,23 +333,21 @@ func (c *Curator) Finalize(t, activeCount int) error {
 		return fmt.Errorf("remote: Finalize(%d) without a matching Plan", t)
 	}
 
-	sigRatio := 0.0
+	ctx := &pipeline.StepContext{
+		T:           t,
+		ActiveCount: activeCount,
+		Epsilon:     c.epsRound,
+		Timings:     &c.timings,
+	}
 	if c.agg != nil && c.agg.N() > 0 {
-		est := c.agg.EstimateAll()
-		errUpd := c.oracle.Variance(c.agg.N())
-		switch {
-		case !c.bootstrapped:
-			c.model.SetAll(est)
-			c.bootstrapped = true
-		default:
-			sel := dmu.SelectVar(c.model.Freqs(), est, errUpd)
-			c.model.Update(sel.Significant, est)
-			sigRatio = sel.Ratio(c.dom.Size())
-		}
-		c.dev.Push(est)
+		ctx.Aggregate = c.agg
+		ctx.ErrUpd = c.oracle.Variance(c.agg.N())
+		c.estimator.Estimate(ctx)
+		c.updater.Update(ctx)
+		c.dev.Push(ctx.Estimates)
 		c.rounds++
 	}
-	c.sig.Push(sigRatio)
+	c.sig.Push(ctx.SigRatio)
 	if c.budgetWin != nil {
 		spent := 0.0
 		if c.agg != nil && c.agg.N() > 0 {
@@ -358,7 +365,7 @@ func (c *Curator) Finalize(t, activeCount int) error {
 	}
 	c.prevPresent, c.present = c.present, make(map[int]bool)
 
-	c.synth.Step(t, activeCount, c.model.Snapshot())
+	c.synthStage.Step(ctx)
 	c.phase = phaseIdle
 	c.assignments = nil
 	return nil
@@ -368,7 +375,7 @@ func (c *Curator) Finalize(t, activeCount int) error {
 func (c *Curator) Synthetic(name string) *trajectory.Dataset {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.synth.Dataset(name, c.t+1)
+	return c.synthStage.Synth.Dataset(name, c.t+1)
 }
 
 // Stats summarizes the curator's activity.
@@ -376,6 +383,15 @@ func (c *Curator) Stats() (rounds, reports int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.rounds, c.reports
+}
+
+// Timings returns the accumulated per-component wall time of the pipeline
+// stages (the Table V decomposition, minus the client-side perturbation the
+// curator never sees).
+func (c *Curator) Timings() pipeline.Timings {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timings
 }
 
 // Domain exposes the transition domain clients need for encoding.

@@ -34,6 +34,11 @@ type finalizeRequest struct {
 type statsResponse struct {
 	Rounds  int `json:"rounds"`
 	Reports int `json:"reports"`
+	// Per-stage wall time accumulated by the pipeline (curator-side
+	// components of the paper's Table V decomposition).
+	ModelConstructionSec float64 `json:"model_construction_sec"`
+	DMUSec               float64 `json:"dmu_sec"`
+	SynthesisSec         float64 `json:"synthesis_sec"`
 }
 
 // NewHandler exposes the curator over HTTP.
@@ -105,7 +110,14 @@ func NewHandler(c *Curator) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		rounds, reports := c.Stats()
-		writeJSON(w, statsResponse{Rounds: rounds, Reports: reports})
+		timings := c.Timings()
+		writeJSON(w, statsResponse{
+			Rounds:               rounds,
+			Reports:              reports,
+			ModelConstructionSec: timings.ModelConstruction.Seconds(),
+			DMUSec:               timings.DMU.Seconds(),
+			SynthesisSec:         timings.Synthesis.Seconds(),
+		})
 	})
 	return mux
 }

@@ -32,6 +32,7 @@ import (
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldpids"
 	"retrasyn/internal/metrics"
+	"retrasyn/internal/pipeline"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
 )
@@ -129,74 +130,131 @@ type Options struct {
 	// SynthesisWorkers > 1 parallelizes synthetic-point generation (the
 	// paper's future-work acceleration). Default sequential.
 	SynthesisWorkers int
+	// Shards > 1 runs that many independent pipeline instances in parallel,
+	// fanning users out by ID and merging the released synthetic databases —
+	// the heavy-traffic deployment. Each user's whole stream lands on one
+	// shard, so the per-user w-event guarantee is exactly the single-stream
+	// one. Shard runs are deterministic for a fixed (Seed, Shards) pair but
+	// differ from the single-shard stream. Default 1 (bit-identical to the
+	// sequential engine).
+	Shards int
 	// Seed drives all randomness; equal seeds reproduce runs.
 	Seed uint64
 }
 
 // Framework is the streaming curator: feed events per timestamp, read the
-// synthetic database at any point. Not safe for concurrent use.
+// synthetic database at any point. With Options.Shards > 1 it drives a
+// pipeline.Coordinator over that many independent engines; otherwise a
+// single sequential engine. Not safe for concurrent use.
 type Framework struct {
-	engine *core.Engine
+	engine *core.Engine          // single-shard path (Shards ≤ 1)
+	coord  *pipeline.Coordinator // multi-shard path
 	t      int
 }
 
 // New constructs a Framework.
 func New(opts Options) (*Framework, error) {
 	division := opts.Division
-	var strategy allocation.Strategy
-	switch opts.Strategy {
-	case "", StrategyAdaptive:
-		strategy = allocation.NewAdaptive(division)
-	case StrategyUniform:
-		strategy = &allocation.Uniform{Division: division}
-	case StrategySample:
-		strategy = &allocation.Sample{Division: division}
-	default:
-		return nil, fmt.Errorf("retrasyn: unknown strategy %q", opts.Strategy)
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("retrasyn: Shards must be ≥ 0, got %d", opts.Shards)
 	}
 	mode := core.Aggregate
 	if opts.FaithfulClients {
 		mode = core.PerUser
 	}
-	engine, err := core.New(core.Options{
-		Grid:             opts.Grid,
-		Epsilon:          opts.Epsilon,
-		W:                opts.Window,
-		Division:         division,
-		Strategy:         strategy,
-		Lambda:           opts.Lambda,
-		DisableDMU:       opts.DisableDMU,
-		DisableEQ:        opts.DisableEQ,
-		OracleMode:       mode,
-		SynthesisWorkers: opts.SynthesisWorkers,
-		Seed:             opts.Seed,
-	})
+	newEngine := func(seed uint64) (*core.Engine, error) {
+		strategy, err := buildStrategy(opts.Strategy, division)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Options{
+			Grid:             opts.Grid,
+			Epsilon:          opts.Epsilon,
+			W:                opts.Window,
+			Division:         division,
+			Strategy:         strategy,
+			Lambda:           opts.Lambda,
+			DisableDMU:       opts.DisableDMU,
+			DisableEQ:        opts.DisableEQ,
+			OracleMode:       mode,
+			SynthesisWorkers: opts.SynthesisWorkers,
+			Seed:             seed,
+		})
+	}
+	if opts.Shards > 1 {
+		shards := make([]pipeline.Runner, opts.Shards)
+		for i := range shards {
+			engine, err := newEngine(opts.Seed + uint64(i)*0x9e3779b97f4a7c15)
+			if err != nil {
+				return nil, err
+			}
+			shards[i] = engine
+		}
+		coord, err := pipeline.NewCoordinator(shards)
+		if err != nil {
+			return nil, err
+		}
+		return &Framework{coord: coord}, nil
+	}
+	engine, err := newEngine(opts.Seed)
 	if err != nil {
 		return nil, err
 	}
 	return &Framework{engine: engine}, nil
 }
 
+// buildStrategy instantiates a fresh strategy value — each shard engine
+// needs its own because strategies may hold state.
+func buildStrategy(name string, division Division) (allocation.Strategy, error) {
+	switch name {
+	case "", StrategyAdaptive:
+		return allocation.NewAdaptive(division), nil
+	case StrategyUniform:
+		return &allocation.Uniform{Division: division}, nil
+	case StrategySample:
+		return &allocation.Sample{Division: division}, nil
+	default:
+		return nil, fmt.Errorf("retrasyn: unknown strategy %q", name)
+	}
+}
+
 // ProcessTimestamp ingests one timestamp of user events (one transition
 // state per present user) together with the publicly known count of active
 // users, advancing the synthetic database. Timestamps must be fed in order
-// starting from 0.
-func (f *Framework) ProcessTimestamp(events []Event, activeUsers int) {
-	f.engine.ProcessTimestamp(f.t, events, activeUsers)
+// starting from 0; feeding them out of order returns an error without
+// advancing the framework.
+func (f *Framework) ProcessTimestamp(events []Event, activeUsers int) error {
+	if f.coord != nil {
+		if _, err := f.coord.ProcessTimestamp(f.t, events, activeUsers); err != nil {
+			return err
+		}
+	} else if _, err := f.engine.ProcessTimestamp(f.t, events, activeUsers); err != nil {
+		return err
+	}
 	f.t++
+	return nil
 }
 
 // Timestamp returns the next timestamp to be processed.
 func (f *Framework) Timestamp() int { return f.t }
 
 // Synthetic returns the current released synthetic database over the
-// timestamps processed so far.
+// timestamps processed so far (the merged per-shard releases under
+// Shards > 1).
 func (f *Framework) Synthetic(name string) *Dataset {
+	if f.coord != nil {
+		return f.coord.Synthetic(name, f.t)
+	}
 	return f.engine.Synthetic(name, f.t)
 }
 
-// Stats returns accumulated run statistics.
-func (f *Framework) Stats() RunStats { return f.engine.Stats() }
+// Stats returns accumulated run statistics (summed across shards).
+func (f *Framework) Stats() RunStats {
+	if f.coord != nil {
+		return f.coord.Stats()
+	}
+	return f.engine.Stats()
+}
 
 // Run replays a recorded dataset through the framework and returns the
 // released synthetic database. The dataset is converted to per-timestamp
@@ -206,6 +264,14 @@ func (f *Framework) Run(orig *Dataset) (*Dataset, RunStats, error) {
 		return nil, RunStats{}, fmt.Errorf("retrasyn: Run on a framework that already processed %d timestamps", f.t)
 	}
 	stream := trajectory.NewStream(orig)
+	if f.coord != nil {
+		syn, stats, err := f.coord.Run(stream, orig.Name+"-syn")
+		if err != nil {
+			return nil, stats, err
+		}
+		f.t = stream.T
+		return syn, stats, nil
+	}
 	syn, stats := f.engine.Run(stream, orig.Name+"-syn")
 	f.t = stream.T
 	return syn, stats, nil

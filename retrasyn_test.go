@@ -71,7 +71,9 @@ func TestFrameworkStreamingAPI(t *testing.T) {
 		if fw.Timestamp() != ts {
 			t.Fatalf("Timestamp = %d, want %d", fw.Timestamp(), ts)
 		}
-		fw.ProcessTimestamp(events[ts], active[ts])
+		if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
+			t.Fatal(err)
+		}
 	}
 	syn := fw.Synthetic("streamed")
 	if syn.T != orig.T {
@@ -86,6 +88,50 @@ func TestFrameworkStreamingAPI(t *testing.T) {
 		if synActive[ts] != want {
 			t.Fatalf("t=%d: synthetic active %d, real %d", ts, synActive[ts], want)
 		}
+	}
+}
+
+func TestFrameworkSharded(t *testing.T) {
+	orig, g := smallDataset(t)
+	run := func(shards int) (*Dataset, RunStats) {
+		fw, err := New(Options{
+			Grid:    g,
+			Epsilon: 1.0,
+			Window:  10,
+			Lambda:  orig.Stats().AvgLength,
+			Shards:  shards,
+			Seed:    9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, stats, err := fw.Run(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return syn, stats
+	}
+	single, _ := run(1)
+	sharded, stats := run(3)
+	if err := sharded.Validate(g, true); err != nil {
+		t.Fatalf("invalid merged release: %v", err)
+	}
+	if stats.Timestamps != orig.T {
+		t.Fatalf("timestamps = %d", stats.Timestamps)
+	}
+	// The merged multi-shard release tracks the same global population as
+	// the single-shard run.
+	want := single.ActiveCounts()
+	got := sharded.ActiveCounts()
+	for ts := range want {
+		if got[ts] != want[ts] {
+			t.Fatalf("t=%d: sharded active %d, single-shard %d", ts, got[ts], want[ts])
+		}
+	}
+	// And two identical sharded runs are deterministic.
+	again, _ := run(3)
+	if len(again.Trajs) != len(sharded.Trajs) {
+		t.Fatalf("non-deterministic sharded run: %d vs %d streams", len(again.Trajs), len(sharded.Trajs))
 	}
 }
 
