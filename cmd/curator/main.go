@@ -1,29 +1,45 @@
 // Command curator serves the RetraSyn collection protocol over HTTP: device
-// clients announce presence and ship locally perturbed OUE reports, a
-// coordinator ticks timestamps, and anyone can fetch the evolving private
-// synthetic release. Estimation, model update and synthesis run on the same
-// internal/pipeline stages as the in-process engine.
+// clients announce presence and ship locally perturbed OUE reports —
+// individually or in gateway-aggregated batches — a coordinator ticks
+// timestamps, and anyone can fetch the evolving private synthetic release.
+// Estimation, model update and synthesis run on the same internal/pipeline
+// stages as the in-process engine.
+//
+// The curator is durable: -checkpoint names a state file that is loaded on
+// boot (when present) and written on graceful shutdown (SIGINT/SIGTERM), so
+// a restarted curator resumes the stream with releases bit-identical to an
+// uninterrupted run. The same state is served live on /v1/snapshot and
+// accepted on /v1/restore for migration without a restart.
 //
 // Endpoints (see internal/remote):
 //
 //	POST /v1/presence   {user, t}
 //	POST /v1/plan       {t}
 //	GET  /v1/assignment ?user=&t=
-//	POST /v1/report     {user, t, ones}
+//	POST /v1/report     {user, t, ones} or {t, reports: [{user, ones}...]}
 //	POST /v1/finalize   {t, active}
 //	GET  /v1/synthetic
 //	GET  /v1/stats      — rounds, reports, and per-pipeline-stage wall time
+//	GET  /v1/snapshot   — full curator state (checkpoint)
+//	POST /v1/restore    — load a checkpoint
 //
 // Usage:
 //
-//	curator -addr :8080 -k 6 -boundsMax 30 -eps 1.0 -w 20 -lambda 13.6
+//	curator -addr :8080 -k 6 -boundsMax 30 -eps 1.0 -w 20 -lambda 13.6 \
+//	        -checkpoint /var/lib/retrasyn/curator.ckpt
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"retrasyn/internal/allocation"
@@ -33,15 +49,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		k        = flag.Int("k", 6, "grid granularity K")
-		boundMin = flag.Float64("boundsMin", 0, "spatial lower bound (both axes)")
-		boundMax = flag.Float64("boundsMax", 30, "spatial upper bound (both axes)")
-		eps      = flag.Float64("eps", 1.0, "privacy budget ε")
-		w        = flag.Int("w", 20, "window size w")
-		lambda   = flag.Float64("lambda", 13.6, "synthesis termination factor λ")
-		division = flag.String("division", "population", `"budget" or "population"`)
-		seed     = flag.Uint64("seed", 2024, "curator randomness seed")
+		addr       = flag.String("addr", ":8080", "listen address")
+		k          = flag.Int("k", 6, "grid granularity K")
+		boundMin   = flag.Float64("boundsMin", 0, "spatial lower bound (both axes)")
+		boundMax   = flag.Float64("boundsMax", 30, "spatial upper bound (both axes)")
+		eps        = flag.Float64("eps", 1.0, "privacy budget ε")
+		w          = flag.Int("w", 20, "window size w")
+		lambda     = flag.Float64("lambda", 13.6, "synthesis termination factor λ")
+		division   = flag.String("division", "population", `"budget" or "population"`)
+		seed       = flag.Uint64("seed", 2024, "curator randomness seed")
+		checkpoint = flag.String("checkpoint", "", "state file loaded on boot and written on graceful shutdown")
+		drainGrace = flag.Duration("drainGrace", 10*time.Second, "graceful-shutdown grace for in-flight requests")
 	)
 	flag.Parse()
 
@@ -63,12 +81,86 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *checkpoint != "" {
+		if err := loadCheckpoint(cur, *checkpoint); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           remote.NewHandler(cur),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("curator: serving w-event ε-LDP collection on %s (ε=%.2f w=%d K=%d, %s division)\n",
 		*addr, *eps, *w, *k, div)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight handlers, then
+	// checkpoint the quiesced state.
+	fmt.Println("curator: shutting down...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("curator: drain: %v", err)
+	}
+	if *checkpoint != "" {
+		if err := writeCheckpoint(cur, *checkpoint); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("curator: state checkpointed to %s\n", *checkpoint)
+	}
+}
+
+// loadCheckpoint restores the curator from a state file; a missing file is a
+// fresh start, not an error.
+func loadCheckpoint(cur *remote.Curator, path string) error {
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("curator: read checkpoint: %w", err)
+	}
+	var st remote.CuratorState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("curator: decode checkpoint %s: %w", path, err)
+	}
+	if err := cur.Restore(&st); err != nil {
+		return fmt.Errorf("curator: restore checkpoint %s: %w", path, err)
+	}
+	fmt.Printf("curator: resumed from %s\n", path)
+	return nil
+}
+
+// writeCheckpoint snapshots the curator into the state file atomically
+// (write-then-rename), so a crash mid-write never corrupts the previous
+// checkpoint.
+func writeCheckpoint(cur *remote.Curator, path string) error {
+	st, err := cur.Snapshot()
+	if err != nil {
+		return fmt.Errorf("curator: snapshot: %w", err)
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("curator: encode checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o600); err != nil {
+		return fmt.Errorf("curator: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("curator: commit checkpoint: %w", err)
+	}
+	return nil
 }

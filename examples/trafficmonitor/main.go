@@ -5,8 +5,12 @@
 // a congestion alert when a district's synthetic density crosses a
 // threshold.
 //
-// This example drives the streaming API directly (ProcessTimestamp), the
-// way a live deployment would, rather than replaying a recorded dataset.
+// This example drives the production ingest layer (internal/service) the
+// way a live deployment would: four regional gateways submit batched events
+// concurrently, the Ingestor's per-timestamp barrier serializes them onto
+// the engine, and halfway through the run the curator checkpoints itself,
+// "crashes", and resumes from the checkpoint — the released stream is
+// unaffected.
 //
 // Run with:
 //
@@ -17,14 +21,18 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"retrasyn"
+	"retrasyn/internal/service"
 )
 
 const (
 	k         = 6
 	window    = 20
 	epsilon   = 1.0
+	gateways  = 4    // concurrent regional feeds
 	alertFrac = 0.12 // alert when one cell holds >12% of current vehicles
 )
 
@@ -46,13 +54,14 @@ func main() {
 	}
 	orig := retrasyn.Discretize(raw, g)
 
-	fw, err := retrasyn.New(retrasyn.Options{
+	opts := retrasyn.Options{
 		Grid:    g,
 		Epsilon: epsilon,
 		Window:  window,
 		Lambda:  orig.Stats().AvgLength,
 		Seed:    5,
-	})
+	}
+	fw, err := retrasyn.New(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,19 +70,88 @@ func main() {
 	// holds exactly one transition state (enter / move / quit).
 	events, active := retrasyn.NewStreamEvents(orig)
 
-	fmt.Printf("monitoring %d timestamps of live traffic (ε=%.1f, w=%d)...\n\n",
-		orig.T, epsilon, window)
-	alerts := 0
-	for ts := range events {
-		if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
-			log.Fatal(err)
-		}
+	fmt.Printf("monitoring %d timestamps of live traffic (ε=%.1f, w=%d, %d gateways)...\n\n",
+		orig.T, epsilon, window, gateways)
 
-		// Downstream analysis happens on the synthetic database only.
+	half := orig.T / 2
+	in := service.New(fw, service.Options{})
+	alerts := 0
+
+	// First half of the stream, then checkpoint and "crash".
+	ingest(in, events, active, 0, half)
+	var cp *retrasyn.Checkpoint
+	if err := in.Quiesce(func() error {
+		var err error
+		cp, err = fw.Snapshot()
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+	reportWindow(fw, g, 0, half, &alerts)
+	if err := in.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- t=%d: curator checkpointed (%d shard states) and stopped; restoring --\n\n", cp.T, len(cp.States))
+
+	// A fresh process resumes from the checkpoint and ingests the rest.
+	fw2, err := retrasyn.Restore(opts, cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in2 := service.New(fw2, service.Options{})
+	ingest(in2, events, active, half, orig.T)
+	if err := in2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	reportWindow(fw2, g, half, orig.T, &alerts)
+
+	st := in2.Stats()
+	fmt.Printf("\n%d congestion alerts raised — all served from the private synthetic stream.\n", alerts)
+	fmt.Printf("ingest after restore: %d batches, %d events, %d backpressure waits\n",
+		st.BatchesAccepted, st.EventsAccepted, st.BackpressureWaits)
+
+	// Sanity: how faithful was the live hotspot view?
+	r := retrasyn.EvaluateUtility(orig, fw2.Synthetic("final"), g, retrasyn.UtilityOptions{Seed: 9})
+	fmt.Printf("hotspot NDCG vs ground truth: %.3f (1.0 = perfect ranking)\n", r.HotspotNDCG)
+}
+
+// ingest fans timestamps [from, to) of the event stream into the ingestor
+// from `gateways` concurrent producers, sealing each timestamp once every
+// gateway has submitted its regional batch.
+func ingest(in *service.Ingestor, events [][]retrasyn.Event, active []int, from, to int) {
+	var wg sync.WaitGroup
+	fanin := make([]atomic.Int32, len(events))
+	for gw := 0; gw < gateways; gw++ {
+		wg.Add(1)
+		go func(gw int) {
+			defer wg.Done()
+			for ts := from; ts < to; ts++ {
+				var batch []retrasyn.Event
+				for i := gw; i < len(events[ts]); i += gateways {
+					batch = append(batch, events[ts][i])
+				}
+				if err := in.Submit(ts, batch); err != nil {
+					log.Fatal(err)
+				}
+				if fanin[ts].Add(1) == gateways {
+					if err := in.Seal(ts, active[ts]); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}(gw)
+	}
+	wg.Wait()
+}
+
+// reportWindow serves congestion queries from the synthetic database for
+// timestamps [from, to).
+func reportWindow(fw *retrasyn.Framework, g *retrasyn.Grid, from, to int, alerts *int) {
+	syn := fw.Synthetic("live")
+	for ts := from; ts < to; ts++ {
 		if (ts+1)%15 != 0 {
 			continue
 		}
-		syn := fw.Synthetic("live")
 		counts := cellCountsAt(syn, ts, g)
 		total := 0
 		for _, c := range counts {
@@ -90,15 +168,10 @@ func main() {
 		}
 		if float64(top[0].count) > alertFrac*float64(total) {
 			fmt.Printf("  ⚠ congestion alert")
-			alerts++
+			*alerts++
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\n%d congestion alerts raised — all served from the private synthetic stream.\n", alerts)
-
-	// Sanity: how faithful was the live hotspot view?
-	r := retrasyn.EvaluateUtility(orig, fw.Synthetic("final"), g, retrasyn.UtilityOptions{Seed: 9})
-	fmt.Printf("hotspot NDCG vs ground truth: %.3f (1.0 = perfect ranking)\n", r.HotspotNDCG)
 }
 
 type cellCount struct {

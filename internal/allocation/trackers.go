@@ -1,6 +1,9 @@
 package allocation
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // DevTracker computes the stream deviation Dev_t of Eq. 9 from the recent
 // history of (perturbed) transition-frequency vectors. Following DESIGN.md
@@ -38,6 +41,32 @@ func (d *DevTracker) Push(freq []float64) {
 		d.hist[len(d.hist)-1] = nil
 		d.hist = d.hist[:len(d.hist)-1]
 		d.hist[len(d.hist)-1] = cp
+	}
+}
+
+// DevState is the serializable form of a DevTracker.
+type DevState struct {
+	Hist [][]float64 `json:"hist"`
+}
+
+// State exports a deep copy of the tracker history.
+func (d *DevTracker) State() DevState {
+	hist := make([][]float64, len(d.hist))
+	for i, h := range d.hist {
+		hist[i] = append([]float64(nil), h...)
+	}
+	return DevState{Hist: hist}
+}
+
+// Restore replaces the history with a previously exported one. Entries
+// beyond the tracker's capacity are trimmed from the oldest end.
+func (d *DevTracker) Restore(st DevState) {
+	d.hist = d.hist[:0]
+	for _, h := range st.Hist {
+		d.hist = append(d.hist, append([]float64(nil), h...))
+	}
+	if over := len(d.hist) - (d.kappa + 1); over > 0 {
+		d.hist = append([][]float64(nil), d.hist[over:]...)
 	}
 }
 
@@ -85,6 +114,25 @@ func (s *SigTracker) Push(ratio float64) {
 	if len(s.ratios) > s.kappa {
 		copy(s.ratios, s.ratios[1:])
 		s.ratios = s.ratios[:len(s.ratios)-1]
+	}
+}
+
+// SigState is the serializable form of a SigTracker.
+type SigState struct {
+	Ratios []float64 `json:"ratios"`
+}
+
+// State exports a copy of the recorded ratios.
+func (s *SigTracker) State() SigState {
+	return SigState{Ratios: append([]float64(nil), s.ratios...)}
+}
+
+// Restore replaces the recorded ratios with a previously exported set,
+// trimming from the oldest end when it exceeds the tracker's capacity.
+func (s *SigTracker) Restore(st SigState) {
+	s.ratios = append(s.ratios[:0], st.Ratios...)
+	if over := len(s.ratios) - s.kappa; over > 0 {
+		s.ratios = append([]float64(nil), s.ratios[over:]...)
 	}
 }
 
@@ -136,6 +184,37 @@ func (b *BudgetWindow) Record(eps float64) {
 	b.next = (b.next + 1) % b.w
 }
 
+// BudgetWindowState is the serializable form of a BudgetWindow.
+type BudgetWindowState struct {
+	Spent []float64 `json:"spent"`
+	Next  int       `json:"next"`
+	Used  float64   `json:"used"`
+}
+
+// State exports the window's expenditure ring.
+func (b *BudgetWindow) State() BudgetWindowState {
+	return BudgetWindowState{
+		Spent: append([]float64(nil), b.spent...),
+		Next:  b.next,
+		Used:  b.used,
+	}
+}
+
+// Restore replaces the ring with a previously exported one. The window size
+// must match.
+func (b *BudgetWindow) Restore(st BudgetWindowState) error {
+	if len(st.Spent) != b.w {
+		return fmt.Errorf("allocation: BudgetWindow.Restore size %d ≠ w %d", len(st.Spent), b.w)
+	}
+	if st.Next < 0 || st.Next >= b.w {
+		return fmt.Errorf("allocation: BudgetWindow.Restore next %d outside [0,%d)", st.Next, b.w)
+	}
+	copy(b.spent, st.Spent)
+	b.next = st.Next
+	b.used = st.Used
+	return nil
+}
+
 // Ledger records every collection round for post-hoc verification of the
 // w-event guarantee; tests use it to assert that no window ever exceeds ε
 // (budget division) and no user reports twice within a window (population
@@ -155,6 +234,22 @@ func NewLedger(T int) *Ledger {
 		EpsByT:        make([]float64, T),
 		ReportsByUser: make(map[int][]int),
 	}
+}
+
+// Clone deep-copies the ledger, for checkpoints that must stay stable while
+// recording continues.
+func (l *Ledger) Clone() *Ledger {
+	if l == nil {
+		return nil
+	}
+	cp := &Ledger{
+		EpsByT:        append([]float64(nil), l.EpsByT...),
+		ReportsByUser: make(map[int][]int, len(l.ReportsByUser)),
+	}
+	for u, ts := range l.ReportsByUser {
+		cp.ReportsByUser[u] = append([]int(nil), ts...)
+	}
+	return cp
 }
 
 // RecordRound logs a collection round at timestamp t with per-user budget

@@ -10,7 +10,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/grid"
@@ -159,7 +158,7 @@ type Engine struct {
 	dom     *transition.Domain
 	model   *mobility.Model
 	synth   *synthesis.Synthesizer
-	rng     *rand.Rand
+	rng     *ldp.Source
 	pipe    pipeline.Pipeline
 	updater *pipeline.DMUUpdater
 
@@ -188,7 +187,7 @@ func New(opts Options) (*Engine, error) {
 	} else {
 		dom = transition.NewDomain(opts.Grid)
 	}
-	rng := ldp.NewRand(opts.Seed, opts.Seed^0x9e3779b97f4a7c15)
+	rng := ldp.NewSource(opts.Seed, opts.Seed^0x9e3779b97f4a7c15)
 	synth, err := synthesis.New(opts.Grid, synthesis.Options{
 		Lambda:             opts.Lambda,
 		DisableTermination: opts.DisableEQ,

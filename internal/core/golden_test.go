@@ -53,8 +53,15 @@ func goldenRun(t *testing.T, mutate func(*Options)) uint64 {
 	return datasetHash(syn)
 }
 
-func TestGoldenSeedEquivalence(t *testing.T) {
-	cases := []struct {
+// goldenCases enumerates the engine configurations pinned by the golden
+// hashes; the snapshot round-trip test reuses them so checkpoint/restore is
+// proven bit-identical for every oracle, division and ablation path.
+func goldenCases() []struct {
+	name   string
+	mutate func(*Options)
+	want   uint64
+} {
+	return []struct {
 		name   string
 		mutate func(*Options)
 		want   uint64
@@ -85,7 +92,10 @@ func TestGoldenSeedEquivalence(t *testing.T) {
 			o.Oracle = OracleGRR
 		}, 0xe924526e54acd11},
 	}
-	for _, tc := range cases {
+}
+
+func TestGoldenSeedEquivalence(t *testing.T) {
+	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			got := goldenRun(t, tc.mutate)
 			if tc.want == 0 {
@@ -96,5 +106,96 @@ func TestGoldenSeedEquivalence(t *testing.T) {
 				t.Fatalf("synthetic release drifted from the seed engine: got %#x, want %#x", got, tc.want)
 			}
 		})
+	}
+}
+
+// TestGoldenSnapshotRoundTrip pins the checkpoint/restore contract against
+// the same golden hashes: run to T/2, snapshot, serialize the state through
+// JSON, restore into a *fresh* engine, continue to T — the release must be
+// bit-identical to the uninterrupted golden run for every configuration.
+func TestGoldenSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGrid()
+			data := walkDataset(g, 350, 40, 9, 97)
+			stream := trajectory.NewStream(data)
+			newEngine := func() *Engine {
+				opts := defaultOpts(allocation.Population)
+				opts.Seed = 20240731
+				tc.mutate(&opts)
+				e, err := New(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+
+			half := stream.T / 2
+			first := newEngine()
+			for ts := 0; ts < half; ts++ {
+				if _, err := first.ProcessTimestamp(ts, stream.At(ts), stream.Active[ts]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Serialize through the opaque JSON blob, exactly as a curator
+			// writing a checkpoint file would.
+			blob, err := first.SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Keep feeding the first engine: the snapshot must be immune to
+			// the donor's later mutations.
+			for ts := half; ts < stream.T; ts++ {
+				if _, err := first.ProcessTimestamp(ts, stream.At(ts), stream.Active[ts]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			resumed := newEngine()
+			if err := resumed.RestoreState(blob); err != nil {
+				t.Fatal(err)
+			}
+			for ts := half; ts < stream.T; ts++ {
+				if _, err := resumed.ProcessTimestamp(ts, stream.At(ts), stream.Active[ts]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			got := datasetHash(resumed.Synthetic("golden", stream.T))
+			if got != tc.want {
+				t.Fatalf("resumed release drifted from the uninterrupted run: got %#x, want %#x", got, tc.want)
+			}
+			if again := datasetHash(first.Synthetic("golden", stream.T)); again != tc.want {
+				t.Fatalf("donor engine drifted after being snapshotted: got %#x, want %#x", again, tc.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotConfigMismatch ensures a checkpoint cannot be restored into an
+// engine built with incompatible options.
+func TestSnapshotConfigMismatch(t *testing.T) {
+	opts := defaultOpts(allocation.Population)
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := opts
+	other.Epsilon = 2.0
+	e2, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(st); err == nil {
+		t.Fatal("restore across mismatched configs accepted")
+	}
+	st.Version = EngineStateVersion + 1
+	e3, _ := New(opts)
+	if err := e3.Restore(st); err == nil {
+		t.Fatal("restore of future snapshot version accepted")
 	}
 }

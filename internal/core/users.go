@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // userStatus mirrors Algorithm 1's user lifecycle: active users are eligible
 // for sampling; inactive users have reported within the current window and
 // await recycling; quitted users have stopped sharing.
@@ -84,4 +86,49 @@ func (u *UserTracker) MarkQuitted(id int) {
 		u.active--
 	}
 	u.status[id] = statusQuitted
+}
+
+// UserTrackerState is the serializable form of a UserTracker.
+type UserTrackerState struct {
+	W        int           `json:"w"`
+	Status   map[int]uint8 `json:"status"`
+	Reported [][]int       `json:"reported"`
+	Active   int           `json:"active"`
+}
+
+// State exports a deep copy of the tracker.
+func (u *UserTracker) State() UserTrackerState {
+	st := UserTrackerState{
+		W:        u.w,
+		Status:   make(map[int]uint8, len(u.status)),
+		Reported: make([][]int, len(u.reported)),
+		Active:   u.active,
+	}
+	for id, s := range u.status {
+		st.Status[id] = uint8(s)
+	}
+	for i, ids := range u.reported {
+		st.Reported[i] = append([]int(nil), ids...)
+	}
+	return st
+}
+
+// Restore replaces the tracker's state with a previously exported one. The
+// window size must match.
+func (u *UserTracker) Restore(st UserTrackerState) error {
+	if st.W != u.w || len(st.Reported) != u.w {
+		return fmt.Errorf("core: UserTracker.Restore window %d (slots %d) ≠ w %d", st.W, len(st.Reported), u.w)
+	}
+	u.status = make(map[int]userStatus, len(st.Status))
+	for id, s := range st.Status {
+		if s > uint8(statusQuitted) {
+			return fmt.Errorf("core: UserTracker.Restore invalid status %d for user %d", s, id)
+		}
+		u.status[id] = userStatus(s)
+	}
+	for i := range u.reported {
+		u.reported[i] = append([]int(nil), st.Reported[i]...)
+	}
+	u.active = st.Active
+	return nil
 }

@@ -166,6 +166,13 @@ func (a *Aggregator) AddCounts(counts []int, n int) {
 // N returns the number of reports ingested.
 func (a *Aggregator) N() int { return a.n }
 
+// Counts returns a copy of the per-index one-counts accumulated so far, for
+// checkpointing an open collection round; feed it back through AddCounts on
+// a fresh aggregator to restore.
+func (a *Aggregator) Counts() []int {
+	return append([]int(nil), a.counts...)
+}
+
 // Estimate returns the debiased frequency estimate for index i as a fraction
 // of the reporting population. Estimates are unbiased and may be negative or
 // exceed 1; consumers clamp when converting to probabilities (post-processing

@@ -26,6 +26,33 @@ func NewRand(seed1, seed2 uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed1, seed2))
 }
 
+// Source is a seeded PCG-backed random source whose position can be
+// exported and restored, so a consumer checkpointed mid-stream resumes with
+// the exact draw sequence of an uninterrupted run. It embeds *rand.Rand
+// (math/rand/v2), which keeps no state of its own beyond the underlying
+// generator, so the PCG state is the complete randomness state.
+type Source struct {
+	*rand.Rand
+	pcg *rand.PCG
+}
+
+// NewSource returns a checkpointable seeded source. Equal seed pairs produce
+// identical streams.
+func NewSource(seed1, seed2 uint64) *Source {
+	pcg := rand.NewPCG(seed1, seed2)
+	return &Source{Rand: rand.New(pcg), pcg: pcg}
+}
+
+// State exports the generator position.
+func (s *Source) State() ([]byte, error) {
+	return s.pcg.MarshalBinary()
+}
+
+// SetState restores a position previously exported by State.
+func (s *Source) SetState(b []byte) error {
+	return s.pcg.UnmarshalBinary(b)
+}
+
 // Binomial draws an exact sample from Binomial(n, p) when n·min(p,1−p) is
 // small, and a clamped Gaussian approximation otherwise. The switch point is
 // chosen so the approximation error is far below the sampling noise of any

@@ -73,6 +73,30 @@ func (m *Model) Snapshot() *Snapshot {
 	return newSnapshot(m)
 }
 
+// State is the serializable form of a Model, used by engine checkpoints.
+type State struct {
+	Freq []float64 `json:"freq"`
+	Init bool      `json:"init"`
+}
+
+// State exports a deep copy of the model's mutable state.
+func (m *Model) State() State {
+	freq := make([]float64, len(m.freq))
+	copy(freq, m.freq)
+	return State{Freq: freq, Init: m.init}
+}
+
+// Restore replaces the model's state with a previously exported one. The
+// frequency vector must match the domain size.
+func (m *Model) Restore(st State) error {
+	if len(st.Freq) != len(m.freq) {
+		return fmt.Errorf("mobility: Restore length %d ≠ domain %d", len(st.Freq), len(m.freq))
+	}
+	copy(m.freq, st.Freq)
+	m.init = st.Init
+	return nil
+}
+
 // Snapshot holds the Eq. 6 distributions in cumulative form for O(log n)
 // sampling. It is immutable and safe for concurrent use.
 type Snapshot struct {

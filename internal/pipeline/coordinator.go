@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,51 @@ func NewCoordinator(shards []Runner) (*Coordinator, error) {
 
 // NumShards returns P.
 func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Checkpointable is a Runner whose full processing state can be exported as
+// an opaque blob and restored later. The blob format belongs to the Runner;
+// the Coordinator only moves it around.
+type Checkpointable interface {
+	SnapshotState() (json.RawMessage, error)
+	RestoreState(json.RawMessage) error
+}
+
+// Snapshot exports every shard's state. All shards must be Checkpointable
+// and quiescent (no ProcessTimestamp in flight — the Coordinator's own
+// fan-out always is between calls).
+func (c *Coordinator) Snapshot() ([]json.RawMessage, error) {
+	states := make([]json.RawMessage, len(c.shards))
+	for i, sh := range c.shards {
+		cp, ok := sh.(Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: shard %d (%T) is not checkpointable", i, sh)
+		}
+		st, err := cp.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: snapshot shard %d: %w", i, err)
+		}
+		states[i] = st
+	}
+	return states, nil
+}
+
+// Restore loads per-shard states captured by Snapshot into the current
+// shards. The shard count must match the snapshot's.
+func (c *Coordinator) Restore(states []json.RawMessage) error {
+	if len(states) != len(c.shards) {
+		return fmt.Errorf("pipeline: restore with %d shard states onto %d shards", len(states), len(c.shards))
+	}
+	for i, sh := range c.shards {
+		cp, ok := sh.(Checkpointable)
+		if !ok {
+			return fmt.Errorf("pipeline: shard %d (%T) is not checkpointable", i, sh)
+		}
+		if err := cp.RestoreState(states[i]); err != nil {
+			return fmt.Errorf("pipeline: restore shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // ShardOf maps a user ID onto its shard with a splitmix64 finalizer, so
 // consecutive user IDs spread evenly instead of clumping.

@@ -163,6 +163,10 @@ type DMUUpdater struct {
 // collection round.
 func (u *DMUUpdater) Bootstrapped() bool { return u.bootstrapped }
 
+// SetBootstrapped overrides the bootstrap flag; engine checkpoint restore
+// uses it to resume mid-stream without re-initializing the model.
+func (u *DMUUpdater) SetBootstrapped(v bool) { u.bootstrapped = v }
+
 // Update implements ModelUpdater.
 func (u *DMUUpdater) Update(ctx *StepContext) {
 	start := time.Now()

@@ -103,7 +103,7 @@ type Curator struct {
 	sig         *allocation.SigTracker
 	budgetWin   *allocation.BudgetWindow
 	ledger      *allocation.Ledger
-	rng         ldp.Rand
+	rng         *ldp.Source
 	rounds      int
 	reports     int
 
@@ -159,7 +159,7 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 		return nil, err
 	}
 	dom := transition.NewDomain(cfg.Grid)
-	rng := ldp.NewRand(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908)
+	rng := ldp.NewSource(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908)
 	synth, err := synthesis.New(cfg.Grid, synthesis.Options{Lambda: cfg.Lambda}, rng)
 	if err != nil {
 		return nil, err
@@ -301,6 +301,10 @@ func (c *Curator) AssignmentFor(user, t int) (Assignment, error) {
 func (c *Curator) Report(user, t int, ones []int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.reportLocked(user, t, ones)
+}
+
+func (c *Curator) reportLocked(user, t int, ones []int) error {
 	if c.phase != phasePlanned || t != c.t {
 		return fmt.Errorf("remote: report outside an open round")
 	}
@@ -313,12 +317,58 @@ func (c *Curator) Report(user, t int, ones []int) error {
 			return fmt.Errorf("remote: report bit %d outside domain", i)
 		}
 	}
+	c.applyReportLocked(user, t, a.Epsilon, ones)
+	return nil
+}
+
+// applyReportLocked ingests an already-validated report.
+func (c *Curator) applyReportLocked(user, t int, eps float64, ones []int) {
 	delete(c.assignments, user) // one report per assignment
 	c.agg.Add(ones)
 	c.users.markReported(user, t)
 	c.reports++
 	if c.ledger != nil {
-		c.ledger.RecordRound(t, a.Epsilon, []int{user})
+		c.ledger.RecordRound(t, eps, []int{user})
+	}
+}
+
+// BatchReport is one user's entry in a batched report upload.
+type BatchReport struct {
+	User int   `json:"user"`
+	Ones []int `json:"ones"`
+}
+
+// ReportBatch ingests many users' reports in one call — the path for
+// gateway aggregators that fan heavy traffic into the curator. The batch is
+// validated before any report is applied (open round, every user sampled
+// and unique within the batch, every bit in the domain), so a rejected
+// batch leaves the round untouched; the upload is all-or-nothing.
+func (c *Curator) ReportBatch(t int, batch []BatchReport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != phasePlanned || t != c.t {
+		return fmt.Errorf("remote: batch outside an open round")
+	}
+	seen := make(map[int]struct{}, len(batch))
+	eps := make([]float64, len(batch))
+	for i, r := range batch {
+		if _, dup := seen[r.User]; dup {
+			return fmt.Errorf("remote: batch entry %d: duplicate report for user %d", i, r.User)
+		}
+		seen[r.User] = struct{}{}
+		a, ok := c.assignments[r.User]
+		if !ok || !a.Report {
+			return fmt.Errorf("remote: batch entry %d: user %d was not sampled at timestamp %d", i, r.User, t)
+		}
+		for _, b := range r.Ones {
+			if b < 0 || b >= c.dom.Size() {
+				return fmt.Errorf("remote: batch entry %d: report bit %d outside domain", i, b)
+			}
+		}
+		eps[i] = a.Epsilon
+	}
+	for i, r := range batch {
+		c.applyReportLocked(r.User, t, eps[i], r.Ones)
 	}
 	return nil
 }

@@ -20,10 +20,13 @@ type planRequest struct {
 	T int `json:"t"`
 }
 
+// reportRequest carries either one user's report (user/ones) or a batch
+// (reports); a non-empty batch takes precedence. Batches are all-or-nothing.
 type reportRequest struct {
-	User int   `json:"user"`
-	T    int   `json:"t"`
-	Ones []int `json:"ones"`
+	User    int           `json:"user"`
+	T       int           `json:"t"`
+	Ones    []int         `json:"ones"`
+	Reports []BatchReport `json:"reports,omitempty"`
 }
 
 type finalizeRequest struct {
@@ -85,7 +88,32 @@ func NewHandler(c *Curator) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := c.Report(req.User, req.T, req.Ones); err != nil {
+		var err error
+		if len(req.Reports) > 0 {
+			err = c.ReportBatch(req.T, req.Reports)
+		} else {
+			err = c.Report(req.User, req.T, req.Ones)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		st, err := c.Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("POST /v1/restore", func(w http.ResponseWriter, r *http.Request) {
+		var st CuratorState
+		if !decode(w, r, &st) {
+			return
+		}
+		if err := c.Restore(&st); err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}

@@ -1,0 +1,231 @@
+package remote
+
+import (
+	"fmt"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/mobility"
+	"retrasyn/internal/pipeline"
+	"retrasyn/internal/synthesis"
+)
+
+// Curator checkpointing: Snapshot exports the complete protocol and model
+// state — including a round that is currently open — so the curator process
+// can be restarted (or migrated) without losing the stream. A restored
+// curator continues the protocol with releases bit-identical to an
+// uninterrupted one.
+
+// CuratorStateVersion guards the snapshot format.
+const CuratorStateVersion = 1
+
+// CuratorFingerprint captures the config a snapshot is only valid for.
+type CuratorFingerprint struct {
+	DomainSize int     `json:"domain_size"`
+	Epsilon    float64 `json:"epsilon"`
+	W          int     `json:"w"`
+	Division   int     `json:"division"`
+	Lambda     float64 `json:"lambda"`
+	Kappa      int     `json:"kappa"`
+	Seed       uint64  `json:"seed"`
+}
+
+func (c *Curator) fingerprint() CuratorFingerprint {
+	return CuratorFingerprint{
+		DomainSize: c.dom.Size(),
+		Epsilon:    c.cfg.Epsilon,
+		W:          c.cfg.W,
+		Division:   int(c.cfg.Division),
+		Lambda:     c.cfg.Lambda,
+		Kappa:      c.cfg.Kappa,
+		Seed:       c.cfg.Seed,
+	}
+}
+
+// RosterState is the serializable form of a UserRoster.
+type RosterState struct {
+	Status   map[int]uint8 `json:"status"`
+	Reported [][]int       `json:"reported"`
+}
+
+func (r *UserRoster) state() RosterState {
+	st := RosterState{
+		Status:   make(map[int]uint8, len(r.status)),
+		Reported: make([][]int, len(r.reported)),
+	}
+	for id, s := range r.status {
+		st.Status[id] = s
+	}
+	for i, ids := range r.reported {
+		st.Reported[i] = append([]int(nil), ids...)
+	}
+	return st
+}
+
+func (r *UserRoster) restore(st RosterState) error {
+	if len(st.Reported) != r.w {
+		return fmt.Errorf("remote: roster restore with %d slots, window %d", len(st.Reported), r.w)
+	}
+	r.status = make(map[int]uint8, len(st.Status))
+	for id, s := range st.Status {
+		r.status[id] = s
+	}
+	for i := range r.reported {
+		r.reported[i] = append([]int(nil), st.Reported[i]...)
+	}
+	return nil
+}
+
+// CuratorState is the serializable processing state of a Curator, including
+// any round currently open (phase, assignments and the partial aggregate).
+type CuratorState struct {
+	Version int                `json:"version"`
+	Config  CuratorFingerprint `json:"config"`
+
+	T           int                `json:"t"`
+	Phase       int                `json:"phase"`
+	Present     map[int]bool       `json:"present"`
+	PrevPresent map[int]bool       `json:"prev_present"`
+	Assignments map[int]Assignment `json:"assignments,omitempty"`
+	EpsRound    float64            `json:"eps_round"`
+	// AggCounts/AggN carry an open round's partial aggregate; AggCounts is
+	// nil when the round has no aggregator (or between rounds).
+	AggCounts []int `json:"agg_counts,omitempty"`
+	AggN      int   `json:"agg_n"`
+
+	Model        mobility.State `json:"model"`
+	Bootstrapped bool           `json:"bootstrapped"`
+
+	Roster       RosterState                   `json:"roster"`
+	Dev          allocation.DevState           `json:"dev"`
+	Sig          allocation.SigState           `json:"sig"`
+	BudgetWindow *allocation.BudgetWindowState `json:"budget_window,omitempty"`
+	Ledger       *allocation.Ledger            `json:"ledger,omitempty"`
+
+	RNG     []byte           `json:"rng"`
+	Rounds  int              `json:"rounds"`
+	Reports int              `json:"reports"`
+	Synth   synthesis.State  `json:"synth"`
+	Timings pipeline.Timings `json:"timings"`
+}
+
+// Snapshot exports the curator's complete state as a deep copy; handler
+// traffic continuing after the call never mutates it.
+func (c *Curator) Snapshot() (*CuratorState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rngState, err := c.rng.State()
+	if err != nil {
+		return nil, fmt.Errorf("remote: snapshot rng: %w", err)
+	}
+	st := &CuratorState{
+		Version:      CuratorStateVersion,
+		Config:       c.fingerprint(),
+		T:            c.t,
+		Phase:        int(c.phase),
+		Present:      copyBoolSet(c.present),
+		PrevPresent:  copyBoolSet(c.prevPresent),
+		EpsRound:     c.epsRound,
+		Model:        c.model.State(),
+		Bootstrapped: c.updater.Bootstrapped(),
+		Roster:       c.users.state(),
+		Dev:          c.dev.State(),
+		Sig:          c.sig.State(),
+		Ledger:       c.ledger.Clone(),
+		RNG:          rngState,
+		Rounds:       c.rounds,
+		Reports:      c.reports,
+		Synth:        c.synthStage.Synth.State(),
+		Timings:      c.timings,
+	}
+	if c.assignments != nil {
+		st.Assignments = make(map[int]Assignment, len(c.assignments))
+		for id, a := range c.assignments {
+			st.Assignments[id] = a
+		}
+	}
+	if c.agg != nil {
+		st.AggCounts = c.agg.Counts()
+		st.AggN = c.agg.N()
+	}
+	if c.budgetWin != nil {
+		bw := c.budgetWin.State()
+		st.BudgetWindow = &bw
+	}
+	return st, nil
+}
+
+// Restore replaces the curator's state with a previously exported snapshot.
+// The curator must have been constructed with a config matching the
+// snapshot's fingerprint.
+func (c *Curator) Restore(st *CuratorState) error {
+	if st == nil {
+		return fmt.Errorf("remote: Restore on nil state")
+	}
+	if st.Version != CuratorStateVersion {
+		return fmt.Errorf("remote: snapshot version %d, curator supports %d", st.Version, CuratorStateVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if got, want := c.fingerprint(), st.Config; got != want {
+		return fmt.Errorf("remote: snapshot config %+v does not match curator config %+v", want, got)
+	}
+	if (st.BudgetWindow != nil) != (c.budgetWin != nil) {
+		return fmt.Errorf("remote: snapshot division state does not match curator division")
+	}
+	if st.Phase != int(phaseIdle) && st.Phase != int(phasePlanned) {
+		return fmt.Errorf("remote: snapshot phase %d invalid", st.Phase)
+	}
+	if st.AggCounts != nil && len(st.AggCounts) != c.dom.Size() {
+		return fmt.Errorf("remote: snapshot aggregate length %d ≠ domain %d", len(st.AggCounts), c.dom.Size())
+	}
+	if err := c.rng.SetState(st.RNG); err != nil {
+		return fmt.Errorf("remote: restore rng: %w", err)
+	}
+	if err := c.model.Restore(st.Model); err != nil {
+		return err
+	}
+	if err := c.users.restore(st.Roster); err != nil {
+		return err
+	}
+	c.t = st.T
+	c.phase = phase(st.Phase)
+	c.present = copyBoolSet(st.Present)
+	c.prevPresent = copyBoolSet(st.PrevPresent)
+	c.epsRound = st.EpsRound
+	c.assignments = nil
+	if st.Assignments != nil {
+		c.assignments = make(map[int]Assignment, len(st.Assignments))
+		for id, a := range st.Assignments {
+			c.assignments[id] = a
+		}
+	}
+	c.oracle, c.agg = nil, nil
+	if st.AggCounts != nil {
+		c.oracle = ldp.MustOUE(c.dom.Size(), c.epsRound)
+		c.agg = ldp.NewAggregator(c.oracle)
+		c.agg.AddCounts(st.AggCounts, st.AggN)
+	}
+	c.updater.SetBootstrapped(st.Bootstrapped)
+	c.dev.Restore(st.Dev)
+	c.sig.Restore(st.Sig)
+	if st.BudgetWindow != nil {
+		if err := c.budgetWin.Restore(*st.BudgetWindow); err != nil {
+			return err
+		}
+	}
+	c.ledger = st.Ledger.Clone()
+	c.rounds = st.Rounds
+	c.reports = st.Reports
+	c.synthStage.Synth.Restore(st.Synth)
+	c.timings = st.Timings
+	return nil
+}
+
+func copyBoolSet(m map[int]bool) map[int]bool {
+	cp := make(map[int]bool, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,330 @@
+package service_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"retrasyn"
+	"retrasyn/internal/service"
+	"retrasyn/internal/trajectory"
+)
+
+const producers = 8
+
+func testData(t *testing.T) (*retrasyn.Dataset, *retrasyn.Grid) {
+	t.Helper()
+	raw, bounds, err := retrasyn.StandardDataset("tdrive", 0.03, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := retrasyn.NewGrid(4, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return retrasyn.Discretize(raw, g), g
+}
+
+func newFramework(t *testing.T, g *retrasyn.Grid, orig *retrasyn.Dataset, shards int) *retrasyn.Framework {
+	t.Helper()
+	fw, err := retrasyn.New(retrasyn.Options{
+		Grid:    g,
+		Epsilon: 1.0,
+		Window:  10,
+		Lambda:  orig.Stats().AvgLength,
+		Shards:  shards,
+		Seed:    23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func equalDatasets(a, b *retrasyn.Dataset) bool {
+	if a.T != b.T || len(a.Trajs) != len(b.Trajs) {
+		return false
+	}
+	for i := range a.Trajs {
+		if a.Trajs[i].Start != b.Trajs[i].Start || len(a.Trajs[i].Cells) != len(b.Trajs[i].Cells) {
+			return false
+		}
+		for j, c := range a.Trajs[i].Cells {
+			if b.Trajs[i].Cells[j] != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ingestConcurrently drives the whole stream through the ingestor from
+// `producers` goroutines: producer p submits every event whose slice index
+// ≡ p (mod producers), one batch per timestamp, and whichever producer
+// completes a timestamp's fan-in seals it. Timestamps are therefore
+// submitted and sealed in racy, interleaved order while the barrier keeps
+// engine processing strictly sequential.
+func ingestConcurrently(t *testing.T, in *service.Ingestor, events [][]retrasyn.Event, active []int) {
+	t.Helper()
+	fanin := make([]atomic.Int32, len(events))
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for ts := range events {
+				var batch []trajectory.Event
+				for i := p; i < len(events[ts]); i += producers {
+					batch = append(batch, events[ts][i])
+				}
+				if err := in.Submit(ts, batch); err != nil {
+					t.Errorf("producer %d: submit t=%d: %v", p, ts, err)
+					return
+				}
+				if fanin[ts].Add(1) == producers {
+					if err := in.Seal(ts, active[ts]); err != nil {
+						t.Errorf("producer %d: seal t=%d: %v", p, ts, err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentIngestMatchesSequential is the acceptance test: 8 goroutines
+// submit interleaved batches; the released synthetic database must be
+// bit-identical to a sequential single-caller replay — for both the
+// single-engine and the multi-shard coordinator paths.
+func TestConcurrentIngestMatchesSequential(t *testing.T) {
+	orig, g := testData(t)
+	events, active := retrasyn.NewStreamEvents(orig)
+	for _, shards := range []int{1, 3} {
+		sequential := newFramework(t, g, orig, shards)
+		for ts := range events {
+			if err := sequential.ProcessTimestamp(events[ts], active[ts]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		fw := newFramework(t, g, orig, shards)
+		in := service.New(fw, service.Options{})
+		ingestConcurrently(t, in, events, active)
+		if err := in.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := in.NextTimestamp(); got != orig.T {
+			t.Fatalf("shards=%d: processed up to t=%d, want %d", shards, got, orig.T)
+		}
+		if !equalDatasets(fw.Synthetic("syn"), sequential.Synthetic("syn")) {
+			t.Fatalf("shards=%d: concurrent ingest release differs from sequential replay", shards)
+		}
+		total := 0
+		for ts := range events {
+			total += len(events[ts])
+		}
+		st := in.Stats()
+		if st.EventsAccepted != int64(total) || st.EventsDropped != 0 {
+			t.Fatalf("shards=%d: stats %+v inconsistent with stream (%d events)", shards, st, total)
+		}
+	}
+}
+
+// TestIngestBackpressure forces a tiny buffer and out-of-order window; the
+// run must neither deadlock nor diverge from the sequential release.
+func TestIngestBackpressure(t *testing.T) {
+	orig, g := testData(t)
+	events, active := retrasyn.NewStreamEvents(orig)
+
+	sequential := newFramework(t, g, orig, 1)
+	for ts := range events {
+		if err := sequential.ProcessTimestamp(events[ts], active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fw := newFramework(t, g, orig, 1)
+	in := service.New(fw, service.Options{MaxAhead: 2, MaxPendingEvents: 32})
+	ingestConcurrently(t, in, events, active)
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !equalDatasets(fw.Synthetic("syn"), sequential.Synthetic("syn")) {
+		t.Fatal("backpressured ingest release differs from sequential replay")
+	}
+	if in.Stats().BackpressureWaits == 0 {
+		t.Fatal("expected backpressure with a 32-event buffer")
+	}
+}
+
+// TestIngestQuiesceCheckpoint checkpoints mid-stream under concurrent
+// ingestion, restores into a fresh framework + ingestor, replays the rest,
+// and demands a release bit-identical to the uninterrupted run.
+func TestIngestQuiesceCheckpoint(t *testing.T) {
+	orig, g := testData(t)
+	events, active := retrasyn.NewStreamEvents(orig)
+	opts := retrasyn.Options{
+		Grid: g, Epsilon: 1.0, Window: 10, Lambda: orig.Stats().AvgLength, Seed: 23,
+	}
+
+	uninterrupted := newFramework(t, g, orig, 1)
+	for ts := range events {
+		if err := uninterrupted.ProcessTimestamp(events[ts], active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	half := orig.T / 2
+	fw := newFramework(t, g, orig, 1)
+	in := service.New(fw, service.Options{})
+	ingestConcurrently(t, in, events[:half], active[:half])
+	var cp *retrasyn.Checkpoint
+	if err := in.Quiesce(func() error {
+		var err error
+		cp, err = fw.Snapshot()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.T != half {
+		t.Fatalf("checkpoint at t=%d, want %d", cp.T, half)
+	}
+
+	restored, err := retrasyn.Restore(opts, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := service.New(restored, service.Options{})
+	if in2.NextTimestamp() != half {
+		t.Fatalf("restored ingestor starts at t=%d, want %d", in2.NextTimestamp(), half)
+	}
+	var wg sync.WaitGroup
+	for ts := half; ts < orig.T; ts++ {
+		wg.Add(1)
+		go func(ts int) {
+			defer wg.Done()
+			if err := in2.Submit(ts, events[ts]); err != nil {
+				t.Errorf("submit t=%d: %v", ts, err)
+				return
+			}
+			if err := in2.Seal(ts, active[ts]); err != nil {
+				t.Errorf("seal t=%d: %v", ts, err)
+			}
+		}(ts)
+	}
+	wg.Wait()
+	if err := in2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !equalDatasets(restored.Synthetic("syn"), uninterrupted.Synthetic("syn")) {
+		t.Fatal("checkpoint-resumed release differs from uninterrupted run")
+	}
+}
+
+// blockingEngine parks inside ProcessTimestamp until released, so tests can
+// observe the ingestor mid-call.
+type blockingEngine struct {
+	t       int
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingEngine) ProcessTimestamp(events []trajectory.Event, active int) error {
+	b.entered <- struct{}{}
+	<-b.release
+	b.t++
+	return nil
+}
+
+func (b *blockingEngine) Timestamp() int { return b.t }
+
+// TestSubmitDuringProcessingRejected pins the in-flight contract: once the
+// drain has handed timestamp t to the engine, Submit(t)/Seal(t) must report
+// the timestamp closed rather than silently buffering events that will
+// never be processed.
+func TestSubmitDuringProcessingRejected(t *testing.T) {
+	eng := &blockingEngine{entered: make(chan struct{}), release: make(chan struct{})}
+	in := service.New(eng, service.Options{})
+	ev := []trajectory.Event{{User: 1}}
+	if err := in.Submit(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Seal(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	<-eng.entered // drain is now inside ProcessTimestamp(0, ...)
+	if err := in.Submit(0, ev); !errors.Is(err, service.ErrTimestampClosed) {
+		t.Fatalf("submit to in-flight timestamp: %v", err)
+	}
+	if err := in.Seal(0, 1); !errors.Is(err, service.ErrTimestampClosed) {
+		t.Fatalf("seal of in-flight timestamp: %v", err)
+	}
+	close(eng.release)
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p := in.Pending(); p != 0 {
+		t.Fatalf("pending events leaked: %d", p)
+	}
+}
+
+// TestIngestErrorsAndLifecycle covers the error contract: stale and
+// duplicate submissions, engine-failure stickiness, and post-Close behavior.
+func TestIngestErrorsAndLifecycle(t *testing.T) {
+	orig, g := testData(t)
+	fw := newFramework(t, g, orig, 1)
+	in := service.New(fw, service.Options{})
+
+	enter := retrasyn.EnterState(0)
+	if err := in.Submit(0, []retrasyn.Event{{User: 1, State: enter}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Seal(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Seal(0, 1); !errors.Is(err, service.ErrAlreadySealed) && !errors.Is(err, service.ErrTimestampClosed) {
+		t.Fatalf("duplicate seal: %v", err)
+	}
+	// Wait for t=0 to drain, then a stale submit must be rejected.
+	if err := in.Quiesce(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Submit(0, nil); !errors.Is(err, service.ErrTimestampClosed) {
+		t.Fatalf("stale submit: %v", err)
+	}
+
+	// A duplicate user within one timestamp is an engine-level error; it
+	// must stick and surface through Close.
+	dup := []retrasyn.Event{{User: 2, State: enter}, {User: 2, State: enter}}
+	if err := in.Submit(1, dup); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Seal(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Quiesce(func() error { return nil }); err == nil {
+		t.Fatal("engine failure not sticky")
+	}
+	if err := in.Close(); err == nil {
+		t.Fatal("Close did not report the engine failure")
+	}
+
+	in2 := service.New(newFramework(t, g, orig, 1), service.Options{})
+	if err := in2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.Submit(0, nil); !errors.Is(err, service.ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if err := in2.Seal(0, 0); !errors.Is(err, service.ErrClosed) {
+		t.Fatalf("seal after close: %v", err)
+	}
+	if err := in2.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -199,6 +199,50 @@ func (s *Synthesizer) terminate(k int, snap *mobility.Snapshot) {
 	s.active = keep
 }
 
+// State is the serializable form of a Synthesizer, used by engine
+// checkpoints. Active and Completed streams reuse the CellTrajectory shape.
+type State struct {
+	Active    []trajectory.CellTrajectory `json:"active"`
+	Completed []trajectory.CellTrajectory `json:"completed"`
+	Started   bool                        `json:"started"`
+	Now       int                         `json:"now"`
+	StepCount int                         `json:"step_count"`
+}
+
+// State exports a deep copy of the synthesizer's mutable state. The copy is
+// stable: subsequent Steps never mutate it.
+func (s *Synthesizer) State() State {
+	st := State{
+		Active:    make([]trajectory.CellTrajectory, len(s.active)),
+		Completed: make([]trajectory.CellTrajectory, len(s.completed)),
+		Started:   s.started,
+		Now:       s.now,
+		StepCount: s.stepCount,
+	}
+	for i, str := range s.active {
+		st.Active[i] = trajectory.CellTrajectory{Start: str.start, Cells: append([]grid.Cell(nil), str.cells...)}
+	}
+	for i, tr := range s.completed {
+		st.Completed[i] = trajectory.CellTrajectory{Start: tr.Start, Cells: append([]grid.Cell(nil), tr.Cells...)}
+	}
+	return st
+}
+
+// Restore replaces the synthesizer's state with a previously exported one.
+func (s *Synthesizer) Restore(st State) {
+	s.active = make([]*stream, len(st.Active))
+	for i, tr := range st.Active {
+		s.active[i] = &stream{start: tr.Start, cells: append([]grid.Cell(nil), tr.Cells...)}
+	}
+	s.completed = make([]trajectory.CellTrajectory, len(st.Completed))
+	for i, tr := range st.Completed {
+		s.completed[i] = trajectory.CellTrajectory{Start: tr.Start, Cells: append([]grid.Cell(nil), tr.Cells...)}
+	}
+	s.started = st.Started
+	s.now = st.Now
+	s.stepCount = st.StepCount
+}
+
 // Dataset returns the released synthetic database over timeline [0, T):
 // all completed streams plus the still-active ones.
 func (s *Synthesizer) Dataset(name string, T int) *trajectory.Dataset {

@@ -1,0 +1,139 @@
+package trajectory
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Native Go fuzzing for the interchange parsers. The targets assert two
+// properties on every input the parser accepts: (a) the parsed dataset
+// satisfies the format's span invariants — this is what surfaced the
+// End()-overflow on huge start values, now guarded in ReadRaw/ReadCells —
+// and (b) the dataset survives a write→read round-trip unchanged.
+//
+// Run longer campaigns with:
+//
+//	go test ./internal/trajectory -run='^$' -fuzz=FuzzReadRaw -fuzztime=60s
+
+func FuzzReadRaw(f *testing.F) {
+	seeds := []string{
+		"T,10,walk\n0,1.5,2.5,1.6,2.6\n3,0,0\n",
+		"T,5\n0,1,1\n",
+		"T,3,x\n\n2,0.5,0.5\n",
+		"T,10,neg\n-1,1,1\n",
+		"T,10,overflow\n9223372036854775807,1,1,2,2\n",
+		"T,10,badfields\n0,1\n",
+		"T,0,badT\n",
+		"garbage\n",
+		"",
+		"T,10,nan\n0,NaN,Inf\n",
+		"T,10,huge\n5," + strings.Repeat("1,1,", 20) + "1,1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadRaw(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if d.T <= 0 {
+			t.Fatalf("accepted timeline length %d", d.T)
+		}
+		for i, tr := range d.Trajs {
+			if len(tr.Points) == 0 {
+				t.Fatalf("trajectory %d: empty", i)
+			}
+			if tr.Start < 0 || tr.Start >= d.T || len(tr.Points) > d.T-tr.Start {
+				t.Fatalf("trajectory %d: span [%d, +%d) escapes timeline [0,%d)", i, tr.Start, len(tr.Points), d.T)
+			}
+		}
+		// Round-trip: what we write must parse back identically.
+		var buf bytes.Buffer
+		if err := WriteRaw(&buf, d); err != nil {
+			t.Fatalf("write parsed dataset: %v", err)
+		}
+		d2, err := ReadRaw(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read written dataset: %v", err)
+		}
+		if d2.T != d.T || len(d2.Trajs) != len(d.Trajs) {
+			t.Fatalf("round-trip shape drift: T %d→%d, trajs %d→%d", d.T, d2.T, len(d.Trajs), len(d2.Trajs))
+		}
+		for i := range d.Trajs {
+			a, b := d.Trajs[i], d2.Trajs[i]
+			if a.Start != b.Start || len(a.Points) != len(b.Points) {
+				t.Fatalf("trajectory %d: round-trip span drift", i)
+			}
+			for j := range a.Points {
+				// Bit equality so NaN payloads and signed zeros count too.
+				if math.Float64bits(a.Points[j].X) != math.Float64bits(b.Points[j].X) ||
+					math.Float64bits(a.Points[j].Y) != math.Float64bits(b.Points[j].Y) {
+					t.Fatalf("trajectory %d point %d: %v round-tripped to %v", i, j, a.Points[j], b.Points[j])
+				}
+			}
+		}
+	})
+}
+
+func FuzzReadCells(f *testing.F) {
+	seeds := []string{
+		"T,10,syn\n0,1,2,3\n4,0\n",
+		"T,5\n0,15\n",
+		"T,10,neg\n0,-1\n",
+		"T,10,overflow\n9223372036854775807,1,2\n",
+		"T,10,big\n0,2147483648\n",
+		"T,2,long\n0,1,2,3\n",
+		"T,1,x\n0,0\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCells(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if d.T <= 0 {
+			t.Fatalf("accepted timeline length %d", d.T)
+		}
+		for i, tr := range d.Trajs {
+			if len(tr.Cells) == 0 {
+				t.Fatalf("trajectory %d: empty", i)
+			}
+			if tr.Start < 0 || tr.Start >= d.T || len(tr.Cells) > d.T-tr.Start {
+				t.Fatalf("trajectory %d: span [%d, +%d) escapes timeline [0,%d)", i, tr.Start, len(tr.Cells), d.T)
+			}
+			for j, c := range tr.Cells {
+				if c < 0 {
+					t.Fatalf("trajectory %d cell %d: negative cell %d", i, j, c)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCells(&buf, d); err != nil {
+			t.Fatalf("write parsed dataset: %v", err)
+		}
+		d2, err := ReadCells(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read written dataset: %v", err)
+		}
+		if d2.T != d.T || len(d2.Trajs) != len(d.Trajs) {
+			t.Fatalf("round-trip shape drift")
+		}
+		for i := range d.Trajs {
+			a, b := d.Trajs[i], d2.Trajs[i]
+			if a.Start != b.Start || len(a.Cells) != len(b.Cells) {
+				t.Fatalf("trajectory %d: round-trip span drift", i)
+			}
+			for j := range a.Cells {
+				if a.Cells[j] != b.Cells[j] {
+					t.Fatalf("trajectory %d cell %d drifted", i, j)
+				}
+			}
+		}
+	})
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"retrasyn/internal/grid"
 )
 
 // The CSV-like interchange format, one stream per line:
@@ -88,11 +90,68 @@ func ReadRaw(r io.Reader) (*RawDataset, error) {
 			}
 			pts = append(pts, RawPoint{X: x, Y: y})
 		}
-		tr := RawTrajectory{Start: start, Points: pts}
-		if start < 0 || tr.End() >= d.T {
-			return nil, fmt.Errorf("trajectory: line %d: span [%d,%d] outside timeline [0,%d)", line, start, tr.End(), d.T)
+		// Overflow-safe span check: End() = start+len−1 wraps for huge
+		// starts, so bound the length against the remaining timeline
+		// instead of comparing the computed end.
+		if start < 0 || start >= d.T || len(pts) > d.T-start {
+			return nil, fmt.Errorf("trajectory: line %d: span starting at %d with %d points outside timeline [0,%d)", line, start, len(pts), d.T)
 		}
-		d.Trajs = append(d.Trajs, tr)
+		d.Trajs = append(d.Trajs, RawTrajectory{Start: start, Points: pts})
+	}
+	return d, sc.Err()
+}
+
+// ReadCells parses a discretized dataset written by WriteCells (the format
+// the curator serves on /v1/synthetic), validating that every stream lies
+// inside the timeline and every cell is a non-negative cell index.
+func ReadCells(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trajectory: empty input")
+	}
+	header := strings.SplitN(sc.Text(), ",", 3)
+	if len(header) < 2 || header[0] != "T" {
+		return nil, fmt.Errorf("trajectory: malformed header %q", sc.Text())
+	}
+	t, err := strconv.Atoi(header[1])
+	if err != nil || t <= 0 {
+		return nil, fmt.Errorf("trajectory: bad timeline length %q", header[1])
+	}
+	d := &Dataset{T: t}
+	if len(header) == 3 {
+		d.Name = header[2]
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trajectory: line %d: want start,c1,... got %d fields", line, len(fields))
+		}
+		start, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad start %q", line, fields[0])
+		}
+		cells := make([]grid.Cell, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			c, err := strconv.ParseInt(f, 10, 32)
+			if err != nil || c < 0 {
+				return nil, fmt.Errorf("trajectory: line %d: bad cell %q", line, f)
+			}
+			cells = append(cells, grid.Cell(c))
+		}
+		if start < 0 || start >= d.T || len(cells) > d.T-start {
+			return nil, fmt.Errorf("trajectory: line %d: span starting at %d with %d cells outside timeline [0,%d)", line, start, len(cells), d.T)
+		}
+		d.Trajs = append(d.Trajs, CellTrajectory{Start: start, Cells: cells})
 	}
 	return d, sc.Err()
 }

@@ -25,7 +25,9 @@
 package retrasyn
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/core"
@@ -223,7 +225,23 @@ func buildStrategy(name string, division Division) (allocation.Strategy, error) 
 // users, advancing the synthetic database. Timestamps must be fed in order
 // starting from 0; feeding them out of order returns an error without
 // advancing the framework.
+//
+// Inputs are validated before any state changes: a negative active-user
+// count or a duplicate user ID within the events (which would let one user
+// contribute two reports in a round, silently corrupting the estimates and
+// the per-user privacy accounting) returns a descriptive error and leaves
+// the framework untouched.
 func (f *Framework) ProcessTimestamp(events []Event, activeUsers int) error {
+	if activeUsers < 0 {
+		return fmt.Errorf("retrasyn: ProcessTimestamp(t=%d): activeUsers must be ≥ 0, got %d", f.t, activeUsers)
+	}
+	seen := make(map[int]struct{}, len(events))
+	for _, ev := range events {
+		if _, dup := seen[ev.User]; dup {
+			return fmt.Errorf("retrasyn: ProcessTimestamp(t=%d): duplicate event for user %d — each user reports at most one transition state per timestamp", f.t, ev.User)
+		}
+		seen[ev.User] = struct{}{}
+	}
 	if f.coord != nil {
 		if _, err := f.coord.ProcessTimestamp(f.t, events, activeUsers); err != nil {
 			return err
@@ -275,6 +293,93 @@ func (f *Framework) Run(orig *Dataset) (*Dataset, RunStats, error) {
 	syn, stats := f.engine.Run(stream, orig.Name+"-syn")
 	f.t = stream.T
 	return syn, stats, nil
+}
+
+// CheckpointVersion guards the checkpoint container format.
+const CheckpointVersion = 1
+
+// Checkpoint is a serializable snapshot of a Framework mid-stream: the full
+// processing state of every underlying engine (mobility model, allocation
+// trackers, window accounting, synthesizer streams and RNG position). A
+// framework restored from a checkpoint — with the same Options — continues
+// the stream with releases bit-identical to an uninterrupted run.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// T is the next timestamp the framework expects.
+	T int `json:"t"`
+	// Shards is the shard count the checkpoint was taken at (1 for the
+	// single-engine path).
+	Shards int `json:"shards"`
+	// States holds one opaque engine-state blob per shard.
+	States []json.RawMessage `json:"states"`
+}
+
+// Snapshot exports the framework's complete processing state. The framework
+// must be quiescent (no ProcessTimestamp in flight); the returned checkpoint
+// is a deep copy that later processing never mutates.
+func (f *Framework) Snapshot() (*Checkpoint, error) {
+	cp := &Checkpoint{Version: CheckpointVersion, T: f.t, Shards: 1}
+	if f.coord != nil {
+		states, err := f.coord.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		cp.Shards = f.coord.NumShards()
+		cp.States = states
+		return cp, nil
+	}
+	st, err := f.engine.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	cp.States = []json.RawMessage{st}
+	return cp, nil
+}
+
+// Restore reconstructs a Framework from a checkpoint. opts must equal the
+// options the snapshotted framework was built with — each engine validates
+// its config fingerprint and rejects mismatches.
+func Restore(opts Options, cp *Checkpoint) (*Framework, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("retrasyn: Restore on nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("retrasyn: checkpoint version %d, library supports %d", cp.Version, CheckpointVersion)
+	}
+	shards := opts.Shards
+	if shards <= 1 {
+		shards = 1
+	}
+	if cp.Shards != shards || len(cp.States) != shards {
+		return nil, fmt.Errorf("retrasyn: checkpoint has %d shard states, options configure %d shards", len(cp.States), shards)
+	}
+	f, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if f.coord != nil {
+		if err := f.coord.Restore(cp.States); err != nil {
+			return nil, err
+		}
+	} else if err := f.engine.RestoreState(cp.States[0]); err != nil {
+		return nil, err
+	}
+	f.t = cp.T
+	return f, nil
+}
+
+// Encode writes the checkpoint as JSON.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(cp)
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("retrasyn: decode checkpoint: %w", err)
+	}
+	return &cp, nil
 }
 
 // EvaluateUtility computes the paper's eight utility metrics of a synthetic

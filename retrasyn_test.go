@@ -1,7 +1,9 @@
 package retrasyn
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -241,5 +243,134 @@ func TestStateConstructors(t *testing.T) {
 	q := QuitState(4)
 	if q.From != 4 {
 		t.Fatal("QuitState")
+	}
+}
+
+// equalDatasets compares two releases stream-by-stream.
+func equalDatasets(a, b *Dataset) bool {
+	if a.T != b.T || len(a.Trajs) != len(b.Trajs) {
+		return false
+	}
+	for i := range a.Trajs {
+		if a.Trajs[i].Start != b.Trajs[i].Start || len(a.Trajs[i].Cells) != len(b.Trajs[i].Cells) {
+			return false
+		}
+		for j, c := range a.Trajs[i].Cells {
+			if b.Trajs[i].Cells[j] != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFrameworkSnapshotRoundTrip checks the facade checkpoint contract for
+// both the single-engine and the multi-shard coordinator paths: snapshot at
+// T/2, serialize through Encode/Decode, restore into a fresh framework, and
+// the final release must be bit-identical to an uninterrupted run.
+func TestFrameworkSnapshotRoundTrip(t *testing.T) {
+	orig, g := smallDataset(t)
+	events, active := NewStreamEvents(orig)
+	for _, shards := range []int{1, 3} {
+		opts := Options{
+			Grid:    g,
+			Epsilon: 1.0,
+			Window:  10,
+			Lambda:  orig.Stats().AvgLength,
+			Shards:  shards,
+			Seed:    17,
+		}
+		feed := func(fw *Framework, from, to int) {
+			t.Helper()
+			for ts := from; ts < to; ts++ {
+				if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		uninterrupted, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(uninterrupted, 0, orig.T)
+
+		half := orig.T / 2
+		fw, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(fw, 0, half)
+		cp, err := fw.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := Restore(opts, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed.Timestamp() != half {
+			t.Fatalf("shards=%d: restored at t=%d, want %d", shards, resumed.Timestamp(), half)
+		}
+		feed(resumed, half, orig.T)
+
+		if !equalDatasets(resumed.Synthetic("syn"), uninterrupted.Synthetic("syn")) {
+			t.Fatalf("shards=%d: resumed release differs from uninterrupted run", shards)
+		}
+		// Restoring into a mismatched shard count must fail.
+		bad := opts
+		bad.Shards = shards + 1
+		if _, err := Restore(bad, decoded); err == nil {
+			t.Fatalf("shards=%d: restore into %d shards accepted", shards, bad.Shards)
+		}
+	}
+}
+
+// TestProcessTimestampValidation covers the facade input checks: negative
+// active counts and duplicate per-timestamp user IDs are rejected without
+// advancing the stream.
+func TestProcessTimestampValidation(t *testing.T) {
+	g, err := NewGrid(4, Bounds{MaxX: 1, MaxY: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Options{Grid: g, Epsilon: 1, Window: 5, Lambda: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.ProcessTimestamp(nil, -1); err == nil {
+		t.Fatal("negative activeUsers accepted")
+	}
+	dup := []Event{
+		{User: 7, State: EnterState(0)},
+		{User: 7, State: EnterState(1)},
+	}
+	err = fw.ProcessTimestamp(dup, 2)
+	if err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	if !strings.Contains(err.Error(), "user 7") {
+		t.Fatalf("error does not name the duplicate user: %v", err)
+	}
+	if fw.Timestamp() != 0 {
+		t.Fatalf("framework advanced to t=%d on rejected input", fw.Timestamp())
+	}
+	ok := []Event{
+		{User: 7, State: EnterState(0)},
+		{User: 8, State: EnterState(1)},
+	}
+	if err := fw.ProcessTimestamp(ok, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Timestamp() != 1 {
+		t.Fatalf("framework did not advance on valid input")
 	}
 }
