@@ -34,7 +34,7 @@ func ablationData(b *testing.B) (*Dataset, *Grid) {
 func runEngineAblation(b *testing.B, orig *Dataset, g *Grid, mutate func(*core.Options)) metrics.Report {
 	b.Helper()
 	opts := core.Options{
-		Grid:     g,
+		Space:    g,
 		Epsilon:  1.0,
 		W:        20,
 		Division: allocation.Population,

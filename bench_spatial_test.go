@@ -1,0 +1,252 @@
+package retrasyn
+
+// Benchmarks of the pluggable spatial discretization: the uniform K×K grid
+// vs the density-adaptive quadtree on a skewed synthetic workload — the
+// city-center-plus-suburbs shape where a uniform grid wastes most of its
+// cells on empty space. Measured per backend: transition-domain size |S|,
+// one OUE collection round (user-side perturbation + curator fold, both
+// O(|S|) per report), and the estimation error of that round against the
+// true state frequencies.
+//
+//	go test -bench 'Spatial' -run - .
+//
+// RETRASYN_EMIT_BENCH=1 go test -run TestEmitBenchSpatialJSON .
+// re-measures everything and writes the results to BENCH_spatial.json.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
+)
+
+// skewedWorkload generates the skewed raw stream: 80% of users move inside
+// a hotspot covering 1/16 of the area, the rest roam the whole space.
+func skewedWorkload() (*RawDataset, Bounds) {
+	b := Bounds{MinX: 0, MinY: 0, MaxX: 32, MaxY: 32}
+	rng := ldp.NewRand(20240601, 20240602)
+	const users, T = 4000, 30
+	raw := &RawDataset{Name: "skewed", T: T}
+	for u := 0; u < users; u++ {
+		lo, span := 0.0, 32.0
+		if u%5 != 0 { // hotspot dweller
+			lo, span = 2, 8
+		}
+		start := rng.IntN(T / 2)
+		x := lo + rng.Float64()*span
+		y := lo + rng.Float64()*span
+		n := 5 + rng.IntN(T-start-4)
+		pts := make([]trajectory.RawPoint, 0, n)
+		for i := 0; i < n && start+i < T; i++ {
+			pts = append(pts, trajectory.RawPoint{X: x, Y: y})
+			// One-cell-scale step, clamped to the user's roaming box.
+			x = clampBench(x+(rng.Float64()-0.5)*2, lo, lo+span)
+			y = clampBench(y+(rng.Float64()-0.5)*2, lo, lo+span)
+		}
+		raw.Trajs = append(raw.Trajs, trajectory.RawTrajectory{Start: start, Points: pts})
+	}
+	return raw, b
+}
+
+func clampBench(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// spatialBenchSetup holds one backend's prepared collection round.
+type spatialBenchSetup struct {
+	name     string
+	space    Discretizer
+	dom      *transition.Domain
+	trueFreq []float64 // true state frequencies of the round
+	states   []int     // one domain index per report
+}
+
+var spatialBench struct {
+	once   sync.Once
+	setups []*spatialBenchSetup
+}
+
+// spatialSetups prepares the same skewed round on both backends: the
+// uniform 16×16 grid (256 cells — the granularity the hotspot needs) vs a
+// quadtree given only 1/4 of that leaf budget, which it spends almost
+// entirely on the hotspot.
+func spatialSetups(tb testing.TB) []*spatialBenchSetup {
+	spatialBench.once.Do(func() {
+		raw, bounds := skewedWorkload()
+		g, err := NewGrid(16, bounds)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		qt, err := NewQuadtree(bounds, DensitySketch(raw), QuadtreeOptions{MaxLeaves: 64, MaxDepth: 4})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, s := range []*spatialBenchSetup{
+			{name: "uniform-16x16", space: g},
+			{name: "quadtree-64", space: qt},
+		} {
+			s.dom = transition.NewDomain(s.space)
+			orig := Discretize(raw, s.space)
+			for _, tr := range orig.Trajs {
+				if idx, ok := s.dom.Index(EnterState(tr.Cells[0])); ok {
+					s.states = append(s.states, idx)
+				}
+				for j := 1; j < len(tr.Cells); j++ {
+					if idx, ok := s.dom.Index(MoveState(tr.Cells[j-1], tr.Cells[j])); ok {
+						s.states = append(s.states, idx)
+					}
+				}
+				if idx, ok := s.dom.Index(QuitState(tr.Cells[len(tr.Cells)-1])); ok {
+					s.states = append(s.states, idx)
+				}
+			}
+			s.trueFreq = make([]float64, s.dom.Size())
+			for _, idx := range s.states {
+				s.trueFreq[idx] += 1 / float64(len(s.states))
+			}
+			spatialBench.setups = append(spatialBench.setups, s)
+		}
+	})
+	return spatialBench.setups
+}
+
+// runSpatialRound perturbs and folds one full OUE round over the setup's
+// domain, returning the estimates.
+func runSpatialRound(s *spatialBenchSetup, seed uint64) []float64 {
+	rng := ldp.NewRand(seed, seed^0xa5a5a5a5)
+	oracle := ldp.MustOUE(s.dom.Size(), 1.0)
+	agg := ldp.NewAggregator(oracle)
+	for _, idx := range s.states {
+		agg.Add(oracle.Perturb(rng, idx))
+	}
+	return agg.EstimateAll()
+}
+
+func benchSpatialAggregation(b *testing.B, name string) {
+	var setup *spatialBenchSetup
+	for _, s := range spatialSetups(b) {
+		if s.name == name {
+			setup = s
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSpatialRound(setup, uint64(i)+1)
+	}
+}
+
+// BenchmarkSpatialRoundUniform runs one OUE collection round (perturb +
+// fold + estimate) on the uniform 16×16 grid's domain.
+func BenchmarkSpatialRoundUniform(b *testing.B) { benchSpatialAggregation(b, "uniform-16x16") }
+
+// BenchmarkSpatialRoundQuadtree runs the identical round on the quadtree's
+// smaller domain.
+func BenchmarkSpatialRoundQuadtree(b *testing.B) { benchSpatialAggregation(b, "quadtree-64") }
+
+// spatialL1Error measures the round's total estimation error Σ|est−true|
+// averaged over trials. With identical ε and reporter count, the per-state
+// OUE variance is the same on both backends, so total error scales with
+// |S| — the domain the quadtree shrinks.
+func spatialL1Error(s *spatialBenchSetup, trials int) float64 {
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		est := runSpatialRound(s, uint64(trial)*7919+1)
+		for i, e := range est {
+			sum += math.Abs(e - s.trueFreq[i])
+		}
+	}
+	return sum / float64(trials)
+}
+
+// TestSpatialQuadtreeShrinksDomain pins the tentpole's promise: on the
+// skewed workload the quadtree's transition domain is a fraction of the
+// uniform grid's, and the one-round estimation error shrinks with it.
+func TestSpatialQuadtreeShrinksDomain(t *testing.T) {
+	setups := spatialSetups(t)
+	uni, qt := setups[0], setups[1]
+	if qt.dom.Size() >= uni.dom.Size()/2 {
+		t.Fatalf("quadtree domain %d not < half of uniform %d", qt.dom.Size(), uni.dom.Size())
+	}
+	uniErr := spatialL1Error(uni, 3)
+	qtErr := spatialL1Error(qt, 3)
+	if qtErr >= uniErr {
+		t.Fatalf("quadtree L1 error %.4f not below uniform %.4f", qtErr, uniErr)
+	}
+}
+
+// TestEmitBenchSpatialJSON measures the spatial benchmarks and writes
+// BENCH_spatial.json. Gated behind RETRASYN_EMIT_BENCH so the regular suite
+// stays fast.
+func TestEmitBenchSpatialJSON(t *testing.T) {
+	if os.Getenv("RETRASYN_EMIT_BENCH") == "" {
+		t.Skip("set RETRASYN_EMIT_BENCH=1 to measure and write BENCH_spatial.json")
+	}
+	type entry struct {
+		Name         string  `json:"name"`
+		NumCells     int     `json:"num_cells"`
+		DomainSize   int     `json:"domain_size"`
+		Reports      int     `json:"reports"`
+		RoundNsPerOp float64 `json:"round_ns_per_op"`
+		EstimationL1 float64 `json:"estimation_l1_error"`
+		DomainShrink float64 `json:"domain_shrink_vs_uniform,omitempty"`
+		RoundSpeedup float64 `json:"round_speedup_vs_uniform,omitempty"`
+		L1ErrorRatio float64 `json:"l1_error_ratio_vs_uniform,omitempty"`
+	}
+	setups := spatialSetups(t)
+	measure := func(s *spatialBenchSetup, bench func(*testing.B)) entry {
+		r := testing.Benchmark(bench)
+		return entry{
+			Name:         s.name,
+			NumCells:     s.space.NumCells(),
+			DomainSize:   s.dom.Size(),
+			Reports:      len(s.states),
+			RoundNsPerOp: float64(r.NsPerOp()),
+			EstimationL1: spatialL1Error(s, 5),
+		}
+	}
+	uni := measure(setups[0], BenchmarkSpatialRoundUniform)
+	qt := measure(setups[1], BenchmarkSpatialRoundQuadtree)
+	qt.DomainShrink = float64(uni.DomainSize) / float64(qt.DomainSize)
+	qt.RoundSpeedup = uni.RoundNsPerOp / qt.RoundNsPerOp
+	qt.L1ErrorRatio = qt.EstimationL1 / uni.EstimationL1
+
+	out := struct {
+		Workload   string  `json:"workload"`
+		Epsilon    float64 `json:"epsilon"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Results    []entry `json:"results"`
+	}{
+		Workload:   "skewed: 80% of 4000 users inside a hotspot covering 1/16 of the area",
+		Epsilon:    1.0,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    []entry{uni, qt},
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_spatial.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("domain shrink ×%.2f, round speedup ×%.2f, L1 error ratio %.2f",
+		qt.DomainShrink, qt.RoundSpeedup, qt.L1ErrorRatio)
+	if qt.DomainShrink <= 1 {
+		t.Errorf("quadtree did not shrink the domain (×%.2f)", qt.DomainShrink)
+	}
+	if qt.L1ErrorRatio >= 1 {
+		t.Errorf("quadtree did not reduce estimation error (ratio %.2f)", qt.L1ErrorRatio)
+	}
+}

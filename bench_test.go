@@ -167,7 +167,7 @@ func BenchmarkEngineTimestamp(b *testing.B) {
 		events[i] = trajectory.Event{User: i, State: MoveState(c, ns[rng.IntN(len(ns))])}
 	}
 	engine, err := core.New(core.Options{
-		Grid: g, Epsilon: 1.0, W: 10,
+		Space: g, Epsilon: 1.0, W: 10,
 		Division: allocation.Population,
 		Lambda:   13.6, Seed: 11,
 	})

@@ -27,6 +27,8 @@
 //
 //	curator -addr :8080 -k 6 -boundsMax 30 -eps 1.0 -w 20 -lambda 13.6 \
 //	        -checkpoint /var/lib/retrasyn/curator.ckpt
+//	curator -spatial quadtree -density historical.csv -max-leaves 64 \
+//	        -boundsMax 30 -eps 1.0 -w 20 -lambda 13.6
 package main
 
 import (
@@ -42,30 +44,39 @@ import (
 	"syscall"
 	"time"
 
+	"retrasyn"
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/remote"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/trajectory"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		k          = flag.Int("k", 6, "grid granularity K")
-		boundMin   = flag.Float64("boundsMin", 0, "spatial lower bound (both axes)")
-		boundMax   = flag.Float64("boundsMax", 30, "spatial upper bound (both axes)")
-		eps        = flag.Float64("eps", 1.0, "privacy budget ε")
-		w          = flag.Int("w", 20, "window size w")
-		lambda     = flag.Float64("lambda", 13.6, "synthesis termination factor λ")
-		division   = flag.String("division", "population", `"budget" or "population"`)
-		seed       = flag.Uint64("seed", 2024, "curator randomness seed")
-		checkpoint = flag.String("checkpoint", "", "state file loaded on boot and written on graceful shutdown")
-		drainGrace = flag.Duration("drainGrace", 10*time.Second, "graceful-shutdown grace for in-flight requests")
+		addr        = flag.String("addr", ":8080", "listen address")
+		k           = flag.Int("k", 6, "grid granularity K (-spatial uniform)")
+		boundMin    = flag.Float64("boundsMin", 0, "spatial lower bound (both axes)")
+		boundMax    = flag.Float64("boundsMax", 30, "spatial upper bound (both axes)")
+		eps         = flag.Float64("eps", 1.0, "privacy budget ε")
+		w           = flag.Int("w", 20, "window size w")
+		lambda      = flag.Float64("lambda", 13.6, "synthesis termination factor λ")
+		division    = flag.String("division", "population", `"budget" or "population"`)
+		spatialKind = flag.String("spatial", "uniform", `spatial discretization: "uniform" (K×K grid) or "quadtree" (density-adaptive; requires -density)`)
+		maxLeaves   = flag.Int("max-leaves", 64, "quadtree leaf budget (-spatial quadtree)")
+		density     = flag.String("density", "", "public/historical raw-trajectory CSV that seeds the quadtree density sketch (-spatial quadtree)")
+		seed        = flag.Uint64("seed", 2024, "curator randomness seed")
+		checkpoint  = flag.String("checkpoint", "", "state file loaded on boot and written on graceful shutdown")
+		drainGrace  = flag.Duration("drainGrace", 10*time.Second, "graceful-shutdown grace for in-flight requests")
 	)
 	flag.Parse()
 
-	g, err := grid.New(*k, grid.Bounds{MinX: *boundMin, MinY: *boundMin, MaxX: *boundMax, MaxY: *boundMax})
+	if err := validateFlags(*k, *eps, *w, *lambda, *boundMin, *boundMax, *spatialKind, *maxLeaves, *density, *drainGrace); err != nil {
+		log.Fatalf("curator: %v", err)
+	}
+	space, err := buildSpace(*spatialKind, *k, *boundMin, *boundMax, *maxLeaves, *density)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("curator: %v", err)
 	}
 	div := allocation.Population
 	switch *division {
@@ -73,10 +84,10 @@ func main() {
 	case "budget":
 		div = allocation.Budget
 	default:
-		log.Fatalf("curator: unknown division %q", *division)
+		log.Fatalf("curator: unknown -division %q (want \"budget\" or \"population\")", *division)
 	}
 	cur, err := remote.NewCurator(remote.CuratorConfig{
-		Grid: g, Epsilon: *eps, W: *w, Division: div, Lambda: *lambda, Seed: *seed,
+		Space: space, Epsilon: *eps, W: *w, Division: div, Lambda: *lambda, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -97,8 +108,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("curator: serving w-event ε-LDP collection on %s (ε=%.2f w=%d K=%d, %s division)\n",
-		*addr, *eps, *w, *k, div)
+	fmt.Printf("curator: serving w-event ε-LDP collection on %s (ε=%.2f w=%d, %s division, %d cells / %d states via %s)\n",
+		*addr, *eps, *w, div, space.NumCells(), cur.Domain().Size(), *spatialKind)
 
 	select {
 	case err := <-errc:
@@ -120,6 +131,65 @@ func main() {
 		}
 		fmt.Printf("curator: state checkpointed to %s\n", *checkpoint)
 	}
+}
+
+// validateFlags rejects unusable configurations up front with errors that
+// name the flag and the accepted range, instead of panicking mid-boot or
+// silently falling back to defaults.
+func validateFlags(k int, eps float64, w int, lambda, boundMin, boundMax float64, spatialKind string, maxLeaves int, density string, drainGrace time.Duration) error {
+	if !(eps > 0) {
+		return fmt.Errorf("-eps must be > 0, got %v", eps)
+	}
+	if w < 1 {
+		return fmt.Errorf("-w must be ≥ 1, got %d", w)
+	}
+	if !(lambda > 0) {
+		return fmt.Errorf("-lambda must be > 0, got %v", lambda)
+	}
+	if boundMax <= boundMin {
+		return fmt.Errorf("-boundsMax (%v) must exceed -boundsMin (%v)", boundMax, boundMin)
+	}
+	if drainGrace <= 0 {
+		return fmt.Errorf("-drainGrace must be positive, got %v", drainGrace)
+	}
+	switch spatialKind {
+	case "uniform":
+		if k < 1 {
+			return fmt.Errorf("-k must be ≥ 1, got %d", k)
+		}
+	case "quadtree":
+		if maxLeaves < 1 {
+			return fmt.Errorf("-max-leaves must be ≥ 1, got %d", maxLeaves)
+		}
+		if density == "" {
+			return fmt.Errorf("-spatial quadtree needs -density, a public/historical raw-trajectory CSV that seeds the density sketch")
+		}
+	default:
+		return fmt.Errorf("unknown -spatial %q (want \"uniform\" or \"quadtree\")", spatialKind)
+	}
+	return nil
+}
+
+// buildSpace constructs the configured spatial discretization.
+func buildSpace(kind string, k int, boundMin, boundMax float64, maxLeaves int, density string) (spatial.Discretizer, error) {
+	b := spatial.Bounds{MinX: boundMin, MinY: boundMin, MaxX: boundMax, MaxY: boundMax}
+	if kind == "uniform" {
+		return grid.New(k, b)
+	}
+	f, err := os.Open(density)
+	if err != nil {
+		return nil, fmt.Errorf("open -density: %w", err)
+	}
+	defer f.Close()
+	raw, err := trajectory.ReadRaw(f)
+	if err != nil {
+		return nil, fmt.Errorf("parse -density %s: %w", density, err)
+	}
+	pts := retrasyn.DensitySketch(raw)
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("-density %s holds no points; the quadtree needs a non-empty sketch", density)
+	}
+	return spatial.NewQuadtree(b, pts, spatial.QuadtreeOptions{MaxLeaves: maxLeaves})
 }
 
 // loadCheckpoint restores the curator from a state file; a missing file is a

@@ -7,6 +7,7 @@
 //
 //	retrasyn -dataset tdrive -scale 0.5 -eps 1.0 -w 20 -k 6 -division population
 //	retrasyn -in traces.csv -boundsMax 30 -method lpa -out synthetic.csv
+//	retrasyn -dataset tdrive -spatial quadtree -max-leaves 48
 package main
 
 import (
@@ -21,36 +22,60 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "tdrive", `standard dataset: "tdrive", "oldenburg", "sanjoaquin" (ignored with -in)`)
-		in       = flag.String("in", "", "input raw-trajectory CSV (as written by datagen)")
-		boundMin = flag.Float64("boundsMin", 0, "spatial lower bound for -in data (both axes)")
-		boundMax = flag.Float64("boundsMax", 30, "spatial upper bound for -in data (both axes)")
-		scale    = flag.Float64("scale", 0.5, "population scale for generated datasets")
-		k        = flag.Int("k", 6, "grid granularity K")
-		eps      = flag.Float64("eps", 1.0, "privacy budget ε")
-		w        = flag.Int("w", 20, "window size w")
-		division = flag.String("division", "population", `"budget" or "population"`)
-		strategy = flag.String("strategy", "adaptive", `"adaptive", "uniform", or "sample"`)
-		method   = flag.String("method", "retrasyn", `"retrasyn", "lbd", "lba", "lpd", or "lpa"`)
-		shards   = flag.Int("shards", 1, "parallel pipeline shards (users fanned out by ID; 1 = sequential engine)")
-		seed     = flag.Uint64("seed", 2024, "run seed")
-		out      = flag.String("out", "", "write the synthetic cell streams to this CSV path")
-		quiet    = flag.Bool("quiet", false, "suppress the utility report")
+		dataset     = flag.String("dataset", "tdrive", `standard dataset: "tdrive", "oldenburg", "sanjoaquin" (ignored with -in)`)
+		in          = flag.String("in", "", "input raw-trajectory CSV (as written by datagen)")
+		boundMin    = flag.Float64("boundsMin", 0, "spatial lower bound for -in data (both axes)")
+		boundMax    = flag.Float64("boundsMax", 30, "spatial upper bound for -in data (both axes)")
+		scale       = flag.Float64("scale", 0.5, "population scale for generated datasets")
+		k           = flag.Int("k", 6, "grid granularity K")
+		eps         = flag.Float64("eps", 1.0, "privacy budget ε")
+		w           = flag.Int("w", 20, "window size w")
+		division    = flag.String("division", "population", `"budget" or "population"`)
+		strategy    = flag.String("strategy", "adaptive", `"adaptive", "uniform", or "sample"`)
+		method      = flag.String("method", "retrasyn", `"retrasyn", "lbd", "lba", "lpd", or "lpa"`)
+		shards      = flag.Int("shards", 1, "parallel pipeline shards (users fanned out by ID; 1 = sequential engine)")
+		spatialKind = flag.String("spatial", "uniform", `spatial discretization: "uniform" (K×K grid) or "quadtree" (density-adaptive)`)
+		maxLeaves   = flag.Int("max-leaves", 64, "quadtree leaf budget (-spatial quadtree)")
+		density     = flag.String("density", "", "public/historical raw-trajectory CSV seeding the quadtree density sketch; omitted, the sketch falls back to the input itself (simulation only — see the printed warning)")
+		seed        = flag.Uint64("seed", 2024, "run seed")
+		out         = flag.String("out", "", "write the synthetic cell streams to this CSV path")
+		quiet       = flag.Bool("quiet", false, "suppress the utility report")
 	)
 	flag.Parse()
 
+	if err := validateFlags(*k, *eps, *w, *shards, *scale, *boundMin, *boundMax, *spatialKind, *maxLeaves); err != nil {
+		fatal(err)
+	}
 	raw, bounds, err := loadData(*in, *dataset, *scale, *seed, *boundMin, *boundMax)
 	if err != nil {
 		fatal(err)
 	}
+
+	// The uniform grid is always built: LDP-IDS baselines and the utility
+	// metrics are defined over it. With -spatial quadtree the engine itself
+	// runs on the density-adaptive tree instead.
 	g, err := retrasyn.NewGrid(*k, bounds)
 	if err != nil {
 		fatal(err)
 	}
-	orig := retrasyn.Discretize(raw, g)
+	var space retrasyn.Discretizer = g
+	if *spatialKind == "quadtree" {
+		sketch, err := loadSketch(*density, raw)
+		if err != nil {
+			fatal(err)
+		}
+		qt, err := retrasyn.NewQuadtree(bounds, sketch, retrasyn.QuadtreeOptions{MaxLeaves: *maxLeaves})
+		if err != nil {
+			fatal(err)
+		}
+		space = qt
+	}
+	orig := retrasyn.Discretize(raw, space)
 	stats := orig.Stats()
 	fmt.Printf("input: %s — %d streams, %d points, avg length %.2f, %d timestamps\n",
 		orig.Name, stats.Size, stats.NumPoints, stats.AvgLength, stats.Timestamps)
+	fmt.Printf("space: %s — %d cells, %d movement states\n",
+		*spatialKind, space.NumCells(), space.TotalMoveStates())
 
 	var syn *retrasyn.Dataset
 	switch strings.ToLower(*method) {
@@ -59,17 +84,17 @@ func main() {
 		if *division == "budget" {
 			div = retrasyn.BudgetDivision
 		} else if *division != "population" {
-			fatal(fmt.Errorf("unknown division %q", *division))
+			fatal(fmt.Errorf("unknown -division %q (want \"budget\" or \"population\")", *division))
 		}
 		fw, err := retrasyn.New(retrasyn.Options{
-			Grid:     g,
-			Epsilon:  *eps,
-			Window:   *w,
-			Division: div,
-			Strategy: *strategy,
-			Lambda:   stats.AvgLength,
-			Shards:   *shards,
-			Seed:     *seed,
+			Discretizer: space,
+			Epsilon:     *eps,
+			Window:      *w,
+			Division:    div,
+			Strategy:    *strategy,
+			Lambda:      stats.AvgLength,
+			Shards:      *shards,
+			Seed:        *seed,
 		})
 		if err != nil {
 			fatal(err)
@@ -82,6 +107,9 @@ func main() {
 		fmt.Printf("run: %d collection rounds, %d reports, %.3fs total component time\n",
 			runStats.Rounds, runStats.TotalReports, runStats.Timings.Total().Seconds())
 	case "lbd", "lba", "lpd", "lpa":
+		if *spatialKind != "uniform" {
+			fatal(fmt.Errorf("the LDP-IDS baselines are defined over the uniform grid; drop -spatial %s or use -method retrasyn", *spatialKind))
+		}
 		bm := map[string]retrasyn.BaselineMethod{
 			"lbd": retrasyn.LBD, "lba": retrasyn.LBA, "lpd": retrasyn.LPD, "lpa": retrasyn.LPA,
 		}[strings.ToLower(*method)]
@@ -90,13 +118,17 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+		fatal(fmt.Errorf("unknown -method %q (want \"retrasyn\", \"lbd\", \"lba\", \"lpd\", or \"lpa\")", *method))
 	}
 
 	synStats := syn.Stats()
 	fmt.Printf("released: %d synthetic streams, %d points\n", synStats.Size, synStats.NumPoints)
 
-	if !*quiet {
+	switch {
+	case *quiet:
+	case *spatialKind != "uniform":
+		fmt.Println("utility report skipped: the paper's metrics are defined over the uniform grid (rerun with -spatial uniform)")
+	default:
 		r := retrasyn.EvaluateUtility(orig, syn, g, retrasyn.UtilityOptions{Seed: *seed})
 		fmt.Printf("\nutility (smaller better unless noted):\n")
 		fmt.Printf("  density error:    %.4f\n", r.DensityError)
@@ -120,6 +152,66 @@ func main() {
 		}
 		fmt.Printf("wrote synthetic streams to %s\n", *out)
 	}
+}
+
+// validateFlags rejects unusable flag combinations up front with errors
+// that name the flag and the accepted range.
+func validateFlags(k int, eps float64, w, shards int, scale, boundMin, boundMax float64, spatialKind string, maxLeaves int) error {
+	if k < 1 {
+		return fmt.Errorf("-k must be ≥ 1, got %d", k)
+	}
+	if !(eps > 0) {
+		return fmt.Errorf("-eps must be > 0, got %v", eps)
+	}
+	if w < 1 {
+		return fmt.Errorf("-w must be ≥ 1, got %d", w)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be ≥ 1, got %d", shards)
+	}
+	if !(scale > 0) {
+		return fmt.Errorf("-scale must be > 0, got %v", scale)
+	}
+	if boundMax <= boundMin {
+		return fmt.Errorf("-boundsMax (%v) must exceed -boundsMin (%v)", boundMax, boundMin)
+	}
+	switch spatialKind {
+	case "uniform":
+	case "quadtree":
+		if maxLeaves < 1 {
+			return fmt.Errorf("-max-leaves must be ≥ 1, got %d", maxLeaves)
+		}
+	default:
+		return fmt.Errorf("unknown -spatial %q (want \"uniform\" or \"quadtree\")", spatialKind)
+	}
+	return nil
+}
+
+// loadSketch reads the quadtree density sketch from the -density CSV. When
+// no file is given it falls back to the run's own input — fine for the
+// simulated datasets this command usually drives, but on real private data
+// the tree layout would leak hotspot locations outside the ε accounting, so
+// the fallback announces itself loudly.
+func loadSketch(density string, input *retrasyn.RawDataset) ([]retrasyn.Point, error) {
+	if density == "" {
+		fmt.Fprintln(os.Stderr, "retrasyn: WARNING: quadtree density sketch derived from the input stream itself;"+
+			" on private data pass -density with a public/historical CSV, or the tree layout leaks hotspots outside the ε-LDP guarantee")
+		return retrasyn.DensitySketch(input), nil
+	}
+	f, err := os.Open(density)
+	if err != nil {
+		return nil, fmt.Errorf("open -density: %w", err)
+	}
+	defer f.Close()
+	raw, err := trajectory.ReadRaw(f)
+	if err != nil {
+		return nil, fmt.Errorf("parse -density %s: %w", density, err)
+	}
+	pts := retrasyn.DensitySketch(raw)
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("-density %s holds no points; the quadtree needs a non-empty sketch", density)
+	}
+	return pts, nil
 }
 
 func loadData(in, dataset string, scale float64, seed uint64, boundMin, boundMax float64) (*retrasyn.RawDataset, retrasyn.Bounds, error) {

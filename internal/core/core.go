@@ -12,10 +12,10 @@ import (
 	"fmt"
 
 	"retrasyn/internal/allocation"
-	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
 	"retrasyn/internal/pipeline"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/synthesis"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
@@ -67,7 +67,10 @@ func (k OracleKind) String() string {
 
 // Options configures an Engine.
 type Options struct {
-	Grid    *grid.System
+	// Space is the spatial discretization the engine runs on (required) —
+	// the uniform grid for the paper's setup, or any other
+	// spatial.Discretizer backend (e.g. the density-adaptive quadtree).
+	Space   spatial.Discretizer
 	Epsilon float64
 	// W is the w-event window size.
 	W int
@@ -111,8 +114,8 @@ type Options struct {
 }
 
 func (o *Options) defaults() error {
-	if o.Grid == nil {
-		return fmt.Errorf("core: Grid is required")
+	if o.Space == nil {
+		return fmt.Errorf("core: Space (the spatial discretization) is required")
 	}
 	if !(o.Epsilon > 0) {
 		return fmt.Errorf("core: Epsilon must be > 0, got %v", o.Epsilon)
@@ -183,12 +186,12 @@ func New(opts Options) (*Engine, error) {
 	}
 	var dom *transition.Domain
 	if opts.DisableEQ {
-		dom = transition.NewMoveOnlyDomain(opts.Grid)
+		dom = transition.NewMoveOnlyDomain(opts.Space)
 	} else {
-		dom = transition.NewDomain(opts.Grid)
+		dom = transition.NewDomain(opts.Space)
 	}
 	rng := ldp.NewSource(opts.Seed, opts.Seed^0x9e3779b97f4a7c15)
-	synth, err := synthesis.New(opts.Grid, synthesis.Options{
+	synth, err := synthesis.New(opts.Space, synthesis.Options{
 		Lambda:             opts.Lambda,
 		DisableTermination: opts.DisableEQ,
 		Workers:            opts.SynthesisWorkers,

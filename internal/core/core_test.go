@@ -7,6 +7,7 @@ import (
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
@@ -14,14 +15,15 @@ func testGrid() *grid.System {
 	return grid.MustNew(4, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
 }
 
-// walkDataset builds a random-walk cell dataset with entering/quitting churn.
-func walkDataset(g *grid.System, users, T int, meanLen float64, seed uint64) *trajectory.Dataset {
+// walkDataset builds a random-walk cell dataset with entering/quitting churn
+// over any spatial discretization.
+func walkDataset(g spatial.Discretizer, users, T int, meanLen float64, seed uint64) *trajectory.Dataset {
 	rng := ldp.NewRand(seed, seed+1)
 	d := &trajectory.Dataset{Name: "walk", T: T}
 	for u := 0; u < users; u++ {
 		start := rng.IntN(T)
-		c := grid.Cell(rng.IntN(g.NumCells()))
-		cells := []grid.Cell{c}
+		c := spatial.Cell(rng.IntN(g.NumCells()))
+		cells := []spatial.Cell{c}
 		for t := start + 1; t < T; t++ {
 			if rng.Float64() < 1/meanLen {
 				break
@@ -37,7 +39,7 @@ func walkDataset(g *grid.System, users, T int, meanLen float64, seed uint64) *tr
 
 func defaultOpts(div allocation.Division) Options {
 	return Options{
-		Grid:     testGrid(),
+		Space:    testGrid(),
 		Epsilon:  1.0,
 		W:        5,
 		Division: div,
@@ -51,7 +53,7 @@ func TestNewValidation(t *testing.T) {
 		name   string
 		mutate func(*Options)
 	}{
-		{"nil grid", func(o *Options) { o.Grid = nil }},
+		{"nil space", func(o *Options) { o.Space = nil }},
 		{"zero epsilon", func(o *Options) { o.Epsilon = 0 }},
 		{"negative epsilon", func(o *Options) { o.Epsilon = -1 }},
 		{"zero w", func(o *Options) { o.W = 0 }},

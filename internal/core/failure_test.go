@@ -15,7 +15,7 @@ import (
 func TestEngineK1Grid(t *testing.T) {
 	g := grid.MustNew(1, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
 	opts := Options{
-		Grid: g, Epsilon: 1, W: 3,
+		Space: g, Epsilon: 1, W: 3,
 		Division: allocation.Population, Lambda: 4, Seed: 1,
 	}
 	e, err := New(opts)

@@ -27,7 +27,7 @@ func TestEngineInvariantsProperty(t *testing.T) {
 		data := walkDataset(g, 120, 25, 7, seed)
 		stream := trajectory.NewStream(data)
 		e, err := New(Options{
-			Grid: g, Epsilon: eps, W: w, Division: div,
+			Space: g, Epsilon: eps, W: w, Division: div,
 			Lambda: 7, Seed: seed ^ 0xfeed,
 		})
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"strings"
+
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/mobility"
 	"retrasyn/internal/synthesis"
@@ -28,6 +30,12 @@ const EngineStateVersion = 1
 // whose fingerprint differs would silently corrupt releases, so Restore
 // requires an exact match.
 type ConfigFingerprint struct {
+	// Discretizer is the stable layout fingerprint of the spatial backend
+	// (spatial.Discretizer.Fingerprint). Checkpoints written before the
+	// pluggable-discretization refactor omit it; Restore accepts those
+	// legacy snapshots when the engine runs the uniform grid, the only
+	// backend that existed then.
+	Discretizer  string  `json:"discretizer,omitempty"`
 	DomainSize   int     `json:"domain_size"`
 	Epsilon      float64 `json:"epsilon"`
 	W            int     `json:"w"`
@@ -44,6 +52,7 @@ type ConfigFingerprint struct {
 
 func (e *Engine) fingerprint() ConfigFingerprint {
 	return ConfigFingerprint{
+		Discretizer:  e.opts.Space.Fingerprint(),
 		DomainSize:   e.dom.Size(),
 		Epsilon:      e.opts.Epsilon,
 		W:            e.opts.W,
@@ -124,7 +133,15 @@ func (e *Engine) Restore(st *EngineState) error {
 	if st.Version != EngineStateVersion {
 		return fmt.Errorf("core: snapshot version %d, engine supports %d", st.Version, EngineStateVersion)
 	}
-	if got, want := e.fingerprint(), st.Config; got != want {
+	got, want := e.fingerprint(), st.Config
+	if want.Discretizer == "" && strings.HasPrefix(got.Discretizer, "uniform:") {
+		// Legacy checkpoint from a pre-spatial build: those engines only
+		// ever ran the uniform grid, so accept iff this engine's backend is
+		// a uniform layout too (the remaining fields — domain size included
+		// — still must match).
+		want.Discretizer = got.Discretizer
+	}
+	if got != want {
 		return fmt.Errorf("core: snapshot config %+v does not match engine config %+v", want, got)
 	}
 	if (st.BudgetWindow != nil) != (e.budgetWin != nil) {

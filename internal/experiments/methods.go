@@ -143,7 +143,7 @@ func Run(spec RunSpec, d *Discretized) (*RunResult, error) {
 		return nil, err
 	}
 	opts := core.Options{
-		Grid:       d.Grid,
+		Space:      d.Grid,
 		Epsilon:    spec.Epsilon,
 		W:          spec.W,
 		Division:   spec.Method.Division(),

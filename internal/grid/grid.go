@@ -3,46 +3,30 @@
 // grid cells; mobility is constrained to transitions between a cell and its
 // (at most eight) adjacent cells plus itself, the paper's reachability
 // constraint that shrinks the movement-state domain from |C|² to O(9|C|).
+//
+// The grid is the uniform backend of the spatial.Discretizer abstraction —
+// the engine layers consume the interface, so this package stays the
+// bit-identical default while density-adaptive backends (spatial.Quadtree)
+// can be swapped in for skewed workloads.
 package grid
 
 import (
 	"fmt"
 	"math"
+
+	"retrasyn/internal/spatial"
 )
 
 // Cell identifies a grid cell as row*K + col. The zero cell is the
-// bottom-left corner of the space.
-type Cell int32
+// bottom-left corner of the space. It is the shared spatial.Cell index type.
+type Cell = spatial.Cell
 
 // Invalid is returned for points outside the grid bounds by CellOfOK.
-const Invalid Cell = -1
+const Invalid = spatial.Invalid
 
 // Bounds describes the continuous bounding box of the space being
-// discretized. Max coordinates are exclusive for interior points; points
-// exactly on the max edge are clamped into the last row/column, matching the
-// common half-open convention for spatial partitioning.
-type Bounds struct {
-	MinX, MinY, MaxX, MaxY float64
-}
-
-// Valid reports whether the bounds describe a non-degenerate box.
-func (b Bounds) Valid() bool {
-	return b.MaxX > b.MinX && b.MaxY > b.MinY &&
-		!math.IsNaN(b.MinX) && !math.IsNaN(b.MinY) &&
-		!math.IsInf(b.MaxX, 0) && !math.IsInf(b.MaxY, 0)
-}
-
-// Contains reports whether (x, y) lies inside the bounds (max edges
-// inclusive, consistent with CellOf clamping).
-func (b Bounds) Contains(x, y float64) bool {
-	return x >= b.MinX && x <= b.MaxX && y >= b.MinY && y <= b.MaxY
-}
-
-// Width returns MaxX − MinX.
-func (b Bounds) Width() float64 { return b.MaxX - b.MinX }
-
-// Height returns MaxY − MinY.
-func (b Bounds) Height() float64 { return b.MaxY - b.MinY }
+// discretized; it is the shared spatial.Bounds type.
+type Bounds = spatial.Bounds
 
 // System is a K×K uniform grid over a bounding box with precomputed
 // neighbourhoods. It is immutable after construction and safe for concurrent
@@ -206,6 +190,18 @@ func (s *System) TotalMoveStates() int {
 	}
 	return n
 }
+
+// Fingerprint returns the stable layout identifier of the grid (the
+// spatial.Discretizer contract): kind, granularity and exact bounds.
+func (s *System) Fingerprint() string {
+	return fmt.Sprintf("uniform:v1:k=%d:bounds=%x,%x,%x,%x", s.k,
+		math.Float64bits(s.bounds.MinX), math.Float64bits(s.bounds.MinY),
+		math.Float64bits(s.bounds.MaxX), math.Float64bits(s.bounds.MaxY))
+}
+
+// System implements the pluggable discretization interface the engine
+// layers consume.
+var _ spatial.Discretizer = (*System)(nil)
 
 // CellDistance returns the Chebyshev distance between two cells (the number
 // of timestamps a user moving one step per timestamp needs to travel between

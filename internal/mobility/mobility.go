@@ -10,8 +10,8 @@ import (
 	"math"
 	"sort"
 
-	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/transition"
 )
 
@@ -101,7 +101,7 @@ func (m *Model) Restore(st State) error {
 // sampling. It is immutable and safe for concurrent use.
 type Snapshot struct {
 	dom *transition.Domain
-	g   *grid.System
+	sp  spatial.Discretizer
 
 	// moveCum[c] is the cumulative clamped frequency over Neighbors(c), in
 	// neighbour-rank order. A zero total marks an uninformative row.
@@ -116,16 +116,16 @@ type Snapshot struct {
 
 func newSnapshot(m *Model) *Snapshot {
 	dom := m.dom
-	g := dom.Grid()
-	nc := g.NumCells()
+	sp := dom.Space()
+	nc := sp.NumCells()
 	s := &Snapshot{
 		dom:      dom,
-		g:        g,
+		sp:       sp,
 		moveCum:  make([][]float64, nc),
 		quitProb: make([]float64, nc),
 	}
 	for c := 0; c < nc; c++ {
-		base, n := dom.MoveBlock(grid.Cell(c))
+		base, n := dom.MoveBlock(spatial.Cell(c))
 		cum := make([]float64, n)
 		sum := 0.0
 		for r := 0; r < n; r++ {
@@ -134,7 +134,7 @@ func newSnapshot(m *Model) *Snapshot {
 		}
 		s.moveCum[c] = cum
 		if dom.HasEQ() {
-			fq := clampNonNeg(m.freq[dom.QuitIndex(grid.Cell(c))])
+			fq := clampNonNeg(m.freq[dom.QuitIndex(spatial.Cell(c))])
 			if denom := sum + fq; denom > 0 {
 				s.quitProb[c] = fq / denom
 			}
@@ -146,9 +146,9 @@ func newSnapshot(m *Model) *Snapshot {
 		s.quitFreq = make([]float64, nc)
 		esum, qsum := 0.0, 0.0
 		for c := 0; c < nc; c++ {
-			esum += clampNonNeg(m.freq[dom.EnterIndex(grid.Cell(c))])
+			esum += clampNonNeg(m.freq[dom.EnterIndex(spatial.Cell(c))])
 			s.enterCum[c] = esum
-			fq := clampNonNeg(m.freq[dom.QuitIndex(grid.Cell(c))])
+			fq := clampNonNeg(m.freq[dom.QuitIndex(spatial.Cell(c))])
 			s.quitFreq[c] = fq
 			qsum += fq
 			s.quitCum[c] = qsum
@@ -164,16 +164,16 @@ func clampNonNeg(f float64) float64 {
 	return f
 }
 
-// Grid returns the grid system of the snapshot.
-func (s *Snapshot) Grid() *grid.System { return s.g }
+// Space returns the spatial discretization of the snapshot.
+func (s *Snapshot) Space() spatial.Discretizer { return s.sp }
 
 // QuitProb returns the per-step quitting probability of cell c before
 // length reweighting (Eq. 6's quit term).
-func (s *Snapshot) QuitProb(c grid.Cell) float64 { return s.quitProb[c] }
+func (s *Snapshot) QuitProb(c spatial.Cell) float64 { return s.quitProb[c] }
 
 // MoveProb returns P(m_cj) for the rank-th neighbour of c under Eq. 6
 // (movement mass conditioned on the full denominator including quit).
-func (s *Snapshot) MoveProb(c grid.Cell, rank int) float64 {
+func (s *Snapshot) MoveProb(c spatial.Cell, rank int) float64 {
 	cum := s.moveCum[c]
 	total := cum[len(cum)-1]
 	fq := 0.0
@@ -195,8 +195,8 @@ func (s *Snapshot) MoveProb(c grid.Cell, rank int) float64 {
 // conditioned on not quitting. When the row carries no mass (all estimates
 // non-positive — e.g. early timestamps under heavy noise), it falls back to
 // a uniform draw over the reachable cells so synthesis can always proceed.
-func (s *Snapshot) SampleMove(rng ldp.Rand, c grid.Cell) grid.Cell {
-	ns := s.g.Neighbors(c)
+func (s *Snapshot) SampleMove(rng ldp.Rand, c spatial.Cell) spatial.Cell {
+	ns := s.sp.Neighbors(c)
 	cum := s.moveCum[c]
 	total := cum[len(cum)-1]
 	if total <= 0 {
@@ -213,7 +213,7 @@ func (s *Snapshot) SampleMove(rng ldp.Rand, c grid.Cell) grid.Cell {
 // SampleEnter draws a starting cell from the entering distribution E, with
 // a uniform fallback when E carries no mass. It panics for move-only
 // domains.
-func (s *Snapshot) SampleEnter(rng ldp.Rand) grid.Cell {
+func (s *Snapshot) SampleEnter(rng ldp.Rand) spatial.Cell {
 	if s.enterCum == nil {
 		panic("mobility: SampleEnter on a move-only domain")
 	}
@@ -223,22 +223,22 @@ func (s *Snapshot) SampleEnter(rng ldp.Rand) grid.Cell {
 // QuitWeight returns the clamped quitting frequency f_jQ of cell c, used to
 // weight which synthetic streams terminate during size adjustment
 // (P(quit|c_last=c_j) = Pr(q_j)). Zero for move-only domains.
-func (s *Snapshot) QuitWeight(c grid.Cell) float64 {
+func (s *Snapshot) QuitWeight(c spatial.Cell) float64 {
 	if s.quitFreq == nil {
 		return 0
 	}
 	return s.quitFreq[c]
 }
 
-func sampleCum(rng ldp.Rand, cum []float64) grid.Cell {
+func sampleCum(rng ldp.Rand, cum []float64) spatial.Cell {
 	total := cum[len(cum)-1]
 	if total <= 0 {
-		return grid.Cell(rng.IntN(len(cum)))
+		return spatial.Cell(rng.IntN(len(cum)))
 	}
 	u := rng.Float64() * total
 	idx := sort.SearchFloat64s(cum, u)
 	if idx >= len(cum) {
 		idx = len(cum) - 1
 	}
-	return grid.Cell(idx)
+	return spatial.Cell(idx)
 }

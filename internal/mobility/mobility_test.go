@@ -142,7 +142,7 @@ func TestSnapshotNegativeClamped(t *testing.T) {
 func TestSampleMoveDistribution(t *testing.T) {
 	m, dom := buildModel(t)
 	s := m.Snapshot()
-	g := dom.Grid()
+	g := dom.Space()
 	rng := ldp.NewRand(1, 2)
 	counts := map[grid.Cell]int{}
 	const trials = 40000
@@ -164,7 +164,7 @@ func TestSampleMoveUniformFallback(t *testing.T) {
 	m := NewModel(dom) // all-zero
 	s := m.Snapshot()
 	rng := ldp.NewRand(3, 4)
-	g := dom.Grid()
+	g := dom.Space().(*grid.System)
 	center := g.CellAt(1, 1)
 	counts := map[grid.Cell]int{}
 	const trials = 18000

@@ -47,7 +47,7 @@ func newCoordinator(t *testing.T, g *grid.System, shards int, seed uint64) *pipe
 	runners := make([]pipeline.Runner, shards)
 	for i := range runners {
 		e, err := core.New(core.Options{
-			Grid:     g,
+			Space:    g,
 			Epsilon:  1.0,
 			W:        5,
 			Division: allocation.Population,
@@ -135,7 +135,7 @@ func TestCoordinatorSingleShardMatchesBareEngine(t *testing.T) {
 	stream := trajectory.NewStream(data)
 
 	opts := core.Options{
-		Grid: g, Epsilon: 1.0, W: 5,
+		Space: g, Epsilon: 1.0, W: 5,
 		Division: allocation.Population, Lambda: 6, Seed: 42,
 	}
 	bare, err := core.New(opts)
@@ -211,7 +211,7 @@ func ExampleCoordinator() {
 	runners := make([]pipeline.Runner, 4)
 	for i := range runners {
 		runners[i], _ = core.New(core.Options{
-			Grid: g, Epsilon: 1.0, W: 5,
+			Space: g, Epsilon: 1.0, W: 5,
 			Division: allocation.Population, Lambda: 6,
 			Seed: 1 + uint64(i),
 		})

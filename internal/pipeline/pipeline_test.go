@@ -16,7 +16,7 @@ func testDomain() *transition.Domain {
 }
 
 func testReporters(dom *transition.Domain, n int, seed uint64) []trajectory.Event {
-	g := dom.Grid()
+	g := dom.Space()
 	rng := ldp.NewRand(seed, seed+1)
 	events := make([]trajectory.Event, n)
 	for i := range events {

@@ -20,10 +20,10 @@ import (
 	"sync"
 
 	"retrasyn/internal/allocation"
-	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
 	"retrasyn/internal/pipeline"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/synthesis"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
@@ -31,7 +31,10 @@ import (
 
 // CuratorConfig configures a Curator.
 type CuratorConfig struct {
-	Grid    *grid.System
+	// Space is the spatial discretization the curator runs on (required):
+	// the uniform grid, the density-adaptive quadtree, or any other
+	// spatial.Discretizer backend.
+	Space   spatial.Discretizer
 	Epsilon float64
 	W       int
 	// Division selects budget or population division (default population).
@@ -47,8 +50,8 @@ type CuratorConfig struct {
 }
 
 func (c *CuratorConfig) validate() error {
-	if c.Grid == nil {
-		return fmt.Errorf("remote: Grid is required")
+	if c.Space == nil {
+		return fmt.Errorf("remote: Space (the spatial discretization) is required")
 	}
 	if !(c.Epsilon > 0) {
 		return fmt.Errorf("remote: Epsilon must be > 0")
@@ -158,9 +161,9 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	dom := transition.NewDomain(cfg.Grid)
+	dom := transition.NewDomain(cfg.Space)
 	rng := ldp.NewSource(cfg.Seed, cfg.Seed^0x6a09e667f3bcc908)
-	synth, err := synthesis.New(cfg.Grid, synthesis.Options{Lambda: cfg.Lambda}, rng)
+	synth, err := synthesis.New(cfg.Space, synthesis.Options{Lambda: cfg.Lambda}, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
@@ -15,15 +16,16 @@ func testGrid() *grid.System {
 	return grid.MustNew(4, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
 }
 
-func testConfig(g *grid.System) CuratorConfig {
+func testConfig(g spatial.Discretizer) CuratorConfig {
 	return CuratorConfig{
-		Grid: g, Epsilon: 1.0, W: 5,
+		Space: g, Epsilon: 1.0, W: 5,
 		Division: allocation.Population, Lambda: 6, Seed: 11,
 	}
 }
 
-// buildClients creates device clients holding random-walk trajectories.
-func buildClients(t *testing.T, g *grid.System, cur *Curator, baseURL string, n, T int) ([]*Client, *trajectory.Dataset) {
+// buildClients creates device clients holding random-walk trajectories
+// over any spatial discretization.
+func buildClients(t *testing.T, g spatial.Discretizer, cur *Curator, baseURL string, n, T int) ([]*Client, *trajectory.Dataset) {
 	t.Helper()
 	rng := ldp.NewRand(3, 5)
 	d := &trajectory.Dataset{Name: "remote", T: T}
@@ -118,9 +120,9 @@ func TestCuratorConfigValidation(t *testing.T) {
 	g := testGrid()
 	bad := []CuratorConfig{
 		{Epsilon: 1, W: 5, Lambda: 5},
-		{Grid: g, W: 5, Lambda: 5},
-		{Grid: g, Epsilon: 1, Lambda: 5},
-		{Grid: g, Epsilon: 1, W: 5},
+		{Space: g, W: 5, Lambda: 5},
+		{Space: g, Epsilon: 1, Lambda: 5},
+		{Space: g, Epsilon: 1, W: 5},
 	}
 	for i, cfg := range bad {
 		if _, err := NewCurator(cfg); err == nil {

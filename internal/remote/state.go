@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"strings"
 
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/ldp"
@@ -21,24 +22,29 @@ const CuratorStateVersion = 1
 
 // CuratorFingerprint captures the config a snapshot is only valid for.
 type CuratorFingerprint struct {
-	DomainSize int     `json:"domain_size"`
-	Epsilon    float64 `json:"epsilon"`
-	W          int     `json:"w"`
-	Division   int     `json:"division"`
-	Lambda     float64 `json:"lambda"`
-	Kappa      int     `json:"kappa"`
-	Seed       uint64  `json:"seed"`
+	// Discretizer is the stable layout fingerprint of the spatial backend.
+	// Snapshots from pre-spatial builds omit it; Restore accepts those when
+	// the curator runs the uniform grid, the only backend that existed then.
+	Discretizer string  `json:"discretizer,omitempty"`
+	DomainSize  int     `json:"domain_size"`
+	Epsilon     float64 `json:"epsilon"`
+	W           int     `json:"w"`
+	Division    int     `json:"division"`
+	Lambda      float64 `json:"lambda"`
+	Kappa       int     `json:"kappa"`
+	Seed        uint64  `json:"seed"`
 }
 
 func (c *Curator) fingerprint() CuratorFingerprint {
 	return CuratorFingerprint{
-		DomainSize: c.dom.Size(),
-		Epsilon:    c.cfg.Epsilon,
-		W:          c.cfg.W,
-		Division:   int(c.cfg.Division),
-		Lambda:     c.cfg.Lambda,
-		Kappa:      c.cfg.Kappa,
-		Seed:       c.cfg.Seed,
+		Discretizer: c.cfg.Space.Fingerprint(),
+		DomainSize:  c.dom.Size(),
+		Epsilon:     c.cfg.Epsilon,
+		W:           c.cfg.W,
+		Division:    int(c.cfg.Division),
+		Lambda:      c.cfg.Lambda,
+		Kappa:       c.cfg.Kappa,
+		Seed:        c.cfg.Seed,
 	}
 }
 
@@ -167,7 +173,12 @@ func (c *Curator) Restore(st *CuratorState) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if got, want := c.fingerprint(), st.Config; got != want {
+	got, want := c.fingerprint(), st.Config
+	if want.Discretizer == "" && strings.HasPrefix(got.Discretizer, "uniform:") {
+		// Legacy pre-spatial snapshot; see core/state.go for the rationale.
+		want.Discretizer = got.Discretizer
+	}
+	if got != want {
 		return fmt.Errorf("remote: snapshot config %+v does not match curator config %+v", want, got)
 	}
 	if (st.BudgetWindow != nil) != (c.budgetWin != nil) {

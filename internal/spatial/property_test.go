@@ -1,0 +1,183 @@
+package spatial_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/transition"
+)
+
+// Cross-backend property tests: every spatial.Discretizer implementation
+// must satisfy the same contract, so the transition domain, the mobility
+// model and the synthesizer can treat backends interchangeably. Each
+// property runs against the uniform grid and a family of quadtrees.
+
+func backends(t *testing.T) map[string]spatial.Discretizer {
+	t.Helper()
+	out := map[string]spatial.Discretizer{
+		"uniform-k1": grid.MustNew(1, unitBounds()),
+		"uniform-k4": grid.MustNew(4, unitBounds()),
+		"uniform-k9": grid.MustNew(9, spatial.Bounds{MinX: -3, MinY: 2, MaxX: 14, MaxY: 7.5}),
+	}
+	for _, cfg := range []struct {
+		leaves int
+		n      int
+		seed   uint64
+	}{
+		{1, 100, 11}, {16, 2000, 12}, {64, 6000, 13}, {256, 20000, 14},
+	} {
+		qt, err := spatial.NewQuadtree(unitBounds(), skewedSketch(cfg.n, cfg.seed), spatial.QuadtreeOptions{MaxLeaves: cfg.leaves})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[fmt.Sprintf("quadtree-%d", cfg.leaves)] = qt
+	}
+	return out
+}
+
+func TestPropertyAdjacencySymmetricAndReflexive(t *testing.T) {
+	for name, sp := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			nc := sp.NumCells()
+			for c := spatial.Cell(0); int(c) < nc; c++ {
+				if !sp.Adjacent(c, c) {
+					t.Fatalf("cell %d not adjacent to itself", c)
+				}
+				found := false
+				for _, n := range sp.Neighbors(c) {
+					if n == c {
+						found = true
+					}
+					if !sp.ValidCell(n) {
+						t.Fatalf("cell %d lists invalid neighbour %d", c, n)
+					}
+					if !sp.Adjacent(n, c) {
+						t.Fatalf("adjacency not symmetric: %d→%d but not %d→%d", c, n, n, c)
+					}
+					if sp.NeighborRank(n, c) < 0 {
+						t.Fatalf("symmetric rank missing for %d in Neighbors(%d)", c, n)
+					}
+				}
+				if !found {
+					t.Fatalf("Neighbors(%d) omits the cell itself", c)
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyNeighborRankIsInverse(t *testing.T) {
+	for name, sp := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for c := spatial.Cell(0); int(c) < sp.NumCells(); c++ {
+				seen := map[spatial.Cell]bool{}
+				for r, n := range sp.Neighbors(c) {
+					if seen[n] {
+						t.Fatalf("Neighbors(%d) lists %d twice", c, n)
+					}
+					seen[n] = true
+					if got := sp.NeighborRank(c, n); got != r {
+						t.Fatalf("NeighborRank(%d,%d) = %d, want %d", c, n, got, r)
+					}
+					if !sp.Adjacent(c, n) {
+						t.Fatalf("listed neighbour %d of %d not Adjacent", n, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyCenterRoundTripsToCell(t *testing.T) {
+	for name, sp := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for c := spatial.Cell(0); int(c) < sp.NumCells(); c++ {
+				x, y := sp.Center(c)
+				if !sp.Bounds().Contains(x, y) {
+					t.Fatalf("Center(%d) = (%v,%v) outside bounds", c, x, y)
+				}
+				if got := sp.CellOf(x, y); got != c {
+					t.Fatalf("CellOf(Center(%d)) = %d", c, got)
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyRandomPointsLandInValidCells(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	for name, sp := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := sp.Bounds()
+			for i := 0; i < 2000; i++ {
+				x := b.MinX + rng.Float64()*b.Width()
+				y := b.MinY + rng.Float64()*b.Height()
+				c, ok := sp.CellOfOK(x, y)
+				if !ok || !sp.ValidCell(c) {
+					t.Fatalf("interior point (%v,%v) mapped to (%d,%v)", x, y, c, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyDomainIndexBijective(t *testing.T) {
+	for name, sp := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, dom := range []*transition.Domain{transition.NewDomain(sp), transition.NewMoveOnlyDomain(sp)} {
+				seen := make([]bool, dom.Size())
+				for idx := 0; idx < dom.Size(); idx++ {
+					st := dom.StateAt(idx)
+					back, ok := dom.Index(st)
+					if !ok || back != idx {
+						t.Fatalf("Index(StateAt(%d)) = (%d,%v)", idx, back, ok)
+					}
+					if seen[idx] {
+						t.Fatalf("index %d hit twice", idx)
+					}
+					seen[idx] = true
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyDomainSizeBound(t *testing.T) {
+	// |S| = Σ_c |Neighbors(c)| + 2|C| ≤ 11·|C|: the grid's 3×3 blocks give
+	// ≤ 9 neighbours per cell; quadtree touching-adjacency averages below 9
+	// because side-sharing pairs form a planar graph and corner-only pairs
+	// are bounded by the split count.
+	for name, sp := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			dom := transition.NewDomain(sp)
+			nc := sp.NumCells()
+			if dom.Size() != sp.TotalMoveStates()+2*nc {
+				t.Fatalf("domain size %d ≠ moves %d + 2·%d", dom.Size(), sp.TotalMoveStates(), nc)
+			}
+			if dom.Size() > 11*nc {
+				t.Fatalf("|S| = %d exceeds 11·|C| = %d", dom.Size(), 11*nc)
+			}
+		})
+	}
+}
+
+func TestPropertyFingerprintStableAndDistinct(t *testing.T) {
+	bks := backends(t)
+	seen := map[string]string{}
+	for name, sp := range bks {
+		fp := sp.Fingerprint()
+		if fp == "" {
+			t.Fatalf("%s: empty fingerprint", name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("backends %s and %s share fingerprint %s", name, prev, fp)
+		}
+		seen[fp] = name
+		if sp.Fingerprint() != fp {
+			t.Fatalf("%s: fingerprint not stable across calls", name)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package spatial
+
+import (
+	"container/heap"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Density-adaptive quadtree discretization. The tree is grown greedily from
+// a public/historical density sketch: starting from one root cell, the leaf
+// holding the most density points is split into its four quadrants, until a
+// max-leaf budget is exhausted or no leaf is worth splitting. Hot regions
+// end up finely partitioned while cold regions stay coarse — the adaptive
+// partitioning LDPTrace and PrivTrace use to make trajectory synthesis
+// scale to skewed city-sized domains. A smaller, better-targeted cell set
+// shrinks the transition-state domain |S|, and with it the per-state OUE
+// variance Var ≈ 4e^ε/(n(e^ε−1)²) · |S| spread across fewer wasted states.
+//
+// The density sketch must be public knowledge (e.g. a historical release or
+// a coarse census): the tree layout is derived from it without touching the
+// private stream, so building the discretizer consumes no privacy budget.
+
+// QuadtreeOptions configures NewQuadtree.
+type QuadtreeOptions struct {
+	// MaxLeaves is the leaf budget: the tree stops splitting when another
+	// split would exceed this many leaves. Must be ≥ 1. Budgets below 4
+	// yield the single root cell.
+	MaxLeaves int
+	// MaxDepth caps the tree depth (root at depth 0); a leaf at MaxDepth is
+	// never split regardless of its density. Default 12.
+	MaxDepth int
+	// MinPoints is the split threshold: a leaf holding fewer than MinPoints
+	// density points stays whole. Default 2.
+	MinPoints int
+}
+
+func (o *QuadtreeOptions) defaults() error {
+	if o.MaxLeaves < 1 {
+		return fmt.Errorf("spatial: quadtree MaxLeaves must be ≥ 1, got %d", o.MaxLeaves)
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 12
+	}
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("spatial: quadtree MaxDepth must be ≥ 0, got %d", o.MaxDepth)
+	}
+	if o.MinPoints == 0 {
+		o.MinPoints = 2
+	}
+	if o.MinPoints < 1 {
+		return fmt.Errorf("spatial: quadtree MinPoints must be ≥ 1, got %d", o.MinPoints)
+	}
+	return nil
+}
+
+// qnode is one tree node; leaves carry their final cell index.
+type qnode struct {
+	box      Bounds
+	depth    int
+	children [4]int32 // node indices; -1 for leaves. Quadrant order SW, SE, NW, NE.
+	cell     Cell     // leaf cell index; -1 for internal nodes
+}
+
+func (n *qnode) isLeaf() bool { return n.children[0] < 0 }
+
+// Quadtree is a density-adaptive spatial discretization. It is immutable
+// after construction and safe for concurrent use.
+type Quadtree struct {
+	opts   QuadtreeOptions
+	bounds Bounds
+	nodes  []qnode
+	// leafBox[c] is the box of cell c; leafCount[c] the sketch points it
+	// absorbed (retained for diagnostics).
+	leafBox   []Bounds
+	leafCount []int
+	neighbors [][]Cell
+	nMove     int
+	fp        string
+}
+
+// buildLeaf is a growing leaf during construction.
+type buildLeaf struct {
+	node   int32
+	seq    int32 // creation order, the deterministic tie-break
+	points []Point
+}
+
+// leafHeap pops the leaf with the most density points; ties resolve to the
+// earliest-created leaf so builds are fully deterministic.
+type leafHeap []*buildLeaf
+
+func (h leafHeap) Len() int { return len(h) }
+func (h leafHeap) Less(i, j int) bool {
+	if len(h[i].points) != len(h[j].points) {
+		return len(h[i].points) > len(h[j].points)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h leafHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *leafHeap) Push(x any)     { *h = append(*h, x.(*buildLeaf)) }
+func (h *leafHeap) Pop() (top any) { old := *h; n := len(old); top = old[n-1]; *h = old[:n-1]; return }
+
+// NewQuadtree grows a density-adaptive quadtree over the bounds from a
+// density sketch (points of public/historical data; see the package note on
+// why the sketch must not be the private stream). Points outside the bounds
+// are clamped onto them, matching CellOf.
+func NewQuadtree(b Bounds, density []Point, opts QuadtreeOptions) (*Quadtree, error) {
+	if !b.Valid() {
+		return nil, fmt.Errorf("spatial: invalid quadtree bounds %+v", b)
+	}
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	q := &Quadtree{opts: opts, bounds: b}
+	root := &buildLeaf{node: 0, seq: 0, points: make([]Point, 0, len(density))}
+	for _, p := range density {
+		// Non-finite coordinates fail every quadrant comparison and would
+		// sink into the SW child at each level, hijacking the split budget
+		// for empty corner cells — drop them from the sketch instead.
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			continue
+		}
+		root.points = append(root.points, Point{X: clampF(p.X, b.MinX, b.MaxX), Y: clampF(p.Y, b.MinY, b.MaxY)})
+	}
+	q.nodes = []qnode{{box: b, children: [4]int32{-1, -1, -1, -1}, cell: -1}}
+
+	h := &leafHeap{root}
+	leaves := 1
+	seq := int32(1)
+	counts := map[int32]int{0: len(root.points)}
+	for h.Len() > 0 && leaves+3 <= opts.MaxLeaves {
+		top := heap.Pop(h).(*buildLeaf)
+		n := &q.nodes[top.node]
+		if len(top.points) < opts.MinPoints || n.depth >= opts.MaxDepth {
+			continue // stays a leaf; smaller leaves may still be splittable
+		}
+		midX, midY := (n.box.MinX+n.box.MaxX)/2, (n.box.MinY+n.box.MaxY)/2
+		quads := [4]Bounds{
+			{n.box.MinX, n.box.MinY, midX, midY}, // SW
+			{midX, n.box.MinY, n.box.MaxX, midY}, // SE
+			{n.box.MinX, midY, midX, n.box.MaxY}, // NW
+			{midX, midY, n.box.MaxX, n.box.MaxY}, // NE
+		}
+		childDepth := n.depth + 1
+		var parts [4][]Point
+		for _, p := range top.points {
+			qi := quadrantOf(p, midX, midY)
+			parts[qi] = append(parts[qi], p)
+		}
+		for i := 0; i < 4; i++ {
+			child := int32(len(q.nodes))
+			q.nodes = append(q.nodes, qnode{box: quads[i], depth: childDepth, children: [4]int32{-1, -1, -1, -1}, cell: -1})
+			q.nodes[top.node].children[i] = child
+			counts[child] = len(parts[i])
+			heap.Push(h, &buildLeaf{node: child, seq: seq, points: parts[i]})
+			seq++
+		}
+		delete(counts, top.node)
+		leaves += 3
+	}
+
+	// Freeze the layout: leaves get dense cell indices in pre-order DFS
+	// (children SW, SE, NW, NE), a stable order independent of split order.
+	q.leafBox = make([]Bounds, 0, leaves)
+	q.leafCount = make([]int, 0, leaves)
+	q.indexLeaves(0, counts)
+	q.buildNeighbors()
+	q.fp = q.computeFingerprint()
+	return q, nil
+}
+
+func quadrantOf(p Point, midX, midY float64) int {
+	i := 0
+	if p.X >= midX {
+		i |= 1
+	}
+	if p.Y >= midY {
+		i |= 2
+	}
+	return i
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (q *Quadtree) indexLeaves(node int32, counts map[int32]int) {
+	n := &q.nodes[node]
+	if n.isLeaf() {
+		n.cell = Cell(len(q.leafBox))
+		q.leafBox = append(q.leafBox, n.box)
+		q.leafCount = append(q.leafCount, counts[node])
+		return
+	}
+	for _, c := range n.children {
+		q.indexLeaves(c, counts)
+	}
+}
+
+// buildNeighbors links every pair of leaves whose boxes touch (shared edge
+// segment or corner — the quadtree analogue of the grid's 8-neighbourhood),
+// plus each leaf itself. Quadratic over leaves, which is fine for the leaf
+// budgets the LDP domain can afford anyway (|S| bits per report).
+func (q *Quadtree) buildNeighbors() {
+	nc := len(q.leafBox)
+	q.neighbors = make([][]Cell, nc)
+	for i := 0; i < nc; i++ {
+		q.neighbors[i] = append(q.neighbors[i], Cell(i))
+	}
+	for i := 0; i < nc; i++ {
+		bi := q.leafBox[i]
+		for j := i + 1; j < nc; j++ {
+			bj := q.leafBox[j]
+			// Sibling boxes share exact float midpoints, so touching edges
+			// compare equal without a tolerance.
+			if bi.MinX <= bj.MaxX && bj.MinX <= bi.MaxX && bi.MinY <= bj.MaxY && bj.MinY <= bi.MaxY {
+				q.neighbors[i] = append(q.neighbors[i], Cell(j))
+				q.neighbors[j] = append(q.neighbors[j], Cell(i))
+			}
+		}
+	}
+	q.nMove = 0
+	for i := range q.neighbors {
+		ns := q.neighbors[i]
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		q.nMove += len(ns)
+	}
+}
+
+func (q *Quadtree) computeFingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	putF := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	putF(q.bounds.MinX)
+	putF(q.bounds.MinY)
+	putF(q.bounds.MaxX)
+	putF(q.bounds.MaxY)
+	for _, b := range q.leafBox {
+		putF(b.MinX)
+		putF(b.MinY)
+		putF(b.MaxX)
+		putF(b.MaxY)
+	}
+	return fmt.Sprintf("quadtree:v1:leaves=%d:%s", len(q.leafBox), hex.EncodeToString(h.Sum(nil)[:16]))
+}
+
+// NumCells returns the number of leaves.
+func (q *Quadtree) NumCells() int { return len(q.leafBox) }
+
+// Bounds returns the continuous bounding box.
+func (q *Quadtree) Bounds() Bounds { return q.bounds }
+
+// CellBox returns the box of cell c (for diagnostics and visualization).
+func (q *Quadtree) CellBox(c Cell) Bounds { return q.leafBox[c] }
+
+// CellDensity returns the number of sketch points cell c absorbed during
+// construction.
+func (q *Quadtree) CellDensity(c Cell) int { return q.leafCount[c] }
+
+// CellOf maps a continuous point into its leaf, clamping points outside the
+// bounds onto the nearest boundary leaf.
+func (q *Quadtree) CellOf(x, y float64) Cell {
+	x = clampF(x, q.bounds.MinX, q.bounds.MaxX)
+	y = clampF(y, q.bounds.MinY, q.bounds.MaxY)
+	node := int32(0)
+	for !q.nodes[node].isLeaf() {
+		n := &q.nodes[node]
+		midX, midY := (n.box.MinX+n.box.MaxX)/2, (n.box.MinY+n.box.MaxY)/2
+		node = n.children[quadrantOf(Point{X: x, Y: y}, midX, midY)]
+	}
+	return q.nodes[node].cell
+}
+
+// CellOfOK maps a continuous point into its leaf, returning Invalid and
+// false when the point lies outside the bounds.
+func (q *Quadtree) CellOfOK(x, y float64) (Cell, bool) {
+	if !q.bounds.Contains(x, y) {
+		return Invalid, false
+	}
+	return q.CellOf(x, y), true
+}
+
+// Center returns the centroid of cell c's box.
+func (q *Quadtree) Center(c Cell) (x, y float64) {
+	b := q.leafBox[c]
+	return (b.MinX + b.MaxX) / 2, (b.MinY + b.MaxY) / 2
+}
+
+// ValidCell reports whether c is a leaf of this tree.
+func (q *Quadtree) ValidCell(c Cell) bool { return c >= 0 && int(c) < len(q.leafBox) }
+
+// Neighbors returns the leaves whose boxes touch c's box (including c
+// itself), sorted by cell index. The returned slice is shared and must not
+// be modified.
+func (q *Quadtree) Neighbors(c Cell) []Cell { return q.neighbors[c] }
+
+// NeighborRank returns the position of b within Neighbors(a), or -1 when b
+// is not reachable from a.
+func (q *Quadtree) NeighborRank(a, b Cell) int {
+	ns := q.neighbors[a]
+	// Neighbor lists are sorted; binary search keeps hot-path lookups cheap
+	// even for leaves bordering many finer cells.
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns) && ns[lo] == b {
+		return lo
+	}
+	return -1
+}
+
+// Adjacent reports whether a transition from a to b satisfies the
+// reachability constraint.
+func (q *Quadtree) Adjacent(a, b Cell) bool { return q.NeighborRank(a, b) >= 0 }
+
+// TotalMoveStates returns Σ_c |Neighbors(c)|.
+func (q *Quadtree) TotalMoveStates() int { return q.nMove }
+
+// Fingerprint returns the stable layout identifier.
+func (q *Quadtree) Fingerprint() string { return q.fp }
+
+// MaxLeafDepth returns the depth of the deepest leaf (diagnostics).
+func (q *Quadtree) MaxLeafDepth() int {
+	d := 0
+	for i := range q.nodes {
+		if q.nodes[i].isLeaf() && q.nodes[i].depth > d {
+			d = q.nodes[i].depth
+		}
+	}
+	return d
+}
+
+var _ Discretizer = (*Quadtree)(nil)

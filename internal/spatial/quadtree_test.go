@@ -1,0 +1,202 @@
+package spatial_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"retrasyn/internal/spatial"
+)
+
+func unitBounds() spatial.Bounds {
+	return spatial.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+}
+
+// skewedSketch clusters most density mass in the bottom-left corner with a
+// sparse uniform background — the city-center-plus-suburbs shape adaptive
+// partitioning exists for.
+func skewedSketch(n int, seed uint64) []spatial.Point {
+	rng := rand.New(rand.NewPCG(seed, seed^0xdeadbeef))
+	pts := make([]spatial.Point, 0, n)
+	for i := 0; i < n; i++ {
+		if i%10 == 0 { // background
+			pts = append(pts, spatial.Point{X: rng.Float64(), Y: rng.Float64()})
+		} else { // hotspot in [0, 0.25)²
+			pts = append(pts, spatial.Point{X: rng.Float64() * 0.25, Y: rng.Float64() * 0.25})
+		}
+	}
+	return pts
+}
+
+func TestQuadtreeRespectsLeafBudget(t *testing.T) {
+	for _, budget := range []int{1, 4, 7, 16, 64, 200} {
+		qt, err := spatial.NewQuadtree(unitBounds(), skewedSketch(5000, 1), spatial.QuadtreeOptions{MaxLeaves: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qt.NumCells() > budget {
+			t.Fatalf("budget %d produced %d leaves", budget, qt.NumCells())
+		}
+		if qt.NumCells() < 1 {
+			t.Fatalf("budget %d produced empty tree", budget)
+		}
+	}
+}
+
+func TestQuadtreeSingleLeafDegenerate(t *testing.T) {
+	qt, err := spatial.NewQuadtree(unitBounds(), skewedSketch(100, 2), spatial.QuadtreeOptions{MaxLeaves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.NumCells() != 1 {
+		t.Fatalf("budget 3 cannot split: want 1 leaf, got %d", qt.NumCells())
+	}
+	if got := qt.CellOf(0.5, 0.5); got != 0 {
+		t.Fatalf("single-leaf CellOf = %d", got)
+	}
+	ns := qt.Neighbors(0)
+	if len(ns) != 1 || ns[0] != 0 {
+		t.Fatalf("single leaf neighbours = %v", ns)
+	}
+}
+
+func TestQuadtreeAdaptsToDensity(t *testing.T) {
+	qt, err := spatial.NewQuadtree(unitBounds(), skewedSketch(8000, 3), spatial.QuadtreeOptions{MaxLeaves: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hotspot corner must be partitioned finer than the cold opposite
+	// corner: compare leaf areas at the two extremes.
+	hot := qt.CellBox(qt.CellOf(0.05, 0.05))
+	cold := qt.CellBox(qt.CellOf(0.95, 0.95))
+	hotArea := hot.Width() * hot.Height()
+	coldArea := cold.Width() * cold.Height()
+	if hotArea >= coldArea {
+		t.Fatalf("hotspot leaf area %v not finer than cold leaf area %v", hotArea, coldArea)
+	}
+}
+
+func TestQuadtreeDeterministicBuildAndFingerprint(t *testing.T) {
+	build := func() *spatial.Quadtree {
+		qt, err := spatial.NewQuadtree(unitBounds(), skewedSketch(4000, 7), spatial.QuadtreeOptions{MaxLeaves: 48})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qt
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical builds fingerprint differently:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.NumCells() != b.NumCells() {
+		t.Fatalf("identical builds disagree on cell count: %d vs %d", a.NumCells(), b.NumCells())
+	}
+	for c := spatial.Cell(0); int(c) < a.NumCells(); c++ {
+		if a.CellBox(c) != b.CellBox(c) {
+			t.Fatalf("cell %d box differs between identical builds", c)
+		}
+	}
+	// A different layout must fingerprint differently.
+	other, err := spatial.NewQuadtree(unitBounds(), skewedSketch(4000, 7), spatial.QuadtreeOptions{MaxLeaves: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different leaf budgets produced equal fingerprints")
+	}
+}
+
+func TestQuadtreeCellOfClampsAndRejects(t *testing.T) {
+	qt, err := spatial.NewQuadtree(unitBounds(), skewedSketch(2000, 9), spatial.QuadtreeOptions{MaxLeaves: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := qt.CellOf(0.999, 0.999)
+	clamped := qt.CellOf(5, 5)
+	if inside != clamped {
+		t.Fatalf("out-of-bounds point not clamped to the boundary leaf: %d vs %d", clamped, inside)
+	}
+	if c, ok := qt.CellOfOK(5, 5); ok || c != spatial.Invalid {
+		t.Fatalf("CellOfOK outside bounds = (%d, %v)", c, ok)
+	}
+	if _, ok := qt.CellOfOK(0.2, 0.2); !ok {
+		t.Fatal("CellOfOK rejected an interior point")
+	}
+}
+
+func TestQuadtreeOptionValidation(t *testing.T) {
+	b := unitBounds()
+	pts := skewedSketch(10, 1)
+	if _, err := spatial.NewQuadtree(b, pts, spatial.QuadtreeOptions{MaxLeaves: 0}); err == nil {
+		t.Fatal("MaxLeaves 0 accepted")
+	}
+	if _, err := spatial.NewQuadtree(b, pts, spatial.QuadtreeOptions{MaxLeaves: 8, MaxDepth: -1}); err == nil {
+		t.Fatal("negative MaxDepth accepted")
+	}
+	if _, err := spatial.NewQuadtree(b, pts, spatial.QuadtreeOptions{MaxLeaves: 8, MinPoints: -2}); err == nil {
+		t.Fatal("negative MinPoints accepted")
+	}
+	if _, err := spatial.NewQuadtree(spatial.Bounds{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}, pts, spatial.QuadtreeOptions{MaxLeaves: 8}); err == nil {
+		t.Fatal("degenerate bounds accepted")
+	}
+	// An empty sketch is allowed and degenerates to the single root leaf.
+	qt, err := spatial.NewQuadtree(b, nil, spatial.QuadtreeOptions{MaxLeaves: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.NumCells() != 1 {
+		t.Fatalf("empty sketch: want 1 leaf, got %d", qt.NumCells())
+	}
+}
+
+func TestQuadtreeDropsNonFiniteSketchPoints(t *testing.T) {
+	// Non-finite coordinates fail every quadrant comparison; if kept they
+	// would sink into the SW child at each level and burn the whole split
+	// budget on empty corner cells. They must be dropped from the sketch.
+	bad := []spatial.Point{
+		{X: math.NaN(), Y: 0.5}, {X: 0.5, Y: math.NaN()},
+		{X: math.Inf(1), Y: 0.5}, {X: 0.5, Y: math.Inf(-1)},
+	}
+	poisoned := append(append([]spatial.Point{}, bad...), bad...) // ≥ MinPoints of garbage
+	clean := skewedSketch(2000, 21)
+	a, err := spatial.NewQuadtree(unitBounds(), append(poisoned, clean...), spatial.QuadtreeOptions{MaxLeaves: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spatial.NewQuadtree(unitBounds(), clean, spatial.QuadtreeOptions{MaxLeaves: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("non-finite sketch points changed the tree layout")
+	}
+	// A sketch of only garbage degenerates to the root leaf.
+	g, err := spatial.NewQuadtree(unitBounds(), bad, spatial.QuadtreeOptions{MaxLeaves: 32, MinPoints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 1 {
+		t.Fatalf("all-garbage sketch built %d cells", g.NumCells())
+	}
+}
+
+func TestQuadtreeMaxDepthCap(t *testing.T) {
+	// All mass at one point: splitting can never separate it, so only
+	// MaxDepth stops the greedy loop before the leaf budget.
+	pts := make([]spatial.Point, 1000)
+	for i := range pts {
+		pts[i] = spatial.Point{X: 0.1, Y: 0.1}
+	}
+	qt, err := spatial.NewQuadtree(unitBounds(), pts, spatial.QuadtreeOptions{MaxLeaves: 1 << 20, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qt.MaxLeafDepth(); got > 3 {
+		t.Fatalf("leaf depth %d exceeds MaxDepth 3", got)
+	}
+	// Depth-3 full subdivision has at most 4³ leaves; the degenerate mass
+	// splits only one path, so far fewer.
+	if qt.NumCells() > 64 {
+		t.Fatalf("depth-capped tree has %d leaves", qt.NumCells())
+	}
+}

@@ -1,0 +1,105 @@
+// Package spatial defines the pluggable spatial discretization the engine
+// runs on. RetraSyn (paper §III-B) fixes a uniform K×K grid; this package
+// lifts that choice into a Discretizer interface — a finite cell domain with
+// a reachability adjacency structure — so the transition-state domain, the
+// mobility model and the synthesizer work over any partitioning of the
+// space. Two backends ship with the library: the paper's uniform grid
+// (internal/grid, bit-identical to the original engine) and the
+// density-adaptive quadtree in this package, which splits hot regions and
+// leaves cold ones coarse so skewed real-world data stops spending its
+// privacy budget on empty cells.
+package spatial
+
+import "math"
+
+// Cell identifies one cell of a discretization as a dense index in
+// [0, NumCells). The index space is contiguous: every backend assigns its
+// cells the integers 0 … NumCells−1 in a deterministic order.
+type Cell int32
+
+// Invalid is returned for points outside the discretized space by CellOfOK.
+const Invalid Cell = -1
+
+// Bounds describes the continuous bounding box of the space being
+// discretized. Max coordinates are exclusive for interior points; points
+// exactly on the max edge are clamped into the last row/column, matching the
+// common half-open convention for spatial partitioning.
+type Bounds struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the bounds describe a non-degenerate box.
+func (b Bounds) Valid() bool {
+	return b.MaxX > b.MinX && b.MaxY > b.MinY &&
+		!math.IsNaN(b.MinX) && !math.IsNaN(b.MinY) &&
+		!math.IsInf(b.MaxX, 0) && !math.IsInf(b.MaxY, 0)
+}
+
+// Contains reports whether (x, y) lies inside the bounds (max edges
+// inclusive, consistent with CellOf clamping).
+func (b Bounds) Contains(x, y float64) bool {
+	return x >= b.MinX && x <= b.MaxX && y >= b.MinY && y <= b.MaxY
+}
+
+// Width returns MaxX − MinX.
+func (b Bounds) Width() float64 { return b.MaxX - b.MinX }
+
+// Height returns MaxY − MinY.
+func (b Bounds) Height() float64 { return b.MaxY - b.MinY }
+
+// Point is a continuous two-dimensional location, used for density sketches.
+type Point struct {
+	X, Y float64
+}
+
+// Discretizer is a finite partitioning of a bounded continuous space into
+// cells with a reachability adjacency structure. Implementations are
+// immutable after construction and safe for concurrent use.
+//
+// The contract every backend must satisfy (pinned by the shared property
+// tests in this package):
+//
+//   - cells form the dense index space [0, NumCells)
+//   - adjacency is reflexive (c ∈ Neighbors(c)) and symmetric
+//   - Neighbors returns a deterministic order; NeighborRank is its inverse
+//   - CellOf(Center(c)) == c — the sample point of a cell round-trips
+//   - Fingerprint is stable across processes for identical constructions,
+//     so checkpoints can reject restores into a different discretization
+type Discretizer interface {
+	// NumCells returns |C|, the number of cells.
+	NumCells() int
+	// Bounds returns the continuous bounding box of the space.
+	Bounds() Bounds
+	// CellOf maps a continuous point into its cell, clamping points outside
+	// the bounds onto the nearest boundary cell.
+	CellOf(x, y float64) Cell
+	// CellOfOK maps a continuous point into its cell, returning Invalid and
+	// false when the point lies outside the bounds.
+	CellOfOK(x, y float64) (Cell, bool)
+	// Center returns the continuous sample point of a cell (its centroid),
+	// the coordinate downstream consumers use when a released cell stream
+	// must be mapped back to continuous space. The contract pinned by the
+	// property tests is CellOf(Center(c)) == c.
+	Center(c Cell) (x, y float64)
+	// ValidCell reports whether c is a cell of this discretization.
+	ValidCell(c Cell) bool
+	// Neighbors returns the cells reachable from c in one timestamp under
+	// the reachability constraint, always including c itself, in a
+	// deterministic order. The returned slice is shared and must not be
+	// modified.
+	Neighbors(c Cell) []Cell
+	// NeighborRank returns the position of b within Neighbors(a), or -1
+	// when b is not reachable from a. The rank is stable and indexes
+	// per-source-cell movement states.
+	NeighborRank(a, b Cell) int
+	// Adjacent reports whether a transition from a to b satisfies the
+	// reachability constraint (b ∈ Neighbors(a), possibly a itself).
+	Adjacent(a, b Cell) bool
+	// TotalMoveStates returns Σ_c |Neighbors(c)|, the number of movement
+	// transition states under the reachability constraint.
+	TotalMoveStates() int
+	// Fingerprint returns a stable identifier of the discretization —
+	// backend kind, parameters and cell layout — used by checkpoint
+	// fingerprints to refuse restoring state across different domains.
+	Fingerprint() string
+}

@@ -13,9 +13,9 @@ import (
 	"math"
 	"sort"
 
-	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
@@ -45,7 +45,7 @@ type Options struct {
 // Synthesizer owns the evolving synthetic database T_syn. It is not safe
 // for concurrent use.
 type Synthesizer struct {
-	g    *grid.System
+	sp   spatial.Discretizer
 	opts Options
 	rng  ldp.Rand
 
@@ -58,13 +58,13 @@ type Synthesizer struct {
 
 type stream struct {
 	start int
-	cells []grid.Cell
+	cells []spatial.Cell
 }
 
-func (s *stream) last() grid.Cell { return s.cells[len(s.cells)-1] }
+func (s *stream) last() spatial.Cell { return s.cells[len(s.cells)-1] }
 
-// New creates a synthesizer over grid g.
-func New(g *grid.System, opts Options, rng ldp.Rand) (*Synthesizer, error) {
+// New creates a synthesizer over the spatial discretization sp.
+func New(sp spatial.Discretizer, opts Options, rng ldp.Rand) (*Synthesizer, error) {
 	if opts.MaxQuitProb == 0 {
 		opts.MaxQuitProb = 1
 	}
@@ -74,7 +74,7 @@ func New(g *grid.System, opts Options, rng ldp.Rand) (*Synthesizer, error) {
 	if !opts.DisableTermination && !(opts.Lambda > 0) {
 		return nil, fmt.Errorf("synthesis: Lambda must be > 0, got %v", opts.Lambda)
 	}
-	return &Synthesizer{g: g, opts: opts, rng: rng}, nil
+	return &Synthesizer{sp: sp, opts: opts, rng: rng}, nil
 }
 
 // ActiveCount returns the number of live synthetic streams.
@@ -93,13 +93,13 @@ func (s *Synthesizer) Init(t, target int, snap *mobility.Snapshot) {
 }
 
 func (s *Synthesizer) spawn(t int, snap *mobility.Snapshot) {
-	var c grid.Cell
+	var c spatial.Cell
 	if s.opts.DisableTermination {
-		c = grid.Cell(s.rng.IntN(s.g.NumCells()))
+		c = spatial.Cell(s.rng.IntN(s.sp.NumCells()))
 	} else {
 		c = snap.SampleEnter(s.rng)
 	}
-	s.active = append(s.active, &stream{start: t, cells: []grid.Cell{c}})
+	s.active = append(s.active, &stream{start: t, cells: []spatial.Cell{c}})
 }
 
 // Step advances the synthetic database to timestamp t (which must be the
@@ -220,10 +220,10 @@ func (s *Synthesizer) State() State {
 		StepCount: s.stepCount,
 	}
 	for i, str := range s.active {
-		st.Active[i] = trajectory.CellTrajectory{Start: str.start, Cells: append([]grid.Cell(nil), str.cells...)}
+		st.Active[i] = trajectory.CellTrajectory{Start: str.start, Cells: append([]spatial.Cell(nil), str.cells...)}
 	}
 	for i, tr := range s.completed {
-		st.Completed[i] = trajectory.CellTrajectory{Start: tr.Start, Cells: append([]grid.Cell(nil), tr.Cells...)}
+		st.Completed[i] = trajectory.CellTrajectory{Start: tr.Start, Cells: append([]spatial.Cell(nil), tr.Cells...)}
 	}
 	return st
 }
@@ -232,11 +232,11 @@ func (s *Synthesizer) State() State {
 func (s *Synthesizer) Restore(st State) {
 	s.active = make([]*stream, len(st.Active))
 	for i, tr := range st.Active {
-		s.active[i] = &stream{start: tr.Start, cells: append([]grid.Cell(nil), tr.Cells...)}
+		s.active[i] = &stream{start: tr.Start, cells: append([]spatial.Cell(nil), tr.Cells...)}
 	}
 	s.completed = make([]trajectory.CellTrajectory, len(st.Completed))
 	for i, tr := range st.Completed {
-		s.completed[i] = trajectory.CellTrajectory{Start: tr.Start, Cells: append([]grid.Cell(nil), tr.Cells...)}
+		s.completed[i] = trajectory.CellTrajectory{Start: tr.Start, Cells: append([]spatial.Cell(nil), tr.Cells...)}
 	}
 	s.started = st.Started
 	s.now = st.Now

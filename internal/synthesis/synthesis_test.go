@@ -20,7 +20,7 @@ func newSetup(k int) (*grid.System, *transition.Domain) {
 func uniformSnapshot(dom *transition.Domain, quitFreq float64) *mobility.Snapshot {
 	m := mobility.NewModel(dom)
 	est := make([]float64, dom.Size())
-	g := dom.Grid()
+	g := dom.Space()
 	for c := 0; c < g.NumCells(); c++ {
 		base, n := dom.MoveBlock(grid.Cell(c))
 		for r := 0; r < n; r++ {

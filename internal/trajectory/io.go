@@ -7,7 +7,7 @@ import (
 	"strconv"
 	"strings"
 
-	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
 )
 
 // The CSV-like interchange format, one stream per line:
@@ -140,13 +140,13 @@ func ReadCells(r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trajectory: line %d: bad start %q", line, fields[0])
 		}
-		cells := make([]grid.Cell, 0, len(fields)-1)
+		cells := make([]spatial.Cell, 0, len(fields)-1)
 		for _, f := range fields[1:] {
 			c, err := strconv.ParseInt(f, 10, 32)
 			if err != nil || c < 0 {
 				return nil, fmt.Errorf("trajectory: line %d: bad cell %q", line, f)
 			}
-			cells = append(cells, grid.Cell(c))
+			cells = append(cells, spatial.Cell(c))
 		}
 		if start < 0 || start >= d.T || len(cells) > d.T-start {
 			return nil, fmt.Errorf("trajectory: line %d: span starting at %d with %d cells outside timeline [0,%d)", line, start, len(cells), d.T)

@@ -8,7 +8,7 @@ package trajectory
 import (
 	"fmt"
 
-	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/transition"
 )
 
@@ -44,11 +44,11 @@ func (d *RawDataset) NumPoints() int {
 	return n
 }
 
-// CellTrajectory is a discretized stream: one grid cell per timestamp in
+// CellTrajectory is a discretized stream: one cell per timestamp in
 // [Start, Start+len(Cells)).
 type CellTrajectory struct {
 	Start int
-	Cells []grid.Cell
+	Cells []spatial.Cell
 }
 
 // End returns the last timestamp at which the trajectory has a cell.
@@ -59,9 +59,9 @@ func (c CellTrajectory) Len() int { return len(c.Cells) }
 
 // CellAt returns the cell at absolute timestamp t and whether the
 // trajectory is present at t.
-func (c CellTrajectory) CellAt(t int) (grid.Cell, bool) {
+func (c CellTrajectory) CellAt(t int) (spatial.Cell, bool) {
 	if t < c.Start || t > c.End() {
-		return grid.Invalid, false
+		return spatial.Invalid, false
 	}
 	return c.Cells[t-c.Start], true
 }
@@ -123,9 +123,9 @@ func (d *Dataset) ActiveCounts() []int {
 }
 
 // Validate checks structural invariants: trajectories within the timeline,
-// non-empty, cells valid for g, and (when adjacencyRequired) every
+// non-empty, cells valid for sp, and (when adjacencyRequired) every
 // consecutive pair satisfying the reachability constraint.
-func (d *Dataset) Validate(g *grid.System, adjacencyRequired bool) error {
+func (d *Dataset) Validate(sp spatial.Discretizer, adjacencyRequired bool) error {
 	for i, tr := range d.Trajs {
 		if len(tr.Cells) == 0 {
 			return fmt.Errorf("trajectory %d: empty", i)
@@ -134,10 +134,10 @@ func (d *Dataset) Validate(g *grid.System, adjacencyRequired bool) error {
 			return fmt.Errorf("trajectory %d: span [%d,%d] outside timeline [0,%d)", i, tr.Start, tr.End(), d.T)
 		}
 		for j, c := range tr.Cells {
-			if !g.ValidCell(c) {
+			if !sp.ValidCell(c) {
 				return fmt.Errorf("trajectory %d: invalid cell %d at offset %d", i, c, j)
 			}
-			if adjacencyRequired && j > 0 && !g.Adjacent(tr.Cells[j-1], c) {
+			if adjacencyRequired && j > 0 && !sp.Adjacent(tr.Cells[j-1], c) {
 				return fmt.Errorf("trajectory %d: non-adjacent step %d→%d at offset %d", i, tr.Cells[j-1], c, j)
 			}
 		}
@@ -157,18 +157,19 @@ type DiscretizeOptions struct {
 	MinLength int
 }
 
-// Discretize maps a raw dataset onto grid cells, producing the engine-ready
-// cell dataset. Points outside the grid bounds are clamped to the boundary
-// (matching the paper's selection of a fixed study area).
-func Discretize(raw *RawDataset, g *grid.System, opts DiscretizeOptions) *Dataset {
+// Discretize maps a raw dataset onto the cells of a discretization,
+// producing the engine-ready cell dataset. Points outside the bounds are
+// clamped to the boundary (matching the paper's selection of a fixed study
+// area).
+func Discretize(raw *RawDataset, sp spatial.Discretizer, opts DiscretizeOptions) *Dataset {
 	out := &Dataset{Name: raw.Name, T: raw.T}
 	for _, rt := range raw.Trajs {
 		if len(rt.Points) == 0 {
 			continue
 		}
-		cells := make([]grid.Cell, len(rt.Points))
+		cells := make([]spatial.Cell, len(rt.Points))
 		for i, p := range rt.Points {
-			cells[i] = g.CellOf(p.X, p.Y)
+			cells[i] = sp.CellOf(p.X, p.Y)
 		}
 		if !opts.SplitNonAdjacent {
 			out.appendIfLong(CellTrajectory{Start: rt.Start, Cells: cells}, opts.MinLength)
@@ -176,7 +177,7 @@ func Discretize(raw *RawDataset, g *grid.System, opts DiscretizeOptions) *Datase
 		}
 		segStart := 0
 		for i := 1; i <= len(cells); i++ {
-			if i == len(cells) || !g.Adjacent(cells[i-1], cells[i]) {
+			if i == len(cells) || !sp.Adjacent(cells[i-1], cells[i]) {
 				seg := CellTrajectory{
 					Start: rt.Start + segStart,
 					Cells: cells[segStart:i:i],

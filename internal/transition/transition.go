@@ -1,13 +1,16 @@
 // Package transition defines the transition-state domain S = {m_ij} ∪ {e_i}
-// ∪ {q_j} of paper §III-B: movement states between adjacent grid cells
-// (reachability constraint), entering states and quitting states, with a
-// dense contiguous index space suitable for one-hot LDP encoding.
+// ∪ {q_j} of paper §III-B: movement states between adjacent cells of a
+// spatial.Discretizer (reachability constraint), entering states and
+// quitting states, with a dense contiguous index space suitable for one-hot
+// LDP encoding. The domain is built purely from the discretizer's adjacency
+// lists, so any backend — uniform grid or adaptive quadtree — yields a
+// valid, minimal state space.
 package transition
 
 import (
 	"fmt"
 
-	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
 )
 
 // Kind discriminates the three transition families.
@@ -38,26 +41,26 @@ func (k Kind) String() string {
 
 // State is one transition state. For Move, From and To are both set; for
 // Enter only To (the starting cell) is meaningful; for Quit only From (the
-// final cell) is meaningful. Unused fields hold grid.Invalid.
+// final cell) is meaningful. Unused fields hold spatial.Invalid.
 type State struct {
 	Kind Kind
-	From grid.Cell
-	To   grid.Cell
+	From spatial.Cell
+	To   spatial.Cell
 }
 
 // MoveState constructs a movement state.
-func MoveState(from, to grid.Cell) State {
+func MoveState(from, to spatial.Cell) State {
 	return State{Kind: Move, From: from, To: to}
 }
 
 // EnterState constructs an entering state at cell c.
-func EnterState(c grid.Cell) State {
-	return State{Kind: Enter, From: grid.Invalid, To: c}
+func EnterState(c spatial.Cell) State {
+	return State{Kind: Enter, From: spatial.Invalid, To: c}
 }
 
 // QuitState constructs a quitting state at cell c.
-func QuitState(c grid.Cell) State {
-	return State{Kind: Quit, From: c, To: grid.Invalid}
+func QuitState(c spatial.Cell) State {
+	return State{Kind: Quit, From: c, To: spatial.Invalid}
 }
 
 // String implements fmt.Stringer.
@@ -74,7 +77,7 @@ func (s State) String() string {
 	}
 }
 
-// Domain is the dense index space over S for a given grid. Layout:
+// Domain is the dense index space over S for a given discretization. Layout:
 //
 //	[0, nMove)                    movement states, grouped by source cell in
 //	                              neighbour-rank order
@@ -86,7 +89,7 @@ func (s State) String() string {
 // use. With or without enter/quit states (the NoEQ ablation and the LDP-IDS
 // baselines use a movement-only domain).
 type Domain struct {
-	g         *grid.System
+	sp        spatial.Discretizer
 	moveBase  []int // per source cell, start of its movement block
 	nMove     int
 	enterBase int // -1 when EQ states are disabled
@@ -96,20 +99,20 @@ type Domain struct {
 }
 
 // NewDomain builds the full domain including entering/quitting states.
-func NewDomain(g *grid.System) *Domain {
-	return newDomain(g, true)
+func NewDomain(sp spatial.Discretizer) *Domain {
+	return newDomain(sp, true)
 }
 
 // NewMoveOnlyDomain builds a domain restricted to movement states, used by
 // the NoEQ ablation and the LDP-IDS baselines.
-func NewMoveOnlyDomain(g *grid.System) *Domain {
-	return newDomain(g, false)
+func NewMoveOnlyDomain(sp spatial.Discretizer) *Domain {
+	return newDomain(sp, false)
 }
 
-func newDomain(g *grid.System, withEQ bool) *Domain {
-	nc := g.NumCells()
+func newDomain(sp spatial.Discretizer, withEQ bool) *Domain {
+	nc := sp.NumCells()
 	d := &Domain{
-		g:         g,
+		sp:        sp,
 		moveBase:  make([]int, nc),
 		enterBase: -1,
 		quitBase:  -1,
@@ -117,7 +120,7 @@ func newDomain(g *grid.System, withEQ bool) *Domain {
 	off := 0
 	for c := 0; c < nc; c++ {
 		d.moveBase[c] = off
-		off += len(g.Neighbors(grid.Cell(c)))
+		off += len(sp.Neighbors(spatial.Cell(c)))
 	}
 	d.nMove = off
 	d.size = off
@@ -129,21 +132,21 @@ func newDomain(g *grid.System, withEQ bool) *Domain {
 	}
 	d.states = make([]State, d.size)
 	for c := 0; c < nc; c++ {
-		for r, to := range g.Neighbors(grid.Cell(c)) {
-			d.states[d.moveBase[c]+r] = MoveState(grid.Cell(c), to)
+		for r, to := range sp.Neighbors(spatial.Cell(c)) {
+			d.states[d.moveBase[c]+r] = MoveState(spatial.Cell(c), to)
 		}
 	}
 	if withEQ {
 		for c := 0; c < nc; c++ {
-			d.states[d.enterBase+c] = EnterState(grid.Cell(c))
-			d.states[d.quitBase+c] = QuitState(grid.Cell(c))
+			d.states[d.enterBase+c] = EnterState(spatial.Cell(c))
+			d.states[d.quitBase+c] = QuitState(spatial.Cell(c))
 		}
 	}
 	return d
 }
 
-// Grid returns the underlying grid system.
-func (d *Domain) Grid() *grid.System { return d.g }
+// Space returns the underlying spatial discretization.
+func (d *Domain) Space() spatial.Discretizer { return d.sp }
 
 // Size returns |S|.
 func (d *Domain) Size() int { return d.size }
@@ -156,8 +159,8 @@ func (d *Domain) HasEQ() bool { return d.enterBase >= 0 }
 
 // MoveIndex returns the index of m(from→to), or (-1, false) when the
 // transition violates the reachability constraint.
-func (d *Domain) MoveIndex(from, to grid.Cell) (int, bool) {
-	r := d.g.NeighborRank(from, to)
+func (d *Domain) MoveIndex(from, to spatial.Cell) (int, bool) {
+	r := d.sp.NeighborRank(from, to)
 	if r < 0 {
 		return -1, false
 	}
@@ -166,13 +169,13 @@ func (d *Domain) MoveIndex(from, to grid.Cell) (int, bool) {
 
 // MoveBlock returns the index range [base, base+n) of movement states whose
 // source is cell c; states within the block are ordered by neighbour rank.
-func (d *Domain) MoveBlock(c grid.Cell) (base, n int) {
-	return d.moveBase[c], len(d.g.Neighbors(c))
+func (d *Domain) MoveBlock(c spatial.Cell) (base, n int) {
+	return d.moveBase[c], len(d.sp.Neighbors(c))
 }
 
 // EnterIndex returns the index of e_c. It panics when the domain has no
 // enter/quit states.
-func (d *Domain) EnterIndex(c grid.Cell) int {
+func (d *Domain) EnterIndex(c spatial.Cell) int {
 	if d.enterBase < 0 {
 		panic("transition: domain has no entering states")
 	}
@@ -181,7 +184,7 @@ func (d *Domain) EnterIndex(c grid.Cell) int {
 
 // QuitIndex returns the index of q_c. It panics when the domain has no
 // enter/quit states.
-func (d *Domain) QuitIndex(c grid.Cell) int {
+func (d *Domain) QuitIndex(c spatial.Cell) int {
 	if d.quitBase < 0 {
 		panic("transition: domain has no quitting states")
 	}
@@ -193,17 +196,17 @@ func (d *Domain) QuitIndex(c grid.Cell) int {
 func (d *Domain) Index(s State) (idx int, ok bool) {
 	switch s.Kind {
 	case Move:
-		if !d.g.ValidCell(s.From) || !d.g.ValidCell(s.To) {
+		if !d.sp.ValidCell(s.From) || !d.sp.ValidCell(s.To) {
 			return -1, false
 		}
 		return d.MoveIndex(s.From, s.To)
 	case Enter:
-		if d.enterBase < 0 || !d.g.ValidCell(s.To) {
+		if d.enterBase < 0 || !d.sp.ValidCell(s.To) {
 			return -1, false
 		}
 		return d.enterBase + int(s.To), true
 	case Quit:
-		if d.quitBase < 0 || !d.g.ValidCell(s.From) {
+		if d.quitBase < 0 || !d.sp.ValidCell(s.From) {
 			return -1, false
 		}
 		return d.quitBase + int(s.From), true
@@ -223,7 +226,7 @@ func (d *Domain) IsMove(idx int) bool { return idx < d.nMove }
 
 // IsEnter reports whether idx is an entering state.
 func (d *Domain) IsEnter(idx int) bool {
-	return d.enterBase >= 0 && idx >= d.enterBase && idx < d.enterBase+d.g.NumCells()
+	return d.enterBase >= 0 && idx >= d.enterBase && idx < d.enterBase+d.sp.NumCells()
 }
 
 // IsQuit reports whether idx is a quitting state.

@@ -35,6 +35,7 @@ import (
 	"retrasyn/internal/ldpids"
 	"retrasyn/internal/metrics"
 	"retrasyn/internal/pipeline"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
 )
@@ -42,12 +43,24 @@ import (
 // Re-exported building blocks. Aliases keep the public API nameable while
 // the implementation lives in internal packages.
 type (
-	// Grid is the K×K uniform spatial discretization.
+	// Discretizer is the pluggable spatial discretization: a finite cell
+	// domain with a reachability adjacency structure. The uniform Grid and
+	// the density-adaptive Quadtree both implement it.
+	Discretizer = spatial.Discretizer
+	// Grid is the K×K uniform spatial discretization (the paper's setup).
 	Grid = grid.System
+	// Quadtree is the density-adaptive spatial discretization for skewed
+	// workloads: hot regions split fine, cold regions stay coarse, so the
+	// LDP state domain stops wasting budget on empty cells.
+	Quadtree = spatial.Quadtree
+	// QuadtreeOptions parameterizes NewQuadtree.
+	QuadtreeOptions = spatial.QuadtreeOptions
+	// Point is a continuous location, used for quadtree density sketches.
+	Point = spatial.Point
 	// Bounds is a continuous bounding box.
-	Bounds = grid.Bounds
-	// Cell identifies a grid cell.
-	Cell = grid.Cell
+	Bounds = spatial.Bounds
+	// Cell identifies a cell of a discretization.
+	Cell = spatial.Cell
 	// Dataset is a discretized trajectory-stream database.
 	Dataset = trajectory.Dataset
 	// CellTrajectory is one discretized stream.
@@ -78,6 +91,28 @@ var (
 // NewGrid constructs a K×K grid over the bounds.
 func NewGrid(k int, b Bounds) (*Grid, error) { return grid.New(k, b) }
 
+// NewQuadtree grows a density-adaptive quadtree over the bounds from a
+// density sketch — points of *public or historical* data (the tree layout
+// derives from the sketch without touching the private stream, so building
+// it consumes no privacy budget). Use it as Options.Discretizer for skewed
+// workloads where a uniform grid would waste most of its cells.
+func NewQuadtree(b Bounds, density []Point, opts QuadtreeOptions) (*Quadtree, error) {
+	return spatial.NewQuadtree(b, density, opts)
+}
+
+// DensitySketch extracts the raw points of a dataset as a quadtree density
+// sketch. Only feed it public or historical data — never the private stream
+// the engine will collect over.
+func DensitySketch(raw *RawDataset) []Point {
+	var pts []Point
+	for _, tr := range raw.Trajs {
+		for _, p := range tr.Points {
+			pts = append(pts, Point{X: p.X, Y: p.Y})
+		}
+	}
+	return pts
+}
+
 // Division selects how the privacy resource is split across timestamps.
 type Division = allocation.Division
 
@@ -104,8 +139,13 @@ const (
 
 // Options configures a Framework.
 type Options struct {
-	// Grid is the spatial discretization (required).
+	// Grid is the uniform spatial discretization. Exactly one of Grid and
+	// Discretizer must be set.
 	Grid *Grid
+	// Discretizer is the pluggable spatial discretization — set it instead
+	// of Grid to run the engine on an alternative backend such as the
+	// density-adaptive quadtree (NewQuadtree).
+	Discretizer Discretizer
 	// Epsilon is the w-event privacy budget ε (required, > 0).
 	Epsilon float64
 	// Window is the protected window size w (required, ≥ 1).
@@ -160,6 +200,10 @@ func New(opts Options) (*Framework, error) {
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("retrasyn: Shards must be ≥ 0, got %d", opts.Shards)
 	}
+	space, err := resolveSpace(opts)
+	if err != nil {
+		return nil, err
+	}
 	mode := core.Aggregate
 	if opts.FaithfulClients {
 		mode = core.PerUser
@@ -170,7 +214,7 @@ func New(opts Options) (*Framework, error) {
 			return nil, err
 		}
 		return core.New(core.Options{
-			Grid:             opts.Grid,
+			Space:            space,
 			Epsilon:          opts.Epsilon,
 			W:                opts.Window,
 			Division:         division,
@@ -203,6 +247,21 @@ func New(opts Options) (*Framework, error) {
 		return nil, err
 	}
 	return &Framework{engine: engine}, nil
+}
+
+// resolveSpace picks the spatial discretization from the two Options
+// fields: exactly one of Grid and Discretizer must be set.
+func resolveSpace(opts Options) (Discretizer, error) {
+	switch {
+	case opts.Grid != nil && opts.Discretizer != nil:
+		return nil, fmt.Errorf("retrasyn: set exactly one of Options.Grid and Options.Discretizer, not both")
+	case opts.Discretizer != nil:
+		return opts.Discretizer, nil
+	case opts.Grid != nil:
+		return opts.Grid, nil
+	default:
+		return nil, fmt.Errorf("retrasyn: a spatial discretization is required — set Options.Grid or Options.Discretizer")
+	}
 }
 
 // buildStrategy instantiates a fresh strategy value — each shard engine
@@ -388,11 +447,12 @@ func EvaluateUtility(orig, syn *Dataset, g *Grid, opts UtilityOptions) UtilityRe
 	return metrics.Evaluate(orig, syn, g, opts)
 }
 
-// Discretize maps a raw continuous dataset onto a grid, splitting streams
-// at reachability violations — the preprocessing the paper applies before
+// Discretize maps a raw continuous dataset onto the cells of a
+// discretization (uniform grid or any other backend), splitting streams at
+// reachability violations — the preprocessing the paper applies before
 // collection.
-func Discretize(raw *RawDataset, g *Grid) *Dataset {
-	return trajectory.Discretize(raw, g, trajectory.DiscretizeOptions{SplitNonAdjacent: true})
+func Discretize(raw *RawDataset, d Discretizer) *Dataset {
+	return trajectory.Discretize(raw, d, trajectory.DiscretizeOptions{SplitNonAdjacent: true})
 }
 
 // BaselineMethod selects an LDP-IDS mechanism.

@@ -1,0 +1,173 @@
+package retrasyn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// quadtreeDataset discretizes a small skewed standard dataset with a
+// density-adaptive quadtree grown from its own raw points (standing in for
+// the public/historical sketch a deployment would use).
+func quadtreeDataset(t *testing.T, maxLeaves int) (*Dataset, *Quadtree) {
+	t.Helper()
+	raw, bounds, err := StandardDataset("tdrive", 0.03, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := NewQuadtree(bounds, DensitySketch(raw), QuadtreeOptions{MaxLeaves: maxLeaves})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Discretize(raw, qt), qt
+}
+
+func TestFrameworkQuadtreeEndToEnd(t *testing.T) {
+	orig, qt := quadtreeDataset(t, 24)
+	fw, err := New(Options{
+		Discretizer: qt,
+		Epsilon:     1.0,
+		Window:      10,
+		Lambda:      orig.Stats().AvgLength,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, stats, err := fw.Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("no collection rounds")
+	}
+	if err := syn.Validate(qt, true); err != nil {
+		t.Fatalf("quadtree release violates reachability: %v", err)
+	}
+}
+
+func TestFrameworkQuadtreeSharded(t *testing.T) {
+	orig, qt := quadtreeDataset(t, 24)
+	fw, err := New(Options{
+		Discretizer: qt,
+		Epsilon:     1.0,
+		Window:      10,
+		Lambda:      orig.Stats().AvgLength,
+		Shards:      3,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, _, err := fw.Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.Validate(qt, true); err != nil {
+		t.Fatalf("sharded quadtree release violates reachability: %v", err)
+	}
+}
+
+func TestFrameworkQuadtreeCheckpointRoundTrip(t *testing.T) {
+	orig, qt := quadtreeDataset(t, 24)
+	opts := Options{
+		Discretizer: qt,
+		Epsilon:     1.0,
+		Window:      10,
+		Lambda:      orig.Stats().AvgLength,
+		Seed:        7,
+	}
+	run := func(fw *Framework, from, to int, events [][]Event, active []int) {
+		for ts := from; ts < to; ts++ {
+			if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	events, active := datasetEvents(orig)
+
+	full, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(full, 0, orig.T, events, active)
+	want := full.Synthetic("qt")
+
+	half := orig.T / 2
+	donor, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(donor, 0, half, events, active)
+	cp, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(opts, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(resumed, half, orig.T, events, active)
+	got := resumed.Synthetic("qt")
+	if len(got.Trajs) != len(want.Trajs) {
+		t.Fatalf("resumed release has %d streams, want %d", len(got.Trajs), len(want.Trajs))
+	}
+	for i := range got.Trajs {
+		if got.Trajs[i].Start != want.Trajs[i].Start || len(got.Trajs[i].Cells) != len(want.Trajs[i].Cells) {
+			t.Fatalf("stream %d differs after restore", i)
+		}
+		for j := range got.Trajs[i].Cells {
+			if got.Trajs[i].Cells[j] != want.Trajs[i].Cells[j] {
+				t.Fatalf("stream %d cell %d differs after restore", i, j)
+			}
+		}
+	}
+}
+
+// datasetEvents converts a dataset to per-timestamp framework inputs the
+// same way Run does.
+func datasetEvents(d *Dataset) ([][]Event, []int) {
+	events := make([][]Event, d.T)
+	for id, tr := range d.Trajs {
+		if tr.Start >= 0 && tr.Start < d.T {
+			events[tr.Start] = append(events[tr.Start], Event{User: id, State: EnterState(tr.Cells[0])})
+		}
+		for j := 1; j < len(tr.Cells); j++ {
+			ts := tr.Start + j
+			if ts >= 0 && ts < d.T {
+				events[ts] = append(events[ts], Event{User: id, State: MoveState(tr.Cells[j-1], tr.Cells[j])})
+			}
+		}
+		if qt := tr.End() + 1; qt < d.T {
+			events[qt] = append(events[qt], Event{User: id, State: QuitState(tr.Cells[len(tr.Cells)-1])})
+		}
+	}
+	return events, d.ActiveCounts()
+}
+
+func TestOptionsSpaceValidation(t *testing.T) {
+	orig, qt := quadtreeDataset(t, 16)
+	lambda := orig.Stats().AvgLength
+	g, err := NewGrid(4, qt.Bounds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Epsilon: 1, Window: 10, Lambda: lambda}); err == nil {
+		t.Fatal("Options with no discretization accepted")
+	}
+	if _, err := New(Options{Grid: g, Discretizer: qt, Epsilon: 1, Window: 10, Lambda: lambda}); err == nil {
+		t.Fatal("Options with both Grid and Discretizer accepted")
+	}
+	// Grid passed through the Discretizer field is fine — the grid is just
+	// another backend.
+	if _, err := New(Options{Discretizer: g, Epsilon: 1, Window: 10, Lambda: lambda}); err != nil {
+		t.Fatalf("uniform grid rejected via Discretizer field: %v", err)
+	}
+}
