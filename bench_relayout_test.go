@@ -1,0 +1,312 @@
+package retrasyn
+
+// Benchmark of online adaptive re-discretization on the drifting-hotspot
+// workload: a quadtree frozen at boot (grown from the opening window, as
+// PR 3 deployments do) against the layout the relayout subsystem adapts to
+// by sketching the engine's own released stream mid-run. Measured at equal ε
+// and equal reporter count: the L1 error of a one-round OUE density estimate
+// projected onto a fine reference grid — the spatial resolution the layout
+// can actually deliver at the end of the stream — plus the transition-domain
+// sizes.
+//
+//	go test -run TestRelayoutAdaptiveBeatsFrozen .
+//
+// RETRASYN_EMIT_BENCH=1 go test -run TestEmitBenchRelayoutJSON .
+// re-measures everything and writes BENCH_relayout.json.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/transition"
+)
+
+const (
+	relayoutBenchT   = 60
+	relayoutBenchEps = 2.0
+	// relayoutRefK is the reference-grid side for density projection.
+	relayoutRefK = 64
+)
+
+func relayoutBenchWorkload() *RawDataset {
+	raw, err := GenerateDriftingHotspot(DriftConfig{
+		T:             relayoutBenchT,
+		InitialUsers:  4000,
+		ArrivalsPerTs: 300,
+		MeanLength:    10,
+		HotspotShare:  0.85,
+		MaxX:          32, MaxY: 32,
+		Seed: 20240601,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// relayoutBench prepares the frozen and adaptive layouts once: the frozen
+// quadtree grows from the opening window's sketch; the adaptive layout is
+// whatever the real engine — sketching its own released synthetic stream —
+// migrated onto by the end of the run.
+var relayoutBench struct {
+	once     sync.Once
+	raw      *RawDataset
+	frozen   *Quadtree
+	adaptive Discretizer
+	gens     int
+	err      error
+}
+
+func relayoutSetups(tb testing.TB) (raw *RawDataset, frozen *Quadtree, adaptive Discretizer, gens int) {
+	relayoutBench.once.Do(func() {
+		b := &relayoutBench
+		b.raw = relayoutBenchWorkload()
+		const warmup = 10
+		var pts []Point
+		for _, tr := range b.raw.Trajs {
+			for i, p := range tr.Points {
+				if tr.Start+i >= warmup {
+					break
+				}
+				pts = append(pts, Point{X: p.X, Y: p.Y})
+			}
+		}
+		b.frozen, b.err = NewQuadtree(Bounds{MaxX: 32, MaxY: 32}, pts,
+			QuadtreeOptions{MaxLeaves: 32, MaxDepth: 5})
+		if b.err != nil {
+			return
+		}
+		fw, err := New(Options{
+			Discretizer:       b.frozen,
+			Epsilon:           relayoutBenchEps,
+			Window:            5,
+			Strategy:          StrategySample,
+			Lambda:            10,
+			RediscretizeEvery: 2,
+			RelayoutThreshold: 0.05,
+			Seed:              20240715,
+		})
+		if err != nil {
+			b.err = err
+			return
+		}
+		if _, _, err := fw.RunAdaptive(b.raw); err != nil {
+			b.err = err
+			return
+		}
+		b.adaptive = fw.Space()
+		b.gens = fw.LayoutGeneration()
+	})
+	if relayoutBench.err != nil {
+		tb.Fatal(relayoutBench.err)
+	}
+	return relayoutBench.raw, relayoutBench.frozen, relayoutBench.adaptive, relayoutBench.gens
+}
+
+// latePositions returns every user's true position at the measured late
+// timestamp — the population one collection round would report.
+func latePositions(raw *RawDataset, ts int) []Point {
+	var out []Point
+	for _, tr := range raw.Trajs {
+		i := ts - tr.Start
+		if i >= 0 && i < len(tr.Points) {
+			out = append(out, Point{X: tr.Points[i].X, Y: tr.Points[i].Y})
+		}
+	}
+	return out
+}
+
+// occupancyRound runs one OUE round over the layout's cell-occupancy domain
+// (each present user reports its current cell at budget eps) and returns the
+// clamped per-cell frequency estimates.
+func occupancyRound(space Discretizer, pts []Point, seed uint64) []float64 {
+	rng := ldp.NewRand(seed, seed^0x5bd1e995)
+	oracle := ldp.MustOUE(space.NumCells(), relayoutBenchEps)
+	agg := ldp.NewAggregator(oracle)
+	for _, p := range pts {
+		agg.Add(oracle.Perturb(rng, int(space.CellOf(p.X, p.Y))))
+	}
+	est := agg.EstimateAll()
+	for i, f := range est {
+		if f < 0 {
+			est[i] = 0
+		}
+	}
+	return est
+}
+
+// refDensityL1 projects per-cell mass uniformly over each cell's box onto a
+// relayoutRefK² reference grid and returns the L1 distance to the true point
+// density — the spatial resolution error the layout imposes on an estimate.
+func refDensityL1(space Discretizer, est []float64, truth []Point) float64 {
+	boxed := space.(spatial.Boxed)
+	b := space.Bounds()
+	ref := make([]float64, relayoutRefK*relayoutRefK)
+	cw, ch := b.Width()/relayoutRefK, b.Height()/relayoutRefK
+	total := 0.0
+	for _, f := range est {
+		total += f
+	}
+	if total <= 0 {
+		total = 1
+	}
+	for c := 0; c < space.NumCells(); c++ {
+		mass := est[c] / total
+		if mass == 0 {
+			continue
+		}
+		box := boxed.CellBox(Cell(c))
+		area := box.Area()
+		c0 := int((box.MinX - b.MinX) / cw)
+		r0 := int((box.MinY - b.MinY) / ch)
+		c1 := int(math.Ceil((box.MaxX - b.MinX) / cw))
+		r1 := int(math.Ceil((box.MaxY - b.MinY) / ch))
+		for r := r0; r < r1 && r < relayoutRefK; r++ {
+			for cc := c0; cc < c1 && cc < relayoutRefK; cc++ {
+				refBox := spatial.Bounds{
+					MinX: b.MinX + float64(cc)*cw, MinY: b.MinY + float64(r)*ch,
+					MaxX: b.MinX + float64(cc+1)*cw, MaxY: b.MinY + float64(r)*ch + ch,
+				}
+				if inter, ok := box.Intersect(refBox); ok {
+					ref[r*relayoutRefK+cc] += mass * inter.Area() / area
+				}
+			}
+		}
+	}
+	truthRef := make([]float64, relayoutRefK*relayoutRefK)
+	for _, p := range truth {
+		col := int((p.X - b.MinX) / cw)
+		row := int((p.Y - b.MinY) / ch)
+		if col >= relayoutRefK {
+			col = relayoutRefK - 1
+		}
+		if row >= relayoutRefK {
+			row = relayoutRefK - 1
+		}
+		truthRef[row*relayoutRefK+col] += 1 / float64(len(truth))
+	}
+	l1 := 0.0
+	for i := range ref {
+		l1 += math.Abs(ref[i] - truthRef[i])
+	}
+	return l1
+}
+
+// relayoutL1 measures the mean reference-grid density L1 of one equal-ε
+// round on the layout, over trials.
+func relayoutL1(space Discretizer, pts []Point, trials int) float64 {
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += refDensityL1(space, occupancyRound(space, pts, uint64(i)*6364136223846793005+97), pts)
+	}
+	return sum / float64(trials)
+}
+
+// TestRelayoutAdaptiveBeatsFrozen pins the tentpole's promise: at the end of
+// the drifting-hotspot stream, one equal-ε collection round on the layout
+// the engine adapted to (from its own released stream) estimates the current
+// density with lower L1 error than the same round on the boot-frozen layout.
+func TestRelayoutAdaptiveBeatsFrozen(t *testing.T) {
+	raw, frozen, adaptive, gens := relayoutSetups(t)
+	if gens < 1 {
+		t.Fatal("the adaptive engine never migrated — nothing to compare")
+	}
+	pts := latePositions(raw, relayoutBenchT-3)
+	frozenL1 := relayoutL1(frozen, pts, 3)
+	adaptiveL1 := relayoutL1(adaptive, pts, 3)
+	t.Logf("late-round density L1: frozen %.4f, adaptive %.4f (%d migrations)", frozenL1, adaptiveL1, gens)
+	if adaptiveL1 >= frozenL1 {
+		t.Fatalf("adaptive layout L1 %.4f not below frozen %.4f", adaptiveL1, frozenL1)
+	}
+}
+
+// BenchmarkRelayoutRoundFrozen measures one occupancy round + projection on
+// the frozen layout.
+func BenchmarkRelayoutRoundFrozen(b *testing.B) {
+	raw, frozen, _, _ := relayoutSetups(b)
+	pts := latePositions(raw, relayoutBenchT-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refDensityL1(frozen, occupancyRound(frozen, pts, uint64(i)+1), pts)
+	}
+}
+
+// BenchmarkRelayoutRoundAdaptive measures the identical round on the
+// adapted layout.
+func BenchmarkRelayoutRoundAdaptive(b *testing.B) {
+	raw, _, adaptive, _ := relayoutSetups(b)
+	pts := latePositions(raw, relayoutBenchT-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refDensityL1(adaptive, occupancyRound(adaptive, pts, uint64(i)+1), pts)
+	}
+}
+
+// TestEmitBenchRelayoutJSON measures the relayout benchmark and writes
+// BENCH_relayout.json. Gated behind RETRASYN_EMIT_BENCH so the regular
+// suite stays fast.
+func TestEmitBenchRelayoutJSON(t *testing.T) {
+	if os.Getenv("RETRASYN_EMIT_BENCH") == "" {
+		t.Skip("set RETRASYN_EMIT_BENCH=1 to measure and write BENCH_relayout.json")
+	}
+	raw, frozen, adaptive, gens := relayoutSetups(t)
+	pts := latePositions(raw, relayoutBenchT-3)
+	type entry struct {
+		Name       string  `json:"name"`
+		NumCells   int     `json:"num_cells"`
+		DomainSize int     `json:"domain_size"`
+		DensityL1  float64 `json:"late_round_density_l1"`
+	}
+	measure := func(name string, sp Discretizer) entry {
+		return entry{
+			Name:       name,
+			NumCells:   sp.NumCells(),
+			DomainSize: transition.NewDomain(sp).Size(),
+			DensityL1:  relayoutL1(sp, pts, 5),
+		}
+	}
+	fr := measure("frozen-boot-quadtree", frozen)
+	ad := measure("adaptive-relayout", adaptive)
+	out := struct {
+		Workload    string  `json:"workload"`
+		Epsilon     float64 `json:"epsilon"`
+		Reports     int     `json:"reports_per_round"`
+		RefGrid     int     `json:"reference_grid"`
+		Migrations  int     `json:"migrations"`
+		GOMAXPROCS  int     `json:"gomaxprocs"`
+		Frozen      entry   `json:"frozen"`
+		Adaptive    entry   `json:"adaptive"`
+		L1Ratio     float64 `json:"l1_ratio_adaptive_vs_frozen"`
+		DomainRatio float64 `json:"domain_ratio_adaptive_vs_frozen"`
+	}{
+		Workload:    "drifting hotspot: 85% of ~6600 sessions inside a hotspot crossing a 32×32 space over 60 timestamps",
+		Epsilon:     relayoutBenchEps,
+		Reports:     len(pts),
+		RefGrid:     relayoutRefK,
+		Migrations:  gens,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Frozen:      fr,
+		Adaptive:    ad,
+		L1Ratio:     ad.DensityL1 / fr.DensityL1,
+		DomainRatio: float64(ad.DomainSize) / float64(fr.DomainSize),
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_relayout.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("density L1 ratio %.3f (adaptive/frozen), %d migrations", out.L1Ratio, out.Migrations)
+	if out.L1Ratio >= 1 {
+		t.Errorf("adaptive layout did not reduce late-round density error (ratio %.3f)", out.L1Ratio)
+	}
+}

@@ -19,9 +19,11 @@
 //	POST /v1/report     {user, t, ones} or {t, reports: [{user, ones}...]}
 //	POST /v1/finalize   {t, active}
 //	GET  /v1/synthetic
-//	GET  /v1/stats      — rounds, reports, and per-pipeline-stage wall time
+//	GET  /v1/stats      — rounds, reports, stage wall time, layout status
 //	GET  /v1/snapshot   — full curator state (checkpoint)
 //	POST /v1/restore    — load a checkpoint
+//	POST /v1/relayout   {force} — rebuild the layout from the released stream
+//	                    and migrate live state onto it (see -rediscretize-every)
 //
 // Usage:
 //
@@ -68,6 +70,8 @@ func main() {
 		seed        = flag.Uint64("seed", 2024, "curator randomness seed")
 		checkpoint  = flag.String("checkpoint", "", "state file loaded on boot and written on graceful shutdown")
 		drainGrace  = flag.Duration("drainGrace", 10*time.Second, "graceful-shutdown grace for in-flight requests")
+		rediscEvery = flag.Int("rediscretize-every", 0, "rebuild the spatial layout from the released stream every N windows at finalize and migrate when it drifted (0 = frozen layout; POST /v1/relayout still works)")
+		relayoutThr = flag.Float64("relayout-threshold", 0, "minimum layout distance in [0,1) for a rebuilt layout to replace the current one (0 = default 0.1)")
 	)
 	flag.Parse()
 
@@ -86,8 +90,15 @@ func main() {
 	default:
 		log.Fatalf("curator: unknown -division %q (want \"budget\" or \"population\")", *division)
 	}
+	if *rediscEvery < 0 {
+		log.Fatalf("curator: -rediscretize-every must be ≥ 0, got %d", *rediscEvery)
+	}
+	if *relayoutThr < 0 || *relayoutThr >= 1 {
+		log.Fatalf("curator: -relayout-threshold must be in [0,1), got %v", *relayoutThr)
+	}
 	cur, err := remote.NewCurator(remote.CuratorConfig{
 		Space: space, Epsilon: *eps, W: *w, Division: div, Lambda: *lambda, Seed: *seed,
+		RediscretizeEvery: *rediscEvery, RelayoutThreshold: *relayoutThr,
 	})
 	if err != nil {
 		log.Fatal(err)

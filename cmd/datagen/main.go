@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "tdrive", `dataset: "tdrive", "oldenburg", or "sanjoaquin"`)
+		dataset = flag.String("dataset", "tdrive", `dataset: "tdrive", "oldenburg", "sanjoaquin", or "drifting" (drifting-hotspot workload for re-discretization benchmarks)`)
 		scale   = flag.Float64("scale", 1.0, "population scale factor")
 		seed    = flag.Uint64("seed", 2024, "generation seed")
 		out     = flag.String("out", "", "output CSV path (default stdout)")

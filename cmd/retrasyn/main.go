@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		dataset     = flag.String("dataset", "tdrive", `standard dataset: "tdrive", "oldenburg", "sanjoaquin" (ignored with -in)`)
+		dataset     = flag.String("dataset", "tdrive", `standard dataset: "tdrive", "oldenburg", "sanjoaquin", "drifting" (ignored with -in)`)
 		in          = flag.String("in", "", "input raw-trajectory CSV (as written by datagen)")
 		boundMin    = flag.Float64("boundsMin", 0, "spatial lower bound for -in data (both axes)")
 		boundMax    = flag.Float64("boundsMax", 30, "spatial upper bound for -in data (both axes)")
@@ -37,6 +37,8 @@ func main() {
 		spatialKind = flag.String("spatial", "uniform", `spatial discretization: "uniform" (K×K grid) or "quadtree" (density-adaptive)`)
 		maxLeaves   = flag.Int("max-leaves", 64, "quadtree leaf budget (-spatial quadtree)")
 		density     = flag.String("density", "", "public/historical raw-trajectory CSV seeding the quadtree density sketch; omitted, the sketch falls back to the input itself (simulation only — see the printed warning)")
+		rediscEvery = flag.Int("rediscretize-every", 0, "rebuild the spatial layout from the released stream every N windows and migrate when it drifted (0 = frozen layout)")
+		relayoutThr = flag.Float64("relayout-threshold", 0, "minimum layout distance in [0,1) for a rebuilt layout to replace the current one (0 = default 0.1)")
 		seed        = flag.Uint64("seed", 2024, "run seed")
 		out         = flag.String("out", "", "write the synthetic cell streams to this CSV path")
 		quiet       = flag.Bool("quiet", false, "suppress the utility report")
@@ -45,6 +47,12 @@ func main() {
 
 	if err := validateFlags(*k, *eps, *w, *shards, *scale, *boundMin, *boundMax, *spatialKind, *maxLeaves); err != nil {
 		fatal(err)
+	}
+	if *rediscEvery < 0 {
+		fatal(fmt.Errorf("-rediscretize-every must be ≥ 0, got %d", *rediscEvery))
+	}
+	if *relayoutThr < 0 || *relayoutThr >= 1 {
+		fatal(fmt.Errorf("-relayout-threshold must be in [0,1), got %v", *relayoutThr))
 	}
 	raw, bounds, err := loadData(*in, *dataset, *scale, *seed, *boundMin, *boundMax)
 	if err != nil {
@@ -78,6 +86,7 @@ func main() {
 		*spatialKind, space.NumCells(), space.TotalMoveStates())
 
 	var syn *retrasyn.Dataset
+	evalSpace := space // discretization the utility report runs over
 	switch strings.ToLower(*method) {
 	case "retrasyn":
 		div := retrasyn.PopulationDivision
@@ -87,28 +96,47 @@ func main() {
 			fatal(fmt.Errorf("unknown -division %q (want \"budget\" or \"population\")", *division))
 		}
 		fw, err := retrasyn.New(retrasyn.Options{
-			Discretizer: space,
-			Epsilon:     *eps,
-			Window:      *w,
-			Division:    div,
-			Strategy:    *strategy,
-			Lambda:      stats.AvgLength,
-			Shards:      *shards,
-			Seed:        *seed,
+			Discretizer:       space,
+			Epsilon:           *eps,
+			Window:            *w,
+			Division:          div,
+			Strategy:          *strategy,
+			Lambda:            stats.AvgLength,
+			Shards:            *shards,
+			RediscretizeEvery: *rediscEvery,
+			RelayoutThreshold: *relayoutThr,
+			Seed:              *seed,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		var runStats retrasyn.RunStats
-		syn, runStats, err = fw.Run(orig)
+		if *rediscEvery > 0 {
+			// Adaptive runs replay the raw stream so each timestamp's
+			// reports encode against the layout currently in effect.
+			syn, runStats, err = fw.RunAdaptive(raw)
+		} else {
+			syn, runStats, err = fw.Run(orig)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("run: %d collection rounds, %d reports, %.3fs total component time\n",
 			runStats.Rounds, runStats.TotalReports, runStats.Timings.Total().Seconds())
+		if *rediscEvery > 0 {
+			final := fw.Space()
+			fmt.Printf("relayout: %d migrations, final layout %d cells (%s)\n",
+				runStats.Relayouts, final.NumCells(), final.Fingerprint())
+			// The release is coherent in the final layout (migrations remap
+			// stored cells), so utility compares there.
+			evalSpace = final
+		}
 	case "lbd", "lba", "lpd", "lpa":
 		if *spatialKind != "uniform" {
 			fatal(fmt.Errorf("the LDP-IDS baselines are defined over the uniform grid; drop -spatial %s or use -method retrasyn", *spatialKind))
+		}
+		if *rediscEvery > 0 {
+			fatal(fmt.Errorf("the LDP-IDS baselines run on a frozen layout; drop -rediscretize-every or use -method retrasyn"))
 		}
 		bm := map[string]retrasyn.BaselineMethod{
 			"lbd": retrasyn.LBD, "lba": retrasyn.LBA, "lpd": retrasyn.LPD, "lpa": retrasyn.LPA,
@@ -124,12 +152,14 @@ func main() {
 	synStats := syn.Stats()
 	fmt.Printf("released: %d synthetic streams, %d points\n", synStats.Size, synStats.NumPoints)
 
-	switch {
-	case *quiet:
-	case *spatialKind != "uniform":
-		fmt.Println("utility report skipped: the paper's metrics are defined over the uniform grid (rerun with -spatial uniform)")
-	default:
-		r := retrasyn.EvaluateUtility(orig, syn, g, retrasyn.UtilityOptions{Seed: *seed})
+	if !*quiet {
+		// Utility metrics are discretization-aware: quadtree (and
+		// post-migration) runs get first-class reports over their own cells.
+		evalOrig := orig
+		if evalSpace.Fingerprint() != space.Fingerprint() {
+			evalOrig = retrasyn.Discretize(raw, evalSpace)
+		}
+		r := retrasyn.EvaluateUtilitySpace(evalOrig, syn, evalSpace, retrasyn.UtilityOptions{Seed: *seed})
 		fmt.Printf("\nutility (smaller better unless noted):\n")
 		fmt.Printf("  density error:    %.4f\n", r.DensityError)
 		fmt.Printf("  query error:      %.4f\n", r.QueryError)

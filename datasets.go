@@ -36,9 +36,19 @@ func GenerateBrinkhoffLike(net *RoadNetwork, cfg BrinkhoffConfig) (*RawDataset, 
 	return datagen.BrinkhoffLike(net, cfg)
 }
 
+// DriftConfig parameterizes the drifting-hotspot workload generator.
+type DriftConfig = datagen.DriftConfig
+
+// GenerateDriftingHotspot builds a raw dataset whose dominant hotspot
+// translates across the space over time — the workload that defeats
+// boot-frozen spatial layouts and motivates online re-discretization.
+func GenerateDriftingHotspot(cfg DriftConfig) (*RawDataset, error) {
+	return datagen.DriftingHotspot(cfg)
+}
+
 // StandardDataset generates one of the named evaluation datasets
-// ("tdrive", "oldenburg", "sanjoaquin") at the given population scale,
-// returning the raw dataset and the bounds to grid it with.
+// ("tdrive", "oldenburg", "sanjoaquin", "drifting") at the given population
+// scale, returning the raw dataset and the bounds to grid it with.
 func StandardDataset(name string, scale float64, seed uint64) (*RawDataset, Bounds, error) {
 	spec, ok := datagen.SpecByName(name)
 	if !ok {
@@ -54,7 +64,7 @@ func StandardDataset(name string, scale float64, seed uint64) (*RawDataset, Boun
 type errUnknownDataset string
 
 func (e errUnknownDataset) Error() string {
-	return "retrasyn: unknown dataset " + string(e) + ` (want "tdrive", "oldenburg", or "sanjoaquin")`
+	return "retrasyn: unknown dataset " + string(e) + ` (want "tdrive", "oldenburg", "sanjoaquin", or "drifting")`
 }
 
 // NewStreamEvents converts a discretized dataset into its per-timestamp

@@ -15,6 +15,7 @@ import (
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
 	"retrasyn/internal/pipeline"
+	"retrasyn/internal/relayout"
 	"retrasyn/internal/spatial"
 	"retrasyn/internal/synthesis"
 	"retrasyn/internal/trajectory"
@@ -157,13 +158,19 @@ type RunStats = pipeline.RunStats
 // stream with Run. Not safe for concurrent use; run one Engine per shard
 // under a pipeline.Coordinator for parallel streams.
 type Engine struct {
-	opts    Options
-	dom     *transition.Domain
-	model   *mobility.Model
-	synth   *synthesis.Synthesizer
-	rng     *ldp.Source
-	pipe    pipeline.Pipeline
-	updater *pipeline.DMUUpdater
+	opts Options
+	// space is the discretization currently in effect; it starts as
+	// opts.Space and advances on Relayout. generation counts the layout
+	// migrations applied so far (0 = the boot layout).
+	space      spatial.Discretizer
+	generation int
+	bootFP     ConfigFingerprint
+	dom        *transition.Domain
+	model      *mobility.Model
+	synth      *synthesis.Synthesizer
+	rng        *ldp.Source
+	pipe       pipeline.Pipeline
+	updater    *pipeline.DMUUpdater
 
 	budgetWin *allocation.BudgetWindow
 	dev       *allocation.DevTracker
@@ -203,6 +210,7 @@ func New(opts Options) (*Engine, error) {
 	model := mobility.NewModel(dom)
 	e := &Engine{
 		opts:  opts,
+		space: opts.Space,
 		dom:   dom,
 		model: model,
 		synth: synth,
@@ -211,6 +219,7 @@ func New(opts Options) (*Engine, error) {
 		sig:   allocation.NewSigTracker(opts.Kappa),
 		lastT: -1,
 	}
+	e.bootFP = e.configFingerprint()
 	e.updater = &pipeline.DMUUpdater{Model: model, DisableDMU: opts.DisableDMU}
 	e.pipe = pipeline.Pipeline{
 		Collector:   newCollector(opts, dom, rng),
@@ -246,6 +255,127 @@ func newCollector(opts Options, dom *transition.Domain, rng pipeline.Rand) pipel
 
 // Domain exposes the engine's transition domain (for tests and tooling).
 func (e *Engine) Domain() *transition.Domain { return e.dom }
+
+// Space returns the spatial discretization currently in effect (the boot
+// layout until the first Relayout).
+func (e *Engine) Space() spatial.Discretizer { return e.space }
+
+// Generation returns how many layout migrations the engine has applied.
+func (e *Engine) Generation() int { return e.generation }
+
+// ReleasedPositions appends the continuous positions of the live synthetic
+// streams at the current timestamp to buf and returns it. These are points
+// of the *released* stream — the privacy-free input online re-discretization
+// sketches density from. A released cell only says "somewhere in this box",
+// so each point is spread over its cell's box by a deterministic
+// low-discrepancy sequence (never the engine RNG — observation must not
+// perturb the release stream): collapsing whole coarse cells onto their
+// center would make re-discretization split forever around single points and
+// hide density spread inside coarse regions. Falls back to cell centers for
+// non-boxed backends.
+func (e *Engine) ReleasedPositions(buf []spatial.Point) []spatial.Point {
+	boxed, _ := e.space.(spatial.Boxed)
+	for _, c := range e.synth.ActiveCells(nil) {
+		if boxed == nil {
+			x, y := e.space.Center(c)
+			buf = append(buf, spatial.Point{X: x, Y: y})
+			continue
+		}
+		// Index the spread sequence by the position in buf, not the
+		// per-engine stream index: a sharded framework accumulates all
+		// shards into one buffer, and restarting the sequence per shard
+		// would collapse same-index streams of one cell onto identical
+		// points across shards.
+		buf = append(buf, relayout.SpreadInBox(boxed.CellBox(c), len(buf)))
+	}
+	return buf
+}
+
+// Relayout migrates the live engine onto a new spatial discretization
+// between two timestamps (the engine must be quiescent, exactly as for
+// Snapshot). Both the current and the new discretizer must expose their cell
+// boxes (spatial.Boxed). The migration resamples all layout-dependent state
+// through the cell-overlap area weights:
+//
+//   - the mobility model's transition/enter/quit mass is pushed through the
+//     overlap matrix (mass-conserving; see relayout.Migration.RemapFreqs);
+//   - the adaptive strategy's deviation history is re-indexed the same way,
+//     so the drift signal survives;
+//   - the synthesizer's in-flight (and completed) trajectories are remapped
+//     to the max-overlap new cell;
+//   - the transition domain, collector and DMU stage are rebuilt over the
+//     new layout, preserving the bootstrap flag.
+//
+// The RNG position, allocation window accounting, user lifecycle and privacy
+// ledger are layout-free and carry over untouched. Migrating onto a
+// layout-identical discretizer is an exact no-op for the release stream
+// (pinned by the golden relayout tests).
+func (e *Engine) Relayout(sp spatial.Discretizer) error {
+	if sp == nil {
+		return fmt.Errorf("core: Relayout with a nil discretizer")
+	}
+	mig, err := relayout.NewMigration(e.space, sp)
+	if err != nil {
+		return fmt.Errorf("core: relayout: %w", err)
+	}
+	var newDom *transition.Domain
+	if e.opts.DisableEQ {
+		newDom = transition.NewMoveOnlyDomain(sp)
+	} else {
+		newDom = transition.NewDomain(sp)
+	}
+	newFreq, err := mig.RemapFreqs(e.dom, newDom, e.model.Freqs())
+	if err != nil {
+		return fmt.Errorf("core: relayout: %w", err)
+	}
+	devSt, err := mig.RemapDevState(e.dom, newDom, e.dev.State())
+	if err != nil {
+		return fmt.Errorf("core: relayout: %w", err)
+	}
+	newModel := mobility.NewModel(newDom)
+	if err := newModel.Restore(mobility.State{Freq: newFreq, Init: e.model.Initialized()}); err != nil {
+		return fmt.Errorf("core: relayout: %w", err)
+	}
+	e.dev.Restore(devSt)
+	e.synth.Relayout(sp, mig.MapCell)
+	e.rewire(sp, newDom, newModel, e.updater.Bootstrapped())
+	e.generation++
+	e.stats.Relayouts++
+	return nil
+}
+
+// rewire points the engine's layout-dependent plumbing — domain, model,
+// collector, DMU and synthesis stages — at a new discretization. Used by
+// Relayout (after migrating state) and by checkpoint restore (before
+// loading state vectors sized to the snapshot's layout).
+func (e *Engine) rewire(sp spatial.Discretizer, dom *transition.Domain, model *mobility.Model, bootstrapped bool) {
+	e.space = sp
+	e.dom = dom
+	e.model = model
+	e.updater = &pipeline.DMUUpdater{Model: model, DisableDMU: e.opts.DisableDMU}
+	e.updater.SetBootstrapped(bootstrapped)
+	e.pipe = pipeline.Pipeline{
+		Collector:   newCollector(e.opts, dom, e.rng),
+		Estimator:   &pipeline.DebiasEstimator{Post: e.opts.PostProcess},
+		Updater:     e.updater,
+		Synthesizer: &pipeline.SynthesisStage{Model: model, Synth: e.synth, WaitForUsers: e.opts.DisableEQ},
+	}
+}
+
+// adoptSpace rebuilds the engine's layout-dependent state over sp without
+// migrating anything — the checkpoint-restore path, where the snapshot's
+// state vectors (already sized to sp's domain) are loaded right after.
+func (e *Engine) adoptSpace(sp spatial.Discretizer, generation int) {
+	var dom *transition.Domain
+	if e.opts.DisableEQ {
+		dom = transition.NewMoveOnlyDomain(sp)
+	} else {
+		dom = transition.NewDomain(sp)
+	}
+	e.synth.Relayout(sp, nil)
+	e.rewire(sp, dom, mobility.NewModel(dom), false)
+	e.generation = generation
+}
 
 // Model exposes the global mobility model.
 func (e *Engine) Model() *mobility.Model { return e.model }

@@ -8,6 +8,7 @@ import (
 
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/mobility"
+	"retrasyn/internal/relayout"
 	"retrasyn/internal/synthesis"
 )
 
@@ -50,7 +51,14 @@ type ConfigFingerprint struct {
 	Seed         uint64  `json:"seed"`
 }
 
-func (e *Engine) fingerprint() ConfigFingerprint {
+// fingerprint returns the boot-time config fingerprint. It is captured at
+// New and deliberately frozen: online re-discretization changes the current
+// layout (recorded separately via EngineState.Generation/Layout) but not the
+// configuration the engine was built with, so checkpoints taken before and
+// after migrations all validate against the same construction options.
+func (e *Engine) fingerprint() ConfigFingerprint { return e.bootFP }
+
+func (e *Engine) configFingerprint() ConfigFingerprint {
 	return ConfigFingerprint{
 		Discretizer:  e.opts.Space.Fingerprint(),
 		DomainSize:   e.dom.Size(),
@@ -72,6 +80,14 @@ func (e *Engine) fingerprint() ConfigFingerprint {
 type EngineState struct {
 	Version int               `json:"version"`
 	Config  ConfigFingerprint `json:"config"`
+
+	// Generation counts the layout migrations applied before the snapshot;
+	// when > 0, Layout describes the discretization currently in effect and
+	// LayoutFingerprint pins its identity, so Restore can rebuild the layout
+	// an engine migrated onto at any point of its life.
+	Generation        int              `json:"generation,omitempty"`
+	Layout            *relayout.Layout `json:"layout,omitempty"`
+	LayoutFingerprint string           `json:"layout_fp,omitempty"`
 
 	LastT int      `json:"last_t"`
 	Stats RunStats `json:"stats"`
@@ -100,6 +116,7 @@ func (e *Engine) Snapshot() (*EngineState, error) {
 	st := &EngineState{
 		Version:      EngineStateVersion,
 		Config:       e.fingerprint(),
+		Generation:   e.generation,
 		LastT:        e.lastT,
 		Stats:        e.stats,
 		RNG:          rngState,
@@ -117,6 +134,14 @@ func (e *Engine) Snapshot() (*EngineState, error) {
 	if e.users != nil {
 		us := e.users.State()
 		st.Users = &us
+	}
+	if e.generation > 0 {
+		l, err := relayout.LayoutOf(e.space)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot layout: %w", err)
+		}
+		st.Layout = &l
+		st.LayoutFingerprint = e.space.Fingerprint()
 	}
 	return st, nil
 }
@@ -149,6 +174,26 @@ func (e *Engine) Restore(st *EngineState) error {
 	}
 	if (st.Users != nil) != (e.users != nil) {
 		return fmt.Errorf("core: snapshot user-tracker state does not match engine division")
+	}
+	// Put the engine on the layout the snapshot was taken at before loading
+	// the layout-sized state vectors: a migrated snapshot carries the layout
+	// it was running on, a generation-0 snapshot means the boot layout.
+	switch {
+	case st.Generation > 0:
+		if st.Layout == nil {
+			return fmt.Errorf("core: snapshot at layout generation %d carries no layout", st.Generation)
+		}
+		sp, err := relayout.FromLayout(*st.Layout)
+		if err != nil {
+			return fmt.Errorf("core: restore layout: %w", err)
+		}
+		if st.LayoutFingerprint != "" && sp.Fingerprint() != st.LayoutFingerprint {
+			return fmt.Errorf("core: restored layout fingerprint %s ≠ snapshot %s — corrupt checkpoint",
+				sp.Fingerprint(), st.LayoutFingerprint)
+		}
+		e.adoptSpace(sp, st.Generation)
+	case e.generation > 0:
+		e.adoptSpace(e.opts.Space, 0)
 	}
 	if err := e.rng.SetState(st.RNG); err != nil {
 		return fmt.Errorf("core: restore rng: %w", err)

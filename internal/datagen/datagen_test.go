@@ -319,3 +319,78 @@ func TestDeterministicGeneration(t *testing.T) {
 		t.Fatal("different seeds produced identical output (suspicious)")
 	}
 }
+
+// TestDriftingHotspotTracksItsCenter pins the drifting workload: the
+// dominant mass follows the moving hotspot, so early and late windows
+// concentrate in different regions.
+func TestDriftingHotspotTracksItsCenter(t *testing.T) {
+	cfg := DriftConfig{
+		T: 60, InitialUsers: 800, ArrivalsPerTs: 80, MeanLength: 10,
+		MaxX: 32, MaxY: 32, Seed: 5,
+	}
+	d, err := DriftingHotspot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.T != 60 || len(d.Trajs) < 800 {
+		t.Fatalf("unexpected shape: T=%d streams=%d", d.T, len(d.Trajs))
+	}
+	// Fraction of points inside the lower-left vs upper-right quadrant at
+	// the start and end of the timeline.
+	quadrantShare := func(ts int, lower bool) float64 {
+		in, tot := 0, 0
+		for _, tr := range d.Trajs {
+			i := ts - tr.Start
+			if i < 0 || i >= len(tr.Points) {
+				continue
+			}
+			tot++
+			p := tr.Points[i]
+			if lower && p.X < 16 && p.Y < 16 {
+				in++
+			}
+			if !lower && p.X >= 16 && p.Y >= 16 {
+				in++
+			}
+		}
+		if tot == 0 {
+			return 0
+		}
+		return float64(in) / float64(tot)
+	}
+	if early := quadrantShare(2, true); early < 0.5 {
+		t.Fatalf("early mass not concentrated at the start corner: %.2f", early)
+	}
+	if late := quadrantShare(57, false); late < 0.5 {
+		t.Fatalf("late mass did not follow the drift: %.2f", late)
+	}
+	// Determinism and validation.
+	d2, err := DriftingHotspot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Trajs) != len(d.Trajs) {
+		t.Fatal("drifting workload not deterministic")
+	}
+	if _, err := DriftingHotspot(DriftConfig{T: 1, MaxX: 1, MaxY: 1}); err == nil {
+		t.Fatal("T=1 accepted")
+	}
+	if _, err := DriftingHotspot(DriftConfig{T: 10, DriftRate: -1, MaxX: 1, MaxY: 1}); err == nil {
+		t.Fatal("negative drift rate accepted")
+	}
+}
+
+// TestDriftingSpecRegistered pins the dataset registry entry.
+func TestDriftingSpecRegistered(t *testing.T) {
+	spec, ok := SpecByName("drifting")
+	if !ok || spec.Name != "DriftingSim" {
+		t.Fatalf("drifting spec not registered: %+v ok=%v", spec, ok)
+	}
+	raw, err := spec.Generate(0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Trajs) == 0 || raw.T != 120 {
+		t.Fatalf("drifting spec generated %d streams over T=%d", len(raw.Trajs), raw.T)
+	}
+}

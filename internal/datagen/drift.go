@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/trajectory"
+)
+
+// DriftConfig parameterizes the drifting-hotspot workload: most users move
+// inside one dense hotspot whose center translates across the space over the
+// timeline, the rest roam uniformly. The workload exists to defeat layouts
+// frozen at boot — a discretization grown from the early hotspot position
+// has its fine cells in the wrong place by the end of the stream — and is
+// what the adaptive re-discretization benchmark runs on.
+type DriftConfig struct {
+	// T is the timeline length.
+	T int
+	// InitialUsers enter at t=0.
+	InitialUsers int
+	// ArrivalsPerTs is the mean number of new sessions per timestamp.
+	ArrivalsPerTs float64
+	// MeanLength is the target mean session length in points (geometric).
+	MeanLength float64
+	// HotspotFrac is the hotspot's side length as a fraction of the space
+	// side (default 0.25).
+	HotspotFrac float64
+	// HotspotShare is the fraction of sessions that live inside the hotspot
+	// (default 0.8).
+	HotspotShare float64
+	// DriftRate is how far the hotspot center travels per timestamp, as a
+	// fraction of the space diagonal direction (per-axis fraction of the
+	// usable span). Default: the center crosses the space once over T.
+	DriftRate float64
+	// MinX..MaxY bound the space.
+	MinX, MinY, MaxX, MaxY float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *DriftConfig) defaults() error {
+	if c.T < 2 {
+		return fmt.Errorf("datagen: drift T must be ≥ 2, got %d", c.T)
+	}
+	if !(c.MaxX > c.MinX) || !(c.MaxY > c.MinY) {
+		return fmt.Errorf("datagen: invalid drift bounds")
+	}
+	if c.MeanLength <= 1 {
+		c.MeanLength = 12
+	}
+	if c.HotspotFrac <= 0 || c.HotspotFrac >= 1 {
+		c.HotspotFrac = 0.25
+	}
+	if c.HotspotShare < 0 || c.HotspotShare > 1 {
+		return fmt.Errorf("datagen: HotspotShare %v outside [0,1]", c.HotspotShare)
+	}
+	if c.HotspotShare == 0 {
+		c.HotspotShare = 0.8
+	}
+	if c.DriftRate < 0 {
+		return fmt.Errorf("datagen: negative DriftRate %v", c.DriftRate)
+	}
+	if c.DriftRate == 0 {
+		c.DriftRate = 1 / float64(c.T-1)
+	}
+	if c.ArrivalsPerTs < 0 {
+		return fmt.Errorf("datagen: negative arrival rate")
+	}
+	return nil
+}
+
+// hotspotCenter returns the hotspot center at timestamp t: it starts in the
+// lower-left region and translates diagonally at DriftRate, bouncing off the
+// far corner so long timelines stay in bounds.
+func (c *DriftConfig) hotspotCenter(t int) (x, y float64) {
+	half := c.HotspotFrac / 2
+	// usable fraction of each axis the center may occupy
+	span := 1 - c.HotspotFrac
+	pos := c.DriftRate * float64(t)
+	// triangle wave over [0, span]: forward then back
+	period := 2 * span
+	p := math.Mod(pos*span, period)
+	if p > span {
+		p = period - p
+	}
+	fx := half + p
+	fy := half + p
+	return c.MinX + fx*(c.MaxX-c.MinX), c.MinY + fy*(c.MaxY-c.MinY)
+}
+
+// DriftingHotspot generates the drifting-hotspot raw dataset. Hotspot
+// sessions spawn near the hotspot's center at their start timestamp and then
+// chase it as it drifts; background sessions random-walk the whole space.
+func DriftingHotspot(cfg DriftConfig) (*trajectory.RawDataset, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := ldp.NewRand(cfg.Seed, cfg.Seed^0x9d7f3a2c)
+	d := &trajectory.RawDataset{Name: "drifting", T: cfg.T}
+	width, height := cfg.MaxX-cfg.MinX, cfg.MaxY-cfg.MinY
+	scatter := cfg.HotspotFrac * width / 4
+	step := width / 24
+
+	spawn := func(start int) {
+		hot := rng.Float64() < cfg.HotspotShare
+		var x, y float64
+		if hot {
+			cx, cy := cfg.hotspotCenter(start)
+			x = clamp(cx+rng.NormFloat64()*scatter, cfg.MinX, cfg.MaxX)
+			y = clamp(cy+rng.NormFloat64()*scatter, cfg.MinY, cfg.MaxY)
+		} else {
+			x = cfg.MinX + rng.Float64()*width
+			y = cfg.MinY + rng.Float64()*height
+		}
+		tr := trajectory.RawTrajectory{Start: start}
+		quitP := 1 / cfg.MeanLength
+		for t := start; t < cfg.T; t++ {
+			tr.Points = append(tr.Points, trajectory.RawPoint{X: x, Y: y})
+			if len(tr.Points) > 1 && ldp.Bernoulli(rng, quitP) {
+				break
+			}
+			if hot {
+				// Chase the drifting center with jitter, staying inside the
+				// hotspot's footprint.
+				cx, cy := cfg.hotspotCenter(t + 1)
+				x += (cx-x)*0.35 + rng.NormFloat64()*step
+				y += (cy-y)*0.35 + rng.NormFloat64()*step
+			} else {
+				x += (rng.Float64() - 0.5) * 2 * step
+				y += (rng.Float64() - 0.5) * 2 * step
+			}
+			x = clamp(x, cfg.MinX, cfg.MaxX)
+			y = clamp(y, cfg.MinY, cfg.MaxY)
+		}
+		d.Trajs = append(d.Trajs, tr)
+	}
+
+	for i := 0; i < cfg.InitialUsers; i++ {
+		spawn(0)
+	}
+	for t := 1; t < cfg.T; t++ {
+		n := poisson(rng, cfg.ArrivalsPerTs)
+		for i := 0; i < n; i++ {
+			spawn(t)
+		}
+	}
+	return d, nil
+}
+
+// DriftingSpec is the drifting-hotspot workload packaged as a standard
+// dataset: a 32×32 box whose hotspot crosses the space once over 120
+// timestamps. Used by the adaptive re-discretization benchmark and exposed
+// through cmd/datagen and cmd/retrasyn as "drifting".
+func DriftingSpec() Spec {
+	b := grid.Bounds{MinX: 0, MinY: 0, MaxX: 32, MaxY: 32}
+	return Spec{
+		Name:   "DriftingSim",
+		Bounds: b,
+		Generate: func(scale float64, seed uint64) (*trajectory.RawDataset, error) {
+			d, err := DriftingHotspot(DriftConfig{
+				T:             120,
+				InitialUsers:  scaled(1200, scale),
+				ArrivalsPerTs: 120 * scale,
+				MeanLength:    14,
+				MinX:          b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY,
+				Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.Name = "DriftingSim"
+			return d, nil
+		},
+	}
+}

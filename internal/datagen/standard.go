@@ -106,13 +106,14 @@ func SanJoaquinSpec() Spec {
 	}
 }
 
-// AllSpecs returns the three standard dataset specs in Table I order.
+// AllSpecs returns the three standard dataset specs in Table I order, plus
+// the drifting-hotspot workload the re-discretization benchmark uses.
 func AllSpecs() []Spec {
-	return []Spec{TDriveSpec(), OldenburgSpec(), SanJoaquinSpec()}
+	return []Spec{TDriveSpec(), OldenburgSpec(), SanJoaquinSpec(), DriftingSpec()}
 }
 
 // SpecByName resolves a spec by its dataset name (case-sensitive) or the
-// short aliases "tdrive", "oldenburg", "sanjoaquin".
+// short aliases "tdrive", "oldenburg", "sanjoaquin", "drifting".
 func SpecByName(name string) (Spec, bool) {
 	switch name {
 	case "TDriveSim", "tdrive":
@@ -121,6 +122,8 @@ func SpecByName(name string) (Spec, bool) {
 		return OldenburgSpec(), true
 	case "SanJoaquinSim", "sanjoaquin":
 		return SanJoaquinSpec(), true
+	case "DriftingSim", "drifting":
+		return DriftingSpec(), true
 	default:
 		return Spec{}, false
 	}

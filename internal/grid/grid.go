@@ -135,6 +135,18 @@ func (s *System) Center(c Cell) (x, y float64) {
 		s.bounds.MinY + (float64(row)+0.5)*s.cellH
 }
 
+// CellBox returns the continuous box of cell c (the spatial.Boxed contract
+// online re-discretization migrates state through).
+func (s *System) CellBox(c Cell) Bounds {
+	row, col := s.RowCol(c)
+	return Bounds{
+		MinX: s.bounds.MinX + float64(col)*s.cellW,
+		MinY: s.bounds.MinY + float64(row)*s.cellH,
+		MaxX: s.bounds.MinX + float64(col+1)*s.cellW,
+		MaxY: s.bounds.MinY + float64(row+1)*s.cellH,
+	}
+}
+
 // RowCol decomposes a cell index into its row and column.
 func (s *System) RowCol(c Cell) (row, col int) {
 	return int(c) / s.k, int(c) % s.k
@@ -200,8 +212,11 @@ func (s *System) Fingerprint() string {
 }
 
 // System implements the pluggable discretization interface the engine
-// layers consume.
-var _ spatial.Discretizer = (*System)(nil)
+// layers consume, including the boxed-cell contract migrations need.
+var (
+	_ spatial.Discretizer = (*System)(nil)
+	_ spatial.Boxed       = (*System)(nil)
+)
 
 // CellDistance returns the Chebyshev distance between two cells (the number
 // of timestamps a user moving one step per timestamp needs to travel between

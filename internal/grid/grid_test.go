@@ -327,3 +327,23 @@ func TestNeighborRankStable(t *testing.T) {
 		t.Fatalf("NeighborRank to non-neighbour = %d, want -1", got)
 	}
 }
+
+func TestCellBoxTilesBounds(t *testing.T) {
+	s := MustNew(5, Bounds{MinX: -2, MinY: 1, MaxX: 8, MaxY: 6})
+	total := 0.0
+	for c := 0; c < s.NumCells(); c++ {
+		box := s.CellBox(Cell(c))
+		total += box.Area()
+		// The cell's own center lies in its box, and CellOf round-trips.
+		x, y := s.Center(Cell(c))
+		if x < box.MinX || x > box.MaxX || y < box.MinY || y > box.MaxY {
+			t.Fatalf("cell %d center (%v,%v) outside its box %+v", c, x, y, box)
+		}
+		if s.CellOf((box.MinX+box.MaxX)/2, (box.MinY+box.MaxY)/2) != Cell(c) {
+			t.Fatalf("cell %d box midpoint maps elsewhere", c)
+		}
+	}
+	if diff := total - s.Bounds().Area(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cell boxes cover %v, bounds area %v", total, s.Bounds().Area())
+	}
+}

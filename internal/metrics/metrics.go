@@ -7,6 +7,7 @@ import (
 
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
@@ -77,24 +78,35 @@ type Report struct {
 }
 
 // Evaluator computes metrics between one original dataset and any number of
-// synthetic counterparts, caching the original's summary.
+// synthetic counterparts, caching the original's summary. It works over any
+// spatial.Discretizer — the uniform grid the paper evaluates on, the
+// density-adaptive quadtree, or a post-migration layout — by running range
+// queries over continuous spatial.Bounds boxes resolved to cell masks
+// through the discretizer's cell centers.
 type Evaluator struct {
-	g        *grid.System
+	sp       spatial.Discretizer
 	opts     Options
 	orig     *summary
 	origData *trajectory.Dataset
 }
 
-// NewEvaluator prepares an evaluator for the original dataset.
+// NewEvaluator prepares an evaluator for the original dataset over the
+// uniform grid (the grid-compatible wrapper for existing callers).
 func NewEvaluator(orig *trajectory.Dataset, g *grid.System, opts Options) *Evaluator {
+	return NewEvaluatorSpace(orig, g, opts)
+}
+
+// NewEvaluatorSpace prepares an evaluator for the original dataset over any
+// spatial discretization.
+func NewEvaluatorSpace(orig *trajectory.Dataset, sp spatial.Discretizer, opts Options) *Evaluator {
 	opts.defaults()
-	return &Evaluator{g: g, opts: opts, orig: newSummary(orig, g), origData: orig}
+	return &Evaluator{sp: sp, opts: opts, orig: newSummary(orig, sp.NumCells()), origData: orig}
 }
 
 // Evaluate computes the full report for one synthetic dataset against the
 // evaluator's original.
 func (e *Evaluator) Evaluate(syn *trajectory.Dataset) Report {
-	s := newSummary(syn, e.g)
+	s := newSummary(syn, e.sp.NumCells())
 	rng := ldp.NewRand(e.opts.Seed, e.opts.Seed^0xa5a5a5a5)
 	return Report{
 		DensityError:    densityError(e.orig, s),
@@ -108,9 +120,15 @@ func (e *Evaluator) Evaluate(syn *trajectory.Dataset) Report {
 	}
 }
 
-// Evaluate is the one-shot convenience wrapper.
+// Evaluate is the one-shot convenience wrapper over the uniform grid.
 func Evaluate(orig, syn *trajectory.Dataset, g *grid.System, opts Options) Report {
 	return NewEvaluator(orig, g, opts).Evaluate(syn)
+}
+
+// EvaluateSpace is the one-shot convenience wrapper over any spatial
+// discretization.
+func EvaluateSpace(orig, syn *trajectory.Dataset, sp spatial.Discretizer, opts Options) Report {
+	return NewEvaluatorSpace(orig, sp, opts).Evaluate(syn)
 }
 
 // densityError averages the per-timestamp JSD between the cell-occupancy
@@ -148,10 +166,12 @@ func transitionError(orig, syn *summary) float64 {
 }
 
 // queryError averages the sanity-bounded relative error of random
-// spatio-temporal range queries (random cell-aligned rectangle × random
-// φ-window).
+// spatio-temporal range queries: a random continuous box (side lengths up to
+// half the space) × a random φ-window. A query counts the points of the
+// cells whose center falls inside the box — the generalization of the
+// paper's cell-aligned rectangles that works for any discretization, and
+// agrees with it on the uniform grid whenever box edges align to the cells.
 func (e *Evaluator) queryError(syn *summary, rng *rand.Rand) float64 {
-	k := e.g.K()
 	phi := min(e.opts.Phi, e.orig.T)
 	sanity := e.opts.SanityFraction * e.orig.totalPoints()
 	if sanity < 1 {
@@ -159,26 +179,37 @@ func (e *Evaluator) queryError(syn *summary, rng *rand.Rand) float64 {
 	}
 	total := 0.0
 	for q := 0; q < e.opts.NumQueries; q++ {
-		r := randomRegion(rng, k)
+		mask := e.cellMask(randomBounds(rng, e.sp.Bounds()))
 		t0 := 0
 		if e.orig.T > phi {
 			t0 = rng.IntN(e.orig.T - phi + 1)
 		}
-		co := e.orig.regionWindowCount(r, t0, phi)
-		cs := syn.regionWindowCount(r, t0, phi)
+		co := e.orig.maskWindowCount(mask, t0, phi)
+		cs := syn.maskWindowCount(mask, t0, phi)
 		total += math.Abs(co-cs) / math.Max(co, sanity)
 	}
 	return total / float64(e.opts.NumQueries)
 }
 
-func randomRegion(rng *rand.Rand, k int) grid.Region {
-	// Random rectangle with side lengths up to half the grid (at least 1).
-	maxSide := max(1, k/2)
-	h := 1 + rng.IntN(maxSide)
-	w := 1 + rng.IntN(maxSide)
-	r0 := rng.IntN(k - h + 1)
-	c0 := rng.IntN(k - w + 1)
-	return grid.Region{MinRow: r0, MinCol: c0, MaxRow: r0 + h - 1, MaxCol: c0 + w - 1}
+// randomBounds draws a random query box inside b: each side uniform between
+// 5% and 50% of the space's extent, uniformly placed.
+func randomBounds(rng *rand.Rand, b spatial.Bounds) spatial.Bounds {
+	w := b.Width() * (0.05 + 0.45*rng.Float64())
+	h := b.Height() * (0.05 + 0.45*rng.Float64())
+	x0 := b.MinX + rng.Float64()*(b.Width()-w)
+	y0 := b.MinY + rng.Float64()*(b.Height()-h)
+	return spatial.Bounds{MinX: x0, MinY: y0, MaxX: x0 + w, MaxY: y0 + h}
+}
+
+// cellMask resolves a continuous query box to the cells whose center lies
+// inside it (max edges exclusive, so adjacent query boxes partition cells).
+func (e *Evaluator) cellMask(box spatial.Bounds) []bool {
+	mask := make([]bool, e.sp.NumCells())
+	for c := range mask {
+		x, y := e.sp.Center(spatial.Cell(c))
+		mask[c] = x >= box.MinX && x < box.MaxX && y >= box.MinY && y < box.MaxY
+	}
+	return mask
 }
 
 // hotspotNDCG averages NDCG@nh of the synthetic top cells against the

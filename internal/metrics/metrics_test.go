@@ -6,6 +6,7 @@ import (
 
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldp"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
@@ -13,7 +14,7 @@ func testGrid() *grid.System {
 	return grid.MustNew(4, grid.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
 }
 
-func walkDataset(g *grid.System, users, T int, meanLen float64, seed uint64) *trajectory.Dataset {
+func walkDataset(g spatial.Discretizer, users, T int, meanLen float64, seed uint64) *trajectory.Dataset {
 	rng := ldp.NewRand(seed, seed+1)
 	d := &trajectory.Dataset{Name: "walk", T: T}
 	for u := 0; u < users; u++ {
@@ -221,5 +222,73 @@ func TestPhiLargerThanTimeline(t *testing.T) {
 	r := Evaluate(orig, orig, g, Options{Phi: 100, Seed: 9})
 	if math.Abs(r.PatternF1-1) > 1e-12 || r.QueryError != 0 {
 		t.Fatalf("oversized φ broke evaluation: %+v", r)
+	}
+}
+
+// testQuadtree grows a skewed quadtree over the unit square, giving the
+// discretizer-generic evaluator a non-grid backend to run on.
+func testQuadtree(t *testing.T) *spatial.Quadtree {
+	t.Helper()
+	rng := ldp.NewRand(41, 43)
+	pts := make([]spatial.Point, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		if i%4 == 0 {
+			pts = append(pts, spatial.Point{X: rng.Float64(), Y: rng.Float64()})
+		} else {
+			pts = append(pts, spatial.Point{X: rng.Float64() * 0.3, Y: rng.Float64() * 0.3})
+		}
+	}
+	qt, err := spatial.NewQuadtree(spatial.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, pts,
+		spatial.QuadtreeOptions{MaxLeaves: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qt
+}
+
+// TestQuadtreeSelfEvaluationIsPerfect pins the discretizer-generic
+// evaluator: on the quadtree backend, a dataset against itself scores
+// perfectly on every metric, exactly as on the grid.
+func TestQuadtreeSelfEvaluationIsPerfect(t *testing.T) {
+	qt := testQuadtree(t)
+	d := walkDataset(qt, 200, 30, 8, 5)
+	r := EvaluateSpace(d, d, qt, Options{Seed: 1})
+	if r.DensityError != 0 || r.TransitionError != 0 || r.QueryError != 0 || r.TripError != 0 || r.LengthError != 0 {
+		t.Errorf("quadtree self-evaluation not perfect: %+v", r)
+	}
+	if math.Abs(r.HotspotNDCG-1) > 1e-12 || math.Abs(r.PatternF1-1) > 1e-12 || math.Abs(r.KendallTau-1) > 1e-12 {
+		t.Errorf("quadtree self-evaluation rank metrics not perfect: %+v", r)
+	}
+}
+
+// TestQuadtreeQueryErrorDetectsMissingMass mirrors the grid test on the
+// quadtree: continuous-box range queries must see halved mass.
+func TestQuadtreeQueryErrorDetectsMissingMass(t *testing.T) {
+	qt := testQuadtree(t)
+	orig := walkDataset(qt, 400, 30, 10, 11)
+	syn := &trajectory.Dataset{T: orig.T, Trajs: orig.Trajs[:len(orig.Trajs)/2]}
+	r := EvaluateSpace(orig, syn, qt, Options{Seed: 4})
+	if r.QueryError < 0.2 {
+		t.Fatalf("QueryError = %v, want substantial error for halved mass on the quadtree", r.QueryError)
+	}
+}
+
+// TestGridWrapperMatchesSpacePath pins the thin grid wrapper: Evaluate over
+// *grid.System and EvaluateSpace over the same grid are the same code path.
+func TestGridWrapperMatchesSpacePath(t *testing.T) {
+	g := testGrid()
+	orig := walkDataset(g, 200, 25, 8, 21)
+	syn := walkDataset(g, 200, 25, 8, 22)
+	a := Evaluate(orig, syn, g, Options{Seed: 9})
+	b := EvaluateSpace(orig, syn, g, Options{Seed: 9})
+	// The sparse-divergence metrics fold map entries in iteration order, so
+	// two evaluations may differ by float rounding ulps; everything beyond
+	// that is a wrapper drift.
+	close := func(x, y float64) bool { return math.Abs(x-y) < 1e-9 }
+	if !close(a.DensityError, b.DensityError) || !close(a.QueryError, b.QueryError) ||
+		!close(a.HotspotNDCG, b.HotspotNDCG) || !close(a.TransitionError, b.TransitionError) ||
+		!close(a.PatternF1, b.PatternF1) || !close(a.KendallTau, b.KendallTau) ||
+		!close(a.TripError, b.TripError) || !close(a.LengthError, b.LengthError) {
+		t.Fatalf("wrapper drifted from the generic path: %+v vs %+v", a, b)
 	}
 }

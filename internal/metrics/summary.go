@@ -1,15 +1,17 @@
 package metrics
 
 import (
-	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
 // summary caches the per-timestamp spatial statistics of one dataset so the
-// eight metrics can share a single pass over the data.
+// eight metrics can share a single pass over the data. It depends on the
+// discretization only through the cell count — range queries resolve their
+// continuous query box to a cell mask via the discretizer's cell centers.
 type summary struct {
-	g *grid.System
-	T int
+	nc int
+	T  int
 	// cellCounts[t][c] = points in cell c at timestamp t.
 	cellCounts [][]float64
 	// transCounts[t] maps packed (from,to) → count of transitions landing at
@@ -27,12 +29,11 @@ type summary struct {
 
 const lengthBuckets = 512
 
-func packPair(a, b grid.Cell) uint32 { return uint32(a)<<16 | uint32(b)&0xffff }
+func packPair(a, b spatial.Cell) uint32 { return uint32(a)<<16 | uint32(b)&0xffff }
 
-func newSummary(d *trajectory.Dataset, g *grid.System) *summary {
-	nc := g.NumCells()
+func newSummary(d *trajectory.Dataset, nc int) *summary {
 	s := &summary{
-		g:           g,
+		nc:          nc,
 		T:           d.T,
 		cellCounts:  make([][]float64, d.T),
 		transCounts: make([]map[uint32]float64, d.T),
@@ -70,15 +71,14 @@ func newSummary(d *trajectory.Dataset, g *grid.System) *summary {
 	return s
 }
 
-// regionWindowCount sums the points inside region r during [t0, t0+phi).
-func (s *summary) regionWindowCount(r grid.Region, t0, phi int) float64 {
+// maskWindowCount sums the points of the masked cells during [t0, t0+phi).
+func (s *summary) maskWindowCount(mask []bool, t0, phi int) float64 {
 	total := 0.0
 	for t := t0; t < t0+phi && t < s.T; t++ {
 		row := s.cellCounts[t]
-		for rr := r.MinRow; rr <= r.MaxRow; rr++ {
-			base := rr * s.g.K()
-			for cc := r.MinCol; cc <= r.MaxCol; cc++ {
-				total += row[base+cc]
+		for c, in := range mask {
+			if in {
+				total += row[c]
 			}
 		}
 	}
@@ -87,7 +87,7 @@ func (s *summary) regionWindowCount(r grid.Region, t0, phi int) float64 {
 
 // windowCellCounts sums per-cell counts over [t0, t0+phi).
 func (s *summary) windowCellCounts(t0, phi int) []float64 {
-	out := make([]float64, s.g.NumCells())
+	out := make([]float64, s.nc)
 	for t := t0; t < t0+phi && t < s.T; t++ {
 		for c, v := range s.cellCounts[t] {
 			out[c] += v

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
 )
@@ -95,6 +96,37 @@ func (c *Coordinator) Restore(states []json.RawMessage) error {
 	return nil
 }
 
+// Relayouter is a Runner that can migrate onto a new spatial discretization
+// between timestamps — core.Engine implements it.
+type Relayouter interface {
+	Relayout(sp spatial.Discretizer) error
+}
+
+// Relayout is the coordinator-wide migration barrier: it switches every
+// shard onto the new discretization between two timestamps, so the whole
+// fleet is always on one layout and the merged release stays coherent. The
+// Coordinator is externally synchronized (no ProcessTimestamp runs
+// concurrently with Relayout), which makes the switch atomic with respect to
+// the stream. All shards are checked up front so an unsupported shard never
+// leaves the fleet half-migrated; a shard failing mid-switch is fatal to the
+// coordinator and reported as an error.
+func (c *Coordinator) Relayout(sp spatial.Discretizer) error {
+	rs := make([]Relayouter, len(c.shards))
+	for i, sh := range c.shards {
+		r, ok := sh.(Relayouter)
+		if !ok {
+			return fmt.Errorf("pipeline: shard %d (%T) does not support relayout", i, sh)
+		}
+		rs[i] = r
+	}
+	for i, r := range rs {
+		if err := r.Relayout(sp); err != nil {
+			return fmt.Errorf("pipeline: relayout shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // ShardOf maps a user ID onto its shard with a splitmix64 finalizer, so
 // consecutive user IDs spread evenly instead of clumping.
 func (c *Coordinator) ShardOf(user int) int {
@@ -158,14 +190,16 @@ func (c *Coordinator) Synthetic(name string, T int) *trajectory.Dataset {
 	return out
 }
 
-// Stats sums the shards' run statistics. Timestamps is the per-shard count
-// (every shard sees every timestamp), not the sum.
+// Stats sums the shards' run statistics. Timestamps and Relayouts are
+// per-shard counts (every shard sees every timestamp and every migration
+// barrier), not sums.
 func (c *Coordinator) Stats() RunStats {
 	var out RunStats
 	for i, sh := range c.shards {
 		st := sh.Stats()
 		if i == 0 {
 			out.Timestamps = st.Timestamps
+			out.Relayouts = st.Relayouts
 		}
 		out.merge(st)
 	}

@@ -62,6 +62,7 @@ type RunStats struct {
 	Timestamps   int
 	Rounds       int // timestamps with a collection round
 	TotalReports int // user reports collected
+	Relayouts    int // layout migrations (online re-discretization)
 	Timings      Timings
 }
 

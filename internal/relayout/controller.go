@@ -1,0 +1,166 @@
+package relayout
+
+import (
+	"fmt"
+
+	"retrasyn/internal/spatial"
+)
+
+// DefaultThreshold is the layout-distance threshold below which a proposed
+// rebuild is not worth the migration churn.
+const DefaultThreshold = 0.1
+
+// ControllerOptions configures a Controller.
+type ControllerOptions struct {
+	// Every is the rebuild cadence in windows: a fresh layout is grown every
+	// Every×W timestamps. ≤ 0 disables periodic rebuilds (the tracker still
+	// accumulates, so manual Propose calls work).
+	Every int
+	// W is the engine's window size (timestamps per window).
+	W int
+	// Threshold is the minimum layout distance at which a proposed layout
+	// replaces the current one; below it the proposal is discarded, so
+	// stable workloads never churn. Default DefaultThreshold.
+	Threshold float64
+	// Quadtree parameterizes the rebuilt trees.
+	Quadtree spatial.QuadtreeOptions
+	// Bounds is the continuous space every rebuilt layout tiles (the boot
+	// discretizer's bounds).
+	Bounds spatial.Bounds
+	// SketchWindows is the sliding sketch length in windows (default:
+	// max(Every, 1)) — how much released history a rebuild looks at.
+	SketchWindows int
+}
+
+func (o *ControllerOptions) defaults() error {
+	if o.W < 1 {
+		return fmt.Errorf("relayout: controller W must be ≥ 1, got %d", o.W)
+	}
+	if o.Threshold == 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.Threshold < 0 || o.Threshold >= 1 {
+		return fmt.Errorf("relayout: controller threshold %v outside [0, 1)", o.Threshold)
+	}
+	if !o.Bounds.Valid() {
+		return fmt.Errorf("relayout: controller bounds %+v invalid", o.Bounds)
+	}
+	if o.SketchWindows <= 0 {
+		o.SketchWindows = o.Every
+		if o.SketchWindows <= 0 {
+			o.SketchWindows = 1
+		}
+	}
+	if o.Quadtree.MaxLeaves < 1 {
+		return fmt.Errorf("relayout: controller quadtree MaxLeaves must be ≥ 1, got %d", o.Quadtree.MaxLeaves)
+	}
+	return nil
+}
+
+// Proposal is the outcome of one rebuild: the candidate layout, its distance
+// from the current one, and whether the controller recommends switching.
+type Proposal struct {
+	// Target is the rebuilt quadtree (nil when the sketch was empty).
+	Target *spatial.Quadtree
+	// Distance is the layout distance between the current layout and Target
+	// (0 when the fingerprints already match).
+	Distance float64
+	// Switch reports whether Distance crossed the threshold.
+	Switch bool
+}
+
+// Controller owns the rebuild/switch policy of online re-discretization:
+// feed it the released positions every timestamp (Observe), ask it at window
+// boundaries whether a rebuild is due (Due), and let Propose grow a fresh
+// quadtree from the sketch and measure it against the current layout. The
+// caller performs the actual migration and reports it back with NoteSwitch.
+// Not safe for concurrent use.
+type Controller struct {
+	opts      ControllerOptions
+	tracker   *DensityTracker
+	relayouts int
+	lastDist  float64
+}
+
+// NewController validates the options and creates a controller.
+func NewController(opts ControllerOptions) (*Controller, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		opts:    opts,
+		tracker: NewDensityTracker(opts.SketchWindows * opts.W),
+	}, nil
+}
+
+// Observe records the released synthetic positions at timestamp t.
+func (c *Controller) Observe(t int, pts []spatial.Point) { c.tracker.Observe(t, pts) }
+
+// Due reports whether processing timestamp t completed a rebuild period:
+// t+1 is a multiple of Every×W and the sketch is non-empty.
+func (c *Controller) Due(t int) bool {
+	if c.opts.Every <= 0 {
+		return false
+	}
+	period := c.opts.Every * c.opts.W
+	return (t+1)%period == 0 && c.tracker.Len() > 0
+}
+
+// Propose grows a fresh quadtree from the current sketch and measures its
+// layout distance from current. It never mutates the controller; apply the
+// migration and call NoteSwitch if you follow the recommendation.
+func (c *Controller) Propose(current spatial.Discretizer) (Proposal, error) {
+	pts := c.tracker.Points()
+	if len(pts) == 0 {
+		return Proposal{}, nil
+	}
+	qt, err := spatial.NewQuadtree(c.opts.Bounds, pts, c.opts.Quadtree)
+	if err != nil {
+		return Proposal{}, fmt.Errorf("relayout: rebuild quadtree: %w", err)
+	}
+	if qt.Fingerprint() == current.Fingerprint() {
+		return Proposal{Target: qt, Distance: 0, Switch: false}, nil
+	}
+	mig, err := NewMigration(current, qt)
+	if err != nil {
+		return Proposal{}, err
+	}
+	d := mig.Distance()
+	return Proposal{Target: qt, Distance: d, Switch: d >= c.opts.Threshold}, nil
+}
+
+// NoteSwitch records that the caller migrated onto a proposed layout.
+func (c *Controller) NoteSwitch(distance float64) {
+	c.relayouts++
+	c.lastDist = distance
+}
+
+// Relayouts returns how many layout switches have been committed.
+func (c *Controller) Relayouts() int { return c.relayouts }
+
+// LastDistance returns the layout distance of the most recent switch.
+func (c *Controller) LastDistance() float64 { return c.lastDist }
+
+// ControllerState is the serializable form of a Controller, embedded in
+// framework checkpoints so rebuild decisions after a restore match the
+// uninterrupted run exactly.
+type ControllerState struct {
+	Tracker   TrackerState `json:"tracker"`
+	Relayouts int          `json:"relayouts"`
+	LastDist  float64      `json:"last_dist"`
+}
+
+// State exports a deep copy of the controller's mutable state.
+func (c *Controller) State() ControllerState {
+	return ControllerState{Tracker: c.tracker.State(), Relayouts: c.relayouts, LastDist: c.lastDist}
+}
+
+// Restore replaces the controller's state with a previously exported one.
+func (c *Controller) Restore(st ControllerState) error {
+	if err := c.tracker.Restore(st.Tracker); err != nil {
+		return err
+	}
+	c.relayouts = st.Relayouts
+	c.lastDist = st.LastDist
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package relayout implements online adaptive re-discretization: rebuilding
+// the spatial layout from the *released* synthetic stream while the engine
+// runs, and migrating live engine state onto the new layout.
+//
+// The spatial discretization (internal/spatial) is frozen at boot from a
+// historical density sketch. When the workload's hotspots drift, the boot
+// layout's fine leaves go cold and its coarse leaves go hot, and the domain
+// shrink the adaptive quadtree bought evaporates. This package closes the
+// loop:
+//
+//   - a DensityTracker accumulates a sliding-window density sketch from the
+//     released synthetic trajectories;
+//   - a Controller periodically grows a fresh quadtree from that sketch and
+//     decides — by a layout-distance threshold — whether switching is worth
+//     the churn;
+//   - a Migration computes cell-overlap area weights between the old and new
+//     discretizers and resamples engine state across layouts: mobility
+//     transition/enter/quit mass is pushed through the overlap matrix,
+//     tracker histories are re-indexed, and in-flight synthetic trajectories
+//     are remapped to the overlapping new cell.
+//
+// Privacy: the released synthetic stream is a post-processing of the LDP
+// outputs (paper Theorem 2), so deriving a new layout from it consumes no
+// additional privacy budget — unlike sketching the private input stream,
+// which would leak hotspot locations outside the ε accounting. This mirrors
+// how PrivTrace adapts Markov-model granularity to observed density while
+// keeping the adaptation inside the privacy analysis.
+package relayout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"retrasyn/internal/spatial"
+)
+
+// SpreadInBox places the i-th point of a batch inside a box using the R2
+// low-discrepancy sequence (Roberts' plastic-constant rule), covering the
+// box area deterministically. Released positions are spread this way: a
+// released cell only says "somewhere in this box", and collapsing whole
+// cells onto their centers would both hide density spread inside coarse
+// regions and make rebuilds split forever around single heavy points. The
+// sequence involves no RNG, so observing the release never perturbs it.
+func SpreadInBox(b spatial.Bounds, i int) spatial.Point {
+	const a1, a2 = 0.7548776662466927, 0.5698402909980532
+	fx := math.Mod(float64(i+1)*a1, 1)
+	fy := math.Mod(float64(i+1)*a2, 1)
+	return spatial.Point{X: b.MinX + fx*b.Width(), Y: b.MinY + fy*b.Height()}
+}
+
+// DensityTracker accumulates a sliding-window density sketch over the most
+// recent window of released synthetic positions. One Observe call per
+// timestamp records the current positions of the released streams (cell
+// centers); once the window fills, the oldest timestamp's points retire. The
+// tracker stores continuous points, so its contents survive layout switches
+// unchanged. Not safe for concurrent use.
+type DensityTracker struct {
+	cap   int               // timestamps retained
+	slots [][]spatial.Point // ring keyed t % cap
+	ts    []int             // timestamp occupying each slot; -1 empty
+	n     int               // total points currently held
+}
+
+// NewDensityTracker creates a tracker retaining the last capTimestamps
+// timestamps of observations.
+func NewDensityTracker(capTimestamps int) *DensityTracker {
+	if capTimestamps < 1 {
+		capTimestamps = 1
+	}
+	d := &DensityTracker{
+		cap:   capTimestamps,
+		slots: make([][]spatial.Point, capTimestamps),
+		ts:    make([]int, capTimestamps),
+	}
+	for i := range d.ts {
+		d.ts[i] = -1
+	}
+	return d
+}
+
+// Observe records the released positions at timestamp t, evicting whatever
+// timestamp previously occupied t's ring slot. The points are copied.
+func (d *DensityTracker) Observe(t int, pts []spatial.Point) {
+	if t < 0 {
+		return
+	}
+	slot := t % d.cap
+	d.n -= len(d.slots[slot])
+	d.slots[slot] = append(d.slots[slot][:0], pts...)
+	d.ts[slot] = t
+	d.n += len(pts)
+}
+
+// Len returns the number of points currently held.
+func (d *DensityTracker) Len() int { return d.n }
+
+// Points returns the sketch: every retained point, ordered by timestamp
+// (oldest first) and within a timestamp by observation order. The
+// deterministic order keeps quadtree rebuilds reproducible.
+func (d *DensityTracker) Points() []spatial.Point {
+	order := make([]int, 0, d.cap)
+	for slot, t := range d.ts {
+		if t >= 0 {
+			order = append(order, slot)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return d.ts[order[a]] < d.ts[order[b]] })
+	out := make([]spatial.Point, 0, d.n)
+	for _, slot := range order {
+		out = append(out, d.slots[slot]...)
+	}
+	return out
+}
+
+// TrackerState is the serializable form of a DensityTracker.
+type TrackerState struct {
+	Cap   int               `json:"cap"`
+	Slots [][]spatial.Point `json:"slots"`
+	Ts    []int             `json:"ts"`
+}
+
+// State exports a deep copy of the tracker.
+func (d *DensityTracker) State() TrackerState {
+	st := TrackerState{
+		Cap:   d.cap,
+		Slots: make([][]spatial.Point, d.cap),
+		Ts:    append([]int(nil), d.ts...),
+	}
+	for i, pts := range d.slots {
+		st.Slots[i] = append([]spatial.Point(nil), pts...)
+	}
+	return st
+}
+
+// Restore replaces the tracker's contents with a previously exported state.
+// The capacity must match.
+func (d *DensityTracker) Restore(st TrackerState) error {
+	if st.Cap != d.cap || len(st.Slots) != d.cap || len(st.Ts) != d.cap {
+		return fmt.Errorf("relayout: tracker restore capacity %d (slots %d, ts %d) ≠ %d",
+			st.Cap, len(st.Slots), len(st.Ts), d.cap)
+	}
+	d.n = 0
+	for i := range d.slots {
+		d.slots[i] = append(d.slots[i][:0], st.Slots[i]...)
+		d.ts[i] = st.Ts[i]
+		if d.ts[i] >= 0 {
+			d.n += len(d.slots[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package relayout
+
+import (
+	"fmt"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
+)
+
+// Layout is the serializable description of a discretization's cell
+// geometry, embedded in engine and curator checkpoints so a process restored
+// after K migrations can rebuild the layout it was running on. Both shipped
+// backends are covered: the quadtree serializes as its preorder split mask,
+// the uniform grid as its granularity.
+type Layout struct {
+	Kind   string         `json:"kind"` // "quadtree" or "uniform"
+	Bounds spatial.Bounds `json:"bounds"`
+	// Splits is the quadtree's preorder split mask (spatial.SplitMask).
+	Splits []bool `json:"splits,omitempty"`
+	// K is the uniform grid's granularity.
+	K int `json:"k,omitempty"`
+}
+
+// LayoutOf captures the serializable layout of a discretizer.
+func LayoutOf(d spatial.Discretizer) (Layout, error) {
+	switch s := d.(type) {
+	case *spatial.Quadtree:
+		return Layout{Kind: "quadtree", Bounds: s.Bounds(), Splits: s.SplitMask()}, nil
+	case *grid.System:
+		return Layout{Kind: "uniform", Bounds: s.Bounds(), K: s.K()}, nil
+	default:
+		return Layout{}, fmt.Errorf("relayout: discretizer %T has no serializable layout", d)
+	}
+}
+
+// FromLayout reconstructs the discretizer a Layout describes. The rebuilt
+// backend is layout-identical to the captured one: same cells, adjacency and
+// fingerprint.
+func FromLayout(l Layout) (spatial.Discretizer, error) {
+	switch l.Kind {
+	case "quadtree":
+		return spatial.NewQuadtreeFromSplits(l.Bounds, l.Splits)
+	case "uniform":
+		return grid.New(l.K, l.Bounds)
+	default:
+		return nil, fmt.Errorf("relayout: unknown layout kind %q", l.Kind)
+	}
+}

@@ -1,0 +1,211 @@
+package relayout
+
+import (
+	"fmt"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/transition"
+)
+
+// CellWeight couples a target cell with the fraction of a source cell's area
+// it covers.
+type CellWeight struct {
+	Cell spatial.Cell
+	W    float64
+}
+
+// Migration holds the cell-overlap area weights between an old and a new
+// discretization. For every old cell i the weights over new cells sum to
+// exactly 1 (the new layout tiles the same bounds), so pushing any mass
+// vector through the matrix conserves total mass. Immutable after
+// construction and safe for concurrent use.
+type Migration struct {
+	from, to spatial.Discretizer
+	// weights[i] lists the new cells overlapping old cell i, ascending by
+	// cell index, with area-fraction weights summing to 1.
+	weights [][]CellWeight
+	// best[i] is the new cell with the largest overlap of old cell i (ties
+	// break toward the lower cell index) — the deterministic single-cell
+	// remap used for in-flight trajectories.
+	best []spatial.Cell
+	// dist is the layout distance: the area-weighted fraction of the space
+	// where an old cell does NOT map onto a single dominant new cell. 0 for
+	// identical layouts, approaching 1 as every old cell is shattered.
+	dist float64
+}
+
+// NewMigration computes the overlap weights from one discretization to
+// another. Both must cover the same bounds and expose their cell boxes
+// (spatial.Boxed — the uniform grid and the quadtree both do).
+func NewMigration(from, to spatial.Discretizer) (*Migration, error) {
+	fb, ok := from.(spatial.Boxed)
+	if !ok {
+		return nil, fmt.Errorf("relayout: source discretizer %T does not expose cell boxes", from)
+	}
+	tb, ok := to.(spatial.Boxed)
+	if !ok {
+		return nil, fmt.Errorf("relayout: target discretizer %T does not expose cell boxes", to)
+	}
+	if from.Bounds() != to.Bounds() {
+		return nil, fmt.Errorf("relayout: bounds mismatch %+v vs %+v", from.Bounds(), to.Bounds())
+	}
+	nOld, nNew := from.NumCells(), to.NumCells()
+	m := &Migration{
+		from:    from,
+		to:      to,
+		weights: make([][]CellWeight, nOld),
+		best:    make([]spatial.Cell, nOld),
+	}
+	totalArea := from.Bounds().Area()
+	misfit := 0.0
+	for i := 0; i < nOld; i++ {
+		bi := fb.CellBox(spatial.Cell(i))
+		area := bi.Area()
+		var ws []CellWeight
+		sum := 0.0
+		for j := 0; j < nNew; j++ {
+			inter, ok := bi.Intersect(tb.CellBox(spatial.Cell(j)))
+			if !ok {
+				continue
+			}
+			w := inter.Area() / area
+			ws = append(ws, CellWeight{Cell: spatial.Cell(j), W: w})
+			sum += w
+		}
+		if len(ws) == 0 || sum <= 0 {
+			return nil, fmt.Errorf("relayout: old cell %d overlaps no new cell — layouts do not tile the same space", i)
+		}
+		// Normalize away the float drift of summing quadrant areas so every
+		// row sums to exactly 1. For identical layouts the single weight is
+		// exactly 1.0 and dividing by 1.0 keeps the remap bit-exact.
+		bestW := 0.0
+		for k := range ws {
+			ws[k].W /= sum
+			if ws[k].W > bestW {
+				bestW = ws[k].W
+				m.best[i] = ws[k].Cell
+			}
+		}
+		m.weights[i] = ws
+		misfit += (1 - bestW) * area
+	}
+	m.dist = misfit / totalArea
+	return m, nil
+}
+
+// From returns the source discretization.
+func (m *Migration) From() spatial.Discretizer { return m.from }
+
+// To returns the target discretization.
+func (m *Migration) To() spatial.Discretizer { return m.to }
+
+// Weights returns the overlap weights of old cell c (ascending by new cell,
+// summing to 1). The returned slice is shared and must not be modified.
+func (m *Migration) Weights(c spatial.Cell) []CellWeight { return m.weights[c] }
+
+// MapCell returns the new cell with the largest overlap of old cell c — the
+// deterministic remap applied to released trajectory cells.
+func (m *Migration) MapCell(c spatial.Cell) spatial.Cell { return m.best[c] }
+
+// Distance returns the layout distance in [0, 1): the area-weighted misfit
+// between the layouts. Identical layouts measure 0; the Controller compares
+// it against the switch threshold so stable workloads never churn.
+func (m *Migration) Distance() float64 { return m.dist }
+
+// RemapFreqs pushes a transition-state frequency vector over the old domain
+// through the overlap matrix onto the new domain. Movement mass m(a→b)
+// distributes over new pairs (a′→b′) with weight w(a,a′)·w(b,b′), restricted
+// to pairs satisfying the new layout's reachability constraint and
+// renormalized over the captured weight, so mass is conserved exactly per
+// state; should no valid pair exist (geometrically possible only for
+// degenerate layouts) the mass lands on the dominant cell's self-loop.
+// Entering and quitting mass redistributes by plain cell overlap. Both
+// domains must be built over the migration's discretizers and agree on
+// whether enter/quit states exist.
+func (m *Migration) RemapFreqs(fromDom, toDom *transition.Domain, freq []float64) ([]float64, error) {
+	if fromDom.Space().Fingerprint() != m.from.Fingerprint() {
+		return nil, fmt.Errorf("relayout: source domain built over a different layout")
+	}
+	if toDom.Space().Fingerprint() != m.to.Fingerprint() {
+		return nil, fmt.Errorf("relayout: target domain built over a different layout")
+	}
+	if len(freq) != fromDom.Size() {
+		return nil, fmt.Errorf("relayout: frequency vector length %d ≠ source domain %d", len(freq), fromDom.Size())
+	}
+	if fromDom.HasEQ() != toDom.HasEQ() {
+		return nil, fmt.Errorf("relayout: source and target domains disagree on enter/quit states")
+	}
+	out := make([]float64, toDom.Size())
+	nOld := m.from.NumCells()
+	for a := 0; a < nOld; a++ {
+		base, n := fromDom.MoveBlock(spatial.Cell(a))
+		nbrs := m.from.Neighbors(spatial.Cell(a))
+		wa := m.weights[a]
+		for r := 0; r < n; r++ {
+			f := freq[base+r]
+			if f == 0 {
+				continue
+			}
+			wb := m.weights[nbrs[r]]
+			// First pass: the weight captured by pairs that stay reachable
+			// in the new layout.
+			captured := 0.0
+			for _, pa := range wa {
+				for _, pb := range wb {
+					if m.to.Adjacent(pa.Cell, pb.Cell) {
+						captured += pa.W * pb.W
+					}
+				}
+			}
+			if captured <= 0 {
+				self, _ := toDom.MoveIndex(m.best[a], m.best[a])
+				out[self] += f
+				continue
+			}
+			scale := 1 / captured
+			for _, pa := range wa {
+				for _, pb := range wb {
+					idx, ok := toDom.MoveIndex(pa.Cell, pb.Cell)
+					if !ok {
+						continue
+					}
+					out[idx] += f * pa.W * pb.W * scale
+				}
+			}
+		}
+	}
+	if fromDom.HasEQ() {
+		for c := 0; c < nOld; c++ {
+			fe := freq[fromDom.EnterIndex(spatial.Cell(c))]
+			fq := freq[fromDom.QuitIndex(spatial.Cell(c))]
+			if fe == 0 && fq == 0 {
+				continue
+			}
+			for _, p := range m.weights[c] {
+				if fe != 0 {
+					out[toDom.EnterIndex(p.Cell)] += fe * p.W
+				}
+				if fq != 0 {
+					out[toDom.QuitIndex(p.Cell)] += fq * p.W
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RemapDevState re-indexes a deviation-tracker history (per-state frequency
+// vectors) onto the new domain, so the adaptive allocation strategy keeps
+// its drift signal across a migration instead of restarting cold.
+func (m *Migration) RemapDevState(fromDom, toDom *transition.Domain, st allocation.DevState) (allocation.DevState, error) {
+	out := allocation.DevState{Hist: make([][]float64, len(st.Hist))}
+	for i, h := range st.Hist {
+		remapped, err := m.RemapFreqs(fromDom, toDom, h)
+		if err != nil {
+			return allocation.DevState{}, fmt.Errorf("relayout: dev history entry %d: %w", i, err)
+		}
+		out.Hist[i] = remapped
+	}
+	return out, nil
+}

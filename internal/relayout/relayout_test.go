@@ -1,0 +1,352 @@
+package relayout_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/relayout"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/transition"
+)
+
+func unitBounds() spatial.Bounds {
+	return spatial.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+}
+
+// cornerSketch clusters density in the given corner of the unit square.
+func cornerSketch(n int, cx, cy float64, seed uint64) []spatial.Point {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	pts := make([]spatial.Point, 0, n)
+	for i := 0; i < n; i++ {
+		if i%8 == 0 {
+			pts = append(pts, spatial.Point{X: rng.Float64(), Y: rng.Float64()})
+		} else {
+			pts = append(pts, spatial.Point{X: cx + rng.Float64()*0.25, Y: cy + rng.Float64()*0.25})
+		}
+	}
+	return pts
+}
+
+func mustQuadtree(t *testing.T, pts []spatial.Point, leaves int) *spatial.Quadtree {
+	t.Helper()
+	q, err := spatial.NewQuadtree(unitBounds(), pts, spatial.QuadtreeOptions{MaxLeaves: leaves})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestMigrationWeightsSumToOne pins the overlap-matrix invariant the whole
+// migration rests on, across grid→quadtree, quadtree→grid and
+// quadtree→quadtree pairs.
+func TestMigrationWeightsSumToOne(t *testing.T) {
+	g := grid.MustNew(7, unitBounds())
+	qa := mustQuadtree(t, cornerSketch(3000, 0, 0, 1), 40)
+	qb := mustQuadtree(t, cornerSketch(3000, 0.7, 0.7, 2), 56)
+	pairs := []struct {
+		name     string
+		from, to spatial.Discretizer
+	}{
+		{"grid→quadtree", g, qa},
+		{"quadtree→grid", qa, g},
+		{"quadtree→quadtree", qa, qb},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			mig, err := relayout.NewMigration(p.from, p.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < p.from.NumCells(); c++ {
+				sum := 0.0
+				for _, w := range mig.Weights(spatial.Cell(c)) {
+					if w.W < 0 {
+						t.Fatalf("cell %d: negative weight %v", c, w.W)
+					}
+					if !p.to.ValidCell(w.Cell) {
+						t.Fatalf("cell %d: weight onto invalid cell %d", c, w.Cell)
+					}
+					sum += w.W
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("cell %d: weights sum to %v, want 1", c, sum)
+				}
+				if !p.to.ValidCell(mig.MapCell(spatial.Cell(c))) {
+					t.Fatalf("cell %d: MapCell out of range", c)
+				}
+			}
+		})
+	}
+}
+
+// TestMigrationIdentityIsExact pins the identical-layout case: every weight
+// is exactly 1.0 onto the same cell index and the distance is exactly 0, so
+// identity migrations are bit-exact.
+func TestMigrationIdentityIsExact(t *testing.T) {
+	q := mustQuadtree(t, cornerSketch(2000, 0, 0, 3), 32)
+	clone, err := spatial.NewQuadtreeFromSplits(q.Bounds(), q.SplitMask())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := relayout.NewMigration(q, clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Distance() != 0 {
+		t.Fatalf("identity distance = %v, want exactly 0", mig.Distance())
+	}
+	for c := 0; c < q.NumCells(); c++ {
+		ws := mig.Weights(spatial.Cell(c))
+		if len(ws) != 1 || ws[0].Cell != spatial.Cell(c) || ws[0].W != 1.0 {
+			t.Fatalf("identity weights of cell %d = %+v, want exactly {%d, 1.0}", c, ws, c)
+		}
+	}
+}
+
+// TestRemapFreqsConservesMass pins the migration invariant ISSUE 4 demands:
+// total mobility mass — including the raw negative estimates the model keeps
+// — survives the push through the overlap matrix within 1e-9.
+func TestRemapFreqsConservesMass(t *testing.T) {
+	g := grid.MustNew(6, unitBounds())
+	q := mustQuadtree(t, cornerSketch(3000, 0.6, 0.1, 4), 44)
+	fromDom := transition.NewDomain(g)
+	toDom := transition.NewDomain(q)
+	mig, err := relayout.NewMigration(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	freq := make([]float64, fromDom.Size())
+	sum := 0.0
+	for i := range freq {
+		freq[i] = rng.Float64() - 0.3 // raw estimates go negative under noise
+		sum += freq[i]
+	}
+	out, err := mig.RemapFreqs(fromDom, toDom, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != toDom.Size() {
+		t.Fatalf("remapped length %d ≠ target domain %d", len(out), toDom.Size())
+	}
+	outSum := 0.0
+	for _, f := range out {
+		outSum += f
+	}
+	if math.Abs(outSum-sum) > 1e-9 {
+		t.Fatalf("mass not conserved: Σin=%v Σout=%v (Δ=%g)", sum, outSum, outSum-sum)
+	}
+
+	// Move-only domains conserve too.
+	fromMove := transition.NewMoveOnlyDomain(g)
+	toMove := transition.NewMoveOnlyDomain(q)
+	mfreq := freq[:fromMove.Size()]
+	msum := 0.0
+	for _, f := range mfreq {
+		msum += f
+	}
+	mout, err := mig.RemapFreqs(fromMove, toMove, mfreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moutSum := 0.0
+	for _, f := range mout {
+		moutSum += f
+	}
+	if math.Abs(moutSum-msum) > 1e-9 {
+		t.Fatalf("move-only mass not conserved: Σin=%v Σout=%v", msum, moutSum)
+	}
+}
+
+// TestRemapFreqsValidation covers the mismatch errors.
+func TestRemapFreqsValidation(t *testing.T) {
+	g := grid.MustNew(4, unitBounds())
+	q := mustQuadtree(t, cornerSketch(1000, 0, 0, 5), 16)
+	mig, err := relayout.NewMigration(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gDom, qDom := transition.NewDomain(g), transition.NewDomain(q)
+	if _, err := mig.RemapFreqs(qDom, qDom, make([]float64, qDom.Size())); err == nil {
+		t.Fatal("wrong source domain accepted")
+	}
+	if _, err := mig.RemapFreqs(gDom, gDom, make([]float64, gDom.Size())); err == nil {
+		t.Fatal("wrong target domain accepted")
+	}
+	if _, err := mig.RemapFreqs(gDom, qDom, make([]float64, 3)); err == nil {
+		t.Fatal("wrong vector length accepted")
+	}
+	if _, err := mig.RemapFreqs(gDom, transition.NewMoveOnlyDomain(q), make([]float64, gDom.Size())); err == nil {
+		t.Fatal("EQ mismatch accepted")
+	}
+}
+
+// TestMigrationBoundsMismatch rejects layouts over different spaces.
+func TestMigrationBoundsMismatch(t *testing.T) {
+	a := grid.MustNew(4, unitBounds())
+	b := grid.MustNew(4, spatial.Bounds{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2})
+	if _, err := relayout.NewMigration(a, b); err == nil {
+		t.Fatal("bounds mismatch accepted")
+	}
+}
+
+// TestDensityTrackerSlidingWindow pins the ring semantics: only the last cap
+// timestamps are retained and Points comes back in timestamp order.
+func TestDensityTrackerSlidingWindow(t *testing.T) {
+	d := relayout.NewDensityTracker(3)
+	for ts := 0; ts < 5; ts++ {
+		d.Observe(ts, []spatial.Point{{X: float64(ts), Y: 0}})
+	}
+	pts := d.Points()
+	if d.Len() != 3 || len(pts) != 3 {
+		t.Fatalf("tracker holds %d points, want 3", len(pts))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if pts[i].X != want {
+			t.Fatalf("point %d = %v, want X=%v (timestamp order)", i, pts[i], want)
+		}
+	}
+
+	// State round-trip.
+	st := d.State()
+	d2 := relayout.NewDensityTracker(3)
+	if err := d2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	p2 := d2.Points()
+	if len(p2) != len(pts) {
+		t.Fatalf("restored tracker holds %d points, want %d", len(p2), len(pts))
+	}
+	for i := range pts {
+		if p2[i] != pts[i] {
+			t.Fatalf("restored point %d = %v, want %v", i, p2[i], pts[i])
+		}
+	}
+	if err := relayout.NewDensityTracker(4).Restore(st); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+}
+
+// TestLayoutCodecRoundTrip covers both backends through LayoutOf/FromLayout.
+func TestLayoutCodecRoundTrip(t *testing.T) {
+	for _, d := range []spatial.Discretizer{
+		grid.MustNew(5, unitBounds()),
+		mustQuadtree(t, cornerSketch(2000, 0.3, 0.3, 6), 28),
+	} {
+		l, err := relayout.LayoutOf(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := relayout.FromLayout(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Fingerprint() != d.Fingerprint() {
+			t.Fatalf("%s layout round-trip drifted: %s ≠ %s", l.Kind, back.Fingerprint(), d.Fingerprint())
+		}
+	}
+	if _, err := relayout.FromLayout(relayout.Layout{Kind: "hexgrid"}); err == nil {
+		t.Fatal("unknown layout kind accepted")
+	}
+}
+
+// TestControllerThresholdAndCadence pins the switch policy: rebuilds fire at
+// Every×W boundaries, identical layouts never switch, drifted sketches cross
+// the threshold.
+func TestControllerThresholdAndCadence(t *testing.T) {
+	boot := mustQuadtree(t, cornerSketch(3000, 0, 0, 7), 32)
+	ctl, err := relayout.NewController(relayout.ControllerOptions{
+		Every: 2, W: 5, Quadtree: spatial.QuadtreeOptions{MaxLeaves: 32}, Bounds: unitBounds(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Due(9) {
+		t.Fatal("due with an empty sketch")
+	}
+	// Same-corner sketch: the rebuild reproduces (or nearly reproduces) the
+	// boot layout, so no switch.
+	for ts := 0; ts < 10; ts++ {
+		ctl.Observe(ts, cornerSketch(300, 0, 0, 7))
+	}
+	for _, ts := range []int{0, 4, 8} {
+		if ctl.Due(ts) {
+			t.Fatalf("due at timestamp %d, want only at 10k−1 boundaries", ts)
+		}
+	}
+	if !ctl.Due(9) {
+		t.Fatal("not due at the Every×W boundary")
+	}
+	prop, err := ctl.Propose(boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Switch {
+		t.Fatalf("stable workload proposed a switch (distance %v)", prop.Distance)
+	}
+
+	// Opposite-corner sketch: the layout must drift past the threshold.
+	for ts := 10; ts < 20; ts++ {
+		ctl.Observe(ts, cornerSketch(300, 0.75, 0.75, 8))
+	}
+	prop, err = ctl.Propose(boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prop.Switch || prop.Distance < relayout.DefaultThreshold {
+		t.Fatalf("drifted workload did not propose a switch (distance %v)", prop.Distance)
+	}
+
+	// Controller state round-trips.
+	ctl.NoteSwitch(prop.Distance)
+	st := ctl.State()
+	ctl2, err := relayout.NewController(relayout.ControllerOptions{
+		Every: 2, W: 5, Quadtree: spatial.QuadtreeOptions{MaxLeaves: 32}, Bounds: unitBounds(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if ctl2.Relayouts() != 1 || ctl2.LastDistance() != prop.Distance {
+		t.Fatalf("restored controller lost switch history: %d, %v", ctl2.Relayouts(), ctl2.LastDistance())
+	}
+	p2, err := ctl2.Propose(boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Distance != prop.Distance {
+		t.Fatalf("restored controller proposes distance %v, original %v", p2.Distance, prop.Distance)
+	}
+}
+
+// TestSpreadInBoxCoversTheBox pins the released-position spreading: every
+// point lands inside the box and consecutive indices don't collapse onto
+// one spot.
+func TestSpreadInBoxCoversTheBox(t *testing.T) {
+	box := spatial.Bounds{MinX: 2, MinY: -1, MaxX: 6, MaxY: 3}
+	quadrants := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		p := relayout.SpreadInBox(box, i)
+		if p.X < box.MinX || p.X >= box.MaxX || p.Y < box.MinY || p.Y >= box.MaxY {
+			t.Fatalf("point %d (%v) outside the box", i, p)
+		}
+		q := 0
+		if p.X >= (box.MinX+box.MaxX)/2 {
+			q |= 1
+		}
+		if p.Y >= (box.MinY+box.MaxY)/2 {
+			q |= 2
+		}
+		quadrants[q] = true
+	}
+	if len(quadrants) != 4 {
+		t.Fatalf("64 spread points hit only %d quadrants", len(quadrants))
+	}
+	if relayout.SpreadInBox(box, 5) != relayout.SpreadInBox(box, 5) {
+		t.Fatal("spread not deterministic")
+	}
+}

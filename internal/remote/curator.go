@@ -13,6 +13,12 @@
 //  4. sampled clients POST /v1/report  — locally perturbed OUE bits
 //  5. coordinator POST /v1/finalize    — aggregate, DMU, synthesis step
 //  6. anyone GET /v1/synthetic         — the current private release
+//
+// The curator can also re-discretize itself while serving: it sketches the
+// density of its own released stream (privacy-free post-processing) and —
+// periodically via CuratorConfig.RediscretizeEvery, or on demand via
+// POST /v1/relayout — grows a fresh quadtree from the sketch and migrates
+// its live state onto it between rounds.
 package remote
 
 import (
@@ -23,6 +29,7 @@ import (
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
 	"retrasyn/internal/pipeline"
+	"retrasyn/internal/relayout"
 	"retrasyn/internal/spatial"
 	"retrasyn/internal/synthesis"
 	"retrasyn/internal/trajectory"
@@ -47,6 +54,20 @@ type CuratorConfig struct {
 	Kappa int
 	// Seed drives curator-side randomness (sampling, synthesis).
 	Seed uint64
+	// RediscretizeEvery > 0 enables online adaptive re-discretization: every
+	// that many windows (W timestamps each), Finalize grows a fresh quadtree
+	// from the released synthetic stream — a privacy-free post-processing of
+	// the LDP outputs — and migrates the curator onto it when the layout
+	// distance crosses RelayoutThreshold. 0 (default) never rebuilds
+	// automatically; POST /v1/relayout still triggers a manual rebuild.
+	RediscretizeEvery int
+	// RelayoutThreshold is the minimum layout distance at which a rebuilt
+	// layout replaces the current one (default relayout.DefaultThreshold).
+	RelayoutThreshold float64
+	// RelayoutLeaves caps the rebuilt quadtrees' leaf budget (default: the
+	// boot discretizer's cell count). Requires Space to expose cell boxes
+	// (spatial.Boxed) when rebuilds are possible.
+	RelayoutLeaves int
 }
 
 func (c *CuratorConfig) validate() error {
@@ -68,6 +89,22 @@ func (c *CuratorConfig) validate() error {
 	if c.Strategy == nil {
 		c.Strategy = allocation.NewAdaptive(c.Division)
 	}
+	if c.RediscretizeEvery < 0 {
+		return fmt.Errorf("remote: RediscretizeEvery must be ≥ 0, got %d", c.RediscretizeEvery)
+	}
+	if c.RediscretizeEvery > 0 {
+		if _, ok := c.Space.(spatial.Boxed); !ok {
+			// Fail at construction, not at the first periodic rebuild inside
+			// Finalize — by then the round has already committed.
+			return fmt.Errorf("remote: RediscretizeEvery needs a discretizer with boxed cells (grid or quadtree), got %T", c.Space)
+		}
+	}
+	if c.RelayoutThreshold < 0 || c.RelayoutThreshold >= 1 {
+		return fmt.Errorf("remote: RelayoutThreshold %v outside [0, 1)", c.RelayoutThreshold)
+	}
+	if c.RelayoutLeaves < 0 {
+		return fmt.Errorf("remote: RelayoutLeaves must be ≥ 0, got %d", c.RelayoutLeaves)
+	}
 	return nil
 }
 
@@ -88,10 +125,14 @@ type Assignment struct {
 // Curator is the server-side protocol engine. All methods are safe for
 // concurrent use (one mutex; handler work is short).
 type Curator struct {
-	cfg CuratorConfig
-	dom *transition.Domain
+	cfg    CuratorConfig
+	bootFP CuratorFingerprint
+	dom    *transition.Domain
 
 	mu          sync.Mutex
+	space       spatial.Discretizer // layout currently in effect
+	generation  int                 // layout migrations applied so far
+	ctl         *relayout.Controller
 	t           int
 	phase       phase
 	present     map[int]bool // users who announced presence for t
@@ -171,6 +212,7 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 	c := &Curator{
 		cfg:         cfg,
 		dom:         dom,
+		space:       cfg.Space,
 		present:     make(map[int]bool),
 		prevPresent: make(map[int]bool),
 		model:       model,
@@ -187,6 +229,25 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 		c.budgetWin = allocation.NewBudgetWindow(cfg.W)
 	}
 	c.dev.Push(make([]float64, dom.Size()))
+	c.bootFP = c.configFingerprint()
+	// The density tracker always runs (the manual /v1/relayout endpoint
+	// works without the periodic cadence); rebuilds consume only released
+	// data, so tracking is privacy-free.
+	leaves := cfg.RelayoutLeaves
+	if leaves == 0 {
+		leaves = cfg.Space.NumCells()
+	}
+	ctl, err := relayout.NewController(relayout.ControllerOptions{
+		Every:     cfg.RediscretizeEvery,
+		W:         cfg.W,
+		Threshold: cfg.RelayoutThreshold,
+		Quadtree:  spatial.QuadtreeOptions{MaxLeaves: leaves},
+		Bounds:    cfg.Space.Bounds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.ctl = ctl
 	return c, nil
 }
 
@@ -421,7 +482,131 @@ func (c *Curator) Finalize(t, activeCount int) error {
 	c.synthStage.Step(ctx)
 	c.phase = phaseIdle
 	c.assignments = nil
+
+	// Online re-discretization: sketch the released positions, and at the
+	// end of every rebuild period grow a fresh layout and migrate when it
+	// differs enough from the current one.
+	c.ctl.Observe(t, c.releasedPositionsLocked())
+	if c.ctl.Due(t) {
+		if _, err := c.relayoutLocked(false); err != nil {
+			return fmt.Errorf("remote: periodic relayout at timestamp %d: %w", t, err)
+		}
+	}
 	return nil
+}
+
+// releasedPositionsLocked returns the current positions of the released
+// synthetic streams as continuous points, spread over their cell boxes by a
+// deterministic low-discrepancy sequence (see relayout.SpreadInBox).
+func (c *Curator) releasedPositionsLocked() []spatial.Point {
+	cells := c.synthStage.Synth.ActiveCells(nil)
+	pts := make([]spatial.Point, len(cells))
+	boxed, _ := c.space.(spatial.Boxed)
+	for i, cell := range cells {
+		if boxed == nil {
+			x, y := c.space.Center(cell)
+			pts[i] = spatial.Point{X: x, Y: y}
+			continue
+		}
+		pts[i] = relayout.SpreadInBox(boxed.CellBox(cell), i)
+	}
+	return pts
+}
+
+// RelayoutStatus reports the outcome of a relayout request and the current
+// layout identity.
+type RelayoutStatus struct {
+	// Switched is true when the curator migrated onto a rebuilt layout.
+	Switched bool `json:"switched"`
+	// Distance is the layout distance of the most recent proposal (0 when
+	// the sketch was empty or the rebuild reproduced the current layout).
+	Distance float64 `json:"distance"`
+	// Generation counts the migrations applied since boot.
+	Generation int `json:"generation"`
+	// Cells and DomainSize describe the layout now in effect.
+	Cells       int    `json:"cells"`
+	DomainSize  int    `json:"domain_size"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (c *Curator) statusLocked(switched bool, distance float64) RelayoutStatus {
+	return RelayoutStatus{
+		Switched:    switched,
+		Distance:    distance,
+		Generation:  c.generation,
+		Cells:       c.space.NumCells(),
+		DomainSize:  c.dom.Size(),
+		Fingerprint: c.space.Fingerprint(),
+	}
+}
+
+// Relayout rebuilds the spatial layout from the released-stream density
+// sketch and migrates the curator onto it. With force the layout switches
+// whenever the rebuilt tree differs from the current layout at all;
+// otherwise the configured distance threshold applies. Relayout is rejected
+// while a collection round is open (between Plan and Finalize) — the open
+// round's assignments and partial aggregate are indexed by the current
+// domain.
+func (c *Curator) Relayout(force bool) (RelayoutStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != phaseIdle {
+		return c.statusLocked(false, 0), fmt.Errorf("remote: relayout while a round is open — finalize timestamp %d first", c.t)
+	}
+	return c.relayoutLocked(force)
+}
+
+// relayoutLocked proposes a rebuild and applies the migration when the
+// controller (or force) says to switch. Mirrors core.Engine.Relayout for the
+// curator's wiring.
+func (c *Curator) relayoutLocked(force bool) (RelayoutStatus, error) {
+	prop, err := c.ctl.Propose(c.space)
+	if err != nil {
+		return c.statusLocked(false, 0), err
+	}
+	if prop.Target == nil || prop.Target.Fingerprint() == c.space.Fingerprint() {
+		return c.statusLocked(false, prop.Distance), nil
+	}
+	if !prop.Switch && !force {
+		return c.statusLocked(false, prop.Distance), nil
+	}
+	mig, err := relayout.NewMigration(c.space, prop.Target)
+	if err != nil {
+		return c.statusLocked(false, prop.Distance), err
+	}
+	newDom := transition.NewDomain(prop.Target)
+	newFreq, err := mig.RemapFreqs(c.dom, newDom, c.model.Freqs())
+	if err != nil {
+		return c.statusLocked(false, prop.Distance), err
+	}
+	devSt, err := mig.RemapDevState(c.dom, newDom, c.dev.State())
+	if err != nil {
+		return c.statusLocked(false, prop.Distance), err
+	}
+	newModel := mobility.NewModel(newDom)
+	if err := newModel.Restore(mobility.State{Freq: newFreq, Init: c.model.Initialized()}); err != nil {
+		return c.statusLocked(false, prop.Distance), err
+	}
+	c.dev.Restore(devSt)
+	c.synthStage.Synth.Relayout(prop.Target, mig.MapCell)
+	bootstrapped := c.updater.Bootstrapped()
+	c.updater = &pipeline.DMUUpdater{Model: newModel}
+	c.updater.SetBootstrapped(bootstrapped)
+	c.synthStage = &pipeline.SynthesisStage{Model: newModel, Synth: c.synthStage.Synth}
+	c.model = newModel
+	c.dom = newDom
+	c.space = prop.Target
+	c.generation++
+	c.ctl.NoteSwitch(prop.Distance)
+	return c.statusLocked(true, prop.Distance), nil
+}
+
+// LayoutStatus returns the current layout identity without proposing a
+// rebuild (served on /v1/stats).
+func (c *Curator) LayoutStatus() RelayoutStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked(false, c.ctl.LastDistance())
 }
 
 // Synthetic returns the current private release.
@@ -447,8 +632,14 @@ func (c *Curator) Timings() pipeline.Timings {
 	return c.timings
 }
 
-// Domain exposes the transition domain clients need for encoding.
-func (c *Curator) Domain() *transition.Domain { return c.dom }
+// Domain exposes the transition domain clients need for encoding. It
+// changes on relayout: clients must re-fetch it after a migration (the
+// assignment/report cycle rejects stale-domain bits anyway).
+func (c *Curator) Domain() *transition.Domain {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dom
+}
 
 func sortInts(s []int) {
 	// Insertion sort suffices for the modest pools the sampler sees; keeps

@@ -34,6 +34,12 @@ type finalizeRequest struct {
 	Active int `json:"active"`
 }
 
+type relayoutRequest struct {
+	// Force switches onto the rebuilt layout whenever it differs from the
+	// current one, ignoring the distance threshold.
+	Force bool `json:"force"`
+}
+
 type statsResponse struct {
 	Rounds  int `json:"rounds"`
 	Reports int `json:"reports"`
@@ -42,6 +48,13 @@ type statsResponse struct {
 	ModelConstructionSec float64 `json:"model_construction_sec"`
 	DMUSec               float64 `json:"dmu_sec"`
 	SynthesisSec         float64 `json:"synthesis_sec"`
+	// Online re-discretization status: the layout currently in effect and
+	// how it has evolved.
+	LayoutGeneration  int     `json:"layout_generation"`
+	LayoutFingerprint string  `json:"layout_fingerprint"`
+	LayoutCells       int     `json:"layout_cells"`
+	DomainSize        int     `json:"domain_size"`
+	LastRelayoutDist  float64 `json:"last_relayout_distance"`
 }
 
 // NewHandler exposes the curator over HTTP.
@@ -136,15 +149,33 @@ func NewHandler(c *Curator) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("POST /v1/relayout", func(w http.ResponseWriter, r *http.Request) {
+		var req relayoutRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		status, err := c.Relayout(req.Force)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, status)
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		rounds, reports := c.Stats()
 		timings := c.Timings()
+		layout := c.LayoutStatus()
 		writeJSON(w, statsResponse{
 			Rounds:               rounds,
 			Reports:              reports,
 			ModelConstructionSec: timings.ModelConstruction.Seconds(),
 			DMUSec:               timings.DMU.Seconds(),
 			SynthesisSec:         timings.Synthesis.Seconds(),
+			LayoutGeneration:     layout.Generation,
+			LayoutFingerprint:    layout.Fingerprint,
+			LayoutCells:          layout.Cells,
+			DomainSize:           layout.DomainSize,
+			LastRelayoutDist:     layout.Distance,
 		})
 	})
 	return mux

@@ -8,7 +8,10 @@ import (
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
 	"retrasyn/internal/pipeline"
+	"retrasyn/internal/relayout"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/synthesis"
+	"retrasyn/internal/transition"
 )
 
 // Curator checkpointing: Snapshot exports the complete protocol and model
@@ -35,7 +38,13 @@ type CuratorFingerprint struct {
 	Seed        uint64  `json:"seed"`
 }
 
-func (c *Curator) fingerprint() CuratorFingerprint {
+// fingerprint returns the boot-time config fingerprint, frozen at NewCurator
+// so checkpoints taken before and after layout migrations all validate
+// against the same construction config (the current layout is recorded
+// separately in CuratorState.Generation/Layout).
+func (c *Curator) fingerprint() CuratorFingerprint { return c.bootFP }
+
+func (c *Curator) configFingerprint() CuratorFingerprint {
 	return CuratorFingerprint{
 		Discretizer: c.cfg.Space.Fingerprint(),
 		DomainSize:  c.dom.Size(),
@@ -88,6 +97,16 @@ type CuratorState struct {
 	Version int                `json:"version"`
 	Config  CuratorFingerprint `json:"config"`
 
+	// Generation counts the layout migrations applied before the snapshot;
+	// when > 0, Layout/LayoutFingerprint describe the discretization in
+	// effect so Restore can rebuild it. Relayout carries the density-sketch
+	// controller, so rebuild decisions after a restore match the
+	// uninterrupted curator exactly.
+	Generation        int                       `json:"generation,omitempty"`
+	Layout            *relayout.Layout          `json:"layout,omitempty"`
+	LayoutFingerprint string                    `json:"layout_fp,omitempty"`
+	Relayout          *relayout.ControllerState `json:"relayout,omitempty"`
+
 	T           int                `json:"t"`
 	Phase       int                `json:"phase"`
 	Present     map[int]bool       `json:"present"`
@@ -124,9 +143,12 @@ func (c *Curator) Snapshot() (*CuratorState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: snapshot rng: %w", err)
 	}
+	ctlState := c.ctl.State()
 	st := &CuratorState{
 		Version:      CuratorStateVersion,
 		Config:       c.fingerprint(),
+		Generation:   c.generation,
+		Relayout:     &ctlState,
 		T:            c.t,
 		Phase:        int(c.phase),
 		Present:      copyBoolSet(c.present),
@@ -158,6 +180,14 @@ func (c *Curator) Snapshot() (*CuratorState, error) {
 		bw := c.budgetWin.State()
 		st.BudgetWindow = &bw
 	}
+	if c.generation > 0 {
+		l, err := relayout.LayoutOf(c.space)
+		if err != nil {
+			return nil, fmt.Errorf("remote: snapshot layout: %w", err)
+		}
+		st.Layout = &l
+		st.LayoutFingerprint = c.space.Fingerprint()
+	}
 	return st, nil
 }
 
@@ -186,6 +216,30 @@ func (c *Curator) Restore(st *CuratorState) error {
 	}
 	if st.Phase != int(phaseIdle) && st.Phase != int(phasePlanned) {
 		return fmt.Errorf("remote: snapshot phase %d invalid", st.Phase)
+	}
+	// Put the curator on the layout the snapshot was taken at before loading
+	// the layout-sized state (model vector, aggregate, synthetic cells).
+	switch {
+	case st.Generation > 0:
+		if st.Layout == nil {
+			return fmt.Errorf("remote: snapshot at layout generation %d carries no layout", st.Generation)
+		}
+		sp, err := relayout.FromLayout(*st.Layout)
+		if err != nil {
+			return fmt.Errorf("remote: restore layout: %w", err)
+		}
+		if st.LayoutFingerprint != "" && sp.Fingerprint() != st.LayoutFingerprint {
+			return fmt.Errorf("remote: restored layout fingerprint %s ≠ snapshot %s — corrupt checkpoint",
+				sp.Fingerprint(), st.LayoutFingerprint)
+		}
+		c.adoptSpaceLocked(sp, st.Generation)
+	case c.generation > 0:
+		c.adoptSpaceLocked(c.cfg.Space, 0)
+	}
+	if st.Relayout != nil {
+		if err := c.ctl.Restore(*st.Relayout); err != nil {
+			return err
+		}
 	}
 	if st.AggCounts != nil && len(st.AggCounts) != c.dom.Size() {
 		return fmt.Errorf("remote: snapshot aggregate length %d ≠ domain %d", len(st.AggCounts), c.dom.Size())
@@ -231,6 +285,23 @@ func (c *Curator) Restore(st *CuratorState) error {
 	c.synthStage.Synth.Restore(st.Synth)
 	c.timings = st.Timings
 	return nil
+}
+
+// adoptSpaceLocked rebuilds the curator's layout-dependent plumbing over sp
+// without migrating state — the restore path, where the snapshot's vectors
+// (already sized to sp's domain) are loaded right after.
+func (c *Curator) adoptSpaceLocked(sp spatial.Discretizer, generation int) {
+	dom := transition.NewDomain(sp)
+	model := mobility.NewModel(dom)
+	bootstrapped := c.updater.Bootstrapped()
+	c.updater = &pipeline.DMUUpdater{Model: model}
+	c.updater.SetBootstrapped(bootstrapped)
+	c.synthStage.Synth.Relayout(sp, nil)
+	c.synthStage = &pipeline.SynthesisStage{Model: model, Synth: c.synthStage.Synth}
+	c.model = model
+	c.dom = dom
+	c.space = sp
+	c.generation = generation
 }
 
 func copyBoolSet(m map[int]bool) map[int]bool {

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
@@ -270,6 +271,34 @@ func (in *Ingestor) Quiesce(fn func() error) error {
 		in.idle.Wait()
 	}
 	return fn()
+}
+
+// Relayouter is an Engine that can migrate onto a new spatial
+// discretization between timestamps — retrasyn.Framework implements it.
+type Relayouter interface {
+	Relayout(sp spatial.Discretizer) error
+}
+
+// Relayout quiesces the ingest stream — the contiguous sealed prefix is
+// drained and no engine call is in flight — and migrates the underlying
+// engine onto the new discretization, holding concurrent Submit/Seal calls
+// for the duration. Events already buffered for future timestamps were
+// discretized under the *current* layout; feeding them to a migrated engine
+// would silently misattribute their cells, so Relayout refuses while any
+// are pending — pause the producers (or wait for a submission lull) and
+// retry. Also errors when the engine does not support relayout.
+func (in *Ingestor) Relayout(sp spatial.Discretizer) error {
+	return in.Quiesce(func() error {
+		// Quiesce runs fn under in.mu, so reading the buffer here is safe.
+		if in.pendingEvents > 0 {
+			return fmt.Errorf("service: relayout with %d buffered events for future timestamps — their cells were discretized under the current layout; pause producers and retry", in.pendingEvents)
+		}
+		r, ok := in.eng.(Relayouter)
+		if !ok {
+			return fmt.Errorf("service: engine %T does not support relayout", in.eng)
+		}
+		return r.Relayout(sp)
+	})
 }
 
 // Err returns the sticky engine error, if any.

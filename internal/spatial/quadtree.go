@@ -338,6 +338,85 @@ func (q *Quadtree) TotalMoveStates() int { return q.nMove }
 // Fingerprint returns the stable layout identifier.
 func (q *Quadtree) Fingerprint() string { return q.fp }
 
+// SplitMask returns the tree structure as a preorder bit mask: true for an
+// internal node (followed by its four children in SW, SE, NW, NE order),
+// false for a leaf. Together with the bounds it fully determines the layout
+// — quadrant midpoints are recomputed, so NewQuadtreeFromSplits reconstructs
+// a tree with identical cell boxes, adjacency and fingerprint. This is the
+// serialization checkpoints use to restore an engine that migrated onto a
+// rebuilt layout.
+func (q *Quadtree) SplitMask() []bool {
+	out := make([]bool, 0, len(q.nodes))
+	var walk func(node int32)
+	walk = func(node int32) {
+		n := &q.nodes[node]
+		if n.isLeaf() {
+			out = append(out, false)
+			return
+		}
+		out = append(out, true)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// NewQuadtreeFromSplits reconstructs a quadtree from a bounds box and a
+// preorder split mask produced by SplitMask. The rebuilt tree is
+// layout-identical to the original: same cell boxes, same DFS cell indices,
+// same adjacency, same fingerprint. Per-cell sketch densities are not part
+// of the mask and come back as zero.
+func NewQuadtreeFromSplits(b Bounds, splits []bool) (*Quadtree, error) {
+	if !b.Valid() {
+		return nil, fmt.Errorf("spatial: invalid quadtree bounds %+v", b)
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("spatial: empty quadtree split mask")
+	}
+	q := &Quadtree{bounds: b}
+	pos := 0
+	var build func(box Bounds, depth int) (int32, error)
+	build = func(box Bounds, depth int) (int32, error) {
+		if pos >= len(splits) {
+			return -1, fmt.Errorf("spatial: truncated quadtree split mask (len %d)", len(splits))
+		}
+		split := splits[pos]
+		pos++
+		node := int32(len(q.nodes))
+		q.nodes = append(q.nodes, qnode{box: box, depth: depth, children: [4]int32{-1, -1, -1, -1}, cell: -1})
+		if !split {
+			return node, nil
+		}
+		midX, midY := (box.MinX+box.MaxX)/2, (box.MinY+box.MaxY)/2
+		quads := [4]Bounds{
+			{box.MinX, box.MinY, midX, midY},
+			{midX, box.MinY, box.MaxX, midY},
+			{box.MinX, midY, midX, box.MaxY},
+			{midX, midY, box.MaxX, box.MaxY},
+		}
+		for i := 0; i < 4; i++ {
+			child, err := build(quads[i], depth+1)
+			if err != nil {
+				return -1, err
+			}
+			q.nodes[node].children[i] = child
+		}
+		return node, nil
+	}
+	if _, err := build(b, 0); err != nil {
+		return nil, err
+	}
+	if pos != len(splits) {
+		return nil, fmt.Errorf("spatial: quadtree split mask has %d trailing entries", len(splits)-pos)
+	}
+	q.indexLeaves(0, map[int32]int{})
+	q.buildNeighbors()
+	q.fp = q.computeFingerprint()
+	return q, nil
+}
+
 // MaxLeafDepth returns the depth of the deepest leaf (diagnostics).
 func (q *Quadtree) MaxLeafDepth() int {
 	d := 0
@@ -349,4 +428,7 @@ func (q *Quadtree) MaxLeafDepth() int {
 	return d
 }
 
-var _ Discretizer = (*Quadtree)(nil)
+var (
+	_ Discretizer = (*Quadtree)(nil)
+	_ Boxed       = (*Quadtree)(nil)
+)

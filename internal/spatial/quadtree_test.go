@@ -200,3 +200,47 @@ func TestQuadtreeMaxDepthCap(t *testing.T) {
 		t.Fatalf("depth-capped tree has %d leaves", qt.NumCells())
 	}
 }
+
+// TestQuadtreeSplitMaskRoundTrip pins the layout codec checkpoints rely on:
+// a tree rebuilt from its preorder split mask is layout-identical — same
+// cells, boxes, adjacency and fingerprint.
+func TestQuadtreeSplitMaskRoundTrip(t *testing.T) {
+	q, err := spatial.NewQuadtree(unitBounds(), skewedSketch(4000, 77), spatial.QuadtreeOptions{MaxLeaves: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := q.SplitMask()
+	r, err := spatial.NewQuadtreeFromSplits(q.Bounds(), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fingerprint() != q.Fingerprint() {
+		t.Fatalf("rebuilt fingerprint %s ≠ original %s", r.Fingerprint(), q.Fingerprint())
+	}
+	if r.NumCells() != q.NumCells() || r.TotalMoveStates() != q.TotalMoveStates() {
+		t.Fatalf("rebuilt shape (%d cells, %d moves) ≠ original (%d, %d)",
+			r.NumCells(), r.TotalMoveStates(), q.NumCells(), q.TotalMoveStates())
+	}
+	for c := 0; c < q.NumCells(); c++ {
+		if r.CellBox(spatial.Cell(c)) != q.CellBox(spatial.Cell(c)) {
+			t.Fatalf("cell %d box differs after round-trip", c)
+		}
+	}
+}
+
+// TestQuadtreeFromSplitsRejectsMalformed covers truncated and oversized
+// masks and invalid bounds.
+func TestQuadtreeFromSplitsRejectsMalformed(t *testing.T) {
+	if _, err := spatial.NewQuadtreeFromSplits(unitBounds(), nil); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+	if _, err := spatial.NewQuadtreeFromSplits(unitBounds(), []bool{true, false, false}); err == nil {
+		t.Fatal("truncated mask accepted")
+	}
+	if _, err := spatial.NewQuadtreeFromSplits(unitBounds(), []bool{false, false}); err == nil {
+		t.Fatal("trailing entries accepted")
+	}
+	if _, err := spatial.NewQuadtreeFromSplits(spatial.Bounds{}, []bool{false}); err == nil {
+		t.Fatal("invalid bounds accepted")
+	}
+}

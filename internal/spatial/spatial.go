@@ -47,6 +47,21 @@ func (b Bounds) Width() float64 { return b.MaxX - b.MinX }
 // Height returns MaxY − MinY.
 func (b Bounds) Height() float64 { return b.MaxY - b.MinY }
 
+// Area returns Width × Height.
+func (b Bounds) Area() float64 { return b.Width() * b.Height() }
+
+// Intersect returns the overlap box of b and o and whether it has positive
+// area (boxes that merely share an edge or corner do not intersect).
+func (b Bounds) Intersect(o Bounds) (Bounds, bool) {
+	r := Bounds{
+		MinX: math.Max(b.MinX, o.MinX),
+		MinY: math.Max(b.MinY, o.MinY),
+		MaxX: math.Min(b.MaxX, o.MaxX),
+		MaxY: math.Min(b.MaxY, o.MaxY),
+	}
+	return r, r.MaxX > r.MinX && r.MaxY > r.MinY
+}
+
 // Point is a continuous two-dimensional location, used for density sketches.
 type Point struct {
 	X, Y float64
@@ -102,4 +117,15 @@ type Discretizer interface {
 	// backend kind, parameters and cell layout — used by checkpoint
 	// fingerprints to refuse restoring state across different domains.
 	Fingerprint() string
+}
+
+// Boxed is implemented by discretizers whose cells are axis-aligned boxes
+// tiling the bounds exactly (the uniform grid and the quadtree both are).
+// Cell boxes are what online re-discretization needs: the overlap areas
+// between an old and a new layout's boxes define the weights that resample
+// engine state across layouts.
+type Boxed interface {
+	// CellBox returns the continuous box of cell c. Boxes of distinct cells
+	// have disjoint interiors and together cover Bounds().
+	CellBox(c Cell) Bounds
 }

@@ -80,6 +80,39 @@ func New(sp spatial.Discretizer, opts Options, rng ldp.Rand) (*Synthesizer, erro
 // ActiveCount returns the number of live synthetic streams.
 func (s *Synthesizer) ActiveCount() int { return len(s.active) }
 
+// ActiveCells appends the current (latest) cell of every live stream to buf
+// in stream order and returns it — the released positions at the current
+// timestamp, which online re-discretization sketches density from.
+func (s *Synthesizer) ActiveCells(buf []spatial.Cell) []spatial.Cell {
+	for _, st := range s.active {
+		buf = append(buf, st.last())
+	}
+	return buf
+}
+
+// Relayout switches the synthesizer onto a new spatial discretization.
+// When mapCell is non-nil every stored cell — in-flight streams and the
+// completed history alike — is remapped through it (online re-discretization
+// passes the max-overlap cell map), keeping the released database coherent
+// in the new layout; a nil mapCell only swaps the space (checkpoint restore,
+// where the restored streams already carry new-layout cells).
+func (s *Synthesizer) Relayout(sp spatial.Discretizer, mapCell func(spatial.Cell) spatial.Cell) {
+	s.sp = sp
+	if mapCell == nil {
+		return
+	}
+	for _, st := range s.active {
+		for i, c := range st.cells {
+			st.cells[i] = mapCell(c)
+		}
+	}
+	for _, tr := range s.completed {
+		for i, c := range tr.Cells {
+			tr.Cells[i] = mapCell(c)
+		}
+	}
+}
+
 // Init seeds the synthetic database at timestamp t with target streams whose
 // starting cells are drawn from the snapshot's entering distribution (or
 // uniformly, for move-only models — the NoEQ/baseline initialization the

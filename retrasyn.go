@@ -35,6 +35,7 @@ import (
 	"retrasyn/internal/ldpids"
 	"retrasyn/internal/metrics"
 	"retrasyn/internal/pipeline"
+	"retrasyn/internal/relayout"
 	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
@@ -180,6 +181,24 @@ type Options struct {
 	// differ from the single-shard stream. Default 1 (bit-identical to the
 	// sequential engine).
 	Shards int
+	// RediscretizeEvery > 0 enables online adaptive re-discretization: every
+	// that many windows (Window timestamps each) the framework grows a fresh
+	// density-adaptive quadtree from the *released* synthetic stream — a
+	// post-processing of the LDP outputs, so the rebuild is privacy-free —
+	// and migrates every engine shard onto it atomically between timestamps
+	// whenever the layout distance crosses RelayoutThreshold. 0 (default)
+	// keeps the boot layout forever; such runs are bit-identical to builds
+	// without the feature.
+	RediscretizeEvery int
+	// RelayoutThreshold is the minimum layout distance (area-weighted misfit
+	// in [0,1)) at which a rebuilt layout replaces the current one; below it
+	// the rebuild is discarded, so stable workloads never churn. Default
+	// 0.1.
+	RelayoutThreshold float64
+	// RelayoutLeaves caps the rebuilt quadtrees' leaf budget. Default: the
+	// boot discretizer's cell count, keeping the LDP report size stable
+	// across migrations.
+	RelayoutLeaves int
 	// Seed drives all randomness; equal seeds reproduce runs.
 	Seed uint64
 }
@@ -189,9 +208,15 @@ type Options struct {
 // pipeline.Coordinator over that many independent engines; otherwise a
 // single sequential engine. Not safe for concurrent use.
 type Framework struct {
-	engine *core.Engine          // single-shard path (Shards ≤ 1)
-	coord  *pipeline.Coordinator // multi-shard path
-	t      int
+	engine  *core.Engine          // single-shard path (Shards ≤ 1)
+	coord   *pipeline.Coordinator // multi-shard path
+	engines []*core.Engine        // every underlying engine (1 or Shards)
+	// Online re-discretization (nil unless Options.RediscretizeEvery > 0):
+	// the controller sketches the released stream and proposes rebuilt
+	// layouts; space is the layout currently in effect across all shards.
+	ctl   *relayout.Controller
+	space Discretizer
+	t     int
 }
 
 // New constructs a Framework.
@@ -227,26 +252,54 @@ func New(opts Options) (*Framework, error) {
 			Seed:             seed,
 		})
 	}
+	f := &Framework{space: space}
+	if opts.RediscretizeEvery > 0 {
+		if _, ok := space.(spatial.Boxed); !ok {
+			return nil, fmt.Errorf("retrasyn: RediscretizeEvery needs a discretizer with boxed cells (grid or quadtree), got %T", space)
+		}
+		leaves := opts.RelayoutLeaves
+		if leaves == 0 {
+			leaves = space.NumCells()
+		}
+		ctl, err := relayout.NewController(relayout.ControllerOptions{
+			Every:     opts.RediscretizeEvery,
+			W:         opts.Window,
+			Threshold: opts.RelayoutThreshold,
+			Quadtree:  spatial.QuadtreeOptions{MaxLeaves: leaves},
+			Bounds:    space.Bounds(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.ctl = ctl
+	} else if opts.RediscretizeEvery < 0 {
+		return nil, fmt.Errorf("retrasyn: RediscretizeEvery must be ≥ 0, got %d", opts.RediscretizeEvery)
+	}
 	if opts.Shards > 1 {
 		shards := make([]pipeline.Runner, opts.Shards)
+		f.engines = make([]*core.Engine, opts.Shards)
 		for i := range shards {
 			engine, err := newEngine(opts.Seed + uint64(i)*0x9e3779b97f4a7c15)
 			if err != nil {
 				return nil, err
 			}
 			shards[i] = engine
+			f.engines[i] = engine
 		}
 		coord, err := pipeline.NewCoordinator(shards)
 		if err != nil {
 			return nil, err
 		}
-		return &Framework{coord: coord}, nil
+		f.coord = coord
+		return f, nil
 	}
 	engine, err := newEngine(opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{engine: engine}, nil
+	f.engine = engine
+	f.engines = []*core.Engine{engine}
+	return f, nil
 }
 
 // resolveSpace picks the spatial discretization from the two Options
@@ -308,9 +361,67 @@ func (f *Framework) ProcessTimestamp(events []Event, activeUsers int) error {
 	} else if _, err := f.engine.ProcessTimestamp(f.t, events, activeUsers); err != nil {
 		return err
 	}
+	t := f.t
 	f.t++
+	if f.ctl != nil {
+		if err := f.adaptLayout(t); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// adaptLayout runs the online re-discretization loop after timestamp t:
+// sketch the released positions, and at every rebuild boundary grow a fresh
+// layout from the sketch and migrate all shards when it differs enough from
+// the current one.
+func (f *Framework) adaptLayout(t int) error {
+	var pts []Point
+	for _, e := range f.engines {
+		pts = e.ReleasedPositions(pts)
+	}
+	f.ctl.Observe(t, pts)
+	if !f.ctl.Due(t) {
+		return nil
+	}
+	prop, err := f.ctl.Propose(f.space)
+	if err != nil {
+		return fmt.Errorf("retrasyn: re-discretization after timestamp %d: %w", t, err)
+	}
+	if !prop.Switch {
+		return nil
+	}
+	if err := f.Relayout(prop.Target); err != nil {
+		return fmt.Errorf("retrasyn: re-discretization after timestamp %d: %w", t, err)
+	}
+	f.ctl.NoteSwitch(prop.Distance)
+	return nil
+}
+
+// Relayout migrates the framework — every engine shard, atomically between
+// timestamps — onto a new spatial discretization, resampling all live state
+// through the cell-overlap weights (see core.Engine.Relayout). It may be
+// called manually at any quiescent point; the automatic path driven by
+// Options.RediscretizeEvery goes through it too.
+func (f *Framework) Relayout(d Discretizer) error {
+	if f.coord != nil {
+		if err := f.coord.Relayout(d); err != nil {
+			return err
+		}
+	} else if err := f.engine.Relayout(d); err != nil {
+		return err
+	}
+	f.space = d
+	return nil
+}
+
+// Space returns the spatial discretization currently in effect (the boot
+// discretizer until the first relayout).
+func (f *Framework) Space() Discretizer { return f.space }
+
+// LayoutGeneration returns how many layout migrations the framework has
+// applied.
+func (f *Framework) LayoutGeneration() int { return f.engines[0].Generation() }
 
 // Timestamp returns the next timestamp to be processed.
 func (f *Framework) Timestamp() int { return f.t }
@@ -340,6 +451,9 @@ func (f *Framework) Run(orig *Dataset) (*Dataset, RunStats, error) {
 	if f.t != 0 {
 		return nil, RunStats{}, fmt.Errorf("retrasyn: Run on a framework that already processed %d timestamps", f.t)
 	}
+	if f.ctl != nil {
+		return nil, RunStats{}, fmt.Errorf("retrasyn: Run replays pre-discretized events, whose cell indices go stale when the layout migrates — use RunAdaptive with the raw stream when RediscretizeEvery is enabled")
+	}
 	stream := trajectory.NewStream(orig)
 	if f.coord != nil {
 		syn, stats, err := f.coord.Run(stream, orig.Name+"-syn")
@@ -352,6 +466,39 @@ func (f *Framework) Run(orig *Dataset) (*Dataset, RunStats, error) {
 	syn, stats := f.engine.Run(stream, orig.Name+"-syn")
 	f.t = stream.T
 	return syn, stats, nil
+}
+
+// RunAdaptive replays a raw (continuous) stream with online adaptive
+// re-discretization: every timestamp's events are encoded against the layout
+// currently in effect — the faithful simulation of devices that always
+// report in the curator's published discretization — and after each
+// migration the remaining stream is re-discretized against the new layout.
+// Streams are not split at reachability violations (splitting would renumber
+// users differently per layout and break the per-user window accounting);
+// moves that violate the constraint under the current layout simply don't
+// report, exactly as an out-of-domain transition behaves in the streaming
+// API. Requires Options.RediscretizeEvery > 0.
+func (f *Framework) RunAdaptive(raw *RawDataset) (*Dataset, RunStats, error) {
+	if f.ctl == nil {
+		return nil, RunStats{}, fmt.Errorf("retrasyn: RunAdaptive requires Options.RediscretizeEvery > 0 — use Run for frozen layouts")
+	}
+	if f.t != 0 {
+		return nil, RunStats{}, fmt.Errorf("retrasyn: RunAdaptive on a framework that already processed %d timestamps", f.t)
+	}
+	discretize := func() *trajectory.Stream {
+		return trajectory.NewStream(trajectory.Discretize(raw, f.space, trajectory.DiscretizeOptions{}))
+	}
+	stream := discretize()
+	for t := 0; t < stream.T; t++ {
+		gen := f.LayoutGeneration()
+		if err := f.ProcessTimestamp(stream.At(t), stream.Active[t]); err != nil {
+			return nil, f.Stats(), err
+		}
+		if f.LayoutGeneration() != gen {
+			stream = discretize()
+		}
+	}
+	return f.Synthetic(raw.Name + "-syn"), f.Stats(), nil
 }
 
 // CheckpointVersion guards the checkpoint container format.
@@ -371,6 +518,11 @@ type Checkpoint struct {
 	Shards int `json:"shards"`
 	// States holds one opaque engine-state blob per shard.
 	States []json.RawMessage `json:"states"`
+	// Relayout carries the online re-discretization controller (density
+	// sketch and switch history) when the feature is enabled, so rebuild
+	// decisions after a restore match the uninterrupted run exactly. Each
+	// engine blob independently records the layout it was running on.
+	Relayout *relayout.ControllerState `json:"relayout,omitempty"`
 }
 
 // Snapshot exports the framework's complete processing state. The framework
@@ -378,6 +530,10 @@ type Checkpoint struct {
 // is a deep copy that later processing never mutates.
 func (f *Framework) Snapshot() (*Checkpoint, error) {
 	cp := &Checkpoint{Version: CheckpointVersion, T: f.t, Shards: 1}
+	if f.ctl != nil {
+		st := f.ctl.State()
+		cp.Relayout = &st
+	}
 	if f.coord != nil {
 		states, err := f.coord.Snapshot()
 		if err != nil {
@@ -423,6 +579,14 @@ func Restore(opts Options, cp *Checkpoint) (*Framework, error) {
 	} else if err := f.engine.RestoreState(cp.States[0]); err != nil {
 		return nil, err
 	}
+	if f.ctl != nil && cp.Relayout != nil {
+		if err := f.ctl.Restore(*cp.Relayout); err != nil {
+			return nil, err
+		}
+	}
+	// Every shard restored onto the layout its blob recorded; pick the
+	// in-effect layout up from the engines (they migrate in lockstep).
+	f.space = f.engines[0].Space()
 	f.t = cp.T
 	return f, nil
 }
@@ -442,9 +606,16 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 }
 
 // EvaluateUtility computes the paper's eight utility metrics of a synthetic
-// database against the original.
+// database against the original, over the uniform grid.
 func EvaluateUtility(orig, syn *Dataset, g *Grid, opts UtilityOptions) UtilityReport {
 	return metrics.Evaluate(orig, syn, g, opts)
+}
+
+// EvaluateUtilitySpace computes the eight utility metrics over any spatial
+// discretization — quadtree and post-migration runs get first-class utility
+// reports, with range queries drawn as continuous boxes over the space.
+func EvaluateUtilitySpace(orig, syn *Dataset, d Discretizer, opts UtilityOptions) UtilityReport {
+	return metrics.EvaluateSpace(orig, syn, d, opts)
 }
 
 // Discretize maps a raw continuous dataset onto the cells of a
