@@ -1,0 +1,183 @@
+package retrasyn
+
+// Benchmarks of the geofence backend: a polygonal fence following the
+// corridor/district workload's geography vs a uniform 16×16 grid over the
+// same bounding box, at equal ε. The fence covers only the reachable
+// corridor (~1/4 of the box) with 17 cells, so its transition domain |S| is
+// a small fraction of the grid's — and with OUE variance Var ≈
+// 4e^ε/(n(e^ε−1)²) per state, the one-round L1 estimation error shrinks
+// with it.
+//
+//	go test -bench 'Geofence' -run - .
+//
+// RETRASYN_EMIT_BENCH=1 go test -run TestEmitBenchGeofenceJSON .
+// re-measures everything and writes the results to BENCH_geofence.json.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"retrasyn/internal/transition"
+)
+
+var geofenceBench struct {
+	once   sync.Once
+	setups []*spatialBenchSetup
+}
+
+// geofenceSetups prepares the same corridor collection round on both
+// backends: the uniform 16×16 grid over the full bounding box vs the
+// matching 17-cell corridor fence.
+func geofenceSetups(tb testing.TB) []*spatialBenchSetup {
+	geofenceBench.once.Do(func() {
+		raw, bounds, err := StandardDataset("corridor", 0.5, 20240727)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		g, err := NewGrid(16, bounds)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		fence, err := NewGeofence(CorridorFence(bounds))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, s := range []*spatialBenchSetup{
+			{name: "uniform-16x16", space: g},
+			{name: "geofence-corridor", space: fence},
+		} {
+			s.dom = transition.NewDomain(s.space)
+			orig := Discretize(raw, s.space)
+			for _, tr := range orig.Trajs {
+				if idx, ok := s.dom.Index(EnterState(tr.Cells[0])); ok {
+					s.states = append(s.states, idx)
+				}
+				for j := 1; j < len(tr.Cells); j++ {
+					if idx, ok := s.dom.Index(MoveState(tr.Cells[j-1], tr.Cells[j])); ok {
+						s.states = append(s.states, idx)
+					}
+				}
+				if idx, ok := s.dom.Index(QuitState(tr.Cells[len(tr.Cells)-1])); ok {
+					s.states = append(s.states, idx)
+				}
+			}
+			s.trueFreq = make([]float64, s.dom.Size())
+			for _, idx := range s.states {
+				s.trueFreq[idx] += 1 / float64(len(s.states))
+			}
+			geofenceBench.setups = append(geofenceBench.setups, s)
+		}
+	})
+	return geofenceBench.setups
+}
+
+func benchGeofenceAggregation(b *testing.B, name string) {
+	var setup *spatialBenchSetup
+	for _, s := range geofenceSetups(b) {
+		if s.name == name {
+			setup = s
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSpatialRound(setup, uint64(i)+1)
+	}
+}
+
+// BenchmarkGeofenceRoundUniform runs one OUE collection round (perturb +
+// fold + estimate) on the bounding-box grid's domain.
+func BenchmarkGeofenceRoundUniform(b *testing.B) { benchGeofenceAggregation(b, "uniform-16x16") }
+
+// BenchmarkGeofenceRoundFence runs the identical round on the corridor
+// fence's far smaller domain.
+func BenchmarkGeofenceRoundFence(b *testing.B) { benchGeofenceAggregation(b, "geofence-corridor") }
+
+// TestGeofenceShrinksDomain pins the tentpole's promise on the corridor
+// workload: the fence's transition domain is a small fraction of the
+// bounding-box grid's, and the one-round estimation error shrinks with it.
+func TestGeofenceShrinksDomain(t *testing.T) {
+	setups := geofenceSetups(t)
+	uni, fence := setups[0], setups[1]
+	if fence.dom.Size() >= uni.dom.Size()/4 {
+		t.Fatalf("fence domain %d not < quarter of uniform %d", fence.dom.Size(), uni.dom.Size())
+	}
+	uniErr := spatialL1Error(uni, 3)
+	fenceErr := spatialL1Error(fence, 3)
+	if fenceErr >= uniErr {
+		t.Fatalf("fence L1 error %.4f not below uniform %.4f", fenceErr, uniErr)
+	}
+}
+
+// TestEmitBenchGeofenceJSON measures the geofence benchmarks and writes
+// BENCH_geofence.json. Gated behind RETRASYN_EMIT_BENCH so the regular
+// suite stays fast.
+func TestEmitBenchGeofenceJSON(t *testing.T) {
+	if os.Getenv("RETRASYN_EMIT_BENCH") == "" {
+		t.Skip("set RETRASYN_EMIT_BENCH=1 to measure and write BENCH_geofence.json")
+	}
+	type entry struct {
+		Name         string  `json:"name"`
+		NumCells     int     `json:"num_cells"`
+		DomainSize   int     `json:"domain_size"`
+		CoveredArea  float64 `json:"covered_area_fraction"`
+		Reports      int     `json:"reports"`
+		RoundNsPerOp float64 `json:"round_ns_per_op"`
+		EstimationL1 float64 `json:"estimation_l1_error"`
+		DomainShrink float64 `json:"domain_shrink_vs_uniform,omitempty"`
+		RoundSpeedup float64 `json:"round_speedup_vs_uniform,omitempty"`
+		L1ErrorRatio float64 `json:"l1_error_ratio_vs_uniform,omitempty"`
+	}
+	setups := geofenceSetups(t)
+	measure := func(s *spatialBenchSetup, bench func(*testing.B)) entry {
+		r := testing.Benchmark(bench)
+		covered := 1.0
+		if f, ok := s.space.(*Geofence); ok {
+			covered = f.CoveredArea() / f.Bounds().Area()
+		}
+		return entry{
+			Name:         s.name,
+			NumCells:     s.space.NumCells(),
+			DomainSize:   s.dom.Size(),
+			CoveredArea:  covered,
+			Reports:      len(s.states),
+			RoundNsPerOp: float64(r.NsPerOp()),
+			EstimationL1: spatialL1Error(s, 5),
+		}
+	}
+	uni := measure(setups[0], BenchmarkGeofenceRoundUniform)
+	fence := measure(setups[1], BenchmarkGeofenceRoundFence)
+	fence.DomainShrink = float64(uni.DomainSize) / float64(fence.DomainSize)
+	fence.RoundSpeedup = uni.RoundNsPerOp / fence.RoundNsPerOp
+	fence.L1ErrorRatio = fence.EstimationL1 / uni.EstimationL1
+
+	out := struct {
+		Workload   string  `json:"workload"`
+		Epsilon    float64 `json:"epsilon"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Results    []entry `json:"results"`
+	}{
+		Workload:   "corridor: four districts linked by a cross of road corridors; the fence covers only the reachable ~1/4 of the bounding box",
+		Epsilon:    1.0,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    []entry{uni, fence},
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_geofence.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("domain shrink ×%.2f, round speedup ×%.2f, L1 error ratio %.2f",
+		fence.DomainShrink, fence.RoundSpeedup, fence.L1ErrorRatio)
+	if fence.DomainShrink <= 1 {
+		t.Errorf("fence did not shrink the domain (×%.2f)", fence.DomainShrink)
+	}
+	if fence.L1ErrorRatio >= 1 {
+		t.Errorf("fence did not reduce estimation error (ratio %.2f)", fence.L1ErrorRatio)
+	}
+}

@@ -31,6 +31,7 @@
 //	        -checkpoint /var/lib/retrasyn/curator.ckpt
 //	curator -spatial quadtree -density historical.csv -max-leaves 64 \
 //	        -boundsMax 30 -eps 1.0 -w 20 -lambda 13.6
+//	curator -spatial geofence -fence districts.geojson -eps 1.0 -w 20 -lambda 13.6
 package main
 
 import (
@@ -48,6 +49,7 @@ import (
 
 	"retrasyn"
 	"retrasyn/internal/allocation"
+	"retrasyn/internal/geofence"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/remote"
 	"retrasyn/internal/spatial"
@@ -64,9 +66,10 @@ func main() {
 		w           = flag.Int("w", 20, "window size w")
 		lambda      = flag.Float64("lambda", 13.6, "synthesis termination factor λ")
 		division    = flag.String("division", "population", `"budget" or "population"`)
-		spatialKind = flag.String("spatial", "uniform", `spatial discretization: "uniform" (K×K grid) or "quadtree" (density-adaptive; requires -density)`)
+		spatialKind = flag.String("spatial", "uniform", `spatial discretization: "uniform" (K×K grid), "quadtree" (density-adaptive; requires -density) or "geofence" (polygonal; requires -fence)`)
 		maxLeaves   = flag.Int("max-leaves", 64, "quadtree leaf budget (-spatial quadtree)")
 		density     = flag.String("density", "", "public/historical raw-trajectory CSV that seeds the quadtree density sketch (-spatial quadtree)")
+		fence       = flag.String("fence", "", "GeoJSON fence file whose polygons become the cells (-spatial geofence)")
 		seed        = flag.Uint64("seed", 2024, "curator randomness seed")
 		checkpoint  = flag.String("checkpoint", "", "state file loaded on boot and written on graceful shutdown")
 		drainGrace  = flag.Duration("drainGrace", 10*time.Second, "graceful-shutdown grace for in-flight requests")
@@ -75,10 +78,10 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*k, *eps, *w, *lambda, *boundMin, *boundMax, *spatialKind, *maxLeaves, *density, *drainGrace); err != nil {
+	if err := validateFlags(*k, *eps, *w, *lambda, *boundMin, *boundMax, *spatialKind, *maxLeaves, *density, *fence, *drainGrace); err != nil {
 		log.Fatalf("curator: %v", err)
 	}
-	space, err := buildSpace(*spatialKind, *k, *boundMin, *boundMax, *maxLeaves, *density)
+	space, err := buildSpace(*spatialKind, *k, *boundMin, *boundMax, *maxLeaves, *density, *fence)
 	if err != nil {
 		log.Fatalf("curator: %v", err)
 	}
@@ -147,7 +150,7 @@ func main() {
 // validateFlags rejects unusable configurations up front with errors that
 // name the flag and the accepted range, instead of panicking mid-boot or
 // silently falling back to defaults.
-func validateFlags(k int, eps float64, w int, lambda, boundMin, boundMax float64, spatialKind string, maxLeaves int, density string, drainGrace time.Duration) error {
+func validateFlags(k int, eps float64, w int, lambda, boundMin, boundMax float64, spatialKind string, maxLeaves int, density, fence string, drainGrace time.Duration) error {
 	if !(eps > 0) {
 		return fmt.Errorf("-eps must be > 0, got %v", eps)
 	}
@@ -175,17 +178,37 @@ func validateFlags(k int, eps float64, w int, lambda, boundMin, boundMax float64
 		if density == "" {
 			return fmt.Errorf("-spatial quadtree needs -density, a public/historical raw-trajectory CSV that seeds the density sketch")
 		}
+	case "geofence":
+		if fence == "" {
+			return fmt.Errorf("-spatial geofence needs -fence, a GeoJSON file whose polygons become the cells")
+		}
 	default:
-		return fmt.Errorf("unknown -spatial %q (want \"uniform\" or \"quadtree\")", spatialKind)
+		return fmt.Errorf("unknown -spatial %q (want \"uniform\", \"quadtree\" or \"geofence\")", spatialKind)
 	}
 	return nil
 }
 
 // buildSpace constructs the configured spatial discretization.
-func buildSpace(kind string, k int, boundMin, boundMax float64, maxLeaves int, density string) (spatial.Discretizer, error) {
+func buildSpace(kind string, k int, boundMin, boundMax float64, maxLeaves int, density, fence string) (spatial.Discretizer, error) {
 	b := spatial.Bounds{MinX: boundMin, MinY: boundMin, MaxX: boundMax, MaxY: boundMax}
 	if kind == "uniform" {
 		return grid.New(k, b)
+	}
+	if kind == "geofence" {
+		f, err := os.Open(fence)
+		if err != nil {
+			return nil, fmt.Errorf("open -fence: %w", err)
+		}
+		defer f.Close()
+		polys, err := geofence.ParseFence(f)
+		if err != nil {
+			return nil, fmt.Errorf("-fence %s: %w", fence, err)
+		}
+		gf, err := geofence.NewFence(polys)
+		if err != nil {
+			return nil, fmt.Errorf("-fence %s: %w", fence, err)
+		}
+		return gf, nil
 	}
 	f, err := os.Open(density)
 	if err != nil {

@@ -6,6 +6,7 @@
 //
 //	datagen -dataset tdrive -scale 1.0 -seed 2024 -out tdrive.csv
 //	datagen -dataset oldenburg -stats
+//	datagen -dataset corridor -out corridor.csv -fence-out corridor.geojson
 package main
 
 import (
@@ -14,23 +15,42 @@ import (
 	"os"
 
 	"retrasyn"
+	"retrasyn/internal/geofence"
 	"retrasyn/internal/trajectory"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "tdrive", `dataset: "tdrive", "oldenburg", "sanjoaquin", or "drifting" (drifting-hotspot workload for re-discretization benchmarks)`)
-		scale   = flag.Float64("scale", 1.0, "population scale factor")
-		seed    = flag.Uint64("seed", 2024, "generation seed")
-		out     = flag.String("out", "", "output CSV path (default stdout)")
-		k       = flag.Int("k", 6, "grid granularity for -stats")
-		stats   = flag.Bool("stats", false, "print discretized dataset statistics instead of CSV")
+		dataset  = flag.String("dataset", "tdrive", `dataset: "tdrive", "oldenburg", "sanjoaquin", "drifting" (drifting-hotspot workload for re-discretization benchmarks), or "corridor" (corridor/district workload for geofence benchmarks)`)
+		scale    = flag.Float64("scale", 1.0, "population scale factor")
+		seed     = flag.Uint64("seed", 2024, "generation seed")
+		out      = flag.String("out", "", "output CSV path (default stdout)")
+		fenceOut = flag.String("fence-out", "", `write the corridor workload's matching GeoJSON fence here ("corridor" only; feed it to retrasyn/curator -spatial geofence -fence)`)
+		k        = flag.Int("k", 6, "grid granularity for -stats")
+		stats    = flag.Bool("stats", false, "print discretized dataset statistics instead of CSV")
 	)
 	flag.Parse()
 
 	raw, bounds, err := retrasyn.StandardDataset(*dataset, *scale, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *fenceOut != "" {
+		if *dataset != "corridor" && *dataset != "CorridorSim" {
+			fatal(fmt.Errorf("-fence-out is only meaningful with -dataset corridor (got %q)", *dataset))
+		}
+		f, err := os.Create(*fenceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := geofence.WriteFence(f, retrasyn.CorridorFence(bounds)); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote the corridor fence to %s\n", *fenceOut)
 	}
 	if *stats {
 		g, err := retrasyn.NewGrid(*k, bounds)

@@ -8,6 +8,7 @@
 //	retrasyn -dataset tdrive -scale 0.5 -eps 1.0 -w 20 -k 6 -division population
 //	retrasyn -in traces.csv -boundsMax 30 -method lpa -out synthetic.csv
 //	retrasyn -dataset tdrive -spatial quadtree -max-leaves 48
+//	retrasyn -dataset corridor -spatial geofence -fence districts.geojson
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		dataset     = flag.String("dataset", "tdrive", `standard dataset: "tdrive", "oldenburg", "sanjoaquin", "drifting" (ignored with -in)`)
+		dataset     = flag.String("dataset", "tdrive", `standard dataset: "tdrive", "oldenburg", "sanjoaquin", "drifting", "corridor" (ignored with -in)`)
 		in          = flag.String("in", "", "input raw-trajectory CSV (as written by datagen)")
 		boundMin    = flag.Float64("boundsMin", 0, "spatial lower bound for -in data (both axes)")
 		boundMax    = flag.Float64("boundsMax", 30, "spatial upper bound for -in data (both axes)")
@@ -34,8 +35,9 @@ func main() {
 		strategy    = flag.String("strategy", "adaptive", `"adaptive", "uniform", or "sample"`)
 		method      = flag.String("method", "retrasyn", `"retrasyn", "lbd", "lba", "lpd", or "lpa"`)
 		shards      = flag.Int("shards", 1, "parallel pipeline shards (users fanned out by ID; 1 = sequential engine)")
-		spatialKind = flag.String("spatial", "uniform", `spatial discretization: "uniform" (K×K grid) or "quadtree" (density-adaptive)`)
+		spatialKind = flag.String("spatial", "uniform", `spatial discretization: "uniform" (K×K grid), "quadtree" (density-adaptive) or "geofence" (polygonal, requires -fence)`)
 		maxLeaves   = flag.Int("max-leaves", 64, "quadtree leaf budget (-spatial quadtree)")
+		fence       = flag.String("fence", "", "GeoJSON fence file whose polygons become the cells (-spatial geofence)")
 		density     = flag.String("density", "", "public/historical raw-trajectory CSV seeding the quadtree density sketch; omitted, the sketch falls back to the input itself (simulation only — see the printed warning)")
 		rediscEvery = flag.Int("rediscretize-every", 0, "rebuild the spatial layout from the released stream every N windows and migrate when it drifted (0 = frozen layout)")
 		relayoutThr = flag.Float64("relayout-threshold", 0, "minimum layout distance in [0,1) for a rebuilt layout to replace the current one (0 = default 0.1)")
@@ -45,7 +47,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*k, *eps, *w, *shards, *scale, *boundMin, *boundMax, *spatialKind, *maxLeaves); err != nil {
+	if err := validateFlags(*k, *eps, *w, *shards, *scale, *boundMin, *boundMax, *spatialKind, *maxLeaves, *fence); err != nil {
 		fatal(err)
 	}
 	if *rediscEvery < 0 {
@@ -67,7 +69,8 @@ func main() {
 		fatal(err)
 	}
 	var space retrasyn.Discretizer = g
-	if *spatialKind == "quadtree" {
+	switch *spatialKind {
+	case "quadtree":
 		sketch, err := loadSketch(*density, raw)
 		if err != nil {
 			fatal(err)
@@ -77,6 +80,12 @@ func main() {
 			fatal(err)
 		}
 		space = qt
+	case "geofence":
+		gf, err := loadFence(*fence)
+		if err != nil {
+			fatal(err)
+		}
+		space = gf
 	}
 	orig := retrasyn.Discretize(raw, space)
 	stats := orig.Stats()
@@ -186,7 +195,7 @@ func main() {
 
 // validateFlags rejects unusable flag combinations up front with errors
 // that name the flag and the accepted range.
-func validateFlags(k int, eps float64, w, shards int, scale, boundMin, boundMax float64, spatialKind string, maxLeaves int) error {
+func validateFlags(k int, eps float64, w, shards int, scale, boundMin, boundMax float64, spatialKind string, maxLeaves int, fence string) error {
 	if k < 1 {
 		return fmt.Errorf("-k must be ≥ 1, got %d", k)
 	}
@@ -211,10 +220,33 @@ func validateFlags(k int, eps float64, w, shards int, scale, boundMin, boundMax 
 		if maxLeaves < 1 {
 			return fmt.Errorf("-max-leaves must be ≥ 1, got %d", maxLeaves)
 		}
+	case "geofence":
+		if fence == "" {
+			return fmt.Errorf("-spatial geofence needs -fence, a GeoJSON file whose polygons become the cells")
+		}
 	default:
-		return fmt.Errorf("unknown -spatial %q (want \"uniform\" or \"quadtree\")", spatialKind)
+		return fmt.Errorf("unknown -spatial %q (want \"uniform\", \"quadtree\" or \"geofence\")", spatialKind)
 	}
 	return nil
+}
+
+// loadFence reads and validates the -fence file; parse and validation errors
+// both name the offending polygon index.
+func loadFence(path string) (*retrasyn.Geofence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open -fence: %w", err)
+	}
+	defer f.Close()
+	polys, err := retrasyn.ParseFence(f)
+	if err != nil {
+		return nil, fmt.Errorf("-fence %s: %w", path, err)
+	}
+	gf, err := retrasyn.NewGeofence(polys)
+	if err != nil {
+		return nil, fmt.Errorf("-fence %s: %w", path, err)
+	}
+	return gf, nil
 }
 
 // loadSketch reads the quadtree density sketch from the -density CSV. When

@@ -39,6 +39,23 @@ func GenerateBrinkhoffLike(net *RoadNetwork, cfg BrinkhoffConfig) (*RawDataset, 
 // DriftConfig parameterizes the drifting-hotspot workload generator.
 type DriftConfig = datagen.DriftConfig
 
+// CorridorConfig parameterizes the corridor/district workload generator.
+type CorridorConfig = datagen.CorridorConfig
+
+// GenerateCorridor builds a raw dataset of sessions travelling a cross of
+// road corridors between four districts — the workload whose reachable space
+// is a small fraction of its bounding box, motivating the geofence backend.
+func GenerateCorridor(cfg CorridorConfig) (*RawDataset, error) {
+	return datagen.Corridor(cfg)
+}
+
+// CorridorFence returns the fence polygons matching the corridor workload
+// over the given bounds (districts, arm segments and center), ready for
+// NewGeofence.
+func CorridorFence(b Bounds) []FencePolygon {
+	return datagen.CorridorFence(b)
+}
+
 // GenerateDriftingHotspot builds a raw dataset whose dominant hotspot
 // translates across the space over time — the workload that defeats
 // boot-frozen spatial layouts and motivates online re-discretization.
@@ -47,8 +64,9 @@ func GenerateDriftingHotspot(cfg DriftConfig) (*RawDataset, error) {
 }
 
 // StandardDataset generates one of the named evaluation datasets
-// ("tdrive", "oldenburg", "sanjoaquin", "drifting") at the given population
-// scale, returning the raw dataset and the bounds to grid it with.
+// ("tdrive", "oldenburg", "sanjoaquin", "drifting", "corridor") at the given
+// population scale, returning the raw dataset and the bounds to grid it
+// with.
 func StandardDataset(name string, scale float64, seed uint64) (*RawDataset, Bounds, error) {
 	spec, ok := datagen.SpecByName(name)
 	if !ok {
@@ -64,7 +82,7 @@ func StandardDataset(name string, scale float64, seed uint64) (*RawDataset, Boun
 type errUnknownDataset string
 
 func (e errUnknownDataset) Error() string {
-	return "retrasyn: unknown dataset " + string(e) + ` (want "tdrive", "oldenburg", "sanjoaquin", or "drifting")`
+	return "retrasyn: unknown dataset " + string(e) + ` (want "tdrive", "oldenburg", "sanjoaquin", "drifting", or "corridor")`
 }
 
 // NewStreamEvents converts a discretized dataset into its per-timestamp

@@ -1,0 +1,206 @@
+package retrasyn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// corridorSetup generates the corridor workload and its matching fence —
+// the intended deployment of the geofence backend.
+func corridorSetup(t *testing.T) (*RawDataset, *Dataset, *Geofence) {
+	t.Helper()
+	raw, bounds, err := StandardDataset("corridor", 0.04, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fence, err := NewGeofence(CorridorFence(bounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, Discretize(raw, fence), fence
+}
+
+func TestFrameworkGeofenceEndToEnd(t *testing.T) {
+	_, orig, fence := corridorSetup(t)
+	fw, err := New(Options{
+		Discretizer: fence,
+		Epsilon:     1.0,
+		Window:      10,
+		Lambda:      orig.Stats().AvgLength,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, stats, err := fw.Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("no collection rounds")
+	}
+	if err := syn.Validate(fence, true); err != nil {
+		t.Fatalf("geofence release violates reachability: %v", err)
+	}
+}
+
+func TestFrameworkGeofenceSharded(t *testing.T) {
+	_, orig, fence := corridorSetup(t)
+	fw, err := New(Options{
+		Discretizer: fence,
+		Epsilon:     1.0,
+		Window:      10,
+		Lambda:      orig.Stats().AvgLength,
+		Shards:      3,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, _, err := fw.Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.Validate(fence, true); err != nil {
+		t.Fatalf("sharded geofence release violates reachability: %v", err)
+	}
+}
+
+// TestFrameworkGeofenceCheckpointRoundTrip pins the facade checkpoint cycle
+// on the polygonal backend: snapshot mid-stream, encode/decode, restore with
+// the same options, and the resumed release matches the uninterrupted one
+// cell for cell.
+func TestFrameworkGeofenceCheckpointRoundTrip(t *testing.T) {
+	_, orig, fence := corridorSetup(t)
+	opts := Options{
+		Discretizer: fence,
+		Epsilon:     1.0,
+		Window:      10,
+		Lambda:      orig.Stats().AvgLength,
+		Seed:        7,
+	}
+	run := func(fw *Framework, from, to int, events [][]Event, active []int) {
+		for ts := from; ts < to; ts++ {
+			if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	events, active := datasetEvents(orig)
+
+	full, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(full, 0, orig.T, events, active)
+	want := full.Synthetic("fence")
+
+	half := orig.T / 2
+	donor, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(donor, 0, half, events, active)
+	cp, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(opts, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(resumed, half, orig.T, events, active)
+	got := resumed.Synthetic("fence")
+	if len(got.Trajs) != len(want.Trajs) {
+		t.Fatalf("resumed release has %d streams, want %d", len(got.Trajs), len(want.Trajs))
+	}
+	for i := range got.Trajs {
+		if got.Trajs[i].Start != want.Trajs[i].Start || len(got.Trajs[i].Cells) != len(want.Trajs[i].Cells) {
+			t.Fatalf("stream %d differs after restore", i)
+		}
+		for j := range got.Trajs[i].Cells {
+			if got.Trajs[i].Cells[j] != want.Trajs[i].Cells[j] {
+				t.Fatalf("stream %d cell %d differs after restore", i, j)
+			}
+		}
+	}
+}
+
+// TestFrameworkGeofenceRelayout migrates a live geofenced framework onto a
+// quadtree grown from its own released stream — the Overlapper
+// generalization working end to end through the facade.
+func TestFrameworkGeofenceRelayout(t *testing.T) {
+	raw, orig, fence := corridorSetup(t)
+	fw, err := New(Options{
+		Discretizer: fence,
+		Epsilon:     1.0,
+		Window:      10,
+		Lambda:      orig.Stats().AvgLength,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := orig.T / 2
+	events, active := datasetEvents(orig)
+	for ts := 0; ts < half; ts++ {
+		if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qt, err := NewQuadtree(fence.Bounds(), DensitySketch(raw), QuadtreeOptions{MaxLeaves: fence.NumCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Relayout(qt); err != nil {
+		t.Fatalf("fence→quadtree relayout failed: %v", err)
+	}
+	if fw.LayoutGeneration() != 1 || fw.Space().Fingerprint() != qt.Fingerprint() {
+		t.Fatalf("framework did not adopt the quadtree (gen %d)", fw.LayoutGeneration())
+	}
+	// Keep processing on the new layout with re-discretized events.
+	requant := Discretize(raw, qt)
+	ev2, ac2 := datasetEvents(requant)
+	for ts := half; ts < requant.T; ts++ {
+		if err := fw.ProcessTimestamp(ev2[ts], ac2[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Synthetic("migrated").Validate(qt, false); err != nil {
+		t.Fatalf("post-migration release invalid: %v", err)
+	}
+}
+
+// TestFrameworkGeofenceAdaptive runs online re-discretization from a
+// geofence boot layout: the released stream is sketched through the
+// polygonal spread path and rebuilt quadtrees migrate the framework off the
+// fence when the workload justifies it.
+func TestFrameworkGeofenceAdaptive(t *testing.T) {
+	raw, orig, fence := corridorSetup(t)
+	fw, err := New(Options{
+		Discretizer:       fence,
+		Epsilon:           1.0,
+		Window:            10,
+		Lambda:            orig.Stats().AvgLength,
+		RediscretizeEvery: 2,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, _, err := fw.RunAdaptive(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.Validate(fw.Space(), false); err != nil {
+		t.Fatalf("adaptive geofence release invalid: %v", err)
+	}
+}

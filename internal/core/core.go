@@ -275,18 +275,25 @@ func (e *Engine) Generation() int { return e.generation }
 // non-boxed backends.
 func (e *Engine) ReleasedPositions(buf []spatial.Point) []spatial.Point {
 	boxed, _ := e.space.(spatial.Boxed)
+	poly, _ := e.space.(spatial.Overlapper)
 	for _, c := range e.synth.ActiveCells(nil) {
-		if boxed == nil {
-			x, y := e.space.Center(c)
-			buf = append(buf, spatial.Point{X: x, Y: y})
-			continue
-		}
 		// Index the spread sequence by the position in buf, not the
 		// per-engine stream index: a sharded framework accumulates all
 		// shards into one buffer, and restarting the sequence per shard
 		// would collapse same-index streams of one cell onto identical
 		// points across shards.
-		buf = append(buf, relayout.SpreadInBox(boxed.CellBox(c), len(buf)))
+		switch {
+		case boxed != nil:
+			buf = append(buf, relayout.SpreadInBox(boxed.CellBox(c), len(buf)))
+		case poly != nil:
+			// Polygonal cells spread inside their polygon, not its bounding
+			// box, so geofenced releases never sketch density into gap space
+			// the fence deliberately excludes.
+			buf = append(buf, relayout.SpreadInPieces(poly.CellPieces(c), len(buf)))
+		default:
+			x, y := e.space.Center(c)
+			buf = append(buf, spatial.Point{X: x, Y: y})
+		}
 	}
 	return buf
 }

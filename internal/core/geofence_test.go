@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"retrasyn/internal/allocation"
+	"retrasyn/internal/geofence"
+	"retrasyn/internal/trajectory"
+)
+
+// testFence builds a connected district fence over the unit square: two base
+// rectangles, a triangle and a quad sharing boundary edges, with gaps the
+// fence deliberately excludes. Its polygon hull spans the full unit bounds,
+// so it can migrate against the quadtree layouts of the relayout tests.
+func testFence(t *testing.T) *geofence.Fence {
+	t.Helper()
+	f, err := geofence.NewFence([]geofence.Polygon{
+		{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.5, Y: 0.4}, {X: 0, Y: 0.4}},
+		{{X: 0.5, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0.4}, {X: 0.5, Y: 0.4}},
+		{{X: 0, Y: 0.4}, {X: 0.5, Y: 0.4}, {X: 0, Y: 1}},
+		{{X: 0.5, Y: 0.4}, {X: 1, Y: 0.4}, {X: 1, Y: 1}, {X: 0.75, Y: 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestGeofenceEngineEndToEnd runs the full engine over a polygonal fence:
+// the release must satisfy the fence's shared-edge reachability and the run
+// must be deterministic for a fixed seed.
+func TestGeofenceEngineEndToEnd(t *testing.T) {
+	fence := testFence(t)
+	data := walkDataset(fence, 300, 40, 8, 71)
+	run := func() uint64 {
+		opts := defaultOpts(allocation.Population)
+		opts.Space = fence
+		opts.Seed = 909
+		e, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, stats := e.Run(trajectory.NewStream(data), "fence")
+		if stats.Rounds == 0 {
+			t.Fatal("no collection rounds on the geofence engine")
+		}
+		if err := syn.Validate(fence, true); err != nil {
+			t.Fatalf("geofence release violates reachability: %v", err)
+		}
+		return datasetHash(syn)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("geofence run not deterministic: %#x vs %#x", a, b)
+	}
+}
+
+// TestGeofenceSnapshotRoundTrip proves checkpoint/restore stays bit-identical
+// on the polygonal backend.
+func TestGeofenceSnapshotRoundTrip(t *testing.T) {
+	fence := testFence(t)
+	data := walkDataset(fence, 250, 30, 7, 72)
+	stream := trajectory.NewStream(data)
+	newEngine := func() *Engine {
+		opts := defaultOpts(allocation.Population)
+		opts.Space = fence
+		opts.Seed = 515
+		e, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	full := newEngine()
+	for ts := 0; ts < stream.T; ts++ {
+		if _, err := full.ProcessTimestamp(ts, stream.At(ts), stream.Active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := datasetHash(full.Synthetic("fence", stream.T))
+
+	half := stream.T / 2
+	donor := newEngine()
+	for ts := 0; ts < half; ts++ {
+		if _, err := donor.ProcessTimestamp(ts, stream.At(ts), stream.Active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := donor.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := newEngine()
+	if err := resumed.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for ts := half; ts < stream.T; ts++ {
+		if _, err := resumed.ProcessTimestamp(ts, stream.At(ts), stream.Active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := datasetHash(resumed.Synthetic("fence", stream.T)); got != want {
+		t.Fatalf("resumed geofence release drifted: got %#x, want %#x", got, want)
+	}
+}
+
+// TestGeofenceRelayoutSnapshotRoundTrip pins checkpointing across a
+// migration ONTO a fence: the checkpoint embeds the serialized polygon set,
+// and the restore rebuilds the exact layout (fingerprint-verified) and
+// continues bit-identically.
+func TestGeofenceRelayoutSnapshotRoundTrip(t *testing.T) {
+	qt := testQuadtree(t)
+	fence := testFence(t)
+	dataA := walkDataset(qt, 250, 30, 7, 81)
+	streamA := trajectory.NewStream(dataA)
+	dataB := walkDataset(fence, 250, 30, 7, 82)
+	streamB := trajectory.NewStream(dataB)
+
+	newEngine := func() *Engine {
+		opts := defaultOpts(allocation.Population)
+		opts.Space = qt
+		opts.Seed = 616
+		e, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	first := newEngine()
+	half := streamA.T / 2
+	for ts := 0; ts < half; ts++ {
+		if _, err := first.ProcessTimestamp(ts, streamA.At(ts), streamA.Active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := 0.0
+	for _, f := range first.Model().Freqs() {
+		before += f
+	}
+	if err := first.Relayout(fence); err != nil {
+		t.Fatal(err)
+	}
+	after := 0.0
+	for _, f := range first.Model().Freqs() {
+		after += f
+	}
+	if math.Abs(after-before) > 1e-9 {
+		t.Fatalf("mass not conserved migrating onto the fence: %v → %v", before, after)
+	}
+	blob, err := first.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := half; ts < streamB.T; ts++ {
+		if _, err := first.ProcessTimestamp(ts, streamB.At(ts), streamB.Active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resumed := newEngine()
+	if err := resumed.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Generation() != 1 || resumed.Space().Fingerprint() != fence.Fingerprint() {
+		t.Fatalf("restore did not adopt the fence layout (gen %d, fp %s)", resumed.Generation(), resumed.Space().Fingerprint())
+	}
+	for ts := half; ts < streamB.T; ts++ {
+		if _, err := resumed.ProcessTimestamp(ts, streamB.At(ts), streamB.Active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := datasetHash(first.Synthetic("x", streamB.T))
+	got := datasetHash(resumed.Synthetic("x", streamB.T))
+	if got != want {
+		t.Fatalf("resumed release drifted across the fence-migrated checkpoint: %#x ≠ %#x", got, want)
+	}
+	// Every released cell is a fence cell. (Full adjacency is not required
+	// of the pre-migration history: the in-flight remap maps each historical
+	// cell to its max-overlap fence cell, and a step across a fence gap has
+	// no adjacent pair to land on.)
+	if err := resumed.Synthetic("x", streamB.T).Validate(fence, false); err != nil {
+		t.Fatalf("post-migration release contains non-fence cells: %v", err)
+	}
+
+	// And the reverse direction: an engine booted on the fence migrates back
+	// onto the quadtree, conserving mass.
+	rev, err := New(func() Options {
+		o := defaultOpts(allocation.Population)
+		o.Space = fence
+		o.Seed = 617
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := 0; ts < half; ts++ {
+		if _, err := rev.ProcessTimestamp(ts, streamB.At(ts), streamB.Active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before = 0
+	for _, f := range rev.Model().Freqs() {
+		before += f
+	}
+	if err := rev.Relayout(qt); err != nil {
+		t.Fatal(err)
+	}
+	after = 0
+	for _, f := range rev.Model().Freqs() {
+		after += f
+	}
+	if math.Abs(after-before) > 1e-9 {
+		t.Fatalf("mass not conserved migrating off the fence: %v → %v", before, after)
+	}
+	if rev.Space().Fingerprint() != qt.Fingerprint() {
+		t.Fatal("fence engine did not switch onto the quadtree")
+	}
+}

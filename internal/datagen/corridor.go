@@ -1,0 +1,251 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"retrasyn/internal/geofence"
+	"retrasyn/internal/grid"
+	"retrasyn/internal/ldp"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/trajectory"
+)
+
+// Corridor/district workload: the geometry real geofenced deployments
+// collect over. Four districts sit at the ends of a cross of road corridors;
+// almost all sessions travel district → corridor → center → corridor →
+// district, so every trajectory lives inside a thin fence covering a small
+// fraction of the bounding box. A bounding-box discretization (uniform grid)
+// spends most of its cells — and with them the per-state LDP variance the
+// transition domain size |S| drives — on space no trajectory can occupy; the
+// matching fence (CorridorFence) covers only the reachable corridor. A small
+// off-fence share roams the whole box, standing in for the GPS noise and
+// stragglers every real deployment clamps onto its fence.
+
+// CorridorConfig parameterizes the corridor workload generator.
+type CorridorConfig struct {
+	// T is the timeline length.
+	T int
+	// InitialUsers enter at t=0.
+	InitialUsers int
+	// ArrivalsPerTs is the mean number of new sessions per timestamp.
+	ArrivalsPerTs float64
+	// MeanLength is the target mean session length in points (geometric).
+	MeanLength float64
+	// OffFenceShare is the fraction of sessions roaming the whole bounding
+	// box instead of the corridor. Zero selects the default 0.04 (the
+	// config zero-value idiom all generators here share); a fully on-fence
+	// workload is not expressible — every real deployment sees some
+	// off-fence noise, and the share exercises the fence's clamp path.
+	OffFenceShare float64
+	// MinX..MaxY bound the space.
+	MinX, MinY, MaxX, MaxY float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *CorridorConfig) defaults() error {
+	if c.T < 2 {
+		return fmt.Errorf("datagen: corridor T must be ≥ 2, got %d", c.T)
+	}
+	if !(c.MaxX > c.MinX) || !(c.MaxY > c.MinY) {
+		return fmt.Errorf("datagen: invalid corridor bounds")
+	}
+	if c.MeanLength <= 1 {
+		c.MeanLength = 14
+	}
+	if c.OffFenceShare < 0 || c.OffFenceShare > 1 {
+		return fmt.Errorf("datagen: OffFenceShare %v outside [0,1]", c.OffFenceShare)
+	}
+	if c.OffFenceShare == 0 {
+		c.OffFenceShare = 0.04
+	}
+	if c.ArrivalsPerTs < 0 {
+		return fmt.Errorf("datagen: negative arrival rate")
+	}
+	if c.InitialUsers < 0 {
+		return fmt.Errorf("datagen: negative InitialUsers")
+	}
+	return nil
+}
+
+// Normalized corridor geometry over the unit square, scaled onto the bounds
+// by both the generator and CorridorFence so workload and fence always
+// agree. The strip half-width is 1/16 of the span; arms run from the
+// district mouths at 1/16 to the center square.
+const (
+	corHalf  = 0.0625 // strip half-width
+	corMouth = 0.0625 // district depth along each axis
+)
+
+// corridorEnd returns the normalized centerline position of a district
+// mouth. End indices: 0 west, 1 east, 2 south, 3 north.
+func corridorEnd(end int) (x, y float64) {
+	switch end {
+	case 0:
+		return corMouth / 2, 0.5
+	case 1:
+		return 1 - corMouth/2, 0.5
+	case 2:
+		return 0.5, corMouth / 2
+	default:
+		return 0.5, 1 - corMouth/2
+	}
+}
+
+// CorridorFence returns the fence polygons matching the corridor workload
+// over the given bounds: a center square, three rectangular segments per
+// arm, and a flared trapezoid district at each end — 17 cells whose union
+// covers ~1/4 of the bounding box. Adjacent cells share exact boundary
+// edges, so the fence's shared-edge reachability follows the corridor.
+func CorridorFence(b grid.Bounds) []geofence.Polygon {
+	w, h := b.MaxX-b.MinX, b.MaxY-b.MinY
+	pt := func(x, y float64) spatial.Point {
+		return spatial.Point{X: b.MinX + x*w, Y: b.MinY + y*h}
+	}
+	rect := func(x0, y0, x1, y1 float64) geofence.Polygon {
+		return geofence.Polygon{pt(x0, y0), pt(x1, y0), pt(x1, y1), pt(x0, y1)}
+	}
+	lo, hi := 0.5-corHalf, 0.5+corHalf // strip edges
+	polys := []geofence.Polygon{
+		rect(lo, lo, hi, hi), // 0: center square
+	}
+	// Three segments per arm, from the district mouth to the center square.
+	armLen := lo - corMouth
+	seg := armLen / 3
+	for s := 0; s < 3; s++ {
+		a, bb := corMouth+float64(s)*seg, corMouth+float64(s+1)*seg
+		polys = append(polys,
+			rect(a, lo, bb, hi),     // west arm
+			rect(1-bb, lo, 1-a, hi), // east arm
+			rect(lo, a, hi, bb),     // south arm
+			rect(lo, 1-bb, hi, 1-a), // north arm
+		)
+	}
+	// Flared trapezoid districts at the four ends; each shares its full
+	// mouth edge with the first arm segment.
+	polys = append(polys,
+		geofence.Polygon{pt(0, lo-corHalf), pt(corMouth, lo), pt(corMouth, hi), pt(0, hi+corHalf)},     // west
+		geofence.Polygon{pt(1-corMouth, lo), pt(1, lo-corHalf), pt(1, hi+corHalf), pt(1-corMouth, hi)}, // east
+		geofence.Polygon{pt(lo-corHalf, 0), pt(hi+corHalf, 0), pt(hi, corMouth), pt(lo, corMouth)},     // south
+		geofence.Polygon{pt(lo, 1-corMouth), pt(hi, 1-corMouth), pt(hi+corHalf, 1), pt(lo-corHalf, 1)}, // north
+	)
+	return polys
+}
+
+// Corridor generates the corridor/district raw dataset. Fence sessions pick
+// a start and destination district and travel the centerline with lateral
+// jitter inside the strip; off-fence sessions random-walk the whole box.
+func Corridor(cfg CorridorConfig) (*trajectory.RawDataset, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := ldp.NewRand(cfg.Seed, cfg.Seed^0xc0441d04)
+	d := &trajectory.RawDataset{Name: "corridor", T: cfg.T}
+	width, height := cfg.MaxX-cfg.MinX, cfg.MaxY-cfg.MinY
+	speed := 0.035           // normalized centerline distance per timestamp
+	lateral := corHalf * 0.7 // lateral jitter bound inside the strip
+
+	toWorld := func(x, y float64) (float64, float64) {
+		return cfg.MinX + clamp(x, 0, 1)*width, cfg.MinY + clamp(y, 0, 1)*height
+	}
+
+	spawn := func(start int) {
+		tr := trajectory.RawTrajectory{Start: start}
+		quitP := 1 / cfg.MeanLength
+		if rng.Float64() < cfg.OffFenceShare {
+			// Background roamer over the whole box.
+			x, y := rng.Float64(), rng.Float64()
+			for t := start; t < cfg.T; t++ {
+				wx, wy := toWorld(x, y)
+				tr.Points = append(tr.Points, trajectory.RawPoint{X: wx, Y: wy})
+				if len(tr.Points) > 1 && ldp.Bernoulli(rng, quitP) {
+					break
+				}
+				x = clamp(x+(rng.Float64()-0.5)*2*speed, 0, 1)
+				y = clamp(y+(rng.Float64()-0.5)*2*speed, 0, 1)
+			}
+			d.Trajs = append(d.Trajs, tr)
+			return
+		}
+		// Fence traveller: district from → center → district to.
+		from := rng.IntN(4)
+		to := rng.IntN(4)
+		for to == from {
+			to = rng.IntN(4)
+		}
+		fx, fy := corridorEnd(from)
+		tx, ty := corridorEnd(to)
+		// Route legs: end → center and center → end, both axis-aligned.
+		leg1 := math.Hypot(0.5-fx, 0.5-fy)
+		leg2 := math.Hypot(tx-0.5, ty-0.5)
+		total := leg1 + leg2
+		s := rng.Float64() * total * 0.3 // some sessions start mid-route
+		for t := start; t < cfg.T; t++ {
+			// Position on the centerline at arc length s.
+			var cx, cy float64
+			if s <= leg1 {
+				f := s / leg1
+				cx, cy = fx+f*(0.5-fx), fy+f*(0.5-fy)
+			} else {
+				f := math.Min((s-leg1)/leg2, 1)
+				cx, cy = 0.5+f*(tx-0.5), 0.5+f*(ty-0.5)
+			}
+			// Lateral jitter perpendicular to the travel axis.
+			off := clamp(rng.NormFloat64()*lateral/2, -lateral, lateral)
+			if s <= leg1 && fy == 0.5 || s > leg1 && ty == 0.5 {
+				cy += off // east-west leg: jitter in y
+			} else {
+				cx += off
+			}
+			wx, wy := toWorld(cx, cy)
+			tr.Points = append(tr.Points, trajectory.RawPoint{X: wx, Y: wy})
+			if len(tr.Points) > 1 && ldp.Bernoulli(rng, quitP) {
+				break
+			}
+			if s >= total {
+				break // arrived
+			}
+			s += speed * (0.7 + 0.6*rng.Float64())
+		}
+		d.Trajs = append(d.Trajs, tr)
+	}
+
+	for i := 0; i < cfg.InitialUsers; i++ {
+		spawn(0)
+	}
+	for t := 1; t < cfg.T; t++ {
+		n := poisson(rng, cfg.ArrivalsPerTs)
+		for i := 0; i < n; i++ {
+			spawn(t)
+		}
+	}
+	return d, nil
+}
+
+// CorridorSpec is the corridor workload packaged as a standard dataset: a
+// 32×32 box whose cross of corridors links four districts over 120
+// timestamps. The matching fence is CorridorFence(spec.Bounds); the geofence
+// benchmark runs RetraSyn over both it and a uniform grid at equal ε.
+func CorridorSpec() Spec {
+	b := grid.Bounds{MinX: 0, MinY: 0, MaxX: 32, MaxY: 32}
+	return Spec{
+		Name:   "CorridorSim",
+		Bounds: b,
+		Generate: func(scale float64, seed uint64) (*trajectory.RawDataset, error) {
+			d, err := Corridor(CorridorConfig{
+				T:             120,
+				InitialUsers:  scaled(1200, scale),
+				ArrivalsPerTs: 130 * scale,
+				MeanLength:    14,
+				MinX:          b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY,
+				Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.Name = "CorridorSim"
+			return d, nil
+		},
+	}
+}

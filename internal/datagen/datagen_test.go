@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"retrasyn/internal/geofence"
 	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
 
@@ -392,5 +394,98 @@ func TestDriftingSpecRegistered(t *testing.T) {
 	}
 	if len(raw.Trajs) == 0 || raw.T != 120 {
 		t.Fatalf("drifting spec generated %d streams over T=%d", len(raw.Trajs), raw.T)
+	}
+}
+
+// TestCorridorStaysOnFence pins the corridor workload against its matching
+// fence: the fence validates, and the overwhelming majority of generated
+// points falls inside fence polygons (only the configured off-fence share
+// roams the box).
+func TestCorridorStaysOnFence(t *testing.T) {
+	b := grid.Bounds{MinX: 0, MinY: 0, MaxX: 32, MaxY: 32}
+	cfg := CorridorConfig{
+		T: 60, InitialUsers: 600, ArrivalsPerTs: 60, MeanLength: 12,
+		MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY, Seed: 9,
+	}
+	d, err := Corridor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.T != 60 || len(d.Trajs) < 600 {
+		t.Fatalf("unexpected shape: T=%d streams=%d", d.T, len(d.Trajs))
+	}
+	fence, err := geofence.NewFence(CorridorFence(b))
+	if err != nil {
+		t.Fatalf("corridor fence invalid: %v", err)
+	}
+	if fence.NumCells() != 17 {
+		t.Fatalf("corridor fence has %d cells, want 17", fence.NumCells())
+	}
+	if fence.Bounds() != spatial.Bounds(b) {
+		t.Fatalf("fence hull %+v ≠ workload bounds %+v", fence.Bounds(), b)
+	}
+	in, tot := 0, 0
+	for _, tr := range d.Trajs {
+		for _, p := range tr.Points {
+			tot++
+			if _, ok := fence.CellOfOK(p.X, p.Y); !ok {
+				t.Fatalf("point (%v,%v) outside the bounds", p.X, p.Y)
+			}
+			if fence.Covers(p.X, p.Y) {
+				in++
+			}
+		}
+	}
+	if share := float64(in) / float64(tot); share < 0.9 {
+		t.Fatalf("only %.2f of corridor points are on the fence", share)
+	}
+	// The corridor fence is fully connected: BFS over shared-edge adjacency
+	// from the center reaches every cell.
+	seen := make([]bool, fence.NumCells())
+	queue := []spatial.Cell{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, n := range fence.Neighbors(c) {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("fence cell %d unreachable from the center", c)
+		}
+	}
+	// Determinism and validation.
+	d2, err := Corridor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Trajs) != len(d.Trajs) {
+		t.Fatal("corridor workload not deterministic")
+	}
+	if _, err := Corridor(CorridorConfig{T: 1, MaxX: 1, MaxY: 1}); err == nil {
+		t.Fatal("T=1 accepted")
+	}
+	if _, err := Corridor(CorridorConfig{T: 10, OffFenceShare: 2, MaxX: 1, MaxY: 1}); err == nil {
+		t.Fatal("OffFenceShare > 1 accepted")
+	}
+}
+
+// TestCorridorSpecRegistered pins the dataset registry entry.
+func TestCorridorSpecRegistered(t *testing.T) {
+	spec, ok := SpecByName("corridor")
+	if !ok || spec.Name != "CorridorSim" {
+		t.Fatalf("corridor spec not registered: %+v ok=%v", spec, ok)
+	}
+	raw, err := spec.Generate(0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Trajs) == 0 || raw.T != 120 {
+		t.Fatalf("corridor spec generated %d streams over T=%d", len(raw.Trajs), raw.T)
 	}
 }

@@ -107,13 +107,14 @@ func SanJoaquinSpec() Spec {
 }
 
 // AllSpecs returns the three standard dataset specs in Table I order, plus
-// the drifting-hotspot workload the re-discretization benchmark uses.
+// the drifting-hotspot workload the re-discretization benchmark uses and the
+// corridor/district workload the geofence benchmark uses.
 func AllSpecs() []Spec {
-	return []Spec{TDriveSpec(), OldenburgSpec(), SanJoaquinSpec(), DriftingSpec()}
+	return []Spec{TDriveSpec(), OldenburgSpec(), SanJoaquinSpec(), DriftingSpec(), CorridorSpec()}
 }
 
 // SpecByName resolves a spec by its dataset name (case-sensitive) or the
-// short aliases "tdrive", "oldenburg", "sanjoaquin", "drifting".
+// short aliases "tdrive", "oldenburg", "sanjoaquin", "drifting", "corridor".
 func SpecByName(name string) (Spec, bool) {
 	switch name {
 	case "TDriveSim", "tdrive":
@@ -124,6 +125,8 @@ func SpecByName(name string) (Spec, bool) {
 		return SanJoaquinSpec(), true
 	case "DriftingSim", "drifting":
 		return DriftingSpec(), true
+	case "CorridorSim", "corridor":
+		return CorridorSpec(), true
 	default:
 		return Spec{}, false
 	}

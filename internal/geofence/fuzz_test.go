@@ -1,0 +1,100 @@
+package geofence
+
+import (
+	"bytes"
+	"testing"
+
+	"retrasyn/internal/spatial"
+)
+
+// Native Go fuzzing for the fence parser, mirroring the trajectory parser
+// targets: every accepted input must survive full geometric validation or be
+// rejected with an error (never panic), and every fence that validates must
+// round-trip through WriteFence→ParseFence onto the identical layout
+// fingerprint. The seed corpus covers the malformed shapes the validator
+// exists for: open and closed rings, reversed winding, duplicate vertices,
+// self-intersections, holes, overlaps and plain junk.
+//
+// Run longer campaigns with:
+//
+//	go test ./internal/geofence -run='^$' -fuzz=FuzzParseFence -fuzztime=60s
+
+func FuzzParseFence(f *testing.F) {
+	seeds := []string{
+		// Healthy: two edge-sharing squares, open rings.
+		`{"type":"FeatureCollection","features":[
+		  {"geometry":{"type":"Polygon","coordinates":[[[0,0],[2,0],[2,2],[0,2]]]}},
+		  {"geometry":{"type":"Polygon","coordinates":[[[2,0],[4,0],[4,2],[2,2]]]}}]}`,
+		// Healthy: bare closed polygon.
+		`{"type":"Polygon","coordinates":[[[0,0],[3,0],[3,3],[0,3],[0,0]]]}`,
+		// Healthy: MultiPolygon, one ring reversed (clockwise winding).
+		`{"type":"MultiPolygon","coordinates":[[[[0,0],[1,0],[1,1]]],[[[5,5],[5,6],[6,6],[6,5]]]]}`,
+		// Duplicate vertices collapsing to a degenerate ring.
+		`{"type":"Polygon","coordinates":[[[0,0],[0,0],[1,1],[1,1],[0,0]]]}`,
+		// Self-intersecting bowtie.
+		`{"type":"Polygon","coordinates":[[[0,0],[2,2],[2,0],[0,2],[0,0]]]}`,
+		// Zero-area collinear ring.
+		`{"type":"Polygon","coordinates":[[[0,0],[1,1],[2,2],[0,0]]]}`,
+		// Overlapping squares.
+		`{"type":"MultiPolygon","coordinates":[[[[0,0],[2,0],[2,2],[0,2]]],[[[1,1],[3,1],[3,3],[1,3]]]]}`,
+		// Hole — rejected by the format.
+		`{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4]],[[1,1],[2,1],[2,2],[1,2]]]}`,
+		// Two-vertex ring.
+		`{"type":"Polygon","coordinates":[[[0,0],[1,1]]]}`,
+		// 3D coordinates.
+		`{"type":"Polygon","coordinates":[[[0,0,1],[1,0,1],[1,1,1]]]}`,
+		// Wrong geometry / document types and junk.
+		`{"type":"Point","coordinates":[1,2]}`,
+		`{"type":"FeatureCollection","features":[{"geometry":{"type":"LineString","coordinates":[[0,0],[1,1]]}}]}`,
+		`{"type":"FeatureCollection","features":[{}]}`,
+		`{}`,
+		`[]`,
+		`not json at all`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		polys, err := ParseFence(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(polys) == 0 {
+			t.Fatal("ParseFence returned no polygons without an error")
+		}
+		fence, err := NewFence(polys)
+		if err != nil {
+			return // parsed but geometrically invalid — rejected, not panicked
+		}
+		// Accepted fences satisfy the discretizer basics…
+		if fence.NumCells() != len(polys) {
+			t.Fatalf("fence has %d cells from %d polygons", fence.NumCells(), len(polys))
+		}
+		for c := spatial.Cell(0); int(c) < fence.NumCells(); c++ {
+			x, y := fence.Center(c)
+			if got := fence.CellOf(x, y); got != c {
+				t.Fatalf("CellOf(Center(%d)) = %d", c, got)
+			}
+			if fence.CellArea(c) <= 0 {
+				t.Fatalf("cell %d has area %v", c, fence.CellArea(c))
+			}
+		}
+		// …and round-trip through the writer onto the identical layout.
+		var buf bytes.Buffer
+		if err := WriteFence(&buf, fence.Polygons()); err != nil {
+			t.Fatalf("write accepted fence: %v", err)
+		}
+		back, err := ParseFence(&buf)
+		if err != nil {
+			t.Fatalf("re-parse written fence: %v", err)
+		}
+		fence2, err := NewFence(back)
+		if err != nil {
+			t.Fatalf("re-validate written fence: %v", err)
+		}
+		if fence2.Fingerprint() != fence.Fingerprint() {
+			t.Fatalf("round-trip drifted the layout: %s ≠ %s", fence2.Fingerprint(), fence.Fingerprint())
+		}
+	})
+}

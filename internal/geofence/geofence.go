@@ -1,0 +1,522 @@
+// Package geofence implements a spatial.Discretizer whose cells are
+// arbitrary simple polygons — districts, campuses, road corridors — instead
+// of axis-aligned rectangles. Grid-style discretizations spend their cell
+// budget (and with it the per-state LDP variance, which grows with the
+// transition-domain size |S|) uniformly over the bounding box, even when most
+// of that box is unreachable water, farmland or off-limits space; a fence
+// spends cells only where trajectories can actually be, the way the
+// traffic-constrained synthesis line of work shapes its domain to real
+// geography.
+//
+// Cells are loaded from a GeoJSON-style fence file (see ParseFence) or built
+// programmatically. Construction validates the polygon set — simple rings,
+// positive area, pairwise disjoint interiors — and precomputes everything the
+// engine's hot paths need: an STR-packed R-tree so CellOf stays O(log C),
+// shared-edge adjacency lists (two cells are mutually reachable when their
+// boundaries share a positive-length segment), interior sample points with
+// the CellOf(Center(c)) == c round-trip guarantee, and a sha256 layout
+// fingerprint for checkpoint validation. The fence also implements
+// spatial.Overlapper (convex decomposition per cell), which is what lets
+// geofenced layouts participate in online re-discretization migrations.
+package geofence
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"retrasyn/internal/spatial"
+)
+
+// Polygon is one fence cell: a simple polygon given as its vertex ring
+// without a repeated closing vertex. Either winding is accepted;
+// construction normalizes to counter-clockwise.
+type Polygon []spatial.Point
+
+// Fence is a polygonal spatial discretization. It is immutable after
+// construction and safe for concurrent use.
+type Fence struct {
+	bounds spatial.Bounds
+	polys  []Polygon        // normalized CCW rings, cell index order
+	boxes  []spatial.Bounds // per-cell bounding box
+	areas  []float64
+	pieces [][][]spatial.Point // per-cell convex decomposition (triangles)
+	center []spatial.Point     // per-cell interior sample point
+	index  *rtree
+
+	neighbors [][]spatial.Cell
+	nMove     int
+	fp        string
+}
+
+// adjacencyEps is the relative tolerance (scaled by the fence diagonal) under
+// which two collinear boundary segments count as shared. Fences authored with
+// exactly matching border vertices — the format the validator encourages —
+// are far above it.
+const adjacencyEps = 1e-9
+
+// NewFence validates and builds a fence from a polygon set. Errors name the
+// offending polygon index: rings with fewer than 3 distinct vertices,
+// non-finite coordinates, zero area, self-intersections and pairwise interior
+// overlaps are all rejected at load time rather than corrupting the engine
+// later. Cell indices follow input order.
+func NewFence(polys []Polygon) (*Fence, error) {
+	if len(polys) == 0 {
+		return nil, fmt.Errorf("geofence: a fence needs at least one polygon")
+	}
+	if len(polys) > math.MaxInt32 {
+		return nil, fmt.Errorf("geofence: %d polygons exceed the cell index space", len(polys))
+	}
+	f := &Fence{
+		polys:  make([]Polygon, len(polys)),
+		boxes:  make([]spatial.Bounds, len(polys)),
+		areas:  make([]float64, len(polys)),
+		pieces: make([][][]spatial.Point, len(polys)),
+		center: make([]spatial.Point, len(polys)),
+	}
+	for i, p := range polys {
+		ring, err := normalizeRing(p)
+		if err != nil {
+			return nil, fmt.Errorf("geofence: polygon %d: %w", i, err)
+		}
+		f.polys[i] = ring
+		f.boxes[i] = ringBounds(ring)
+		f.areas[i] = signedArea(ring)
+	}
+	f.bounds = f.boxes[0]
+	for _, b := range f.boxes[1:] {
+		f.bounds = boxUnion(f.bounds, b)
+	}
+	if !f.bounds.Valid() {
+		return nil, fmt.Errorf("geofence: degenerate fence bounds %+v", f.bounds)
+	}
+	f.index = newRTree(f.boxes)
+	if err := f.checkOverlaps(); err != nil {
+		return nil, err
+	}
+	for i, ring := range f.polys {
+		f.pieces[i] = triangulate(ring)
+		if err := f.placeCenter(spatial.Cell(i)); err != nil {
+			return nil, err
+		}
+	}
+	f.buildNeighbors()
+	f.fp = f.computeFingerprint()
+	return f, nil
+}
+
+// MustNewFence is NewFence but panics on error; intended for tests and
+// literals with constant arguments.
+func MustNewFence(polys []Polygon) *Fence {
+	f, err := NewFence(polys)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// normalizeRing strips a repeated closing vertex and exact consecutive
+// duplicates, checks the remaining ring is a finite, positive-area simple
+// polygon, and returns it wound counter-clockwise.
+func normalizeRing(p Polygon) (Polygon, error) {
+	ring := append(Polygon(nil), p...)
+	if len(ring) > 1 && ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1] // GeoJSON-style closed ring
+	}
+	out := ring[:0]
+	for _, v := range ring {
+		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsInf(v.X, 0) || math.IsInf(v.Y, 0) {
+			return nil, fmt.Errorf("non-finite vertex (%v, %v)", v.X, v.Y)
+		}
+		if len(out) > 0 && out[len(out)-1] == v {
+			continue // collapse duplicate consecutive vertices
+		}
+		out = append(out, v)
+	}
+	if len(out) < 3 {
+		return nil, fmt.Errorf("ring has %d distinct vertices, need ≥ 3", len(out))
+	}
+	a := signedArea(out)
+	if a == 0 {
+		return nil, fmt.Errorf("zero-area ring")
+	}
+	if a < 0 { // clockwise input — reverse to CCW
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	if i, j := selfIntersects(out); i >= 0 {
+		return nil, fmt.Errorf("self-intersecting ring (edges %d and %d touch)", i, j)
+	}
+	// Canonical rotation: start at the lexicographically smallest vertex, so
+	// the same polygon authored with a different starting vertex or winding
+	// yields the same ring — and the same layout fingerprint.
+	lo := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].X < out[lo].X || (out[i].X == out[lo].X && out[i].Y < out[lo].Y) {
+			lo = i
+		}
+	}
+	if lo != 0 {
+		rot := make(Polygon, 0, len(out))
+		rot = append(rot, out[lo:]...)
+		rot = append(rot, out[:lo]...)
+		out = rot
+	}
+	return out, nil
+}
+
+// checkOverlaps rejects polygon pairs with intersecting interiors. Shared
+// boundary segments (the adjacency mechanism) are fine; crossings and
+// containment are not. Candidate pairs come from the R-tree, so healthy
+// fences stay near-linear.
+func (f *Fence) checkOverlaps() error {
+	var cand []int32
+	for i := range f.polys {
+		cand = f.index.queryBox(f.boxes[i], cand[:0])
+		for _, j := range cand {
+			if int(j) <= i {
+				continue
+			}
+			if f.interiorsOverlap(i, int(j)) {
+				return fmt.Errorf("geofence: polygons %d and %d overlap — fence cells must have disjoint interiors", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// interiorsOverlap tests whether the interiors of polygons i and j intersect:
+// any proper edge crossing, or a probe point of one polygon strictly inside
+// the other. Probes are every vertex, every edge midpoint and the
+// representative interior point, which together catch containment, exact
+// duplicates and collinear-edge partial overlaps — the configurations real
+// fence files get wrong.
+func (f *Fence) interiorsOverlap(i, j int) bool {
+	a, b := f.polys[i], f.polys[j]
+	for ii, p := range a {
+		q := a[(ii+1)%len(a)]
+		for jj, r := range b {
+			s := b[(jj+1)%len(b)]
+			if properCross(p, q, r, s) {
+				return true
+			}
+		}
+	}
+	return probeInside(a, b) || probeInside(b, a)
+}
+
+// properCross reports whether segments pq and rs cross at an interior point
+// of both (boundary touches and collinear shared edges do not count — those
+// are legitimate adjacency contacts).
+func properCross(p, q, r, s spatial.Point) bool {
+	d1 := cross(r, s, p)
+	d2 := cross(r, s, q)
+	d3 := cross(p, q, r)
+	d4 := cross(p, q, s)
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}
+
+// probeInside reports whether any probe point of ring — vertex, edge
+// midpoint or representative interior point — lies strictly inside other.
+func probeInside(ring, other Polygon) bool {
+	for i, v := range ring {
+		if pointInRingStrict(other, v.X, v.Y) {
+			return true
+		}
+		w := ring[(i+1)%len(ring)]
+		if pointInRingStrict(other, (v.X+w.X)/2, (v.Y+w.Y)/2) {
+			return true
+		}
+	}
+	rp := representativePoint(ring)
+	return pointInRingStrict(other, rp.X, rp.Y)
+}
+
+// placeCenter fixes cell c's sample point: the representative interior point,
+// verified to round-trip through CellOf (the Discretizer contract the shared
+// property suite pins).
+func (f *Fence) placeCenter(c spatial.Cell) error {
+	p := representativePoint(f.polys[c])
+	f.center[c] = p
+	if got := f.cellOfIndexed(p.X, p.Y); got != c {
+		return fmt.Errorf("geofence: polygon %d: no interior sample point round-trips (got cell %d) — ring may be degenerate", c, got)
+	}
+	return nil
+}
+
+// buildNeighbors links every pair of polygons whose boundaries share a
+// segment of positive length, plus each cell itself. Reachability follows the
+// fence geometry: a user can move between two districts in one timestamp only
+// where they actually border each other.
+func (f *Fence) buildNeighbors() {
+	nc := len(f.polys)
+	diag := math.Hypot(f.bounds.Width(), f.bounds.Height())
+	eps := adjacencyEps * diag
+	f.neighbors = make([][]spatial.Cell, nc)
+	for i := 0; i < nc; i++ {
+		f.neighbors[i] = append(f.neighbors[i], spatial.Cell(i))
+	}
+	var cand []int32
+	for i := 0; i < nc; i++ {
+		cand = f.index.queryBox(f.boxes[i], cand[:0])
+		for _, j32 := range cand {
+			j := int(j32)
+			if j <= i {
+				continue
+			}
+			if f.sharesEdge(i, j, eps) {
+				f.neighbors[i] = append(f.neighbors[i], spatial.Cell(j))
+				f.neighbors[j] = append(f.neighbors[j], spatial.Cell(i))
+			}
+		}
+	}
+	f.nMove = 0
+	for i := range f.neighbors {
+		ns := f.neighbors[i]
+		for a := 1; a < len(ns); a++ {
+			for b := a; b > 0 && ns[b] < ns[b-1]; b-- {
+				ns[b], ns[b-1] = ns[b-1], ns[b]
+			}
+		}
+		f.nMove += len(ns)
+	}
+}
+
+// sharesEdge reports whether polygons i and j have collinear boundary
+// segments overlapping over a length > eps.
+func (f *Fence) sharesEdge(i, j int, eps float64) bool {
+	a, b := f.polys[i], f.polys[j]
+	for ii, p := range a {
+		q := a[(ii+1)%len(a)]
+		for jj, r := range b {
+			s := b[(jj+1)%len(b)]
+			if collinearOverlap(p, q, r, s) > eps {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collinearOverlap returns the length of the 1D overlap of segments pq and rs
+// when they are collinear, 0 otherwise.
+func collinearOverlap(p, q, r, s spatial.Point) float64 {
+	if cross(p, q, r) != 0 || cross(p, q, s) != 0 {
+		return 0
+	}
+	// Project onto the dominant axis of pq.
+	dx, dy := q.X-p.X, q.Y-p.Y
+	var p1, q1, r1, s1 float64
+	if math.Abs(dx) >= math.Abs(dy) {
+		p1, q1, r1, s1 = p.X, q.X, r.X, s.X
+	} else {
+		p1, q1, r1, s1 = p.Y, q.Y, r.Y, s.Y
+	}
+	lo1, hi1 := math.Min(p1, q1), math.Max(p1, q1)
+	lo2, hi2 := math.Min(r1, s1), math.Max(r1, s1)
+	ov := math.Min(hi1, hi2) - math.Max(lo1, lo2)
+	if ov <= 0 {
+		return 0
+	}
+	// Scale the projection back to true length.
+	seg := math.Hypot(dx, dy)
+	if math.Abs(dx) >= math.Abs(dy) {
+		return ov * seg / math.Abs(dx)
+	}
+	return ov * seg / math.Abs(dy)
+}
+
+func (f *Fence) computeFingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	putF(f.bounds.MinX)
+	putF(f.bounds.MinY)
+	putF(f.bounds.MaxX)
+	putF(f.bounds.MaxY)
+	for _, ring := range f.polys {
+		putF(float64(len(ring)))
+		for _, v := range ring {
+			putF(v.X)
+			putF(v.Y)
+		}
+	}
+	return fmt.Sprintf("geofence:v1:cells=%d:%s", len(f.polys), hex.EncodeToString(h.Sum(nil)[:16]))
+}
+
+// NumCells returns the number of fence polygons.
+func (f *Fence) NumCells() int { return len(f.polys) }
+
+// Bounds returns the bounding box of the whole fence.
+func (f *Fence) Bounds() spatial.Bounds { return f.bounds }
+
+// CellOf maps a continuous point into its fence cell. Points outside every
+// polygon (gaps between fence cells, or outside the bounds entirely) clamp
+// onto the nearest polygon by boundary distance — the polygonal analogue of
+// the grid clamping stray points onto its border cells.
+func (f *Fence) CellOf(x, y float64) spatial.Cell {
+	if c := f.cellOfIndexed(x, y); c != spatial.Invalid {
+		return c
+	}
+	return f.nearestCell(x, y)
+}
+
+// cellOfIndexed resolves points that lie inside (or on the boundary of) a
+// polygon via the R-tree; Invalid for points in fence gaps. Boundary points
+// shared by two cells resolve to the lower cell index, deterministically.
+func (f *Fence) cellOfIndexed(x, y float64) spatial.Cell {
+	best := spatial.Invalid
+	f.index.visitPoint(x, y, func(i int32) {
+		if best != spatial.Invalid && spatial.Cell(i) >= best {
+			return
+		}
+		if pointInRing(f.polys[i], x, y) {
+			best = spatial.Cell(i)
+		}
+	})
+	return best
+}
+
+// nearestCell returns the polygon with the smallest boundary distance to
+// (x, y), ties toward the lower index. Only the clamp path pays this O(C·E)
+// scan; in-fence lookups stay on the indexed path.
+func (f *Fence) nearestCell(x, y float64) spatial.Cell {
+	best, bestD := spatial.Cell(0), math.Inf(1)
+	p := spatial.Point{X: x, Y: y}
+	for i, ring := range f.polys {
+		for j, a := range ring {
+			d := pointSegmentDist2(p, a, ring[(j+1)%len(ring)])
+			if d < bestD {
+				bestD = d
+				best = spatial.Cell(i)
+			}
+		}
+	}
+	return best
+}
+
+func pointSegmentDist2(p, a, b spatial.Point) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	l2 := dx*dx + dy*dy
+	t := 0.0
+	if l2 > 0 {
+		t = ((p.X-a.X)*dx + (p.Y-a.Y)*dy) / l2
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	ex, ey := a.X+t*dx-p.X, a.Y+t*dy-p.Y
+	return ex*ex + ey*ey
+}
+
+// Covers reports whether (x, y) lies inside (or on the boundary of) some
+// fence polygon — i.e. whether CellOf resolves it geometrically rather than
+// by clamping. Deployments use it to measure how much of their traffic the
+// fence actually covers.
+func (f *Fence) Covers(x, y float64) bool {
+	return f.cellOfIndexed(x, y) != spatial.Invalid
+}
+
+// CellOfOK maps a continuous point into its cell, returning Invalid and
+// false when the point lies outside the fence bounds. In-bounds points in
+// gaps between polygons clamp to the nearest cell, like CellOf.
+func (f *Fence) CellOfOK(x, y float64) (spatial.Cell, bool) {
+	if !f.bounds.Contains(x, y) {
+		return spatial.Invalid, false
+	}
+	return f.CellOf(x, y), true
+}
+
+// Center returns the cell's interior sample point: the polygon centroid when
+// the polygon contains it, otherwise a point on the widest interior span (so
+// L-shaped corridors still sample inside themselves). CellOf(Center(c)) == c.
+func (f *Fence) Center(c spatial.Cell) (x, y float64) {
+	p := f.center[c]
+	return p.X, p.Y
+}
+
+// ValidCell reports whether c is a cell of this fence.
+func (f *Fence) ValidCell(c spatial.Cell) bool { return c >= 0 && int(c) < len(f.polys) }
+
+// Neighbors returns the cells sharing a boundary edge with c, plus c itself,
+// sorted by cell index. The returned slice is shared and must not be
+// modified.
+func (f *Fence) Neighbors(c spatial.Cell) []spatial.Cell { return f.neighbors[c] }
+
+// NeighborRank returns the position of b within Neighbors(a), or -1 when b
+// is not reachable from a.
+func (f *Fence) NeighborRank(a, b spatial.Cell) int {
+	ns := f.neighbors[a]
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if ns[m] < b {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo < len(ns) && ns[lo] == b {
+		return lo
+	}
+	return -1
+}
+
+// Adjacent reports whether a transition from a to b satisfies the fence's
+// reachability constraint.
+func (f *Fence) Adjacent(a, b spatial.Cell) bool { return f.NeighborRank(a, b) >= 0 }
+
+// TotalMoveStates returns Σ_c |Neighbors(c)|.
+func (f *Fence) TotalMoveStates() int { return f.nMove }
+
+// Fingerprint returns the stable layout identifier: kind, cell count and a
+// sha256 over the bounds and every vertex.
+func (f *Fence) Fingerprint() string { return f.fp }
+
+// CellPolygon returns the normalized (CCW, unclosed) ring of cell c. The
+// returned slice is shared and must not be modified.
+func (f *Fence) CellPolygon(c spatial.Cell) Polygon { return f.polys[c] }
+
+// CellBBox returns the bounding box of cell c. Fence cells are not
+// spatial.Boxed — bounding boxes of distinct cells may overlap — so this is
+// a diagnostic accessor, not a tiling contract.
+func (f *Fence) CellBBox(c spatial.Cell) spatial.Bounds { return f.boxes[c] }
+
+// CellArea returns the area of cell c (spatial.Overlapper).
+func (f *Fence) CellArea(c spatial.Cell) float64 { return f.areas[c] }
+
+// CellPieces returns the convex decomposition (triangulation) of cell c
+// (spatial.Overlapper). The returned slices are shared and must not be
+// modified.
+func (f *Fence) CellPieces(c spatial.Cell) [][]spatial.Point { return f.pieces[c] }
+
+// CoveredArea returns the total area of all fence cells — the part of
+// Bounds() trajectories can occupy. The ratio to Bounds().Area() is the
+// domain shrink a fence buys over a bounding-box discretization.
+func (f *Fence) CoveredArea() float64 {
+	s := 0.0
+	for _, a := range f.areas {
+		s += a
+	}
+	return s
+}
+
+// Polygons returns the normalized polygon set in cell order — the
+// serialization checkpoints embed (relayout.Layout) so a restored process
+// can rebuild the exact layout. The returned rings are shared and must not
+// be modified.
+func (f *Fence) Polygons() []Polygon { return f.polys }
+
+var (
+	_ spatial.Discretizer = (*Fence)(nil)
+	_ spatial.Overlapper  = (*Fence)(nil)
+)

@@ -1,0 +1,284 @@
+package geofence
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"testing"
+
+	"retrasyn/internal/spatial"
+)
+
+// square returns the CCW ring of an axis-aligned square.
+func square(x, y, side float64) Polygon {
+	return Polygon{{X: x, Y: y}, {X: x + side, Y: y}, {X: x + side, Y: y + side}, {X: x, Y: y + side}}
+}
+
+// campus is the reference fence: two squares sharing an edge, an L-shaped
+// cell whose centroid falls outside itself, and a detached triangle across a
+// gap.
+func campus() []Polygon {
+	return []Polygon{
+		square(0, 0, 4), // 0
+		{{X: 4, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 4}, {X: 4, Y: 4}},                             // 1, shares x=4 edge with 0
+		{{X: 0, Y: 4}, {X: 4, Y: 4}, {X: 4, Y: 6}, {X: 2, Y: 6}, {X: 2, Y: 12}, {X: 0, Y: 12}}, // 2, L-shape on top of 0
+		{{X: 12, Y: 2}, {X: 16, Y: 2}, {X: 14, Y: 6}},                                          // 3, detached triangle
+	}
+}
+
+func TestNewFenceCampus(t *testing.T) {
+	f, err := NewFence(campus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumCells() != 4 {
+		t.Fatalf("NumCells = %d, want 4", f.NumCells())
+	}
+	wantB := spatial.Bounds{MinX: 0, MinY: 0, MaxX: 16, MaxY: 12}
+	if f.Bounds() != wantB {
+		t.Fatalf("Bounds = %+v, want %+v", f.Bounds(), wantB)
+	}
+	// Interior points land in their polygons.
+	for _, tc := range []struct {
+		x, y float64
+		want spatial.Cell
+	}{
+		{2, 2, 0}, {7, 2, 1}, {1, 10, 2}, {3, 5, 2}, {14, 3, 3},
+	} {
+		if got := f.CellOf(tc.x, tc.y); got != tc.want {
+			t.Fatalf("CellOf(%v,%v) = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+	}
+	// Gap points clamp to the nearest polygon; out-of-bounds points too.
+	if got := f.CellOf(11, 2); got != 1 && got != 3 {
+		t.Fatalf("gap point clamped to %d, want cell 1 or 3", got)
+	}
+	if got := f.CellOf(-5, -5); got != 0 {
+		t.Fatalf("far outside point clamped to %d, want 0", got)
+	}
+	if _, ok := f.CellOfOK(-5, -5); ok {
+		t.Fatal("CellOfOK accepted an out-of-bounds point")
+	}
+	if c, ok := f.CellOfOK(11, 10); !ok || !f.ValidCell(c) {
+		t.Fatalf("CellOfOK rejected an in-bounds gap point: (%d, %v)", c, ok)
+	}
+
+	// Shared-edge adjacency: 0–1 and 0–2 border, the triangle is isolated,
+	// and 1–2 touch only at the single point (4,4) — not adjacent.
+	for _, tc := range []struct {
+		a, b spatial.Cell
+		want bool
+	}{
+		{0, 0, true}, {0, 1, true}, {1, 0, true}, {0, 2, true},
+		{1, 2, false}, {0, 3, false}, {3, 3, true}, {1, 3, false},
+	} {
+		if got := f.Adjacent(tc.a, tc.b); got != tc.want {
+			t.Fatalf("Adjacent(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if got := len(f.Neighbors(3)); got != 1 {
+		t.Fatalf("detached triangle has %d neighbours, want 1 (itself)", got)
+	}
+
+	// The L-shape's centroid-outside case: Center must still round-trip.
+	for c := spatial.Cell(0); int(c) < f.NumCells(); c++ {
+		x, y := f.Center(c)
+		if got := f.CellOf(x, y); got != c {
+			t.Fatalf("CellOf(Center(%d)) = %d", c, got)
+		}
+	}
+
+	// Areas: 16 + 24 + (8 + 12) + 8 = 68 of the 192 bounding box.
+	if math.Abs(f.CoveredArea()-68) > 1e-9 {
+		t.Fatalf("CoveredArea = %v, want 68", f.CoveredArea())
+	}
+	if f.CellArea(3) != 8 {
+		t.Fatalf("triangle area = %v, want 8", f.CellArea(3))
+	}
+
+	// Pieces partition each cell.
+	for c := spatial.Cell(0); int(c) < f.NumCells(); c++ {
+		sum := 0.0
+		for _, piece := range f.CellPieces(c) {
+			a := signedArea(piece)
+			if a <= 0 {
+				t.Fatalf("cell %d: non-CCW piece (area %v)", c, a)
+			}
+			sum += a
+		}
+		if math.Abs(sum-f.CellArea(c)) > 1e-9*f.CellArea(c) {
+			t.Fatalf("cell %d: pieces sum to %v, area %v", c, sum, f.CellArea(c))
+		}
+	}
+}
+
+func TestNewFenceNormalizesWindingAndClosure(t *testing.T) {
+	ccw := MustNewFence([]Polygon{square(0, 0, 2)})
+	// Clockwise and closed variants of the same square.
+	cw := MustNewFence([]Polygon{{{X: 0, Y: 0}, {X: 0, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 0}}})
+	closed := MustNewFence([]Polygon{{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}, {X: 0, Y: 0}}})
+	if cw.Fingerprint() != ccw.Fingerprint() {
+		t.Fatalf("clockwise ring not normalized: %s ≠ %s", cw.Fingerprint(), ccw.Fingerprint())
+	}
+	if closed.Fingerprint() != ccw.Fingerprint() {
+		t.Fatalf("closed ring not normalized: %s ≠ %s", closed.Fingerprint(), ccw.Fingerprint())
+	}
+	if ccw.Fingerprint() != MustNewFence([]Polygon{square(0, 0, 2)}).Fingerprint() {
+		t.Fatal("fingerprint not stable across constructions")
+	}
+	if ccw.Fingerprint() == MustNewFence([]Polygon{square(0, 0, 3)}).Fingerprint() {
+		t.Fatal("different fences share a fingerprint")
+	}
+}
+
+// TestNewFenceValidation pins the actionable load-time errors: each bad
+// input is rejected with a message naming the offending polygon index.
+func TestNewFenceValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		polys   []Polygon
+		wantSub string
+	}{
+		{"empty", nil, "at least one polygon"},
+		{"two-vertices", []Polygon{{{X: 0, Y: 0}, {X: 1, Y: 1}}}, "polygon 0"},
+		{"nan-vertex", []Polygon{{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: math.NaN(), Y: 1}}}, "polygon 0"},
+		{"inf-vertex", []Polygon{{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: math.Inf(1), Y: 1}}}, "polygon 0"},
+		{"zero-area", []Polygon{{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}}}, "polygon 0"},
+		{"duplicates-collapse-to-line", []Polygon{{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 1, Y: 1}, {X: 1, Y: 1}}}, "polygon 0"},
+		{"symmetric-bowtie", []Polygon{{{X: 0, Y: 0}, {X: 2, Y: 2}, {X: 2, Y: 0}, {X: 0, Y: 2}}}, "polygon 0"},
+		{"bowtie", []Polygon{{{X: 0, Y: 0}, {X: 3, Y: 3}, {X: 3, Y: 0}, {X: 0, Y: 2}}}, "self-intersecting"},
+		{"second-poly-bowtie", []Polygon{square(5, 5, 1), {{X: 0, Y: 0}, {X: 3, Y: 3}, {X: 3, Y: 0}, {X: 0, Y: 2}}}, "polygon 1"},
+		{"overlapping", []Polygon{square(0, 0, 2), square(1, 1, 2)}, "polygons 0 and 1 overlap"},
+		{"contained", []Polygon{square(0, 0, 4), square(1, 1, 1)}, "overlap"},
+		{"duplicate-cells", []Polygon{square(0, 0, 2), square(0, 0, 2)}, "overlap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewFence(tc.polys)
+			if err == nil {
+				t.Fatalf("accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the problem (%q)", err, tc.wantSub)
+			}
+		})
+	}
+	// Shared edges are NOT overlaps.
+	if _, err := NewFence([]Polygon{square(0, 0, 2), square(2, 0, 2)}); err != nil {
+		t.Fatalf("edge-sharing squares rejected: %v", err)
+	}
+}
+
+// TestCellOfMatchesLinearScan cross-checks the R-tree-accelerated lookup
+// against a brute-force scan over a many-cell fence.
+func TestCellOfMatchesLinearScan(t *testing.T) {
+	// A 9×9 checkerboard tiling (81 polygons) exercises multi-level packing.
+	var polys []Polygon
+	for r := 0; r < 9; r++ {
+		for c := 0; c < 9; c++ {
+			polys = append(polys, square(float64(c), float64(r), 1))
+		}
+	}
+	f := MustNewFence(polys)
+	linear := func(x, y float64) spatial.Cell {
+		for i, ring := range f.polys {
+			if pointInRing(ring, x, y) {
+				return spatial.Cell(i)
+			}
+		}
+		return spatial.Invalid
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 4000; i++ {
+		x, y := rng.Float64()*9, rng.Float64()*9
+		want := linear(x, y)
+		if got := f.cellOfIndexed(x, y); got != want {
+			t.Fatalf("cellOfIndexed(%v,%v) = %d, scan says %d", x, y, got, want)
+		}
+	}
+	// Grid-tiling adjacency: every interior square borders exactly 4 others
+	// (no corner adjacency under shared-edge semantics) plus itself.
+	if got := len(f.Neighbors(spatial.Cell(4*9 + 4))); got != 5 {
+		t.Fatalf("interior checkerboard cell has %d neighbours, want 5", got)
+	}
+}
+
+func TestParseFenceFixture(t *testing.T) {
+	blob, err := os.ReadFile("testdata/campus.geojson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys, err := ParseFence(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFence(polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustNewFence(campus())
+	if f.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fixture fence %s ≠ programmatic campus %s", f.Fingerprint(), want.Fingerprint())
+	}
+}
+
+func TestParseFenceErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"garbage", "not json", "parse fence file"},
+		{"wrong-type", `{"type":"Point","coordinates":[1,2]}`, "unsupported fence document type"},
+		{"bad-geometry", `{"type":"FeatureCollection","features":[{"geometry":{"type":"LineString","coordinates":[[0,0],[1,1]]}}]}`, "polygon 0"},
+		{"no-geometry", `{"type":"FeatureCollection","features":[{}]}`, "no geometry"},
+		{"hole", `{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]],[[1,1],[2,1],[2,2],[1,2],[1,1]]]}`, "holes"},
+		{"three-coords", `{"type":"Polygon","coordinates":[[[0,0,5],[4,0,5],[4,4,5],[0,0,5]]]}`, "coordinates"},
+		{"empty-collection", `{"type":"FeatureCollection","features":[]}`, "no polygons"},
+		{"no-rings", `{"type":"Polygon","coordinates":[]}`, "no rings"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFence(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestWriteFenceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFence(&buf, campus()); err != nil {
+		t.Fatal(err)
+	}
+	polys, err := ParseFence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFence(polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MustNewFence(campus()); got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("write→parse round-trip drifted the layout: %s ≠ %s", got.Fingerprint(), want.Fingerprint())
+	}
+}
+
+// TestRepresentativePointNonConvex pins the centroid-outside construction
+// directly: a U-shape whose centroid lies in the void between the prongs.
+func TestRepresentativePointNonConvex(t *testing.T) {
+	u := Polygon{{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 6, Y: 5}, {X: 4, Y: 5}, {X: 4, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 5}, {X: 0, Y: 5}}
+	f := MustNewFence([]Polygon{u})
+	x, y := f.Center(0)
+	if !pointInRingStrict(f.CellPolygon(0), x, y) {
+		t.Fatalf("U-shape sample point (%v,%v) not strictly inside", x, y)
+	}
+	cx, cy, _ := centroid(f.CellPolygon(0))
+	if pointInRingStrict(f.CellPolygon(0), cx, cy) {
+		t.Fatalf("test premise broken: centroid (%v,%v) is inside the U", cx, cy)
+	}
+}

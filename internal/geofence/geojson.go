@@ -1,0 +1,158 @@
+package geofence
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"retrasyn/internal/spatial"
+)
+
+// Fence file format: a GeoJSON-style document whose polygons become the
+// fence cells, in document order. Accepted top-level shapes:
+//
+//   - {"type": "FeatureCollection", "features": [{"geometry": {"type":
+//     "Polygon", "coordinates": [[[x, y], …]]}}, …]}
+//   - {"type": "Polygon", "coordinates": [[[x, y], …]]}
+//   - {"type": "MultiPolygon", "coordinates": [[[[x, y], …]], …]}
+//
+// Each polygon carries exactly one ring (the outer boundary); interior rings
+// (holes) are rejected — a fence cell is a filled district, and a hole would
+// silently swallow reports from inside it. Rings may be open or closed
+// (repeated last vertex) and wind either way; parsing normalizes both.
+// Coordinates beyond the first two per position are rejected rather than
+// dropped. Errors name the offending polygon index, matching the NewFence
+// validation style, so a bad fence file points at the exact feature to fix.
+
+type geoDoc struct {
+	Type     string `json:"type"`
+	Features []struct {
+		Geometry json.RawMessage `json:"geometry"`
+	} `json:"features"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+// ParseFence reads a fence file and returns its polygons in document order.
+// The polygons are parsed and shape-checked only; pass them to NewFence for
+// full geometric validation.
+func ParseFence(r io.Reader) ([]Polygon, error) {
+	blob, err := io.ReadAll(io.LimitReader(r, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("geofence: read fence file: %w", err)
+	}
+	var doc geoDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("geofence: parse fence file: %w", err)
+	}
+	var polys []Polygon
+	switch doc.Type {
+	case "FeatureCollection":
+		for _, ft := range doc.Features {
+			if len(ft.Geometry) == 0 {
+				return nil, fmt.Errorf("geofence: polygon %d: feature has no geometry", len(polys))
+			}
+			var g geoDoc
+			if err := json.Unmarshal(ft.Geometry, &g); err != nil {
+				return nil, fmt.Errorf("geofence: polygon %d: %w", len(polys), err)
+			}
+			polys, err = appendGeometry(polys, g)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case "Polygon", "MultiPolygon":
+		polys, err = appendGeometry(polys, doc)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("geofence: unsupported fence document type %q (want FeatureCollection, Polygon or MultiPolygon)", doc.Type)
+	}
+	if len(polys) == 0 {
+		return nil, fmt.Errorf("geofence: fence file holds no polygons")
+	}
+	return polys, nil
+}
+
+func appendGeometry(polys []Polygon, g geoDoc) ([]Polygon, error) {
+	switch g.Type {
+	case "Polygon":
+		var rings [][][]float64
+		if err := json.Unmarshal(g.Coordinates, &rings); err != nil {
+			return nil, fmt.Errorf("geofence: polygon %d: coordinates: %w", len(polys), err)
+		}
+		p, err := ringFromCoords(rings, len(polys))
+		if err != nil {
+			return nil, err
+		}
+		return append(polys, p), nil
+	case "MultiPolygon":
+		var multi [][][][]float64
+		if err := json.Unmarshal(g.Coordinates, &multi); err != nil {
+			return nil, fmt.Errorf("geofence: polygon %d: coordinates: %w", len(polys), err)
+		}
+		for _, rings := range multi {
+			p, err := ringFromCoords(rings, len(polys))
+			if err != nil {
+				return nil, err
+			}
+			polys = append(polys, p)
+		}
+		return polys, nil
+	default:
+		return nil, fmt.Errorf("geofence: polygon %d: unsupported geometry type %q (want Polygon or MultiPolygon)", len(polys), g.Type)
+	}
+}
+
+func ringFromCoords(rings [][][]float64, idx int) (Polygon, error) {
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("geofence: polygon %d: no rings", idx)
+	}
+	if len(rings) > 1 {
+		return nil, fmt.Errorf("geofence: polygon %d: %d interior rings — fence cells cannot have holes", idx, len(rings)-1)
+	}
+	ring := make(Polygon, 0, len(rings[0]))
+	for i, pos := range rings[0] {
+		if len(pos) != 2 {
+			return nil, fmt.Errorf("geofence: polygon %d: position %d has %d coordinates, want exactly 2", idx, i, len(pos))
+		}
+		ring = append(ring, spatial.Point{X: pos[0], Y: pos[1]})
+	}
+	return ring, nil
+}
+
+// WriteFence writes the polygon set as a GeoJSON FeatureCollection that
+// ParseFence reads back. Rings are emitted closed (first vertex repeated),
+// the conventional GeoJSON form.
+func WriteFence(w io.Writer, polys []Polygon) error {
+	type geometry struct {
+		Type        string        `json:"type"`
+		Coordinates [][][]float64 `json:"coordinates"`
+	}
+	type feature struct {
+		Type       string         `json:"type"`
+		Properties map[string]any `json:"properties"`
+		Geometry   geometry       `json:"geometry"`
+	}
+	doc := struct {
+		Type     string    `json:"type"`
+		Features []feature `json:"features"`
+	}{Type: "FeatureCollection"}
+	for i, p := range polys {
+		ring := make([][]float64, 0, len(p)+1)
+		for _, v := range p {
+			ring = append(ring, []float64{v.X, v.Y})
+		}
+		if len(p) > 0 {
+			ring = append(ring, []float64{p[0].X, p[0].Y})
+		}
+		doc.Features = append(doc.Features, feature{
+			Type:       "Feature",
+			Properties: map[string]any{"cell": i},
+			Geometry:   geometry{Type: "Polygon", Coordinates: [][][]float64{ring}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,315 @@
+package geofence
+
+import (
+	"math"
+
+	"retrasyn/internal/spatial"
+)
+
+// Polygon geometry primitives: signed area, point-in-polygon, segment
+// intersection, ear-clipping triangulation and Sutherland–Hodgman clipping.
+// Everything here is plain float64 geometry with deterministic results; the
+// validation in NewFence guarantees the inputs are simple, positive-area,
+// non-overlapping rings, which keeps the predicates out of the degenerate
+// regimes where exact arithmetic would be needed.
+
+// signedArea returns the signed area of the ring (positive when the vertices
+// wind counter-clockwise).
+func signedArea(ring []spatial.Point) float64 {
+	s := 0.0
+	for i, p := range ring {
+		q := ring[(i+1)%len(ring)]
+		s += p.X*q.Y - q.X*p.Y
+	}
+	return s / 2
+}
+
+// ringBounds returns the bounding box of a ring.
+func ringBounds(ring []spatial.Point) spatial.Bounds {
+	b := spatial.Bounds{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for _, p := range ring {
+		b.MinX = math.Min(b.MinX, p.X)
+		b.MinY = math.Min(b.MinY, p.Y)
+		b.MaxX = math.Max(b.MaxX, p.X)
+		b.MaxY = math.Max(b.MaxY, p.Y)
+	}
+	return b
+}
+
+// pointInRing reports whether (x, y) lies inside the ring or on its boundary
+// (crossing-number test with an explicit on-edge check, so boundary points
+// count as inside regardless of float luck in the crossing test).
+func pointInRing(ring []spatial.Point, x, y float64) bool {
+	inside := false
+	for i, a := range ring {
+		b := ring[(i+1)%len(ring)]
+		if onSegment(a, b, spatial.Point{X: x, Y: y}) {
+			return true
+		}
+		if (a.Y > y) != (b.Y > y) {
+			// x coordinate where the edge crosses the horizontal through y.
+			cx := a.X + (y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if x < cx {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// cross returns the z component of (b−a) × (c−a).
+func cross(a, b, c spatial.Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether p lies on the closed segment ab.
+func onSegment(a, b, p spatial.Point) bool {
+	if cross(a, b, p) != 0 {
+		return false
+	}
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}
+
+// segmentsIntersect reports whether closed segments ab and cd share at least
+// one point (proper crossings, T-junctions, endpoint touches and collinear
+// overlaps all count).
+func segmentsIntersect(a, b, c, d spatial.Point) bool {
+	d1 := cross(c, d, a)
+	d2 := cross(c, d, b)
+	d3 := cross(a, b, c)
+	d4 := cross(a, b, d)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(c, d, a)) || (d2 == 0 && onSegment(c, d, b)) ||
+		(d3 == 0 && onSegment(a, b, c)) || (d4 == 0 && onSegment(a, b, d))
+}
+
+// selfIntersects returns the edge indices of the first pair of
+// non-neighbouring edges that touch, or (-1, -1) for a simple ring. Edges
+// sharing a ring vertex are exempt only at that shared vertex, so
+// figure-eights pinched at a vertex are caught too.
+func selfIntersects(ring []spatial.Point) (int, int) {
+	n := len(ring)
+	for i := 0; i < n; i++ {
+		a, b := ring[i], ring[(i+1)%n]
+		for j := i + 1; j < n; j++ {
+			c, d := ring[j], ring[(j+1)%n]
+			if j == i+1 || (i == 0 && j == n-1) {
+				// Neighbouring edges legitimately share one endpoint; a
+				// collinear fold-back (the next edge reversing over this one)
+				// is still an intersection.
+				u, v, far := a, b, d // edge j leaves from v=b toward far=d
+				if i == 0 && j == n-1 {
+					u, v, far = b, a, c // edge n−1 arrives at v=a from far=c
+				}
+				if cross(u, v, far) == 0 && (far.X-v.X)*(u.X-v.X)+(far.Y-v.Y)*(u.Y-v.Y) > 0 {
+					return i, j
+				}
+				continue
+			}
+			if segmentsIntersect(a, b, c, d) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// triangulate ear-clips a simple counter-clockwise ring into triangles. The
+// result is deterministic (always clips the lowest-index ear first) and
+// partitions the polygon exactly.
+func triangulate(ring []spatial.Point) [][]spatial.Point {
+	n := len(ring)
+	if n == 3 {
+		return [][]spatial.Point{append([]spatial.Point(nil), ring...)}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out [][]spatial.Point
+	for len(idx) > 3 {
+		clipped := false
+		for i := 0; i < len(idx); i++ {
+			ia := idx[(i+len(idx)-1)%len(idx)]
+			ib := idx[i]
+			ic := idx[(i+1)%len(idx)]
+			a, b, c := ring[ia], ring[ib], ring[ic]
+			if cross(a, b, c) <= 0 {
+				continue // reflex or degenerate corner — not an ear
+			}
+			ear := true
+			for _, j := range idx {
+				if j == ia || j == ib || j == ic {
+					continue
+				}
+				if triangleContains(a, b, c, ring[j]) {
+					ear = false
+					break
+				}
+			}
+			if !ear {
+				continue
+			}
+			out = append(out, []spatial.Point{a, b, c})
+			idx = append(idx[:i], idx[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			// Numerically stuck (collinear runs) — close with a fan from the
+			// first remaining vertex. Validation keeps us off this path for
+			// healthy rings; the fan still covers the region.
+			for i := 1; i+1 < len(idx); i++ {
+				out = append(out, []spatial.Point{ring[idx[0]], ring[idx[i]], ring[idx[i+1]]})
+			}
+			return out
+		}
+	}
+	out = append(out, []spatial.Point{ring[idx[0]], ring[idx[1]], ring[idx[2]]})
+	return out
+}
+
+// triangleContains reports whether p lies inside or on triangle abc (CCW).
+func triangleContains(a, b, c, p spatial.Point) bool {
+	return cross(a, b, p) >= 0 && cross(b, c, p) >= 0 && cross(c, a, p) >= 0
+}
+
+// clipConvex clips a subject ring against a convex counter-clockwise clip
+// ring (Sutherland–Hodgman) and returns the clipped ring (possibly empty).
+func clipConvex(subject, clip []spatial.Point) []spatial.Point {
+	out := append([]spatial.Point(nil), subject...)
+	for i := 0; i < len(clip) && len(out) > 0; i++ {
+		a := clip[i]
+		b := clip[(i+1)%len(clip)]
+		in := out
+		out = out[:0:0]
+		for j := 0; j < len(in); j++ {
+			p := in[j]
+			q := in[(j+1)%len(in)]
+			pin := cross(a, b, p) >= 0
+			qin := cross(a, b, q) >= 0
+			if pin {
+				out = append(out, p)
+			}
+			if pin != qin {
+				out = append(out, lineIntersect(a, b, p, q))
+			}
+		}
+	}
+	return out
+}
+
+// lineIntersect returns the intersection of the infinite line ab with segment
+// pq (callers guarantee pq straddles ab).
+func lineIntersect(a, b, p, q spatial.Point) spatial.Point {
+	dp := cross(a, b, p)
+	dq := cross(a, b, q)
+	t := dp / (dp - dq)
+	return spatial.Point{X: p.X + t*(q.X-p.X), Y: p.Y + t*(q.Y-p.Y)}
+}
+
+// ConvexClipArea returns |subject ∩ clip| for a convex counter-clockwise
+// clip ring (Sutherland–Hodgman). The subject ring must be counter-clockwise
+// too; both may be any convex piece — triangle, rectangle or larger. This is
+// the primitive the migration layer (internal/relayout) sums over cell
+// decompositions to get polygon–polygon and polygon–box overlap areas.
+func ConvexClipArea(subject, clip []spatial.Point) float64 {
+	r := clipConvex(subject, clip)
+	if len(r) < 3 {
+		return 0
+	}
+	a := signedArea(r)
+	if a < 0 {
+		return 0 // degenerate sliver folded inside out — no real overlap
+	}
+	return a
+}
+
+// representativePoint returns a point strictly inside the simple CCW ring:
+// the centroid when the polygon contains it, otherwise the midpoint of the
+// widest span of a horizontal scanline through the polygon's interior (the
+// standard label-point construction, safe for L- and U-shaped cells whose
+// centroid falls outside).
+func representativePoint(ring []spatial.Point) spatial.Point {
+	cx, cy, ok := centroid(ring)
+	if ok && pointInRingStrict(ring, cx, cy) {
+		return spatial.Point{X: cx, Y: cy}
+	}
+	b := ringBounds(ring)
+	y := (b.MinY + b.MaxY) / 2
+	// Nudge the scanline off any vertex y so edge crossings are unambiguous.
+	for _, p := range ring {
+		if p.Y == y {
+			lo, hi := b.MinY, b.MaxY
+			for _, q := range ring {
+				if q.Y < y && q.Y > lo {
+					lo = q.Y
+				}
+				if q.Y > y && q.Y < hi {
+					hi = q.Y
+				}
+			}
+			y = (y + hi) / 2
+			if y == hi { // fully flat polygon row; fall back to centroid
+				return spatial.Point{X: cx, Y: cy}
+			}
+			break
+		}
+	}
+	var xs []float64
+	for i, a := range ring {
+		c := ring[(i+1)%len(ring)]
+		if (a.Y > y) != (c.Y > y) {
+			xs = append(xs, a.X+(y-a.Y)/(c.Y-a.Y)*(c.X-a.X))
+		}
+	}
+	if len(xs) < 2 {
+		return spatial.Point{X: cx, Y: cy}
+	}
+	sortFloats(xs)
+	bestX, bestW := cx, -1.0
+	for i := 0; i+1 < len(xs); i += 2 {
+		if w := xs[i+1] - xs[i]; w > bestW {
+			bestW = w
+			bestX = (xs[i] + xs[i+1]) / 2
+		}
+	}
+	return spatial.Point{X: bestX, Y: y}
+}
+
+// centroid returns the area centroid of the ring.
+func centroid(ring []spatial.Point) (x, y float64, ok bool) {
+	a := signedArea(ring)
+	if a == 0 {
+		return 0, 0, false
+	}
+	for i, p := range ring {
+		q := ring[(i+1)%len(ring)]
+		w := p.X*q.Y - q.X*p.Y
+		x += (p.X + q.X) * w
+		y += (p.Y + q.Y) * w
+	}
+	return x / (6 * a), y / (6 * a), true
+}
+
+// pointInRingStrict reports whether (x, y) lies strictly inside the ring.
+func pointInRingStrict(ring []spatial.Point, x, y float64) bool {
+	for i, a := range ring {
+		if onSegment(a, ring[(i+1)%len(ring)], spatial.Point{X: x, Y: y}) {
+			return false
+		}
+	}
+	return pointInRing(ring, x, y)
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package geofence
+
+import (
+	"math"
+	"sort"
+
+	"retrasyn/internal/spatial"
+)
+
+// Static STR-packed R-tree over the fence polygons' bounding boxes. CellOf is
+// the engine's hottest spatial call (every discretized point and every
+// synthetic sample goes through it), so point lookups must not scan all C
+// polygons: the tree narrows a query to the few boxes containing the point in
+// O(log C), and the exact point-in-polygon test runs only on those. The tree
+// is bulk-loaded once at construction (Sort-Tile-Recursive packing, fully
+// deterministic) and immutable afterwards.
+
+const rtreeFanout = 8
+
+type rtreeNode struct {
+	box spatial.Bounds
+	// children indexes rtree.nodes for internal nodes; leaves instead carry
+	// the polygon indices they cover.
+	children []int32
+	items    []int32
+}
+
+type rtree struct {
+	nodes []rtreeNode
+	root  int32
+}
+
+// newRTree bulk-loads the tree from per-polygon bounding boxes.
+func newRTree(boxes []spatial.Bounds) *rtree {
+	t := &rtree{}
+	items := make([]int32, len(boxes))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	if len(items) == 0 {
+		t.root = t.push(rtreeNode{})
+		return t
+	}
+	// STR: sort by center x, slice into vertical slabs, sort each slab by
+	// center y, pack runs of up to fanout items into leaves.
+	sort.Slice(items, func(a, b int) bool {
+		ca, cb := boxCenterX(boxes[items[a]]), boxCenterX(boxes[items[b]])
+		if ca != cb {
+			return ca < cb
+		}
+		return items[a] < items[b]
+	})
+	leafCount := (len(items) + rtreeFanout - 1) / rtreeFanout
+	slabs := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlab := (len(items) + slabs - 1) / slabs
+	var level []int32
+	for s := 0; s < len(items); s += perSlab {
+		e := s + perSlab
+		if e > len(items) {
+			e = len(items)
+		}
+		slab := items[s:e]
+		sort.Slice(slab, func(a, b int) bool {
+			ca, cb := boxCenterY(boxes[slab[a]]), boxCenterY(boxes[slab[b]])
+			if ca != cb {
+				return ca < cb
+			}
+			return slab[a] < slab[b]
+		})
+		for i := 0; i < len(slab); i += rtreeFanout {
+			j := i + rtreeFanout
+			if j > len(slab) {
+				j = len(slab)
+			}
+			leaf := rtreeNode{items: append([]int32(nil), slab[i:j]...)}
+			leaf.box = boxes[leaf.items[0]]
+			for _, it := range leaf.items[1:] {
+				leaf.box = boxUnion(leaf.box, boxes[it])
+			}
+			level = append(level, t.push(leaf))
+		}
+	}
+	// Pack upper levels until one root remains.
+	for len(level) > 1 {
+		var next []int32
+		for i := 0; i < len(level); i += rtreeFanout {
+			j := i + rtreeFanout
+			if j > len(level) {
+				j = len(level)
+			}
+			n := rtreeNode{children: append([]int32(nil), level[i:j]...)}
+			n.box = t.nodes[n.children[0]].box
+			for _, c := range n.children[1:] {
+				n.box = boxUnion(n.box, t.nodes[c].box)
+			}
+			next = append(next, t.push(n))
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+func (t *rtree) push(n rtreeNode) int32 {
+	t.nodes = append(t.nodes, n)
+	return int32(len(t.nodes) - 1)
+}
+
+// visitPoint calls visit for every polygon whose bounding box contains
+// (x, y). Visit order follows the packing, not the index order; callers
+// needing a deterministic pick reduce over all visits. The walk allocates
+// nothing, keeping CellOf clean on the hot path.
+func (t *rtree) visitPoint(x, y float64, visit func(i int32)) {
+	t.walkPoint(t.root, x, y, visit)
+}
+
+func (t *rtree) walkPoint(node int32, x, y float64, visit func(i int32)) {
+	n := &t.nodes[node]
+	if !boxContains(n.box, x, y) {
+		return
+	}
+	for _, it := range n.items {
+		visit(it)
+	}
+	for _, c := range n.children {
+		t.walkPoint(c, x, y, visit)
+	}
+}
+
+// queryBox appends the indices of polygons whose bounding box intersects b
+// (shared edges included) to out, in ascending index order.
+func (t *rtree) queryBox(b spatial.Bounds, out []int32) []int32 {
+	out = t.walkBox(t.root, b, out)
+	sortInt32(out)
+	return out
+}
+
+func (t *rtree) walkBox(node int32, b spatial.Bounds, out []int32) []int32 {
+	n := &t.nodes[node]
+	if n.box.MinX > b.MaxX || b.MinX > n.box.MaxX || n.box.MinY > b.MaxY || b.MinY > n.box.MaxY {
+		return out
+	}
+	for _, it := range n.items {
+		out = append(out, it)
+	}
+	for _, c := range n.children {
+		out = t.walkBox(c, b, out)
+	}
+	return out
+}
+
+func boxCenterX(b spatial.Bounds) float64 { return (b.MinX + b.MaxX) / 2 }
+func boxCenterY(b spatial.Bounds) float64 { return (b.MinY + b.MaxY) / 2 }
+
+func boxContains(b spatial.Bounds, x, y float64) bool {
+	return x >= b.MinX && x <= b.MaxX && y >= b.MinY && y <= b.MaxY
+}
+
+func boxUnion(a, b spatial.Bounds) spatial.Bounds {
+	return spatial.Bounds{
+		MinX: math.Min(a.MinX, b.MinX),
+		MinY: math.Min(a.MinY, b.MinY),
+		MaxX: math.Max(a.MaxX, b.MaxX),
+		MaxY: math.Max(a.MaxY, b.MaxY),
+	}
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -49,6 +49,60 @@ func SpreadInBox(b spatial.Bounds, i int) spatial.Point {
 	return spatial.Point{X: b.MinX + fx*b.Width(), Y: b.MinY + fy*b.Height()}
 }
 
+// SpreadInPieces is SpreadInBox for polygonal cells (spatial.Overlapper):
+// the i-th point lands inside the union of the cell's convex pieces instead
+// of its bounding box, so geofenced releases sketch density inside the fence
+// rather than over gap space the fence deliberately excludes. A golden-ratio
+// scalar picks a piece triangle area-proportionally and the R2 pair folds
+// onto it; like SpreadInBox the construction involves no RNG.
+func SpreadInPieces(pieces [][]spatial.Point, i int) spatial.Point {
+	const a1, a2 = 0.7548776662466927, 0.5698402909980532
+	const golden = 0.6180339887498949
+	// Fan-triangulate the convex pieces and pick a triangle by cumulative
+	// area at the golden-ratio sequence position.
+	total := 0.0
+	for _, ring := range pieces {
+		for k := 1; k+1 < len(ring); k++ {
+			total += triArea(ring[0], ring[k], ring[k+1])
+		}
+	}
+	if total <= 0 {
+		return spatial.Point{}
+	}
+	target := math.Mod(float64(i+1)*golden, 1) * total
+	var a, b, c spatial.Point
+	acc := 0.0
+	found := false
+pick:
+	for _, ring := range pieces {
+		for k := 1; k+1 < len(ring); k++ {
+			a, b, c = ring[0], ring[k], ring[k+1]
+			acc += triArea(a, b, c)
+			if acc >= target {
+				found = true
+				break pick
+			}
+		}
+	}
+	if !found { // float drift past the last triangle
+		last := pieces[len(pieces)-1]
+		a, b, c = last[0], last[len(last)-2], last[len(last)-1]
+	}
+	u := math.Mod(float64(i+1)*a1, 1)
+	v := math.Mod(float64(i+1)*a2, 1)
+	if u+v > 1 { // fold the unit square onto the triangle
+		u, v = 1-u, 1-v
+	}
+	return spatial.Point{
+		X: a.X + u*(b.X-a.X) + v*(c.X-a.X),
+		Y: a.Y + u*(b.Y-a.Y) + v*(c.Y-a.Y),
+	}
+}
+
+func triArea(a, b, c spatial.Point) float64 {
+	return math.Abs((b.X-a.X)*(c.Y-a.Y)-(b.Y-a.Y)*(c.X-a.X)) / 2
+}
+
 // DensityTracker accumulates a sliding-window density sketch over the most
 // recent window of released synthetic positions. One Observe call per
 // timestamp records the current positions of the released streams (cell

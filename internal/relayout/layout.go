@@ -3,22 +3,25 @@ package relayout
 import (
 	"fmt"
 
+	"retrasyn/internal/geofence"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/spatial"
 )
 
 // Layout is the serializable description of a discretization's cell
 // geometry, embedded in engine and curator checkpoints so a process restored
-// after K migrations can rebuild the layout it was running on. Both shipped
+// after K migrations can rebuild the layout it was running on. All shipped
 // backends are covered: the quadtree serializes as its preorder split mask,
-// the uniform grid as its granularity.
+// the uniform grid as its granularity, and the geofence as its polygon set.
 type Layout struct {
-	Kind   string         `json:"kind"` // "quadtree" or "uniform"
+	Kind   string         `json:"kind"` // "quadtree", "uniform" or "geofence"
 	Bounds spatial.Bounds `json:"bounds"`
 	// Splits is the quadtree's preorder split mask (spatial.SplitMask).
 	Splits []bool `json:"splits,omitempty"`
 	// K is the uniform grid's granularity.
 	K int `json:"k,omitempty"`
+	// Polygons is the geofence's normalized polygon set in cell order.
+	Polygons [][]spatial.Point `json:"polygons,omitempty"`
 }
 
 // LayoutOf captures the serializable layout of a discretizer.
@@ -28,6 +31,13 @@ func LayoutOf(d spatial.Discretizer) (Layout, error) {
 		return Layout{Kind: "quadtree", Bounds: s.Bounds(), Splits: s.SplitMask()}, nil
 	case *grid.System:
 		return Layout{Kind: "uniform", Bounds: s.Bounds(), K: s.K()}, nil
+	case *geofence.Fence:
+		polys := s.Polygons()
+		rings := make([][]spatial.Point, len(polys))
+		for i, p := range polys {
+			rings[i] = append([]spatial.Point(nil), p...)
+		}
+		return Layout{Kind: "geofence", Bounds: s.Bounds(), Polygons: rings}, nil
 	default:
 		return Layout{}, fmt.Errorf("relayout: discretizer %T has no serializable layout", d)
 	}
@@ -42,6 +52,19 @@ func FromLayout(l Layout) (spatial.Discretizer, error) {
 		return spatial.NewQuadtreeFromSplits(l.Bounds, l.Splits)
 	case "uniform":
 		return grid.New(l.K, l.Bounds)
+	case "geofence":
+		polys := make([]geofence.Polygon, len(l.Polygons))
+		for i, r := range l.Polygons {
+			polys[i] = geofence.Polygon(r)
+		}
+		f, err := geofence.NewFence(polys)
+		if err != nil {
+			return nil, fmt.Errorf("relayout: rebuild geofence layout: %w", err)
+		}
+		if f.Bounds() != l.Bounds {
+			return nil, fmt.Errorf("relayout: geofence layout bounds %+v do not hull its polygons (%+v) — corrupt checkpoint", l.Bounds, f.Bounds())
+		}
+		return f, nil
 	default:
 		return nil, fmt.Errorf("relayout: unknown layout kind %q", l.Kind)
 	}

@@ -2,8 +2,10 @@ package relayout
 
 import (
 	"fmt"
+	"math"
 
 	"retrasyn/internal/allocation"
+	"retrasyn/internal/geofence"
 	"retrasyn/internal/spatial"
 	"retrasyn/internal/transition"
 )
@@ -36,28 +38,50 @@ type Migration struct {
 }
 
 // NewMigration computes the overlap weights from one discretization to
-// another. Both must cover the same bounds and expose their cell boxes
-// (spatial.Boxed — the uniform grid and the quadtree both do).
+// another. Both must cover the same bounds and expose their cell geometry:
+// either as axis-aligned boxes (spatial.Boxed — the uniform grid and the
+// quadtree) or as convex piece decompositions (spatial.Overlapper — the
+// geofence backend). Box–box pairs take the exact box-intersection fast path
+// the pre-Overlapper migrations used, bit-identically; any pair involving
+// polygonal cells goes through Sutherland–Hodgman clipping of the convex
+// pieces. Identical layouts (equal fingerprints) short-circuit to the exact
+// identity migration.
 func NewMigration(from, to spatial.Discretizer) (*Migration, error) {
-	fb, ok := from.(spatial.Boxed)
-	if !ok {
-		return nil, fmt.Errorf("relayout: source discretizer %T does not expose cell boxes", from)
-	}
-	tb, ok := to.(spatial.Boxed)
-	if !ok {
-		return nil, fmt.Errorf("relayout: target discretizer %T does not expose cell boxes", to)
-	}
 	if from.Bounds() != to.Bounds() {
 		return nil, fmt.Errorf("relayout: bounds mismatch %+v vs %+v", from.Bounds(), to.Bounds())
 	}
-	nOld, nNew := from.NumCells(), to.NumCells()
+	nOld := from.NumCells()
 	m := &Migration{
 		from:    from,
 		to:      to,
 		weights: make([][]CellWeight, nOld),
 		best:    make([]spatial.Cell, nOld),
 	}
-	totalArea := from.Bounds().Area()
+	if from.Fingerprint() == to.Fingerprint() {
+		// Same layout: every cell maps onto itself with weight exactly 1.0
+		// and distance exactly 0, whatever the backend geometry. (The boxed
+		// path below computes the identical result for boxed layouts; the
+		// shortcut makes identity migrations exact for polygonal ones too,
+		// where re-clipping a cell against itself would leave float dust.)
+		for i := 0; i < nOld; i++ {
+			m.weights[i] = []CellWeight{{Cell: spatial.Cell(i), W: 1.0}}
+			m.best[i] = spatial.Cell(i)
+		}
+		return m, nil
+	}
+	fb, fBoxed := from.(spatial.Boxed)
+	tb, tBoxed := to.(spatial.Boxed)
+	if fBoxed && tBoxed {
+		return m, m.computeBoxed(fb, tb)
+	}
+	return m, m.computeClipped()
+}
+
+// computeBoxed is the box-intersection fast path for box–box layout pairs,
+// unchanged from the pre-Overlapper migration layer (bit-identical weights).
+func (m *Migration) computeBoxed(fb, tb spatial.Boxed) error {
+	nOld, nNew := m.from.NumCells(), m.to.NumCells()
+	totalArea := m.from.Bounds().Area()
 	misfit := 0.0
 	for i := 0; i < nOld; i++ {
 		bi := fb.CellBox(spatial.Cell(i))
@@ -74,7 +98,7 @@ func NewMigration(from, to spatial.Discretizer) (*Migration, error) {
 			sum += w
 		}
 		if len(ws) == 0 || sum <= 0 {
-			return nil, fmt.Errorf("relayout: old cell %d overlaps no new cell — layouts do not tile the same space", i)
+			return fmt.Errorf("relayout: old cell %d overlaps no new cell — layouts do not tile the same space", i)
 		}
 		// Normalize away the float drift of summing quadrant areas so every
 		// row sums to exactly 1. For identical layouts the single weight is
@@ -91,7 +115,148 @@ func NewMigration(from, to spatial.Discretizer) (*Migration, error) {
 		misfit += (1 - bestW) * area
 	}
 	m.dist = misfit / totalArea
-	return m, nil
+	return nil
+}
+
+// cellGeometry is one cell's convex decomposition with its bounding box and
+// area, the inputs of the clipping path.
+type cellGeometry struct {
+	pieces [][]spatial.Point
+	box    spatial.Bounds
+	area   float64
+}
+
+// geometryOf extracts every cell's convex pieces: Overlapper backends expose
+// them directly; Boxed backends contribute their box as a single rectangular
+// piece.
+func geometryOf(d spatial.Discretizer) ([]cellGeometry, error) {
+	nc := d.NumCells()
+	out := make([]cellGeometry, nc)
+	switch s := d.(type) {
+	case spatial.Overlapper:
+		for i := 0; i < nc; i++ {
+			g := &out[i]
+			g.pieces = s.CellPieces(spatial.Cell(i))
+			g.area = s.CellArea(spatial.Cell(i))
+			g.box = piecesBounds(g.pieces)
+		}
+	case spatial.Boxed:
+		for i := 0; i < nc; i++ {
+			b := s.CellBox(spatial.Cell(i))
+			out[i] = cellGeometry{pieces: [][]spatial.Point{boxRing(b)}, box: b, area: b.Area()}
+		}
+	default:
+		return nil, fmt.Errorf("relayout: discretizer %T exposes neither cell boxes (spatial.Boxed) nor cell pieces (spatial.Overlapper)", d)
+	}
+	return out, nil
+}
+
+// boxRing returns the counter-clockwise ring of a box.
+func boxRing(b spatial.Bounds) []spatial.Point {
+	return []spatial.Point{
+		{X: b.MinX, Y: b.MinY}, {X: b.MaxX, Y: b.MinY},
+		{X: b.MaxX, Y: b.MaxY}, {X: b.MinX, Y: b.MaxY},
+	}
+}
+
+func piecesBounds(pieces [][]spatial.Point) spatial.Bounds {
+	b := spatial.Bounds{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for _, ring := range pieces {
+		for _, p := range ring {
+			b.MinX = math.Min(b.MinX, p.X)
+			b.MinY = math.Min(b.MinY, p.Y)
+			b.MaxX = math.Max(b.MaxX, p.X)
+			b.MaxY = math.Max(b.MaxY, p.Y)
+		}
+	}
+	return b
+}
+
+// computeClipped is the generalized overlap path: cell overlap areas are sums
+// of pairwise Sutherland–Hodgman clips of the cells' convex pieces. Unlike
+// boxed layouts, polygonal layouts need not tile the bounds: an old cell
+// lying entirely in a fence gap carries its mass to the cell its sample point
+// clamps to (geofence CellOf maps gap points to the nearest polygon), so no
+// mass is ever dropped.
+func (m *Migration) computeClipped() error {
+	geomA, err := geometryOf(m.from)
+	if err != nil {
+		return err
+	}
+	geomB, err := geometryOf(m.to)
+	if err != nil {
+		return err
+	}
+	totalArea := 0.0
+	misfit := 0.0
+	for i := range geomA {
+		ga := &geomA[i]
+		if !(ga.area > 0) {
+			return fmt.Errorf("relayout: old cell %d has non-positive area %v", i, ga.area)
+		}
+		totalArea += ga.area
+		var ws []CellWeight
+		sum := 0.0
+		for j := range geomB {
+			gb := &geomB[j]
+			if ga.box.MinX > gb.box.MaxX || gb.box.MinX > ga.box.MaxX ||
+				ga.box.MinY > gb.box.MaxY || gb.box.MinY > ga.box.MaxY {
+				continue
+			}
+			ov := 0.0
+			for _, pa := range ga.pieces {
+				for _, pb := range gb.pieces {
+					ov += geofence.ConvexClipArea(pa, pb)
+				}
+			}
+			// Drop clip dust: cells that merely share an edge produce
+			// degenerate slivers many orders below any real overlap.
+			if ov <= ga.area*1e-12 {
+				continue
+			}
+			w := ov / ga.area
+			ws = append(ws, CellWeight{Cell: spatial.Cell(j), W: w})
+			sum += w
+		}
+		if len(ws) == 0 || sum <= 0 {
+			// The old cell lies entirely outside the new layout's coverage
+			// (a fence gap). Its sample point clamps into the new layout —
+			// CellOf is total — and the full mass follows it. The whole cell
+			// area counts as misfit: nothing geometrically overlapped.
+			x, y := m.from.Center(spatial.Cell(i))
+			c := m.to.CellOf(x, y)
+			m.weights[i] = []CellWeight{{Cell: c, W: 1.0}}
+			m.best[i] = c
+			misfit += ga.area
+			continue
+		}
+		bestW := 0.0
+		for k := range ws {
+			ws[k].W /= sum
+			if ws[k].W > bestW {
+				bestW = ws[k].W
+				m.best[i] = ws[k].Cell
+			}
+		}
+		m.weights[i] = ws
+		misfit += (1 - bestW) * ga.area
+	}
+	m.dist = misfit / totalArea
+	return nil
+}
+
+// Migratable reports whether a discretizer exposes the cell geometry
+// NewMigration needs — axis-aligned boxes (spatial.Boxed) or convex pieces
+// (spatial.Overlapper). Construction-time gates (the facade's
+// RediscretizeEvery, the curator config) use it to fail fast instead of
+// erroring at the first rebuild.
+func Migratable(d spatial.Discretizer) bool {
+	switch d.(type) {
+	case spatial.Boxed, spatial.Overlapper:
+		return true
+	default:
+		return false
+	}
 }
 
 // From returns the source discretization.

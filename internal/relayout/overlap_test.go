@@ -1,0 +1,240 @@
+package relayout_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"retrasyn/internal/geofence"
+	"retrasyn/internal/grid"
+	"retrasyn/internal/relayout"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/transition"
+)
+
+// Tests of the Overlapper generalization: migrations where one or both
+// layouts are polygonal fences go through Sutherland–Hodgman piece clipping
+// instead of box intersection. The invariants are the same ones the boxed
+// path pins — per-source-cell weights sum to 1, mobility mass survives the
+// remap — plus the exact identity-migration golden.
+
+// districtFence covers part of the unit square with an irregular polygon
+// partition (two rectangles, a triangle and a quad), leaving gaps; its
+// polygon hull spans the full unit bounds so it can migrate against grid and
+// quadtree layouts over the same space.
+func districtFence(t *testing.T) *geofence.Fence {
+	t.Helper()
+	f, err := geofence.NewFence([]geofence.Polygon{
+		{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.5, Y: 0.4}, {X: 0, Y: 0.4}},
+		{{X: 0.5, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0.4}, {X: 0.5, Y: 0.4}},
+		{{X: 0, Y: 0.4}, {X: 0.5, Y: 0.4}, {X: 0, Y: 1}},
+		{{X: 0.5, Y: 0.4}, {X: 1, Y: 0.4}, {X: 1, Y: 1}, {X: 0.75, Y: 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// fullFence partitions the unit square completely (a strip and two
+// triangles), so box cells always overlap some fence cell.
+func fullFence(t *testing.T) *geofence.Fence {
+	t.Helper()
+	f, err := geofence.NewFence([]geofence.Polygon{
+		{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0.3}, {X: 0, Y: 0.3}},
+		{{X: 0, Y: 0.3}, {X: 1, Y: 0.3}, {X: 0, Y: 1}},
+		{{X: 1, Y: 0.3}, {X: 1, Y: 1}, {X: 0, Y: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// overlapPairs enumerates the box→polygon, polygon→box and polygon→polygon
+// migrations the generalization adds.
+func overlapPairs(t *testing.T) []struct {
+	name     string
+	from, to spatial.Discretizer
+} {
+	g := grid.MustNew(6, unitBounds())
+	qt := mustQuadtree(t, cornerSketch(2000, 0.1, 0.1, 21), 28)
+	districts := districtFence(t)
+	full := fullFence(t)
+	return []struct {
+		name     string
+		from, to spatial.Discretizer
+	}{
+		{"box→polygon", g, full},
+		{"box→polygon-with-gaps", qt, districts},
+		{"polygon→box", districts, g},
+		{"polygon→quadtree", full, qt},
+		{"polygon→polygon", districts, full},
+		{"polygon→polygon-reverse", full, districts},
+	}
+}
+
+func TestOverlapperWeightsSumToOne(t *testing.T) {
+	for _, p := range overlapPairs(t) {
+		t.Run(p.name, func(t *testing.T) {
+			mig, err := relayout.NewMigration(p.from, p.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < p.from.NumCells(); c++ {
+				ws := mig.Weights(spatial.Cell(c))
+				if len(ws) == 0 {
+					t.Fatalf("cell %d has no weights", c)
+				}
+				sum := 0.0
+				prev := spatial.Cell(-1)
+				for _, w := range ws {
+					if w.W < 0 {
+						t.Fatalf("cell %d: negative weight %v", c, w.W)
+					}
+					if !p.to.ValidCell(w.Cell) {
+						t.Fatalf("cell %d: weight onto invalid cell %d", c, w.Cell)
+					}
+					if w.Cell <= prev {
+						t.Fatalf("cell %d: weights not ascending by target cell", c)
+					}
+					prev = w.Cell
+					sum += w.W
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("cell %d: weights sum to %v, want 1", c, sum)
+				}
+				if !p.to.ValidCell(mig.MapCell(spatial.Cell(c))) {
+					t.Fatalf("cell %d: MapCell out of range", c)
+				}
+			}
+			if d := mig.Distance(); d < 0 || d > 1 {
+				t.Fatalf("layout distance %v outside [0,1]", d)
+			}
+		})
+	}
+}
+
+// TestOverlapperRemapConservesMass pins the acceptance invariant: mobility
+// mass — including raw negative estimates — survives box→polygon,
+// polygon→box and polygon→polygon migrations within 1e-9.
+func TestOverlapperRemapConservesMass(t *testing.T) {
+	for _, p := range overlapPairs(t) {
+		t.Run(p.name, func(t *testing.T) {
+			fromDom := transition.NewDomain(p.from)
+			toDom := transition.NewDomain(p.to)
+			mig, err := relayout.NewMigration(p.from, p.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(31, 37))
+			freq := make([]float64, fromDom.Size())
+			sum := 0.0
+			for i := range freq {
+				freq[i] = rng.Float64() - 0.3 // raw estimates go negative
+				sum += freq[i]
+			}
+			out, err := mig.RemapFreqs(fromDom, toDom, freq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != toDom.Size() {
+				t.Fatalf("remapped length %d ≠ target domain %d", len(out), toDom.Size())
+			}
+			outSum := 0.0
+			for _, f := range out {
+				outSum += f
+			}
+			if math.Abs(outSum-sum) > 1e-9 {
+				t.Fatalf("mass not conserved: Σin=%v Σout=%v (Δ=%g)", sum, outSum, outSum-sum)
+			}
+		})
+	}
+}
+
+// TestOverlapperIdentityGolden pins the exact identity migration for fences:
+// a fence rebuilt from its own polygon set migrates onto itself with weights
+// exactly {c, 1.0} and distance exactly 0.
+func TestOverlapperIdentityGolden(t *testing.T) {
+	f := districtFence(t)
+	clone, err := geofence.NewFence(f.Polygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Fingerprint() != f.Fingerprint() {
+		t.Fatalf("clone fingerprint drifted: %s ≠ %s", clone.Fingerprint(), f.Fingerprint())
+	}
+	mig, err := relayout.NewMigration(f, clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Distance() != 0 {
+		t.Fatalf("identity distance = %v, want exactly 0", mig.Distance())
+	}
+	for c := 0; c < f.NumCells(); c++ {
+		ws := mig.Weights(spatial.Cell(c))
+		if len(ws) != 1 || ws[0].Cell != spatial.Cell(c) || ws[0].W != 1.0 {
+			t.Fatalf("identity weights of cell %d = %+v, want exactly {%d, 1.0}", c, ws, c)
+		}
+		if mig.MapCell(spatial.Cell(c)) != spatial.Cell(c) {
+			t.Fatalf("identity MapCell(%d) = %d", c, mig.MapCell(spatial.Cell(c)))
+		}
+	}
+	// An identity remap of a frequency vector is bit-exact.
+	dom := transition.NewDomain(f)
+	dom2 := transition.NewDomain(clone)
+	freq := make([]float64, dom.Size())
+	for i := range freq {
+		freq[i] = 0.1*float64(i) - 1.5
+	}
+	out, err := mig.RemapFreqs(dom, dom2, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range freq {
+		if out[i] != freq[i] {
+			t.Fatalf("identity remap drifted at state %d: %v → %v", i, freq[i], out[i])
+		}
+	}
+}
+
+// TestOverlapperGapFallback checks mass from cells over fence gaps is
+// clamped, not dropped: a quadtree cell lying wholly inside a fence gap
+// still carries weight 1 onto some fence cell.
+func TestOverlapperGapFallback(t *testing.T) {
+	g := grid.MustNew(10, unitBounds())
+	districts := districtFence(t)
+	mig, err := relayout.NewMigration(g, districts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grid cell [0.5,0.6]×[0.9,1] lies between the triangle district
+	// (x ≤ 0.5) and the quad district (y ≤ 0.6 at these x) — fully in the
+	// gap, with zero geometric overlap against every fence cell.
+	gap := g.CellOf(0.55, 0.95)
+	ws := mig.Weights(gap)
+	if len(ws) != 1 || ws[0].W != 1.0 {
+		t.Fatalf("gap cell weights = %+v, want a single full-weight clamp", ws)
+	}
+	if !districts.ValidCell(ws[0].Cell) {
+		t.Fatalf("gap cell clamped onto invalid cell %d", ws[0].Cell)
+	}
+}
+
+// TestSpreadInPiecesStaysInside pins the polygonal release spreading: every
+// point lands inside the cell's polygon and the sequence is deterministic.
+func TestSpreadInPiecesStaysInside(t *testing.T) {
+	f := districtFence(t)
+	for c := spatial.Cell(0); int(c) < f.NumCells(); c++ {
+		pieces := f.CellPieces(c)
+		for i := 0; i < 200; i++ {
+			p := relayout.SpreadInPieces(pieces, i)
+			if got := f.CellOf(p.X, p.Y); got != c {
+				t.Fatalf("cell %d spread point %d (%v) landed in cell %d", c, i, p, got)
+			}
+		}
+		if relayout.SpreadInPieces(pieces, 7) != relayout.SpreadInPieces(pieces, 7) {
+			t.Fatalf("cell %d: spread not deterministic", c)
+		}
+	}
+}

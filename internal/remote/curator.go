@@ -93,10 +93,10 @@ func (c *CuratorConfig) validate() error {
 		return fmt.Errorf("remote: RediscretizeEvery must be ≥ 0, got %d", c.RediscretizeEvery)
 	}
 	if c.RediscretizeEvery > 0 {
-		if _, ok := c.Space.(spatial.Boxed); !ok {
+		if !relayout.Migratable(c.Space) {
 			// Fail at construction, not at the first periodic rebuild inside
 			// Finalize — by then the round has already committed.
-			return fmt.Errorf("remote: RediscretizeEvery needs a discretizer with boxed cells (grid or quadtree), got %T", c.Space)
+			return fmt.Errorf("remote: RediscretizeEvery needs a discretizer exposing cell geometry (grid, quadtree or geofence), got %T", c.Space)
 		}
 	}
 	if c.RelayoutThreshold < 0 || c.RelayoutThreshold >= 1 {
@@ -496,19 +496,24 @@ func (c *Curator) Finalize(t, activeCount int) error {
 }
 
 // releasedPositionsLocked returns the current positions of the released
-// synthetic streams as continuous points, spread over their cell boxes by a
-// deterministic low-discrepancy sequence (see relayout.SpreadInBox).
+// synthetic streams as continuous points, spread over their cell geometry —
+// boxes for boxed backends, polygons for geofenced ones — by a deterministic
+// low-discrepancy sequence (see relayout.SpreadInBox / SpreadInPieces).
 func (c *Curator) releasedPositionsLocked() []spatial.Point {
 	cells := c.synthStage.Synth.ActiveCells(nil)
 	pts := make([]spatial.Point, len(cells))
 	boxed, _ := c.space.(spatial.Boxed)
+	poly, _ := c.space.(spatial.Overlapper)
 	for i, cell := range cells {
-		if boxed == nil {
+		switch {
+		case boxed != nil:
+			pts[i] = relayout.SpreadInBox(boxed.CellBox(cell), i)
+		case poly != nil:
+			pts[i] = relayout.SpreadInPieces(poly.CellPieces(cell), i)
+		default:
 			x, y := c.space.Center(cell)
 			pts[i] = spatial.Point{X: x, Y: y}
-			continue
 		}
-		pts[i] = relayout.SpreadInBox(boxed.CellBox(cell), i)
 	}
 	return pts
 }
@@ -596,6 +601,10 @@ func (c *Curator) relayoutLocked(force bool) (RelayoutStatus, error) {
 	c.model = newModel
 	c.dom = newDom
 	c.space = prop.Target
+	// The last closed round's aggregator is indexed by the old domain; drop
+	// it so a post-migration snapshot doesn't embed (and a restore doesn't
+	// rebuild) a stale-length aggregate.
+	c.oracle, c.agg = nil, nil
 	c.generation++
 	c.ctl.NoteSwitch(prop.Distance)
 	return c.statusLocked(true, prop.Distance), nil

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"retrasyn/internal/geofence"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/spatial"
 	"retrasyn/internal/transition"
@@ -13,7 +14,9 @@ import (
 // Cross-backend property tests: every spatial.Discretizer implementation
 // must satisfy the same contract, so the transition domain, the mobility
 // model and the synthesizer can treat backends interchangeably. Each
-// property runs against the uniform grid and a family of quadtrees.
+// property runs against the uniform grid, a family of quadtrees and a family
+// of geofences (single cell, an irregular district partition with gaps and a
+// checkerboard tiling).
 
 func backends(t *testing.T) map[string]spatial.Discretizer {
 	t.Helper()
@@ -34,6 +37,44 @@ func backends(t *testing.T) map[string]spatial.Discretizer {
 			t.Fatal(err)
 		}
 		out[fmt.Sprintf("quadtree-%d", cfg.leaves)] = qt
+	}
+	for name, polys := range map[string][]geofence.Polygon{
+		"geofence-1":         {{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}},
+		"geofence-districts": districtPolys(),
+		"geofence-tiling":    tilingPolys(6),
+	} {
+		f, err := geofence.NewFence(polys)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = f
+	}
+	return out
+}
+
+// districtPolys is an irregular partial cover of the unit square: two
+// rectangles, a triangle, a non-convex L and a detached quad across a gap.
+func districtPolys() []geofence.Polygon {
+	return []geofence.Polygon{
+		{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 0.5, Y: 0.4}, {X: 0, Y: 0.4}},
+		{{X: 0.5, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0.4}, {X: 0.5, Y: 0.4}},
+		{{X: 0, Y: 0.4}, {X: 0.5, Y: 0.4}, {X: 0, Y: 1}},
+		{{X: 0.55, Y: 0.6}, {X: 1, Y: 0.6}, {X: 1, Y: 1}, {X: 0.8, Y: 1}, {X: 0.8, Y: 0.8}, {X: 0.55, Y: 0.8}},
+	}
+}
+
+// tilingPolys tiles the unit square with k×k square cells — the fence
+// analogue of a uniform grid, but with 4-neighbour shared-edge adjacency.
+func tilingPolys(k int) []geofence.Polygon {
+	s := 1.0 / float64(k)
+	var out []geofence.Polygon
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			x, y := float64(c)*s, float64(r)*s
+			out = append(out, geofence.Polygon{
+				{X: x, Y: y}, {X: x + s, Y: y}, {X: x + s, Y: y + s}, {X: x, Y: y + s},
+			})
+		}
 	}
 	return out
 }

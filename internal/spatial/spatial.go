@@ -17,7 +17,7 @@ import "math"
 // cells the integers 0 … NumCells−1 in a deterministic order.
 type Cell int32
 
-// Invalid is returned for points outside the discretized space by CellOfOK.
+// Invalid is returned by CellOfOK for points outside the bounds.
 const Invalid Cell = -1
 
 // Bounds describes the continuous bounding box of the space being
@@ -89,7 +89,11 @@ type Discretizer interface {
 	// the bounds onto the nearest boundary cell.
 	CellOf(x, y float64) Cell
 	// CellOfOK maps a continuous point into its cell, returning Invalid and
-	// false when the point lies outside the bounds.
+	// false when the point lies outside the bounds. The test is against
+	// Bounds(), not cell coverage: backends whose cells do not tile the
+	// bounds (the geofence) resolve in-bounds gap points by clamping, like
+	// CellOf, and expose their own coverage query (geofence.Fence.Covers)
+	// for callers that need the distinction.
 	CellOfOK(x, y float64) (Cell, bool)
 	// Center returns the continuous sample point of a cell (its centroid),
 	// the coordinate downstream consumers use when a released cell stream
@@ -128,4 +132,23 @@ type Boxed interface {
 	// CellBox returns the continuous box of cell c. Boxes of distinct cells
 	// have disjoint interiors and together cover Bounds().
 	CellBox(c Cell) Bounds
+}
+
+// Overlapper is implemented by discretizers whose cells are arbitrary simple
+// polygons rather than axis-aligned boxes (the geofence backend). Each cell
+// exposes a convex decomposition of its geometry; overlap areas between two
+// layouts — polygon–polygon, or polygon–box with the box treated as a single
+// convex piece — are then sums of pairwise convex clips (Sutherland–Hodgman),
+// which is what lets non-rectangular layouts join online re-discretization.
+// Boxed backends need not implement it: the migration layer keeps a
+// bit-identical box-intersection fast path for box–box pairs.
+type Overlapper interface {
+	// CellPieces returns a convex decomposition of cell c: counter-clockwise
+	// vertex rings with disjoint interiors whose union is exactly the cell.
+	// The returned slices are shared and must not be modified.
+	CellPieces(c Cell) [][]Point
+	// CellArea returns the area of cell c (the sum of its pieces' areas).
+	// Unlike Boxed layouts, Overlapper cells need not tile Bounds(): the
+	// union of all cells may cover only part of the bounding box.
+	CellArea(c Cell) float64
 }

@@ -31,6 +31,7 @@ import (
 
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/core"
+	"retrasyn/internal/geofence"
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldpids"
 	"retrasyn/internal/metrics"
@@ -56,6 +57,13 @@ type (
 	Quadtree = spatial.Quadtree
 	// QuadtreeOptions parameterizes NewQuadtree.
 	QuadtreeOptions = spatial.QuadtreeOptions
+	// Geofence is the polygonal spatial discretization: cells follow
+	// arbitrary simple polygons (districts, campuses, road corridors)
+	// instead of rectangles, so the LDP state domain covers only the space
+	// trajectories can actually occupy.
+	Geofence = geofence.Fence
+	// FencePolygon is one geofence cell's vertex ring.
+	FencePolygon = geofence.Polygon
 	// Point is a continuous location, used for quadtree density sketches.
 	Point = spatial.Point
 	// Bounds is a continuous bounding box.
@@ -99,6 +107,23 @@ func NewGrid(k int, b Bounds) (*Grid, error) { return grid.New(k, b) }
 // workloads where a uniform grid would waste most of its cells.
 func NewQuadtree(b Bounds, density []Point, opts QuadtreeOptions) (*Quadtree, error) {
 	return spatial.NewQuadtree(b, density, opts)
+}
+
+// NewGeofence builds a polygonal discretization from a fence polygon set
+// (districts, campuses, road corridors). The polygons are validated — simple
+// rings, positive area, pairwise disjoint interiors — with errors naming the
+// offending polygon index; adjacency follows shared boundary edges. Use the
+// result as Options.Discretizer when the deployment's geography is known, so
+// no privacy budget is spent estimating unreachable space.
+func NewGeofence(polys []FencePolygon) (*Geofence, error) {
+	return geofence.NewFence(polys)
+}
+
+// ParseFence reads a GeoJSON-style fence file (FeatureCollection of
+// Polygons, a bare Polygon, or a MultiPolygon) into the polygon set
+// NewGeofence consumes. See the README's geo-fencing section for the format.
+func ParseFence(r io.Reader) ([]FencePolygon, error) {
+	return geofence.ParseFence(r)
 }
 
 // DensitySketch extracts the raw points of a dataset as a quadtree density
@@ -254,8 +279,8 @@ func New(opts Options) (*Framework, error) {
 	}
 	f := &Framework{space: space}
 	if opts.RediscretizeEvery > 0 {
-		if _, ok := space.(spatial.Boxed); !ok {
-			return nil, fmt.Errorf("retrasyn: RediscretizeEvery needs a discretizer with boxed cells (grid or quadtree), got %T", space)
+		if !relayout.Migratable(space) {
+			return nil, fmt.Errorf("retrasyn: RediscretizeEvery needs a discretizer exposing cell geometry (grid, quadtree or geofence), got %T", space)
 		}
 		leaves := opts.RelayoutLeaves
 		if leaves == 0 {
