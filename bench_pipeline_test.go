@@ -1,75 +1,128 @@
 package retrasyn
 
-// Benchmarks of the staged-pipeline additions: sharded OUE report
-// aggregation vs the sequential fold, and the multi-shard Coordinator vs a
-// single pipeline instance. Run with
+// Benchmarks of the curator aggregation hot path: the sequential sparse
+// fold, the sharded sparse fold, the bit-packed word-parallel fold
+// (carry-save popcount network), and the OLH support scan — plus the
+// multi-shard Coordinator against a single pipeline instance. Run with
 //
 //	go test -bench 'Aggregation|Coordinator' -run - .
 //
 // RETRASYN_EMIT_BENCH=1 go test -run TestEmitBenchPipelineJSON .
-// re-measures both and writes the results to BENCH_pipeline.json.
+// re-measures everything across a GOMAXPROCS sweep ∈ {1, 2, 4, NumCPU} and
+// writes the results — with a reports/sec-per-core headline and the wire
+// size of both /v1/report batch encodings — to BENCH_pipeline.json.
+// RETRASYN_REQUIRE_MULTICORE=1 (set in CI) makes the emit fail on a
+// single-CPU box, so the committed parallel numbers are never fiction.
 
 import (
 	"encoding/json"
 	"os"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
 
 	"retrasyn/internal/ldp"
+	"retrasyn/internal/remote"
 )
 
-// paperScaleReports is one paper-scale OUE round: 100k reporters over the
-// K=6 transition domain (|S| = 328).
+// benchReports is one paper-scale OUE round: 100k reporters over the K=6
+// transition domain (|S| = 328). benchOLHReports is smaller because each
+// OLH report costs an O(|S|) support scan on the server.
 const (
-	benchReports = 100_000
-	benchDomain  = 328
+	benchReports    = 100_000
+	benchOLHReports = 20_000
+	benchDomain     = 328
+	benchEpsilon    = 1.0
 )
 
 var benchRound struct {
 	once    sync.Once
 	oracle  *ldp.OUE
 	reports [][]int
+	packed  *ldp.PackedBatch
+	olh     *ldp.OLH
+	olhReps []ldp.OLHReport
 }
 
-func benchReportsOnce() (*ldp.OUE, [][]int) {
+func benchRoundOnce() *ldp.OUE {
 	benchRound.once.Do(func() {
-		benchRound.oracle = ldp.MustOUE(benchDomain, 1.0)
+		benchRound.oracle = ldp.MustOUE(benchDomain, benchEpsilon)
 		rng := ldp.NewRand(1, 2)
 		benchRound.reports = make([][]int, benchReports)
+		benchRound.packed = ldp.NewPackedBatch(benchDomain, benchReports)
 		for i := range benchRound.reports {
+			// The packed batch holds the very same reports, so the sparse and
+			// packed folds are directly comparable (and must agree exactly).
 			benchRound.reports[i] = benchRound.oracle.Perturb(rng, i%benchDomain)
+			p, err := ldp.PackReport(benchRound.reports[i], benchDomain)
+			if err != nil {
+				panic(err)
+			}
+			benchRound.packed.Append(p)
+		}
+		benchRound.olh = ldp.MustOLH(benchDomain, benchEpsilon)
+		src := ldp.NewSource(3, 4)
+		benchRound.olhReps = make([]ldp.OLHReport, benchOLHReports)
+		for i := range benchRound.olhReps {
+			benchRound.olhReps[i] = benchRound.olh.Perturb(src, src, i%benchDomain)
 		}
 	})
-	return benchRound.oracle, benchRound.reports
+	return benchRound.oracle
+}
+
+func runOUESparse(b *testing.B, workers int) {
+	oracle := benchRoundOnce()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := ldp.NewAggregator(oracle)
+		agg.AddReports(benchRound.reports, workers)
+		agg.EstimateAll()
+	}
+}
+
+func runOUEPacked(b *testing.B, workers int) {
+	oracle := benchRoundOnce()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := ldp.NewAggregator(oracle)
+		agg.AddPackedBatch(benchRound.packed, workers)
+		agg.EstimateAll()
+	}
+}
+
+func runOLH(b *testing.B, workers int) {
+	benchRoundOnce()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := ldp.NewOLHAggregator(benchRound.olh)
+		agg.AddReports(benchRound.olhReps, workers)
+		agg.EstimateAll()
+	}
 }
 
 // BenchmarkOUEAggregationSequential folds one 100k-report round with the
-// sequential per-report loop the monolithic engine used.
-func BenchmarkOUEAggregationSequential(b *testing.B) {
-	oracle, reports := benchReportsOnce()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		agg := ldp.NewAggregator(oracle)
-		agg.AddReports(reports, 1)
-		agg.EstimateAll()
-	}
-}
+// sequential per-report sparse loop the monolithic engine used.
+func BenchmarkOUEAggregationSequential(b *testing.B) { runOUESparse(b, 1) }
 
-// BenchmarkOUEAggregationSharded folds the same round sharded across
+// BenchmarkOUEAggregationSharded folds the same round's sparse reports
+// sharded across runtime.NumCPU() workers.
+func BenchmarkOUEAggregationSharded(b *testing.B) { runOUESparse(b, runtime.NumCPU()) }
+
+// BenchmarkOUEAggregationPacked folds the same round bit-packed through the
+// word-parallel carry-save popcount network.
+func BenchmarkOUEAggregationPacked(b *testing.B) { runOUEPacked(b, runtime.NumCPU()) }
+
+// BenchmarkOLHAggregationSequential runs the O(|S|)-per-report OLH support
+// scan one report at a time.
+func BenchmarkOLHAggregationSequential(b *testing.B) { runOLH(b, 1) }
+
+// BenchmarkOLHAggregationSharded shards the OLH support scan across
 // runtime.NumCPU() workers.
-func BenchmarkOUEAggregationSharded(b *testing.B) {
-	oracle, reports := benchReportsOnce()
-	workers := runtime.NumCPU()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		agg := ldp.NewAggregator(oracle)
-		agg.AddReports(reports, workers)
-		agg.EstimateAll()
-	}
-}
+func BenchmarkOLHAggregationSharded(b *testing.B) { runOLH(b, runtime.NumCPU()) }
 
 // benchCoordinatorData caches the coordinator benchmark's input stream.
 var benchCoordinatorData struct {
@@ -120,40 +173,148 @@ func BenchmarkCoordinator1Shard(b *testing.B) { benchCoordinator(b, 1) }
 // runtime.NumCPU() pipeline instances.
 func BenchmarkCoordinatorPShards(b *testing.B) { benchCoordinator(b, runtime.NumCPU()) }
 
-// TestEmitBenchPipelineJSON measures the pipeline benchmarks and writes
-// BENCH_pipeline.json. Gated behind RETRASYN_EMIT_BENCH so the regular
-// suite stays fast.
+// gomaxprocsLevels is the emit sweep: 1, 2, 4 and NumCPU, deduplicated and
+// ascending. Levels above NumCPU still run (the scheduler timeshares) so a
+// sweep recorded on a small box is visibly labeled rather than silently
+// truncated.
+func gomaxprocsLevels() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var levels []int
+	for l := range set {
+		levels = append(levels, l)
+	}
+	for i := 1; i < len(levels); i++ {
+		for j := i; j > 0 && levels[j] < levels[j-1]; j-- {
+			levels[j], levels[j-1] = levels[j-1], levels[j]
+		}
+	}
+	return levels
+}
+
+// benchEntry is one measured configuration in BENCH_pipeline.json.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	ReportsSec float64 `json:"reports_per_sec"`
+	// ReportsSecPerCore divides throughput by the GOMAXPROCS it ran at — the
+	// honest multi-core number: adding cores must earn its keep.
+	ReportsSecPerCore float64 `json:"reports_per_sec_per_core"`
+	Speedup           float64 `json:"speedup_vs_baseline,omitempty"`
+	Baseline          string  `json:"baseline,omitempty"`
+}
+
+// TestEmitBenchPipelineJSON measures the aggregation and coordinator
+// benchmarks across the GOMAXPROCS sweep and writes BENCH_pipeline.json.
+// Gated behind RETRASYN_EMIT_BENCH so the regular suite stays fast.
 func TestEmitBenchPipelineJSON(t *testing.T) {
 	if os.Getenv("RETRASYN_EMIT_BENCH") == "" {
 		t.Skip("set RETRASYN_EMIT_BENCH=1 to measure and write BENCH_pipeline.json")
 	}
-	type entry struct {
-		Name     string  `json:"name"`
-		NsPerOp  float64 `json:"ns_per_op"`
-		Speedup  float64 `json:"speedup_vs_baseline,omitempty"`
-		Baseline string  `json:"baseline,omitempty"`
+	if os.Getenv("RETRASYN_REQUIRE_MULTICORE") != "" && runtime.NumCPU() < 2 {
+		t.Fatalf("RETRASYN_REQUIRE_MULTICORE is set but NumCPU=%d: refusing to record parallel numbers on a single-CPU box", runtime.NumCPU())
 	}
-	measure := func(name string, f func(*testing.B)) entry {
-		r := testing.Benchmark(f)
-		return entry{Name: name, NsPerOp: float64(r.NsPerOp())}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	measure := func(name string, procs, workers, reports int, f func(*testing.B)) benchEntry {
+		runtime.GOMAXPROCS(procs)
+		// Best of three: one-shot testing.Benchmark readings on shared/cloud
+		// CPUs swing enough to distort every speedup ratio in the file.
+		ns := float64(testing.Benchmark(f).NsPerOp())
+		for i := 0; i < 2; i++ {
+			if n := float64(testing.Benchmark(f).NsPerOp()); n < ns {
+				ns = n
+			}
+		}
+		rps := float64(reports) / (ns / 1e9)
+		return benchEntry{
+			Name: name, GOMAXPROCS: procs, Workers: workers, NsPerOp: ns,
+			ReportsSec: rps, ReportsSecPerCore: rps / float64(procs),
+		}
 	}
-	seqAgg := measure("OUEAggregationSequential/100k-reports", BenchmarkOUEAggregationSequential)
-	shardAgg := measure("OUEAggregationSharded/100k-reports", BenchmarkOUEAggregationSharded)
-	shardAgg.Speedup = seqAgg.NsPerOp / shardAgg.NsPerOp
-	shardAgg.Baseline = seqAgg.Name
-	coord1 := measure("Coordinator/1-shard", BenchmarkCoordinator1Shard)
-	coordP := measure("Coordinator/NumCPU-shards", BenchmarkCoordinatorPShards)
-	coordP.Speedup = coord1.NsPerOp / coordP.NsPerOp
-	coordP.Baseline = coord1.Name
+	rel := func(e *benchEntry, base benchEntry) {
+		e.Speedup = base.NsPerOp / e.NsPerOp
+		e.Baseline = base.Name
+	}
+
+	// The packed fold must be a re-encoding, not a re-randomization: pin
+	// bit-identical estimates before trusting any throughput number.
+	oracle := benchRoundOnce()
+	seqAgg := ldp.NewAggregator(oracle)
+	seqAgg.AddReports(benchRound.reports, 1)
+	packedAgg := ldp.NewAggregator(oracle)
+	packedAgg.AddPackedBatch(benchRound.packed, runtime.NumCPU())
+	if !reflect.DeepEqual(seqAgg.EstimateAll(), packedAgg.EstimateAll()) {
+		t.Fatal("packed fold estimates are not bit-identical to the sequential sparse fold")
+	}
+
+	levels := gomaxprocsLevels()
+	var results []benchEntry
+
+	seq := measure("OUEAggregationSequential/100k-reports", 1, 1, benchReports, func(b *testing.B) { runOUESparse(b, 1) })
+	results = append(results, seq)
+	var bestPacked benchEntry
+	for _, l := range levels {
+		l := l
+		sharded := measure("OUEAggregationSharded/100k-reports", l, l, benchReports, func(b *testing.B) { runOUESparse(b, l) })
+		rel(&sharded, seq)
+		packed := measure("OUEAggregationPacked/100k-reports", l, l, benchReports, func(b *testing.B) { runOUEPacked(b, l) })
+		rel(&packed, seq)
+		results = append(results, sharded, packed)
+		if packed.ReportsSec > bestPacked.ReportsSec {
+			bestPacked = packed
+		}
+	}
+
+	olhSeq := measure("OLHAggregationSequential/20k-reports", 1, 1, benchOLHReports, func(b *testing.B) { runOLH(b, 1) })
+	results = append(results, olhSeq)
+	for _, l := range levels {
+		if l == 1 {
+			continue
+		}
+		l := l
+		olhSharded := measure("OLHAggregationSharded/20k-reports", l, l, benchOLHReports, func(b *testing.B) { runOLH(b, l) })
+		rel(&olhSharded, olhSeq)
+		results = append(results, olhSharded)
+	}
+
+	nCPU := runtime.NumCPU()
+	coord1 := measure("Coordinator/1-shard", nCPU, 1, 0, BenchmarkCoordinator1Shard)
+	coordP := measure("Coordinator/NumCPU-shards", nCPU, nCPU, 0, BenchmarkCoordinatorPShards)
+	rel(&coordP, coord1)
+	coord1.ReportsSec, coord1.ReportsSecPerCore = 0, 0
+	coordP.ReportsSec, coordP.ReportsSecPerCore = 0, 0
+	results = append(results, coord1, coordP)
+
+	// Wire size of one 1000-report /v1/report batch, both encodings.
+	wire := measureWireBytes(t)
 
 	out := struct {
-		GOMAXPROCS int     `json:"gomaxprocs"`
-		NumCPU     int     `json:"num_cpu"`
-		Results    []entry `json:"results"`
+		NumCPU           int          `json:"num_cpu"`
+		GOMAXPROCSLevels []int        `json:"gomaxprocs_levels"`
+		Reports          int          `json:"reports"`
+		Domain           int          `json:"domain"`
+		Epsilon          float64      `json:"epsilon"`
+		Headline         headlineJSON `json:"headline"`
+		Wire             wireJSON     `json:"wire_bytes_per_1000_report_batch"`
+		Results          []benchEntry `json:"results"`
 	}{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Results:    []entry{seqAgg, shardAgg, coord1, coordP},
+		NumCPU:           nCPU,
+		GOMAXPROCSLevels: levels,
+		Reports:          benchReports,
+		Domain:           benchDomain,
+		Epsilon:          benchEpsilon,
+		Headline: headlineJSON{
+			Name:              bestPacked.Name,
+			GOMAXPROCS:        bestPacked.GOMAXPROCS,
+			ReportsSec:        bestPacked.ReportsSec,
+			ReportsSecPerCore: bestPacked.ReportsSecPerCore,
+			SpeedupVsSeq:      bestPacked.Speedup,
+		},
+		Wire:    wire,
+		Results: results,
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -162,11 +323,63 @@ func TestEmitBenchPipelineJSON(t *testing.T) {
 	if err := os.WriteFile("BENCH_pipeline.json", append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("aggregation speedup ×%.2f, coordinator speedup ×%.2f", shardAgg.Speedup, coordP.Speedup)
-	// On a single-CPU host the sharded paths fall back to (or degenerate
-	// into) the sequential fold, so a speedup is only expected with real
-	// parallelism available.
-	if runtime.NumCPU() > 1 && shardAgg.Speedup <= 1 {
-		t.Errorf("sharded aggregation is not faster than sequential (×%.2f)", shardAgg.Speedup)
+	t.Logf("packed fold: ×%.1f vs sequential sparse (%.2fM reports/sec, %.2fM/sec/core at GOMAXPROCS=%d)",
+		bestPacked.Speedup, bestPacked.ReportsSec/1e6, bestPacked.ReportsSecPerCore/1e6, bestPacked.GOMAXPROCS)
+	t.Logf("wire: sparse %dB vs packed %dB per 1000-report batch (×%.1f smaller)",
+		wire.SparseJSON, wire.PackedJSON, float64(wire.SparseJSON)/float64(wire.PackedJSON))
+
+	if bestPacked.Speedup < 10 {
+		t.Errorf("packed aggregation speedup ×%.2f below the ≥10× target", bestPacked.Speedup)
+	}
+	if nCPU > 1 && coordP.Speedup <= 1 {
+		t.Errorf("multi-shard coordinator is not faster than one shard (×%.2f)", coordP.Speedup)
+	}
+}
+
+type headlineJSON struct {
+	Name              string  `json:"name"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	ReportsSec        float64 `json:"reports_per_sec"`
+	ReportsSecPerCore float64 `json:"reports_per_sec_per_core"`
+	SpeedupVsSeq      float64 `json:"speedup_vs_sequential_sparse"`
+}
+
+type wireJSON struct {
+	SparseJSON int     `json:"sparse_json"`
+	PackedJSON int     `json:"packed_json"`
+	Ratio      float64 `json:"sparse_over_packed"`
+}
+
+// measureWireBytes marshals the same 1000-report batch as both /v1/report
+// encodings and records the JSON body sizes.
+func measureWireBytes(t *testing.T) wireJSON {
+	t.Helper()
+	benchRoundOnce()
+	batch := make([]remote.BatchReport, 1000)
+	for i := range batch {
+		batch[i] = remote.BatchReport{User: i, Ones: benchRound.reports[i]}
+	}
+	packed, err := remote.PackReportBatch(batch, benchDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseBody, err := json.Marshal(struct {
+		T       int                  `json:"t"`
+		Reports []remote.BatchReport `json:"reports"`
+	}{T: 0, Reports: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedBody, err := json.Marshal(struct {
+		T      int                        `json:"t"`
+		Packed []remote.PackedBatchReport `json:"packed"`
+	}{T: 0, Packed: packed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wireJSON{
+		SparseJSON: len(sparseBody),
+		PackedJSON: len(packedBody),
+		Ratio:      float64(len(sparseBody)) / float64(len(packedBody)),
 	}
 }

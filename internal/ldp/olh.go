@@ -66,13 +66,37 @@ func (o *OLH) G() int { return o.g }
 // give (approximately) pairwise-independent hash functions, the property
 // the OLH analysis needs.
 func (o *OLH) Hash(seed uint64, v int) int {
-	x := seed ^ (uint64(v)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	return finalize(seed^premixValue(v), uint64(o.g))
+}
+
+// premixValue is the seed-independent half of Hash: the per-value constant
+// the aggregator's O(domain) support scan hoists into a table so the scan's
+// inner loop is pure seed-xor-finalize.
+func premixValue(v int) uint64 {
+	return (uint64(v) + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+}
+
+// finalize is the mixing tail of Hash over an already-premixed input.
+func finalize(x, g uint64) int {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return int(x % uint64(o.g))
+	return int(x % g)
+}
+
+// supportScan counts report r toward every value it supports: the hot
+// O(domain) inner loop of OLH aggregation, with the per-value premix table
+// and the hash-range conversion hoisted out of the scan.
+func (o *OLH) supportScan(r OLHReport, premix []uint64, support []int) {
+	g := uint64(o.g)
+	seed, target := r.Seed, r.Value
+	for v, pm := range premix {
+		if finalize(seed^pm, g) == target {
+			support[v]++
+		}
+	}
 }
 
 // OLHReport is one user's O(1)-size report: the hash seed (public) and the
@@ -118,21 +142,24 @@ func (o *OLH) Variance(n int) float64 {
 type OLHAggregator struct {
 	oracle  *OLH
 	support []int
+	premix  []uint64 // per-value hash premix, hoisted out of the support scan
 	n       int
 }
 
-// NewOLHAggregator creates an empty aggregator.
+// NewOLHAggregator creates an empty aggregator. Building the premix table
+// costs one O(domain) pass — the price of a single report's support scan —
+// and removes a multiply-add per (report, value) pair from every scan after.
 func NewOLHAggregator(o *OLH) *OLHAggregator {
-	return &OLHAggregator{oracle: o, support: make([]int, o.domain)}
+	premix := make([]uint64, o.domain)
+	for v := range premix {
+		premix[v] = premixValue(v)
+	}
+	return &OLHAggregator{oracle: o, support: make([]int, o.domain), premix: premix}
 }
 
 // Add ingests one report.
 func (a *OLHAggregator) Add(r OLHReport) {
-	for v := 0; v < a.oracle.domain; v++ {
-		if a.oracle.Hash(r.Seed, v) == r.Value {
-			a.support[v]++
-		}
-	}
+	a.oracle.supportScan(r, a.premix, a.support)
 	a.n++
 }
 

@@ -74,20 +74,25 @@ func Variance(eps float64, n int) float64 {
 // 1/2 + (d−1)·q, so reports are returned sparsely rather than as a d-bit
 // vector. Expected cost is O(d·q) via geometric skips rather than O(d).
 func (o *OUE) Perturb(rng Rand, trueIdx int) []int {
+	ones := make([]int, 0, 1+int(float64(o.domain)*o.q))
+	o.perturb(rng, trueIdx, func(i int) { ones = append(ones, i) })
+	return ones
+}
+
+// perturb is the shared randomization core of Perturb and PerturbPackedInto:
+// both consume the random stream identically (true-bit coin, then geometric
+// skips below and above the true index), so a round perturbed packed is
+// bit-identical to the same round perturbed sparsely.
+func (o *OUE) perturb(rng Rand, trueIdx int, emit func(int)) {
 	if trueIdx < 0 || trueIdx >= o.domain {
 		panic(fmt.Sprintf("ldp: OUE.Perturb index %d out of domain %d", trueIdx, o.domain))
 	}
-	ones := make([]int, 0, 1+int(float64(o.domain)*o.q))
 	if Bernoulli(rng, 0.5) {
-		ones = append(ones, trueIdx)
+		emit(trueIdx)
 	}
 	// Flip 0-bits to 1 with probability q, skipping the true index.
-	appendFlips := func(lo, hi int) { // half-open [lo, hi)
-		ones = appendGeometricOnes(rng, ones, lo, hi, o.q)
-	}
-	appendFlips(0, trueIdx)
-	appendFlips(trueIdx+1, o.domain)
-	return ones
+	visitGeometricOnes(rng, 0, trueIdx, o.q, emit)
+	visitGeometricOnes(rng, trueIdx+1, o.domain, o.q, emit)
 }
 
 // PerturbBits is Perturb materialized as a dense bit vector; it exists for
@@ -101,18 +106,18 @@ func (o *OUE) PerturbBits(rng Rand, trueIdx int) []bool {
 	return bits
 }
 
-// appendGeometricOnes appends indices in [lo,hi) selected independently with
+// visitGeometricOnes emits indices in [lo,hi) selected independently with
 // probability p, using geometric skips (expected cost proportional to the
 // number selected).
-func appendGeometricOnes(rng Rand, dst []int, lo, hi int, p float64) []int {
+func visitGeometricOnes(rng Rand, lo, hi int, p float64, emit func(int)) {
 	if p <= 0 || lo >= hi {
-		return dst
+		return
 	}
 	if p >= 1 {
 		for i := lo; i < hi; i++ {
-			dst = append(dst, i)
+			emit(i)
 		}
-		return dst
+		return
 	}
 	logq := math.Log1p(-p)
 	i := lo - 1
@@ -123,9 +128,9 @@ func appendGeometricOnes(rng Rand, dst []int, lo, hi int, p float64) []int {
 		}
 		i += 1 + int(math.Floor(math.Log(u)/logq))
 		if i >= hi {
-			return dst
+			return
 		}
-		dst = append(dst, i)
+		emit(i)
 	}
 }
 

@@ -1,6 +1,7 @@
 package ldp
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -13,10 +14,12 @@ import (
 
 // shardMinReports is the round size below which spawning workers costs more
 // than the fold itself. OLH's per-report work is O(domain), so its threshold
-// is far lower.
+// is far lower; the packed fold's per-report work is so small (a handful of
+// ALU ops per word) that sharding only pays for much larger rounds.
 const (
-	shardMinReports    = 2048
-	shardMinOLHReports = 128
+	shardMinReports       = 2048
+	shardMinOLHReports    = 128
+	shardMinPackedReports = 1 << 14
 )
 
 // DefaultWorkers is the worker count the engine uses for sharded
@@ -77,6 +80,44 @@ func (a *Aggregator) AddReports(reports [][]int, workers int) {
 	a.n += len(reports)
 }
 
+// AddPackedBatch folds a whole packed round into the aggregator with the
+// word-parallel carry-save counter network (popcountFold), sharding the rows
+// across up to workers goroutines for large rounds. Each shard folds a
+// contiguous row range into its own cache-local count vector; the shards
+// then merge in ascending shard order — deterministic, and since integer
+// addition commutes, the counts (and therefore the estimates) are
+// bit-identical to calling Add on every report's ones in order.
+func (a *Aggregator) AddPackedBatch(b *PackedBatch, workers int) {
+	if b.domain != len(a.counts) {
+		panic(fmt.Sprintf("ldp: AddPackedBatch domain %d ≠ aggregator domain %d", b.domain, len(a.counts)))
+	}
+	n := b.Len()
+	if workers <= 1 || n < shardMinPackedReports {
+		popcountFold(a.counts, b.data, b.words, 0, n)
+		a.n += n
+		return
+	}
+	bounds := shardBounds(n, workers)
+	shards := make([][]int, len(bounds)-1)
+	var wg sync.WaitGroup
+	for w := 0; w < len(bounds)-1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts := make([]int, len(a.counts))
+			popcountFold(counts, b.data, b.words, bounds[w], bounds[w+1])
+			shards[w] = counts
+		}(w)
+	}
+	wg.Wait()
+	for _, counts := range shards {
+		for i, c := range counts {
+			a.counts[i] += c
+		}
+	}
+	a.n += n
+}
+
 // AddReports folds many OLH reports, sharding the O(domain)-per-report
 // support counting across up to workers goroutines. Identical to calling Add
 // for every report in order.
@@ -96,11 +137,7 @@ func (a *OLHAggregator) AddReports(reports []OLHReport, workers int) {
 			defer wg.Done()
 			support := make([]int, len(a.support))
 			for _, r := range reports[bounds[w]:bounds[w+1]] {
-				for v := 0; v < a.oracle.domain; v++ {
-					if a.oracle.Hash(r.Seed, v) == r.Value {
-						support[v]++
-					}
-				}
+				a.oracle.supportScan(r, a.premix, support)
 			}
 			shards[w] = support
 		}(w)

@@ -100,6 +100,40 @@ func TestOUEPerUserCollectorShardingInvariance(t *testing.T) {
 	}
 }
 
+// TestOUEPerUserCollectorPackedMatchesSparse pins the collector's per-round
+// representation switch: at test scale PreferPacked must choose the packed
+// path, and forcing the sparse path with the same seed must produce the
+// exact same estimates — the representation changes the fold, not one bit
+// of the outcome.
+func TestOUEPerUserCollectorPackedMatchesSparse(t *testing.T) {
+	dom := testDomain()
+	const eps = 1.0
+	if !ldp.PreferPacked(dom.Size(), eps) {
+		t.Fatalf("PreferPacked(%d, %v) = false; test config no longer exercises the packed path", dom.Size(), eps)
+	}
+	reporters := testReporters(dom, 3000, 21)
+	run := func(forceSparse bool, workers int) []float64 {
+		c := &OUEPerUserCollector{
+			Dom: dom, Rng: ldp.NewRand(17, 19),
+			Workers: workers, ForceSparse: forceSparse,
+		}
+		ctx := &StepContext{
+			T: 0, Epsilon: eps, Reporters: reporters, Timings: &Timings{},
+		}
+		c.Collect(ctx)
+		return ctx.Aggregate.EstimateAll()
+	}
+	sparse := run(true, 1)
+	for _, workers := range []int{1, 2, 8} {
+		packed := run(false, workers)
+		for i := range sparse {
+			if packed[i] != sparse[i] {
+				t.Fatalf("workers=%d: packed estimate[%d]=%v, sparse %v", workers, i, packed[i], sparse[i])
+			}
+		}
+	}
+}
+
 func TestDMUUpdaterBootstrapThenPartial(t *testing.T) {
 	dom := testDomain()
 	model := mobility.NewModel(dom)

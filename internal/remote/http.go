@@ -20,13 +20,17 @@ type planRequest struct {
 	T int `json:"t"`
 }
 
-// reportRequest carries either one user's report (user/ones) or a batch
-// (reports); a non-empty batch takes precedence. Batches are all-or-nothing.
+// reportRequest carries one user's report (user/ones), a sparse batch
+// (reports), or a bit-packed batch (packed, base64 dense bits — the compact
+// form for dense rounds); a non-empty packed batch takes precedence over a
+// sparse batch, which takes precedence over the single report. Batches are
+// all-or-nothing.
 type reportRequest struct {
-	User    int           `json:"user"`
-	T       int           `json:"t"`
-	Ones    []int         `json:"ones"`
-	Reports []BatchReport `json:"reports,omitempty"`
+	User    int                 `json:"user"`
+	T       int                 `json:"t"`
+	Ones    []int               `json:"ones"`
+	Reports []BatchReport       `json:"reports,omitempty"`
+	Packed  []PackedBatchReport `json:"packed,omitempty"`
 }
 
 type finalizeRequest struct {
@@ -102,9 +106,12 @@ func NewHandler(c *Curator) http.Handler {
 			return
 		}
 		var err error
-		if len(req.Reports) > 0 {
+		switch {
+		case len(req.Packed) > 0:
+			err = c.ReportPackedBatch(req.T, req.Packed)
+		case len(req.Reports) > 0:
 			err = c.ReportBatch(req.T, req.Reports)
-		} else {
+		default:
 			err = c.Report(req.User, req.T, req.Ones)
 		}
 		if err != nil {

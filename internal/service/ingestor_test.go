@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"retrasyn"
+	"retrasyn/internal/ldp"
 	"retrasyn/internal/service"
 	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
 )
 
 const producers = 8
@@ -131,6 +133,36 @@ func TestConcurrentIngestMatchesSequential(t *testing.T) {
 		if st.EventsAccepted != int64(total) || st.EventsDropped != 0 {
 			t.Fatalf("shards=%d: stats %+v inconsistent with stream (%d events)", shards, st, total)
 		}
+	}
+}
+
+// TestIngestPassesPackedRoundsThrough pins the ingest layer's
+// representation-agnosticism: the test configuration sits on the packed side
+// of the density crossover, so every collection round inside the engine
+// folds bit-packed — and the concurrent ingest release must still match a
+// sequential replay exactly, proving the ingestor hands batches through
+// untouched rather than re-encoding anything on the way down.
+func TestIngestPassesPackedRoundsThrough(t *testing.T) {
+	orig, g := testData(t)
+	dom := transition.NewDomain(g)
+	if !ldp.PreferPacked(dom.Size(), 1.0) {
+		t.Fatalf("test config (d=%d, ε=1) unexpectedly prefers sparse — pick a denser config", dom.Size())
+	}
+	events, active := retrasyn.NewStreamEvents(orig)
+	sequential := newFramework(t, g, orig, 1)
+	for ts := range events {
+		if err := sequential.ProcessTimestamp(events[ts], active[ts]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw := newFramework(t, g, orig, 1)
+	in := service.New(fw, service.Options{})
+	ingestConcurrently(t, in, events, active)
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !equalDatasets(fw.Synthetic("syn"), sequential.Synthetic("syn")) {
+		t.Fatal("packed-round ingest release differs from sequential replay")
 	}
 }
 
