@@ -13,9 +13,10 @@
 //
 // Endpoints (see internal/remote):
 //
-//	POST /v1/presence   {user, t}
+//	POST /v1/presence   {user, t} or {t, users: [...]} (gateway batch)
 //	POST /v1/plan       {t}
 //	GET  /v1/assignment ?user=&t=
+//	POST /v1/assignments {t, users: [...]} — batched assignment poll
 //	POST /v1/report     {user, t, ones} or {t, reports: [{user, ones}...]}
 //	POST /v1/finalize   {t, active}
 //	GET  /v1/synthetic

@@ -7,6 +7,7 @@
 //	datagen -dataset tdrive -scale 1.0 -seed 2024 -out tdrive.csv
 //	datagen -dataset oldenburg -stats
 //	datagen -dataset corridor -out corridor.csv -fence-out corridor.geojson
+//	datagen -dataset sanjoaquin -scale 4 -k 6 -transitions-out sj_transition_id.xz
 package main
 
 import (
@@ -15,29 +16,31 @@ import (
 	"os"
 
 	"retrasyn"
+	"retrasyn/internal/dataset"
 	"retrasyn/internal/geofence"
 	"retrasyn/internal/trajectory"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "tdrive", `dataset: "tdrive", "oldenburg", "sanjoaquin", "drifting" (drifting-hotspot workload for re-discretization benchmarks), or "corridor" (corridor/district workload for geofence benchmarks)`)
+		dsName   = flag.String("dataset", "tdrive", `dataset: "tdrive", "oldenburg", "sanjoaquin", "drifting" (drifting-hotspot workload for re-discretization benchmarks), or "corridor" (corridor/district workload for geofence benchmarks)`)
 		scale    = flag.Float64("scale", 1.0, "population scale factor")
 		seed     = flag.Uint64("seed", 2024, "generation seed")
 		out      = flag.String("out", "", "output CSV path (default stdout)")
 		fenceOut = flag.String("fence-out", "", `write the corridor workload's matching GeoJSON fence here ("corridor" only; feed it to retrasyn/curator -spatial geofence -fence)`)
-		k        = flag.Int("k", 6, "grid granularity for -stats")
+		k        = flag.Int("k", 6, "grid granularity for -stats and -transitions-out")
 		stats    = flag.Bool("stats", false, "print discretized dataset statistics instead of CSV")
+		transOut = flag.String("transitions-out", "", "also write the discretized stream in the RetraSyn transition-id format here (xz-compressed when the path ends in .xz; replay it with loadgen); when -out is empty this suppresses the CSV dump")
 	)
 	flag.Parse()
 
-	raw, bounds, err := retrasyn.StandardDataset(*dataset, *scale, *seed)
+	raw, bounds, err := retrasyn.StandardDataset(*dsName, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	if *fenceOut != "" {
-		if *dataset != "corridor" && *dataset != "CorridorSim" {
-			fatal(fmt.Errorf("-fence-out is only meaningful with -dataset corridor (got %q)", *dataset))
+		if *dsName != "corridor" && *dsName != "CorridorSim" {
+			fatal(fmt.Errorf("-fence-out is only meaningful with -dataset corridor (got %q)", *dsName))
 		}
 		f, err := os.Create(*fenceOut)
 		if err != nil {
@@ -51,6 +54,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote the corridor fence to %s\n", *fenceOut)
+	}
+	if *transOut != "" {
+		g, err := retrasyn.NewGrid(*k, bounds)
+		if err != nil {
+			fatal(err)
+		}
+		cells := retrasyn.Discretize(raw, g)
+		wc, err := dataset.Create(*transOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dataset.WriteDataset(wc, cells, g); err != nil {
+			wc.Close()
+			fatal(err)
+		}
+		if err := wc.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d timestamps (%d streams, %d points) to %s\n",
+			cells.T, len(cells.Trajs), cells.NumPoints(), *transOut)
+		if *out == "" && !*stats {
+			return
+		}
 	}
 	if *stats {
 		g, err := retrasyn.NewGrid(*k, bounds)

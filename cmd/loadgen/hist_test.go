@@ -1,0 +1,55 @@
+package main
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistBuckets pins the bucket geometry: band edges land where the
+// scheme says, floors invert bucketOf, and indices stay in range across
+// the whole int64 span.
+func TestHistBuckets(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 127, 1 << 20, 1<<62 + 12345} {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= 960 {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		floor := bucketFloor(idx)
+		if floor > v {
+			t.Fatalf("bucketFloor(bucketOf(%d)) = %d exceeds the value", v, floor)
+		}
+		// ~3% relative error bound (one sub-bucket width).
+		if v >= 32 && float64(v-floor) > float64(v)/16 {
+			t.Fatalf("bucket floor %d too far below %d", floor, v)
+		}
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+// TestHistQuantiles checks estimated quantiles against exact ones on a
+// random sample: within the structure's 2/16 relative error.
+func TestHistQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var h hist
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = rng.Int64N(2_000_000) // up to 2s in µs
+		h.observe(time.Duration(vals[i]) * time.Microsecond)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := h.quantile(q)
+		if diff := float64(got - exact); diff < -float64(exact)/8 || diff > float64(exact)/8 {
+			t.Fatalf("q=%.2f: estimate %d vs exact %d", q, got, exact)
+		}
+	}
+	s := h.summary()
+	if s.Count != 10000 || s.MaxUS != vals[len(vals)-1] || s.MeanUS <= 0 {
+		t.Fatalf("summary %+v inconsistent", s)
+	}
+}

@@ -1,0 +1,148 @@
+// Package dataset reads and writes the RetraSyn on-disk dataset format: the
+// `{name}_transition_id.xz` transition streams the reference implementation
+// ships for T-Drive (3.1M points), Oldenburg (15.6M) and SanJoaquin (55.8M
+// points, 1M users). A file holds, per discrete timestamp, a list of
+// 6-tuples (x1, y1, x2, y2, flag, user) where flag 0/1/2 marks a movement,
+// entering or quitting transition in continuous coordinates and user is the
+// stream's stable identifier.
+//
+// The reference files are pickled Python lists; this package uses the same
+// logical content in a line-oriented text encoding (one tuple per line,
+// `@t` timestamp markers, a `TID,<T>,<name>` header) so the streams stay
+// greppable, diffable and fuzzable:
+//
+//	TID,<T>,<name>
+//	@0
+//	x1,y1,x2,y2,flag,user
+//	...
+//	@1
+//	...
+//
+// Every timestamp in [0, T) appears exactly once, in order, so a reader can
+// replay the stream against a live curator without ever materializing more
+// than one timestamp — the property that makes SanJoaquin-scale replays fit
+// in bounded memory. Paths ending in .xz are transparently piped through the
+// system xz binary on both read and write.
+package dataset
+
+import (
+	"math"
+
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
+)
+
+// Flag discriminates the three transition families on disk, numbered as the
+// reference implementation numbers them.
+type Flag int
+
+// The wire flag values (reference convention: 0 move, 1 enter, 2 quit).
+const (
+	Move  Flag = 0
+	Enter Flag = 1
+	Quit  Flag = 2
+)
+
+// Transition is one on-disk 6-tuple: a transition from (X1, Y1) to (X2, Y2)
+// in continuous coordinates by user User. For Enter both points are the
+// entering location; for Quit both are the final location.
+type Transition struct {
+	X1, Y1, X2, Y2 float64
+	Flag           Flag
+	User           int
+}
+
+// valid reports structural validity: a known flag, a non-negative user and
+// finite coordinates (NaN/Inf would silently corrupt discretization).
+func (tr Transition) valid() bool {
+	if tr.Flag < Move || tr.Flag > Quit || tr.User < 0 {
+		return false
+	}
+	for _, v := range [4]float64{tr.X1, tr.Y1, tr.X2, tr.Y2} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromEvent converts an engine event into its on-disk tuple using the cell
+// centers of sp as the continuous coordinates. Centers round-trip to the
+// same cell under the originating discretizer, so a stream written this way
+// replays to the exact cell transitions it came from.
+func FromEvent(ev trajectory.Event, sp spatial.Discretizer) Transition {
+	tr := Transition{User: ev.User}
+	switch ev.State.Kind {
+	case transition.Move:
+		tr.Flag = Move
+		tr.X1, tr.Y1 = sp.Center(ev.State.From)
+		tr.X2, tr.Y2 = sp.Center(ev.State.To)
+	case transition.Enter:
+		tr.Flag = Enter
+		tr.X1, tr.Y1 = sp.Center(ev.State.To)
+		tr.X2, tr.Y2 = tr.X1, tr.Y1
+	case transition.Quit:
+		tr.Flag = Quit
+		tr.X1, tr.Y1 = sp.Center(ev.State.From)
+		tr.X2, tr.Y2 = tr.X1, tr.Y1
+	}
+	return tr
+}
+
+// Batch is one timestamp's worth of transitions, in file order.
+type Batch struct {
+	T           int
+	Transitions []Transition
+}
+
+// Active returns the publicly known active-user count the batch implies:
+// users moving or entering have a location at T, quitting users do not.
+func (b *Batch) Active() int {
+	n := 0
+	for _, tr := range b.Transitions {
+		if tr.Flag != Quit {
+			n++
+		}
+	}
+	return n
+}
+
+// Events discretizes the batch into engine events under sp. When dom is
+// non-nil, transitions whose state falls outside the domain (a movement
+// between non-adjacent cells — possible when a file was produced under a
+// different discretization) are skipped and counted rather than poisoning
+// the round; the skipped count is returned alongside.
+func (b *Batch) Events(sp spatial.Discretizer, dom *transition.Domain) ([]trajectory.Event, int) {
+	events := make([]trajectory.Event, 0, len(b.Transitions))
+	skipped := 0
+	for _, tr := range b.Transitions {
+		var st transition.State
+		switch tr.Flag {
+		case Move:
+			st = transition.MoveState(sp.CellOf(tr.X1, tr.Y1), sp.CellOf(tr.X2, tr.Y2))
+		case Enter:
+			st = transition.EnterState(sp.CellOf(tr.X2, tr.Y2))
+		case Quit:
+			st = transition.QuitState(sp.CellOf(tr.X1, tr.Y1))
+		}
+		if dom != nil {
+			if _, ok := dom.Index(st); !ok {
+				skipped++
+				continue
+			}
+		}
+		events = append(events, trajectory.Event{User: tr.User, State: st})
+	}
+	return events, skipped
+}
+
+// TransitionFileName returns the reference implementation's file name for a
+// dataset's transition-id stream: `{name}_transition_id.xz`, or the same
+// without the suffix for an uncompressed stream.
+func TransitionFileName(name string, compressed bool) string {
+	if compressed {
+		return name + "_transition_id.xz"
+	}
+	return name + "_transition_id"
+}

@@ -1,0 +1,321 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"retrasyn/internal/grid"
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/trajectory"
+	"retrasyn/internal/transition"
+)
+
+func testGrid() *grid.System {
+	return grid.MustNew(4, spatial.Bounds{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+}
+
+// testDataset covers overlapping spans, a single-point stream, a stream
+// running to the end of the timeline, and an empty timestamp.
+func testDataset() *trajectory.Dataset {
+	return &trajectory.Dataset{
+		Name: "golden",
+		T:    6,
+		Trajs: []trajectory.CellTrajectory{
+			{Start: 0, Cells: []spatial.Cell{0, 1, 5}},
+			{Start: 1, Cells: []spatial.Cell{10, 11, 15, 15}},
+			{Start: 0, Cells: []spatial.Cell{7}},
+			{Start: 5, Cells: []spatial.Cell{3}},
+		},
+	}
+}
+
+// TestWriteDatasetReadRoundTrip is the loader golden: a dataset written as
+// a transition stream reads back into exactly the event stream (and active
+// counts) the engine would have consumed directly.
+func TestWriteDatasetReadRoundTrip(t *testing.T) {
+	d := testDataset()
+	sp := testGrid()
+	dom := transition.NewDomain(sp)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d, sp); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.T() != d.T || rd.Name() != d.Name {
+		t.Fatalf("header T=%d name=%q, want T=%d name=%q", rd.T(), rd.Name(), d.T, d.Name)
+	}
+	ref := trajectory.NewStream(d)
+	for ts := 0; ts < d.T; ts++ {
+		b, err := rd.Next()
+		if err != nil {
+			t.Fatalf("t=%d: %v", ts, err)
+		}
+		if b.T != ts {
+			t.Fatalf("batch timestamp %d, want %d", b.T, ts)
+		}
+		if b.Active() != ref.Active[ts] {
+			t.Fatalf("t=%d: active %d, want %d", ts, b.Active(), ref.Active[ts])
+		}
+		events, skipped := b.Events(sp, dom)
+		if skipped != 0 {
+			t.Fatalf("t=%d: %d events skipped on a same-discretizer round trip", ts, skipped)
+		}
+		want := ref.At(ts)
+		if len(events) != len(want) {
+			t.Fatalf("t=%d: %d events, want %d", ts, len(events), len(want))
+		}
+		for i := range events {
+			if events[i] != want[i] {
+				t.Fatalf("t=%d event %d: %+v, want %+v", ts, i, events[i], want[i])
+			}
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("after last batch: err = %v, want io.EOF", err)
+	}
+}
+
+// TestEventsSkipsOutOfDomain checks the robustness path for files produced
+// under a different discretization: a movement between non-adjacent cells
+// is counted and skipped, not passed to the engine.
+func TestEventsSkipsOutOfDomain(t *testing.T) {
+	sp := testGrid()
+	dom := transition.NewDomain(sp)
+	x0, y0 := sp.Center(0)
+	x15, y15 := sp.Center(15)
+	b := &Batch{T: 0, Transitions: []Transition{
+		{X1: x0, Y1: y0, X2: x15, Y2: y15, Flag: Move, User: 1}, // corner to corner: non-adjacent
+		{X1: x0, Y1: y0, X2: x0, Y2: y0, Flag: Enter, User: 2},
+	}}
+	events, skipped := b.Events(sp, dom)
+	if skipped != 1 || len(events) != 1 {
+		t.Fatalf("skipped=%d events=%d, want 1 and 1", skipped, len(events))
+	}
+	if events[0].User != 2 || events[0].State.Kind != transition.Enter {
+		t.Fatalf("surviving event %+v, want user 2's enter", events[0])
+	}
+	// Without a domain nothing is filtered.
+	events, skipped = b.Events(sp, nil)
+	if skipped != 0 || len(events) != 2 {
+		t.Fatalf("unfiltered: skipped=%d events=%d, want 0 and 2", skipped, len(events))
+	}
+}
+
+func TestXZRoundTrip(t *testing.T) {
+	if err := XZAvailable(); err != nil {
+		t.Skip(err)
+	}
+	d := testDataset()
+	sp := testGrid()
+	path := filepath.Join(t.TempDir(), TransitionFileName(d.Name, true))
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataset(w, d, sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The compressed payload must round-trip to the identical plain stream.
+	var plain bytes.Buffer
+	if err := WriteDataset(&plain, d, sp); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain.Bytes()) {
+		t.Fatalf("xz round trip differs: %d bytes vs %d", len(got), plain.Len())
+	}
+}
+
+// TestCorruptXZ corrupts a valid archive mid-stream and checks that the
+// failure is loud: either the parser reports truncation or Close reports
+// the decoder error — never a silently shorter dataset.
+func TestCorruptXZ(t *testing.T) {
+	if err := XZAvailable(); err != nil {
+		t.Skip(err)
+	}
+	d := testDataset()
+	sp := testGrid()
+	path := filepath.Join(t.TempDir(), "golden_transition_id.xz")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDataset(w, d, sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, corrupt := range map[string][]byte{
+		"truncated": raw[:len(raw)/2],
+		"flipped":   flipByte(raw, len(raw)/2),
+	} {
+		t.Run(name, func(t *testing.T) {
+			bad := filepath.Join(t.TempDir(), "bad_transition_id.xz")
+			if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parseErr := ReadTransitionStream(r, func(*Batch) error { return nil })
+			closeErr := r.Close()
+			if parseErr == nil && closeErr == nil {
+				t.Fatal("corrupt archive read back clean")
+			}
+		})
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestOpenUncompressedMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for a missing file")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "T,5,x\n@0\n",
+		"bad T":            "TID,zero,x\n",
+		"zero T":           "TID,0,x\n",
+		"missing marker":   "TID,2,x\n1,1,1,1,0,0\n",
+		"out of order":     "TID,3,x\n@0\n@2\n",
+		"beyond timeline":  "TID,1,x\n@0\n@1\n",
+		"negative marker":  "TID,2,x\n@-1\n",
+		"truncated":        "TID,3,x\n@0\n@1\n",
+		"short tuple":      "TID,1,x\n@0\n1,1,1,1,0\n",
+		"long tuple":       "TID,1,x\n@0\n1,1,1,1,0,0,0\n",
+		"bad coord":        "TID,1,x\n@0\nzz,1,1,1,0,0\n",
+		"nan coord":        "TID,1,x\n@0\nNaN,1,1,1,0,0\n",
+		"inf coord":        "TID,1,x\n@0\n1,+Inf,1,1,0,0\n",
+		"bad flag":         "TID,1,x\n@0\n1,1,1,1,3,0\n",
+		"non-numeric flag": "TID,1,x\n@0\n1,1,1,1,move,0\n",
+		"negative user":    "TID,1,x\n@0\n1,1,1,1,0,-5\n",
+		"trailing content": "TID,1,x\n@0\n1,1,1,1,0,0\nextra\n",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := ReadTransitionStream(strings.NewReader(input), func(*Batch) error { return nil })
+			if err == nil {
+				t.Fatalf("input %q parsed clean", input)
+			}
+		})
+	}
+}
+
+func TestReaderErrorIsSticky(t *testing.T) {
+	rd, err := NewReader(strings.NewReader("TID,2,x\n@0\nbad\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := rd.Next()
+	_, err2 := rd.Next()
+	if err1 == nil || err2 == nil {
+		t.Fatalf("want sticky error, got %v then %v", err1, err2)
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("error not sticky: %v vs %v", err1, err2)
+	}
+}
+
+func TestReaderCallbackErrorStops(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, testDataset(), testGrid()); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := fmt.Errorf("stop")
+	calls := 0
+	err := ReadTransitionStream(&buf, func(*Batch) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || calls != 2 {
+		t.Fatalf("err=%v calls=%d, want sentinel after 2 calls", err, calls)
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, 0, "x"); err == nil {
+		t.Fatal("want error for zero timeline")
+	}
+	if _, err := NewWriter(&buf, 1, "a\nb"); err == nil {
+		t.Fatal("want error for a name with a line break")
+	}
+	w, err := NewWriter(&buf, 2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(1, nil); err == nil {
+		t.Fatal("want error for an out-of-order batch")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("want error flushing an incomplete stream")
+	}
+	if err := w.WriteBatch(0, []Transition{{Flag: 9, User: 0}}); err == nil {
+		t.Fatal("want error for an invalid flag")
+	}
+	if err := w.WriteBatch(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(2, nil); err == nil {
+		t.Fatal("want error for a batch beyond the timeline")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitionFileName(t *testing.T) {
+	if got := TransitionFileName("tdrive", true); got != "tdrive_transition_id.xz" {
+		t.Fatalf("got %q", got)
+	}
+	if got := TransitionFileName("tdrive", false); got != "tdrive_transition_id" {
+		t.Fatalf("got %q", got)
+	}
+	if !IsXZPath("a/b/tdrive_transition_id.xz") || IsXZPath("tdrive_transition_id") {
+		t.Fatal("IsXZPath misclassifies")
+	}
+}

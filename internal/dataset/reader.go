@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Reader streams a transition-id file one timestamp at a time. Memory is
+// bounded by the largest single timestamp, never the whole file — a
+// SanJoaquin-scale stream (55.8M tuples) replays in a few megabytes.
+type Reader struct {
+	sc    *bufio.Scanner
+	t     int    // timeline length from the header
+	name  string // dataset name from the header
+	next  int    // next timestamp Next must yield
+	line  int    // current line for error context
+	stash string // lookahead marker line consumed by the previous batch
+	err   error  // sticky parse error
+}
+
+// NewReader reads the TID header off r and returns a streaming reader for
+// the batches that follow. r is consumed incrementally by Next.
+func NewReader(r io.Reader) (*Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	rd := &Reader{sc: sc}
+	text, ok, err := rd.scanLine()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("dataset: empty input")
+	}
+	header := strings.SplitN(text, ",", 3)
+	if len(header) < 2 || header[0] != "TID" {
+		return nil, fmt.Errorf("dataset: malformed header %q (want TID,<T>,<name>)", text)
+	}
+	t, err := strconv.Atoi(header[1])
+	if err != nil || t <= 0 {
+		return nil, fmt.Errorf("dataset: bad timeline length %q", header[1])
+	}
+	rd.t = t
+	if len(header) == 3 {
+		rd.name = header[2]
+	}
+	return rd, nil
+}
+
+// T returns the timeline length declared in the header.
+func (r *Reader) T() int { return r.t }
+
+// Name returns the dataset name declared in the header.
+func (r *Reader) Name() string { return r.name }
+
+// scanLine returns the next non-blank line, trimmed, tracking line numbers.
+func (r *Reader) scanLine() (string, bool, error) {
+	for r.sc.Scan() {
+		r.line++
+		text := strings.TrimSpace(r.sc.Text())
+		if text == "" {
+			continue
+		}
+		return text, true, nil
+	}
+	return "", false, r.sc.Err()
+}
+
+func (r *Reader) fail(err error) (*Batch, error) {
+	r.err = err
+	return nil, err
+}
+
+// Next returns the batch for the next timestamp. Batches arrive strictly in
+// order for every t in [0, T); after the last one Next returns io.EOF. Any
+// structural violation — a missing or out-of-order `@t` marker, a malformed
+// tuple, content past the timeline — is a sticky error: a truncated file is
+// reported as truncation, never silently passed off as a shorter stream.
+func (r *Reader) Next() (*Batch, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	marker := r.stash
+	r.stash = ""
+	if marker == "" {
+		text, ok, err := r.scanLine()
+		if err != nil {
+			return r.fail(err)
+		}
+		if !ok {
+			if r.next >= r.t {
+				return nil, io.EOF
+			}
+			return r.fail(fmt.Errorf("dataset: truncated stream: want @%d marker, got EOF after line %d (timeline [0,%d))", r.next, r.line, r.t))
+		}
+		marker = text
+	}
+	t, ok := parseMarker(marker)
+	if !ok {
+		return r.fail(fmt.Errorf("dataset: line %d: want @%d marker, got %q", r.line, r.next, marker))
+	}
+	if t >= r.t {
+		return r.fail(fmt.Errorf("dataset: line %d: timestamp @%d outside timeline [0,%d)", r.line, t, r.t))
+	}
+	if t != r.next {
+		return r.fail(fmt.Errorf("dataset: line %d: timestamp @%d out of order (want @%d)", r.line, t, r.next))
+	}
+	b := &Batch{T: t}
+	for {
+		text, ok, err := r.scanLine()
+		if err != nil {
+			return r.fail(err)
+		}
+		if !ok {
+			if r.next < r.t-1 {
+				return r.fail(fmt.Errorf("dataset: truncated stream: EOF after @%d (timeline [0,%d))", r.next, r.t))
+			}
+			break
+		}
+		if strings.HasPrefix(text, "@") {
+			r.stash = text
+			break
+		}
+		tr, err := parseTransition(text)
+		if err != nil {
+			return r.fail(fmt.Errorf("dataset: line %d: %w", r.line, err))
+		}
+		b.Transitions = append(b.Transitions, tr)
+	}
+	r.next++
+	return b, nil
+}
+
+func parseMarker(text string) (int, bool) {
+	if !strings.HasPrefix(text, "@") {
+		return 0, false
+	}
+	t, err := strconv.Atoi(text[1:])
+	if err != nil || t < 0 {
+		return 0, false
+	}
+	return t, true
+}
+
+func parseTransition(text string) (Transition, error) {
+	var tr Transition
+	fields := strings.Split(text, ",")
+	if len(fields) != 6 {
+		return tr, fmt.Errorf("want x1,y1,x2,y2,flag,user (6 fields), got %d", len(fields))
+	}
+	coords := [4]*float64{&tr.X1, &tr.Y1, &tr.X2, &tr.Y2}
+	for i, dst := range coords {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return tr, fmt.Errorf("bad coordinate %q", fields[i])
+		}
+		*dst = v
+	}
+	flag, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return tr, fmt.Errorf("bad flag %q", fields[4])
+	}
+	tr.Flag = Flag(flag)
+	user, err := strconv.Atoi(fields[5])
+	if err != nil {
+		return tr, fmt.Errorf("bad user %q", fields[5])
+	}
+	tr.User = user
+	if !tr.valid() {
+		return tr, fmt.Errorf("invalid tuple %q (flag outside {0,1,2}, negative user, or non-finite coordinate)", text)
+	}
+	return tr, nil
+}
+
+// ReadTransitionStream streams every batch of a transition-id stream
+// through fn, in timestamp order. It is the one-call replay loop (and the
+// fuzz entry point): a nil error means the whole timeline [0, T) was
+// delivered intact.
+func ReadTransitionStream(r io.Reader, fn func(*Batch) error) error {
+	rd, err := NewReader(r)
+	if err != nil {
+		return err
+	}
+	for {
+		b, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"retrasyn/internal/spatial"
+	"retrasyn/internal/trajectory"
+)
+
+// Writer emits a transition-id stream incrementally: one WriteBatch per
+// timestamp, strictly in order, then Flush. Rows are formatted into a
+// reused scratch buffer — at SanJoaquin scale the writer is xz-bound, not
+// allocation-bound.
+type Writer struct {
+	bw      *bufio.Writer
+	t       int
+	next    int
+	scratch []byte
+}
+
+// NewWriter writes the TID header for a timeline of length tlen and returns
+// a writer expecting exactly one batch per timestamp in [0, tlen).
+func NewWriter(w io.Writer, tlen int, name string) (*Writer, error) {
+	if tlen <= 0 {
+		return nil, fmt.Errorf("dataset: timeline length must be positive, got %d", tlen)
+	}
+	if strings.ContainsAny(name, "\r\n") {
+		return nil, fmt.Errorf("dataset: name %q contains a line break", name)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "TID,%d,%s\n", tlen, name); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw, t: tlen}, nil
+}
+
+// WriteBatch emits timestamp t's transitions. Timestamps must arrive
+// consecutively from 0; an empty batch still emits its marker (the reader
+// requires the full timeline).
+func (w *Writer) WriteBatch(t int, trs []Transition) error {
+	if t != w.next {
+		return fmt.Errorf("dataset: WriteBatch(%d) out of order (want %d)", t, w.next)
+	}
+	if t >= w.t {
+		return fmt.Errorf("dataset: WriteBatch(%d) outside timeline [0,%d)", t, w.t)
+	}
+	buf := w.scratch[:0]
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, int64(t), 10)
+	buf = append(buf, '\n')
+	for _, tr := range trs {
+		if !tr.valid() {
+			return fmt.Errorf("dataset: WriteBatch(%d): invalid transition %+v", t, tr)
+		}
+		buf = strconv.AppendFloat(buf, tr.X1, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, tr.Y1, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, tr.X2, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, tr.Y2, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(tr.Flag), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(tr.User), 10)
+		buf = append(buf, '\n')
+	}
+	w.scratch = buf[:0]
+	if _, err := w.bw.Write(buf); err != nil {
+		return err
+	}
+	w.next++
+	return nil
+}
+
+// Flush completes the stream. It fails when the timeline is incomplete —
+// a partial export must never pass for a whole one.
+func (w *Writer) Flush() error {
+	if w.next != w.t {
+		return fmt.Errorf("dataset: incomplete stream: %d of %d timestamps written", w.next, w.t)
+	}
+	return w.bw.Flush()
+}
+
+// WriteDataset streams a discretized dataset as a transition-id stream,
+// deriving the continuous coordinates from sp's cell centers (which
+// round-trip to the same cells, so a replay reconstructs the exact cell
+// transitions). The sweep never materializes the full event stream: memory
+// stays bounded by the busiest timestamp.
+func WriteDataset(w io.Writer, d *trajectory.Dataset, sp spatial.Discretizer) error {
+	tw, err := NewWriter(w, d.T, d.Name)
+	if err != nil {
+		return err
+	}
+	var trs []Transition
+	err = trajectory.SweepEvents(d, func(t int, events []trajectory.Event, active int) error {
+		trs = trs[:0]
+		for _, ev := range events {
+			trs = append(trs, FromEvent(ev, sp))
+		}
+		return tw.WriteBatch(t, trs)
+	})
+	if err != nil {
+		return err
+	}
+	return tw.Flush()
+}

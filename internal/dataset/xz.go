@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// xz plumbing. The Go standard library has no xz codec and this module
+// carries no dependencies, so .xz paths are piped through the system xz
+// binary as a subprocess — the same binary that produced the reference
+// datasets. Uncompressed paths (no .xz suffix) bypass the subprocess
+// entirely, so nothing below requires xz unless a compressed file is
+// actually touched.
+
+// IsXZPath reports whether path names an xz-compressed file.
+func IsXZPath(path string) bool { return strings.HasSuffix(path, ".xz") }
+
+// XZAvailable reports whether the system xz binary is on PATH; it is the
+// gate Open/Create apply before spawning the subprocess, exposed so
+// commands can fail fast with a clear message.
+func XZAvailable() error {
+	if _, err := exec.LookPath("xz"); err != nil {
+		return fmt.Errorf("dataset: xz binary not found on PATH (required for .xz paths; use an uncompressed path without the suffix instead): %w", err)
+	}
+	return nil
+}
+
+// Open opens a transition-stream file for reading, decompressing through
+// `xz -dc` when the path ends in .xz. The returned ReadCloser must be
+// closed, and its Close error checked: for compressed paths Close reaps the
+// subprocess and is where a corrupt or truncated archive surfaces.
+func Open(path string) (io.ReadCloser, error) {
+	if !IsXZPath(path) {
+		return os.Open(path)
+	}
+	if err := XZAvailable(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("xz", "-q", "-dc")
+	cmd.Stdin = f
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: starting xz -dc: %w", err)
+	}
+	return &xzReader{out: out, cmd: cmd, file: f, stderr: &stderr}, nil
+}
+
+type xzReader struct {
+	out    io.ReadCloser
+	cmd    *exec.Cmd
+	file   *os.File
+	stderr *bytes.Buffer
+}
+
+func (r *xzReader) Read(p []byte) (int, error) { return r.out.Read(p) }
+
+func (r *xzReader) Close() error {
+	r.out.Close()
+	werr := r.cmd.Wait()
+	cerr := r.file.Close()
+	if werr != nil {
+		if msg := strings.TrimSpace(r.stderr.String()); msg != "" {
+			return fmt.Errorf("dataset: xz -dc: %s", msg)
+		}
+		return fmt.Errorf("dataset: xz -dc: %w", werr)
+	}
+	return cerr
+}
+
+// Create opens a transition-stream file for writing, compressing through
+// `xz -c` when the path ends in .xz. Close flushes the compressor and is
+// where compression failures surface; callers must check it. Compression
+// runs at a fast preset — these are bulk exports, and level 2 already
+// shrinks the highly repetitive tuple text by an order of magnitude.
+func Create(path string) (io.WriteCloser, error) {
+	if !IsXZPath(path) {
+		return os.Create(path)
+	}
+	if err := XZAvailable(); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("xz", "-q", "-zc", "-2")
+	cmd.Stdout = f
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: starting xz -zc: %w", err)
+	}
+	return &xzWriter{in: in, cmd: cmd, file: f, stderr: &stderr}, nil
+}
+
+type xzWriter struct {
+	in     io.WriteCloser
+	cmd    *exec.Cmd
+	file   *os.File
+	stderr *bytes.Buffer
+}
+
+func (w *xzWriter) Write(p []byte) (int, error) { return w.in.Write(p) }
+
+func (w *xzWriter) Close() error {
+	w.in.Close()
+	werr := w.cmd.Wait()
+	cerr := w.file.Close()
+	if werr != nil {
+		if msg := strings.TrimSpace(w.stderr.String()); msg != "" {
+			return fmt.Errorf("dataset: xz -zc: %s", msg)
+		}
+		return fmt.Errorf("dataset: xz -zc: %w", werr)
+	}
+	return cerr
+}

@@ -99,6 +99,30 @@ func UnpackReportBytes(data []byte, domain int) (PackedReport, error) {
 	return p, nil
 }
 
+// UnpackReportBytesInto is UnpackReportBytes decoding into a caller-owned
+// all-zero report (e.g. a PackedBatch.Grow row), so a wire batch streams
+// straight into the fold buffer with no per-report allocation or copy. dst
+// must have PackedWords(domain) words; validation matches
+// UnpackReportBytes. On error dst may hold a partial decode — callers
+// discard the batch on error, so no row is ever folded.
+func UnpackReportBytesInto(data []byte, domain int, dst PackedReport) error {
+	if len(dst) != PackedWords(domain) {
+		panic(fmt.Sprintf("ldp: UnpackReportBytesInto dst has %d words, want %d", len(dst), PackedWords(domain)))
+	}
+	if len(data) != PackedBytes(domain) {
+		return fmt.Errorf("ldp: packed report is %d bytes, want %d for domain %d", len(data), PackedBytes(domain), domain)
+	}
+	for i, b := range data {
+		dst[i>>3] |= uint64(b) << uint((i&7)*8)
+	}
+	if tail := domain & 63; tail != 0 {
+		if dst[len(dst)-1]&^(1<<uint(tail)-1) != 0 {
+			return fmt.Errorf("ldp: packed report has bits set beyond domain %d", domain)
+		}
+	}
+	return nil
+}
+
 // PerturbPacked is Perturb with a packed result. It consumes the random
 // stream exactly as Perturb does, so a round collected packed is
 // bit-identical to the same round collected sparsely.

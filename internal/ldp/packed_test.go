@@ -264,3 +264,51 @@ func FuzzUnpackReportBytes(f *testing.F) {
 		}
 	})
 }
+
+// TestUnpackReportBytesIntoMatches pins the zero-copy wire decode against
+// the allocating one: identical bits for every payload, identical
+// rejections for every malformed one, and a panic (not corruption) when
+// the destination row is mis-sized.
+func TestUnpackReportBytesIntoMatches(t *testing.T) {
+	const domain = 70
+	rng := NewRand(41, 5)
+	batch := NewPackedBatch(domain, 8)
+	for i := 0; i < 8; i++ {
+		p := make(PackedReport, PackedWords(domain))
+		for j := 0; j < domain; j++ {
+			if rng.Float64() < 0.3 {
+				p.SetBit(j)
+			}
+		}
+		data := p.Bytes(domain)
+		want, err := UnpackReportBytes(data, domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := batch.Grow()
+		if err := UnpackReportBytesInto(data, domain, row); err != nil {
+			t.Fatal(err)
+		}
+		for g := range want {
+			if row[g] != want[g] {
+				t.Fatalf("report %d word %d: %#x != %#x", i, g, row[g], want[g])
+			}
+		}
+	}
+
+	dst := make(PackedReport, PackedWords(domain))
+	if err := UnpackReportBytesInto(make([]byte, 4), domain, dst); err == nil {
+		t.Error("short payload accepted")
+	}
+	bad := make([]byte, PackedBytes(domain))
+	bad[8] = 0xFF // bits 64..71, domain ends at 70
+	if err := UnpackReportBytesInto(bad, domain, make(PackedReport, PackedWords(domain))); err == nil {
+		t.Error("payload with bits beyond the domain accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mis-sized destination did not panic")
+		}
+	}()
+	UnpackReportBytesInto(make([]byte, PackedBytes(domain)), domain, make(PackedReport, 1))
+}

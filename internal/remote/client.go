@@ -1,8 +1,6 @@
 package remote
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,31 +12,34 @@ import (
 
 // Client is the device side of the protocol: it owns one user's trajectory
 // and never ships a raw location — only presence metadata and locally
-// perturbed OUE bits.
+// perturbed OUE bits. Requests run under the transport's per-attempt
+// timeout; the idempotent paths (presence, assignment polls) additionally
+// retry transient failures, while the report upload never does — the
+// curator accepts one report per assignment, and retrying an ambiguous
+// success would be rejected as a duplicate anyway.
 type Client struct {
-	baseURL string
-	http    *http.Client
-	user    int
-	traj    trajectory.CellTrajectory
-	dom     *transition.Domain
-	rng     ldp.Rand
+	tr   *transport
+	user int
+	traj trajectory.CellTrajectory
+	dom  *transition.Domain
+	rng  ldp.Rand
 }
 
 // NewClient builds a device client. The domain must match the curator's
 // grid (in a deployment the curator publishes the grid parameters).
 func NewClient(baseURL string, httpClient *http.Client, user int, traj trajectory.CellTrajectory, dom *transition.Domain, seed uint64) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
 	return &Client{
-		baseURL: baseURL,
-		http:    httpClient,
-		user:    user,
-		traj:    traj,
-		dom:     dom,
-		rng:     ldp.NewRand(seed, seed^0xbb67ae8584caa73b),
+		tr:   newTransport(baseURL, httpClient),
+		user: user,
+		traj: traj,
+		dom:  dom,
+		rng:  ldp.NewRand(seed, seed^0xbb67ae8584caa73b),
 	}
 }
+
+// SetRetryPolicy overrides the client's timeout/retry bounds (zero fields
+// keep their defaults). Call before issuing requests.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.tr.policy = p }
 
 // StateAt returns the client's transition state at timestamp t and whether
 // it has one: enter at Start, moves while continuing, and the final
@@ -63,12 +64,13 @@ func (c *Client) LocatedAt(t int) bool {
 	return t >= c.traj.Start && t <= c.traj.End()
 }
 
-// AnnouncePresence tells the curator the client has a state at t.
+// AnnouncePresence tells the curator the client has a state at t. Presence
+// registration is a set operation on the curator, so it retries safely.
 func (c *Client) AnnouncePresence(t int) error {
 	if _, ok := c.StateAt(t); !ok {
 		return nil
 	}
-	return c.post("/v1/presence", presenceRequest{User: c.user, T: t})
+	return c.tr.postJSON("/v1/presence", presenceRequest{User: c.user, T: t}, true, nil)
 }
 
 // MaybeReport polls the assignment for t and, if sampled, perturbs the
@@ -79,16 +81,8 @@ func (c *Client) MaybeReport(t int) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	resp, err := c.http.Get(fmt.Sprintf("%s/v1/assignment?user=%d&t=%d", c.baseURL, c.user, t))
-	if err != nil {
-		return false, err
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("remote: assignment poll failed: %s", resp.Status)
-	}
 	var a Assignment
-	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+	if err := c.tr.getJSON(fmt.Sprintf("/v1/assignment?user=%d&t=%d", c.user, t), &a); err != nil {
 		return false, err
 	}
 	if !a.Report {
@@ -103,27 +97,10 @@ func (c *Client) MaybeReport(t int) (bool, error) {
 		return false, err
 	}
 	ones := oracle.Perturb(c.rng, idx) // the only thing that leaves the device
-	if err := c.post("/v1/report", reportRequest{User: c.user, T: t, Ones: ones}); err != nil {
+	if err := c.tr.postJSON("/v1/report", reportRequest{User: c.user, T: t, Ones: ones}, false, nil); err != nil {
 		return false, err
 	}
 	return true, nil
-}
-
-func (c *Client) post(path string, body any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer drain(resp)
-	if resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("remote: %s → %s: %s", path, resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
 }
 
 func drain(resp *http.Response) {
@@ -132,57 +109,52 @@ func drain(resp *http.Response) {
 }
 
 // Coordinator drives the per-timestamp protocol against a curator endpoint
-// (in production: a scheduler tick).
+// (in production: a scheduler tick). Plan and Finalize advance the round
+// state machine, so they never retry; the read-only paths do.
 type Coordinator struct {
-	baseURL string
-	http    *http.Client
+	tr *transport
 }
 
 // NewCoordinator builds a coordinator for the endpoint.
 func NewCoordinator(baseURL string, httpClient *http.Client) *Coordinator {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	return &Coordinator{baseURL: baseURL, http: httpClient}
+	return &Coordinator{tr: newTransport(baseURL, httpClient)}
 }
+
+// SetRetryPolicy overrides the coordinator's timeout/retry bounds (zero
+// fields keep their defaults). Call before issuing requests.
+func (co *Coordinator) SetRetryPolicy(p RetryPolicy) { co.tr.policy = p }
 
 // Plan opens the round for timestamp t.
 func (co *Coordinator) Plan(t int) error {
-	return co.post("/v1/plan", planRequest{T: t})
+	return co.tr.postJSON("/v1/plan", planRequest{T: t}, false, nil)
 }
 
 // Finalize closes timestamp t with the public active count.
 func (co *Coordinator) Finalize(t, active int) error {
-	return co.post("/v1/finalize", finalizeRequest{T: t, Active: active})
+	return co.tr.postJSON("/v1/finalize", finalizeRequest{T: t, Active: active}, false, nil)
 }
 
 // Synthetic fetches the current release.
 func (co *Coordinator) Synthetic() (*trajectory.RawDataset, []byte, error) {
-	resp, err := co.http.Get(co.baseURL + "/v1/synthetic")
-	if err != nil {
+	var body rawBody
+	if err := co.tr.do(http.MethodGet, "/v1/synthetic", nil, true, &body); err != nil {
 		return nil, nil, err
 	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return nil, nil, fmt.Errorf("remote: synthetic fetch failed: %s", resp.Status)
-	}
-	body, err := io.ReadAll(resp.Body)
-	return nil, body, err
+	return nil, body, nil
 }
 
-func (co *Coordinator) post(path string, body any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := co.http.Post(co.baseURL+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer drain(resp)
-	if resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("remote: %s → %s: %s", path, resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+// Stats fetches the curator's activity counters and per-stage timings.
+func (co *Coordinator) Stats() (StatsSnapshot, error) {
+	var s StatsSnapshot
+	err := co.tr.getJSON("/v1/stats", &s)
+	return s, err
+}
+
+// rawBody captures a non-JSON response verbatim (the /v1/synthetic CSV).
+type rawBody []byte
+
+func (b *rawBody) decodeFrom(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	*b = data
+	return err
 }

@@ -24,6 +24,7 @@ package remote
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/ldp"
@@ -129,27 +130,28 @@ type Curator struct {
 	bootFP CuratorFingerprint
 	dom    *transition.Domain
 
-	mu          sync.Mutex
-	space       spatial.Discretizer // layout currently in effect
-	generation  int                 // layout migrations applied so far
-	ctl         *relayout.Controller
-	t           int
-	phase       phase
-	present     map[int]bool // users who announced presence for t
-	prevPresent map[int]bool // presence at t−1, for quit inference
-	assignments map[int]Assignment
-	epsRound    float64
-	agg         *ldp.Aggregator
-	oracle      *ldp.OUE
-	model       *mobility.Model
-	users       *UserRoster
-	dev         *allocation.DevTracker
-	sig         *allocation.SigTracker
-	budgetWin   *allocation.BudgetWindow
-	ledger      *allocation.Ledger
-	rng         *ldp.Source
-	rounds      int
-	reports     int
+	mu             sync.Mutex
+	space          spatial.Discretizer // layout currently in effect
+	generation     int                 // layout migrations applied so far
+	ctl            *relayout.Controller
+	t              int
+	phase          phase
+	present        map[int]bool // users who announced presence for t
+	prevPresent    map[int]bool // presence at t−1, for quit inference
+	assignments    map[int]Assignment
+	epsRound       float64
+	agg            *ldp.Aggregator
+	oracle         *ldp.OUE
+	model          *mobility.Model
+	users          *UserRoster
+	dev            *allocation.DevTracker
+	sig            *allocation.SigTracker
+	budgetWin      *allocation.BudgetWindow
+	ledger         *allocation.Ledger
+	rng            *ldp.Source
+	rounds         int
+	reports        int
+	presenceEvents int64
 
 	// The estimation / model-update / synthesis stages are shared with the
 	// in-process engine (internal/pipeline); only collection differs — here
@@ -274,8 +276,38 @@ func (c *Curator) Presence(user, t int) error {
 	if t <= c.t {
 		return fmt.Errorf("remote: presence for closed timestamp %d (current %d)", t, c.t)
 	}
-	c.present[user] = true
+	if !c.present[user] {
+		c.present[user] = true
+		c.presenceEvents++
+	}
 	return nil
+}
+
+// PresenceBatch registers a whole gateway shard's presence in one call.
+// Registration is a set operation, so the batch needs no all-or-nothing
+// staging and the call (like Presence) is safely retryable — re-announcing
+// a user is a no-op and is not double-counted.
+func (c *Curator) PresenceBatch(users []int, t int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t <= c.t {
+		return fmt.Errorf("remote: presence for closed timestamp %d (current %d)", t, c.t)
+	}
+	for _, user := range users {
+		if !c.present[user] {
+			c.present[user] = true
+			c.presenceEvents++
+		}
+	}
+	return nil
+}
+
+// PresenceEvents counts the accepted presence registrations since boot —
+// the curator-side half of a replay harness's loss accounting.
+func (c *Curator) PresenceEvents() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.presenceEvents
 }
 
 // Plan closes presence collection for timestamp t, recycles the window,
@@ -361,6 +393,21 @@ func (c *Curator) AssignmentFor(user, t int) (Assignment, error) {
 	return c.assignments[user], nil
 }
 
+// AssignmentsFor answers a gateway's batched poll after Plan: one entry per
+// requested user, index-aligned. Read-only, so safely retryable.
+func (c *Curator) AssignmentsFor(users []int, t int) ([]Assignment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase != phasePlanned || t != c.t {
+		return nil, fmt.Errorf("remote: no open round for timestamp %d", t)
+	}
+	out := make([]Assignment, len(users))
+	for i, u := range users {
+		out[i] = c.assignments[u]
+	}
+	return out, nil
+}
+
 // Report ingests a sampled client's perturbed OUE bits (indices of ones).
 func (c *Curator) Report(user, t int, ones []int) error {
 	c.mu.Lock()
@@ -443,8 +490,12 @@ func (c *Curator) ReportBatch(t int, batch []BatchReport) error {
 		}
 		eps[i] = a.Epsilon
 	}
-	for i, r := range batch {
+	start := time.Now()
+	for _, r := range batch {
 		c.agg.Add(r.Ones)
+	}
+	c.timings.ModelConstruction += time.Since(start)
+	for i, r := range batch {
 		c.applyReportMetaLocked(r.User, t, eps[i])
 	}
 	return nil
@@ -477,11 +528,14 @@ func PackReportBatch(batch []BatchReport, d int) ([]PackedBatchReport, error) {
 
 // ReportPackedBatch ingests a bit-packed batched upload. Validation is
 // all-or-nothing like ReportBatch — open round, unique sampled users, and
-// every payload exactly ⌈d/8⌉ bytes with no bits set beyond the domain
-// (ldp.UnpackReportBytes), so a malformed entry yields a clean error
-// instead of corrupting or panicking the fold. The accepted batch is folded
+// every payload exactly ⌈d/8⌉ bytes with no bits set beyond the domain, so
+// a malformed entry yields a clean error instead of corrupting or panicking
+// the fold. Each wire payload decodes straight into its fold-buffer row
+// (ldp.UnpackReportBytesInto on a PackedBatch.Grow row) — no intermediate
+// PackedReport is materialized or copied — and the accepted batch is folded
 // through the word-parallel counter network; counts are bit-identical to
-// the sparse path.
+// the sparse path. Fold time is charged to the model-construction stage,
+// the same bucket the in-process pipeline charges aggregation to.
 func (c *Curator) ReportPackedBatch(t int, batch []PackedBatchReport) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -501,14 +555,14 @@ func (c *Curator) ReportPackedBatch(t int, batch []PackedBatchReport) error {
 		if !ok || !a.Report {
 			return fmt.Errorf("remote: batch entry %d: user %d was not sampled at timestamp %d", i, r.User, t)
 		}
-		p, err := ldp.UnpackReportBytes(r.Bits, d)
-		if err != nil {
+		if err := ldp.UnpackReportBytesInto(r.Bits, d, packed.Grow()); err != nil {
 			return fmt.Errorf("remote: batch entry %d (user %d): %w", i, r.User, err)
 		}
-		packed.Append(p)
 		eps[i] = a.Epsilon
 	}
+	start := time.Now()
 	c.agg.AddPackedBatch(packed, ldp.DefaultWorkers())
+	c.timings.ModelConstruction += time.Since(start)
 	for i, r := range batch {
 		c.applyReportMetaLocked(r.User, t, eps[i])
 	}

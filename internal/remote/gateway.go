@@ -1,0 +1,73 @@
+package remote
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Gateway is the aggregation tier of the protocol: it fans a shard of
+// device traffic into the curator as batched requests — one presence
+// registration, one assignment poll and one report upload per timestamp for
+// the whole shard — instead of per-device round trips. The batched presence
+// and assignment paths are set-or-read operations on the curator and retry
+// transient failures under the transport policy; the report upload, like
+// the device client's, gets exactly one attempt.
+//
+// A gateway never sees raw locations either: devices (or the replay
+// harness standing in for them) hand it locally perturbed OUE bits.
+type Gateway struct {
+	tr *transport
+}
+
+// NewGateway builds a gateway for the curator endpoint.
+func NewGateway(baseURL string, httpClient *http.Client) *Gateway {
+	return &Gateway{tr: newTransport(baseURL, httpClient)}
+}
+
+// SetRetryPolicy overrides the gateway's timeout/retry bounds (zero fields
+// keep their defaults). Call before issuing requests.
+func (g *Gateway) SetRetryPolicy(p RetryPolicy) { g.tr.policy = p }
+
+// AnnouncePresence registers the shard's users for timestamp t in one
+// request. Presence is a set operation, so a retried announcement cannot
+// double-register anyone.
+func (g *Gateway) AnnouncePresence(users []int, t int) error {
+	if len(users) == 0 {
+		return nil
+	}
+	return g.tr.postJSON("/v1/presence", presenceRequest{T: t, Users: users}, true, nil)
+}
+
+// Assignments polls the sampling assignments for the shard, index-aligned
+// with users. The poll is read-only and retries transient failures.
+func (g *Gateway) Assignments(users []int, t int) ([]Assignment, error) {
+	if len(users) == 0 {
+		return nil, nil
+	}
+	var resp assignmentsResponse
+	if err := g.tr.postJSON("/v1/assignments", assignmentsRequest{T: t, Users: users}, true, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Assignments) != len(users) {
+		return nil, fmt.Errorf("remote: assignments response carries %d entries for %d users", len(resp.Assignments), len(users))
+	}
+	return resp.Assignments, nil
+}
+
+// ReportBatch ships the shard's sparse report batch — exactly one attempt,
+// all-or-nothing on the curator.
+func (g *Gateway) ReportBatch(t int, batch []BatchReport) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	return g.tr.postJSON("/v1/report", reportRequest{T: t, Reports: batch}, false, nil)
+}
+
+// ReportPacked ships the shard's bit-packed report batch — exactly one
+// attempt, all-or-nothing on the curator.
+func (g *Gateway) ReportPacked(t int, batch []PackedBatchReport) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	return g.tr.postJSON("/v1/report", reportRequest{T: t, Packed: batch}, false, nil)
+}

@@ -1,0 +1,115 @@
+package remote
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"retrasyn/internal/ldp"
+)
+
+// TestGatewayRoundsMatchDirectDrive replays identical rounds into two
+// same-seed curators — one driven directly through the Go API, one through
+// the batched gateway endpoints over HTTP — and requires identical sampling
+// decisions, report counts and released synthetic databases: the gateway
+// tier batches the wire traffic without changing one bit of the protocol.
+func TestGatewayRoundsMatchDirectDrive(t *testing.T) {
+	g := testGrid()
+	direct, err := NewCurator(testConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := NewCurator(testConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(served))
+	defer srv.Close()
+	gw := NewGateway(srv.URL, nil)
+	gw.SetRetryPolicy(fastPolicy())
+
+	d := direct.Domain().Size()
+	users := make([]int, 40)
+	for i := range users {
+		users[i] = i
+	}
+	rng := ldp.NewRand(99, 7)
+	const T = 8
+	for ts := 0; ts < T; ts++ {
+		sampled := driveRound(t, direct, ts, users)
+		if err := gw.AnnouncePresence(users, ts); err != nil {
+			t.Fatalf("t=%d gateway presence: %v", ts, err)
+		}
+		if err := served.Plan(ts); err != nil {
+			t.Fatalf("t=%d plan: %v", ts, err)
+		}
+		as, err := gw.Assignments(users, ts)
+		if err != nil {
+			t.Fatalf("t=%d gateway assignments: %v", ts, err)
+		}
+		var batch []BatchReport
+		for i, u := range users {
+			want, ok := sampled[u]
+			if as[i].Report != ok || (ok && as[i] != want) {
+				t.Fatalf("t=%d user %d: gateway assignment %+v, direct %+v (sampled=%v)", ts, u, as[i], want, ok)
+			}
+			if !ok {
+				continue
+			}
+			oracle := ldp.MustOUE(d, as[i].Epsilon)
+			batch = append(batch, BatchReport{User: u, Ones: oracle.Perturb(rng, u%d)})
+		}
+		// Alternate wire encodings: both must land identically.
+		if ts%2 == 0 {
+			packed, err := PackReportBatch(batch, d)
+			if err != nil {
+				t.Fatalf("t=%d pack: %v", ts, err)
+			}
+			err = gw.ReportPacked(ts, packed)
+			if err != nil {
+				t.Fatalf("t=%d gateway packed report: %v", ts, err)
+			}
+		} else if err := gw.ReportBatch(ts, batch); err != nil {
+			t.Fatalf("t=%d gateway sparse report: %v", ts, err)
+		}
+		if err := direct.ReportBatch(ts, batch); err != nil {
+			t.Fatalf("t=%d direct report: %v", ts, err)
+		}
+		if err := direct.Finalize(ts, len(users)); err != nil {
+			t.Fatal(err)
+		}
+		if err := served.Finalize(ts, len(users)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, directReports := direct.Stats()
+	_, servedReports := served.Stats()
+	if directReports == 0 || directReports != servedReports {
+		t.Fatalf("report counts diverged: direct %d, gateway %d", directReports, servedReports)
+	}
+	if served.PresenceEvents() != int64(len(users)*T) {
+		t.Fatalf("presence events = %d, want %d", served.PresenceEvents(), len(users)*T)
+	}
+	if !reflect.DeepEqual(direct.Synthetic("x"), served.Synthetic("x")) {
+		t.Fatal("gateway-fed curator released a different synthetic database")
+	}
+}
+
+// TestGatewayEmptyShard: a gateway whose shard is idle this timestamp must
+// not touch the curator at all.
+func TestGatewayEmptyShard(t *testing.T) {
+	gw := NewGateway("http://127.0.0.1:1", nil) // nothing listens here
+	if err := gw.AnnouncePresence(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	as, err := gw.Assignments(nil, 0)
+	if err != nil || as != nil {
+		t.Fatalf("Assignments(nil) = %v, %v", as, err)
+	}
+	if err := gw.ReportBatch(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.ReportPacked(0, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,9 +11,25 @@ import (
 // HTTP transport for the curator. All bodies are JSON; errors map to 4xx
 // with a plain-text reason.
 
+// presenceRequest announces presence for one user (User) or a whole
+// gateway's worth at once (Users); both forms may appear in one request.
+// Presence is a set operation, so the batched form is safely retryable.
 type presenceRequest struct {
-	User int `json:"user"`
-	T    int `json:"t"`
+	User  int   `json:"user"`
+	T     int   `json:"t"`
+	Users []int `json:"users,omitempty"`
+}
+
+// assignmentsRequest is the batched assignment poll: one round trip for a
+// gateway's whole user shard instead of one GET per user.
+type assignmentsRequest struct {
+	T     int   `json:"t"`
+	Users []int `json:"users"`
+}
+
+type assignmentsResponse struct {
+	// Assignments aligns index-for-index with the request's Users.
+	Assignments []Assignment `json:"assignments"`
 }
 
 type planRequest struct {
@@ -44,9 +60,15 @@ type relayoutRequest struct {
 	Force bool `json:"force"`
 }
 
-type statsResponse struct {
+// StatsSnapshot is the /v1/stats payload — the counters a load harness
+// polls for loss accounting (presence events vs reports) and the per-stage
+// timing decomposition.
+type StatsSnapshot struct {
 	Rounds  int `json:"rounds"`
 	Reports int `json:"reports"`
+	// PresenceEvents counts every accepted presence registration — the
+	// curator-side half of a replay's zero-loss ledger.
+	PresenceEvents int64 `json:"presence_events"`
 	// Per-stage wall time accumulated by the pipeline (curator-side
 	// components of the paper's Table V decomposition).
 	ModelConstructionSec float64 `json:"model_construction_sec"`
@@ -69,11 +91,30 @@ func NewHandler(c *Curator) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := c.Presence(req.User, req.T); err != nil {
+		var err error
+		if len(req.Users) > 0 {
+			err = c.PresenceBatch(req.Users, req.T)
+		}
+		if err == nil && len(req.Users) == 0 {
+			err = c.Presence(req.User, req.T)
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
+		var req assignmentsRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		as, err := c.AssignmentsFor(req.Users, req.T)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, assignmentsResponse{Assignments: as})
 	})
 	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req planRequest
@@ -172,9 +213,10 @@ func NewHandler(c *Curator) http.Handler {
 		rounds, reports := c.Stats()
 		timings := c.Timings()
 		layout := c.LayoutStatus()
-		writeJSON(w, statsResponse{
+		writeJSON(w, StatsSnapshot{
 			Rounds:               rounds,
 			Reports:              reports,
+			PresenceEvents:       c.PresenceEvents(),
 			ModelConstructionSec: timings.ModelConstruction.Seconds(),
 			DMUSec:               timings.DMU.Seconds(),
 			SynthesisSec:         timings.Synthesis.Seconds(),

@@ -277,3 +277,51 @@ func FuzzPackedReportWire(f *testing.F) {
 		}
 	})
 }
+
+// TestReportFoldChargedToModelConstruction: the aggregation fold is part of
+// the paper's model-construction stage, so report ingestion — sparse or
+// packed — must show up in the curator's timings the same way the
+// in-process pipeline charges it, not vanish from /v1/stats.
+func TestReportFoldChargedToModelConstruction(t *testing.T) {
+	g := testGrid()
+	for name, packed := range map[string]bool{"sparse": false, "packed": true} {
+		t.Run(name, func(t *testing.T) {
+			cur, err := NewCurator(testConfig(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := cur.Domain().Size()
+			users := []int{0, 1, 2, 3, 4, 5, 6, 7}
+			sampled := driveRound(t, cur, 0, users)
+			rng := ldp.NewRand(3, 9)
+			var batch []BatchReport
+			for _, u := range users {
+				a, ok := sampled[u]
+				if !ok {
+					continue
+				}
+				oracle := ldp.MustOUE(d, a.Epsilon)
+				batch = append(batch, BatchReport{User: u, Ones: oracle.Perturb(rng, u%d)})
+			}
+			if len(batch) == 0 {
+				t.Fatal("no users sampled")
+			}
+			if packed {
+				pb, err := PackReportBatch(batch, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := cur.ReportPackedBatch(0, pb); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := cur.ReportBatch(0, batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := cur.Timings().ModelConstruction; got <= 0 {
+				t.Fatalf("fold time not charged before Finalize: ModelConstruction = %v", got)
+			}
+		})
+	}
+}

@@ -76,14 +76,18 @@ func (o *Options) defaults() {
 
 // Stats counts ingestor activity. Snapshot it with Ingestor.Stats.
 type Stats struct {
-	BatchesAccepted     int64
-	EventsAccepted      int64
-	TimestampsProcessed int64
-	// BackpressureWaits counts Submit calls that had to block for space.
-	BackpressureWaits int64
+	BatchesAccepted     int64 `json:"batches_accepted"`
+	EventsAccepted      int64 `json:"events_accepted"`
+	TimestampsProcessed int64 `json:"timestamps_processed"`
+	// BackpressureWaits counts blocking episodes: every time a Submit had
+	// to wait for space. A call that blocks, wakes and must block again
+	// counts once per wait, so under sustained replay pressure the counter
+	// tracks how hard producers are leaning on the buffer, not merely how
+	// many calls ever touched it.
+	BackpressureWaits int64 `json:"backpressure_waits"`
 	// EventsDropped counts buffered events discarded because the ingestor
 	// closed before their timestamp was sealed.
-	EventsDropped int64
+	EventsDropped int64 `json:"events_dropped"`
 }
 
 // Ingestor is the concurrent ingest front of an Engine. All methods are safe
@@ -136,7 +140,6 @@ func New(eng Engine, opts Options) *Ingestor {
 func (in *Ingestor) Submit(t int, events []trajectory.Event) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	waited := false
 	for {
 		switch {
 		case in.failed != nil:
@@ -163,10 +166,7 @@ func (in *Ingestor) Submit(t int, events []trajectory.Event) error {
 		if t < in.next+in.opts.MaxAhead && fits {
 			break
 		}
-		if !waited {
-			waited = true
-			in.stats.BackpressureWaits++
-		}
+		in.stats.BackpressureWaits++
 		in.space.Wait()
 	}
 	in.buf[t] = append(in.buf[t], events...)
@@ -240,6 +240,20 @@ func (in *Ingestor) drain() {
 		in.stats.TimestampsProcessed++
 		if err != nil && in.failed == nil {
 			in.failed = fmt.Errorf("service: engine failed at timestamp %d: %w", t, err)
+			// A failed engine must never be fed another timestamp: the
+			// error is sticky, so later sealed timestamps would only pile
+			// results onto broken state. Discard everything buffered
+			// (counted as dropped), free the buffer accounting, and wake
+			// every blocked producer so it observes the sticky error
+			// instead of waiting for space that will never drain.
+			for ts, evs := range in.buf {
+				in.stats.EventsDropped += int64(len(evs))
+				delete(in.buf, ts)
+			}
+			for ts := range in.sealed {
+				delete(in.sealed, ts)
+			}
+			in.pendingEvents = 0
 		}
 		in.space.Broadcast()
 		in.idle.Broadcast()

@@ -431,3 +431,139 @@ func TestRelayoutHookRejectsPlainEngine(t *testing.T) {
 		t.Fatal("relayout accepted on an engine without migration support")
 	}
 }
+
+// failingEngine fails every ProcessTimestamp call and counts how many it
+// received.
+type failingEngine struct {
+	calls atomic.Int32
+}
+
+func (f *failingEngine) ProcessTimestamp([]trajectory.Event, int) error {
+	f.calls.Add(1)
+	return errors.New("shard wedged")
+}
+
+func (f *failingEngine) Timestamp() int { return 0 }
+
+// TestEngineFailureStopsDrain: once the engine fails, the drain must never
+// feed it another timestamp — the error is sticky and later rounds would
+// only pile results onto broken state. Pre-fix the drain kept popping
+// sealed timestamps into the failed engine (three calls here) and the
+// buffered events vanished without being counted as dropped.
+func TestEngineFailureStopsDrain(t *testing.T) {
+	eng := &failingEngine{}
+	in := service.New(eng, service.Options{})
+	batch := func(users ...int) []trajectory.Event {
+		evs := make([]trajectory.Event, len(users))
+		for i, u := range users {
+			evs[i].User = u
+		}
+		return evs
+	}
+	if err := in.Submit(0, batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Submit(1, batch(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Submit(2, batch(4, 5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// Seal in reverse so the barrier releases everything at once: when the
+	// t=0 seal lands, t=1 and t=2 are already sealed and ready — exactly the
+	// shape where a drain that ignores the sticky error marches on.
+	for _, ts := range []int{2, 1, 0} {
+		if err := in.Seal(ts, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("engine failure never surfaced via Err")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := eng.calls.Load(); got != 1 {
+		t.Fatalf("failed engine got %d ProcessTimestamp calls, want 1", got)
+	}
+	if st := in.Stats(); st.EventsDropped != 5 {
+		t.Fatalf("EventsDropped = %d, want 5 (the t=1 and t=2 buffers)", st.EventsDropped)
+	}
+	if got := in.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after failure, want 0", got)
+	}
+	if err := in.Submit(3, batch(7)); err == nil || !strings.Contains(err.Error(), "shard wedged") {
+		t.Fatalf("submit after failure = %v, want the sticky engine error", err)
+	}
+	if err := in.Close(); err == nil || !strings.Contains(err.Error(), "shard wedged") {
+		t.Fatalf("Close = %v, want the sticky engine error", err)
+	}
+}
+
+// nopEngine accepts everything instantly.
+type nopEngine struct{ processed atomic.Int32 }
+
+func (e *nopEngine) ProcessTimestamp([]trajectory.Event, int) error {
+	e.processed.Add(1)
+	return nil
+}
+
+func (e *nopEngine) Timestamp() int { return 0 }
+
+// TestBackpressureWaitsCountsEpisodes: a Submit that blocks, wakes on a
+// space broadcast and finds the buffer still full must count again —
+// pre-fix a once-per-call flag froze the counter at its first wait, hiding
+// sustained pressure from exactly the stats a replay harness watches.
+func TestBackpressureWaitsCountsEpisodes(t *testing.T) {
+	eng := &nopEngine{}
+	in := service.New(eng, service.Options{MaxPendingEvents: 4})
+	fill := make([]trajectory.Event, 4)
+	for i := range fill {
+		fill[i].User = i
+	}
+	// t=5 is read-ahead (next is 0) but the empty-buffer override admits it,
+	// so the buffer is now exactly full with nothing the drain can process.
+	if err := in.Submit(5, fill); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- in.Submit(6, []trajectory.Event{{User: 99}})
+	}()
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s (BackpressureWaits = %d)", what, in.Stats().BackpressureWaits)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("second submit never blocked", func() bool {
+		return in.Stats().BackpressureWaits >= 1
+	})
+	// Draining the empty t=0 broadcasts space without freeing any: the
+	// blocked producer wakes, still does not fit, and must wait again.
+	if err := in.Seal(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("wait episodes after a wakeup go uncounted", func() bool {
+		return in.Stats().BackpressureWaits >= 2
+	})
+	for ts := 1; ts <= 5; ts++ {
+		if err := in.Seal(ts, 0); err != nil {
+			t.Fatalf("seal t=%d: %v", ts, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked submit: %v", err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.processed.Load(); got != 6 {
+		t.Fatalf("engine processed %d timestamps, want 6", got)
+	}
+}

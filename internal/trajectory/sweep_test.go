@@ -1,0 +1,101 @@
+package trajectory
+
+import (
+	"fmt"
+	"testing"
+
+	"retrasyn/internal/spatial"
+)
+
+// sweepDataset exercises every stream shape the sweep must order correctly:
+// overlapping spans, single-point streams, a stream ending exactly at T-1
+// (no quit fits), interleaved user ids, and an empty timestamp.
+func sweepDataset() *Dataset {
+	return &Dataset{
+		Name: "sweep",
+		T:    8,
+		Trajs: []CellTrajectory{
+			{Start: 0, Cells: []spatial.Cell{0, 1, 2}},
+			{Start: 2, Cells: []spatial.Cell{3, 3}},
+			{Start: 0, Cells: []spatial.Cell{5}},
+			{Start: 7, Cells: []spatial.Cell{1}},
+			{Start: 3, Cells: []spatial.Cell{2, 2, 2, 2, 2}},
+			{Start: 1, Cells: []spatial.Cell{4, 4}},
+		},
+	}
+}
+
+// TestSweepEventsMatchesNewStream pins the streaming sweep to the
+// materializing reference: same events, same order, same active counts, at
+// every timestamp.
+func TestSweepEventsMatchesNewStream(t *testing.T) {
+	d := sweepDataset()
+	ref := NewStream(d)
+	seen := 0
+	err := SweepEvents(d, func(ts int, events []Event, active int) error {
+		if ts != seen {
+			return fmt.Errorf("timestamp %d out of order (want %d)", ts, seen)
+		}
+		seen++
+		if active != ref.Active[ts] {
+			return fmt.Errorf("t=%d: active %d, want %d", ts, active, ref.Active[ts])
+		}
+		want := ref.At(ts)
+		if len(events) != len(want) {
+			return fmt.Errorf("t=%d: %d events, want %d", ts, len(events), len(want))
+		}
+		for i := range events {
+			if events[i] != want[i] {
+				return fmt.Errorf("t=%d event %d: %+v, want %+v", ts, i, events[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != d.T {
+		t.Fatalf("visited %d timestamps, want %d", seen, d.T)
+	}
+}
+
+func TestSweepEventsStopsOnError(t *testing.T) {
+	d := sweepDataset()
+	calls := 0
+	sentinel := fmt.Errorf("stop")
+	err := SweepEvents(d, func(ts int, events []Event, active int) error {
+		calls++
+		if ts == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("callback ran %d times, want 3 (t=0,1,2)", calls)
+	}
+}
+
+func TestSweepEventsEmptyDataset(t *testing.T) {
+	if err := SweepEvents(&Dataset{T: 0}, func(int, []Event, int) error {
+		t.Fatal("callback ran for an empty timeline")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := SweepEvents(&Dataset{T: 3}, func(ts int, events []Event, active int) error {
+		calls++
+		if len(events) != 0 || active != 0 {
+			t.Fatalf("t=%d: want empty timestamp, got %d events / %d active", ts, len(events), active)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("callback ran %d times, want 3", calls)
+	}
+}

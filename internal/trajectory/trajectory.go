@@ -251,6 +251,76 @@ func NewStream(d *Dataset) *Stream {
 // At returns the events at timestamp t.
 func (s *Stream) At(t int) []Event { return s.Events[t] }
 
+// SweepEvents visits the dataset's per-timestamp event lists in timestamp
+// order without materializing a Stream: fn receives, for each t in [0, T),
+// exactly the events (and active-stream count) NewStream would have stored,
+// in the same order. Memory is bounded by the number of concurrently live
+// streams, not the total point count, which is what lets cmd/datagen export
+// transition streams at SanJoaquin scale. The events slice is reused between
+// calls; fn must not retain it. A non-nil error from fn stops the sweep.
+func SweepEvents(d *Dataset, fn func(t int, events []Event, active int) error) error {
+	if d.T <= 0 {
+		return nil
+	}
+	// Bucket trajectory ids by start timestamp; scanning d.Trajs in order
+	// keeps each bucket ascending, which the merge below relies on.
+	starters := make([][]int, d.T)
+	for id, tr := range d.Trajs {
+		if tr.Start >= 0 && tr.Start < d.T && len(tr.Cells) > 0 {
+			starters[tr.Start] = append(starters[tr.Start], id)
+		}
+	}
+	var live, merged []int
+	var events []Event
+	for t := 0; t < d.T; t++ {
+		if s := starters[t]; len(s) > 0 {
+			// Merge the starters into the live list keeping ascending id
+			// order — NewStream appends per trajectory in id order, so the
+			// per-timestamp event order is ascending id.
+			merged = merged[:0]
+			i, j := 0, 0
+			for i < len(live) && j < len(s) {
+				if live[i] < s[j] {
+					merged = append(merged, live[i])
+					i++
+				} else {
+					merged = append(merged, s[j])
+					j++
+				}
+			}
+			merged = append(merged, live[i:]...)
+			merged = append(merged, s[j:]...)
+			live = append(live[:0], merged...)
+			starters[t] = nil
+		}
+		events = events[:0]
+		active := 0
+		keep := live[:0]
+		for _, id := range live {
+			tr := d.Trajs[id]
+			switch {
+			case t == tr.Start:
+				events = append(events, Event{User: id, State: transition.EnterState(tr.Cells[0])})
+				active++
+			case t <= tr.End():
+				j := t - tr.Start
+				events = append(events, Event{User: id, State: transition.MoveState(tr.Cells[j-1], tr.Cells[j])})
+				active++
+			default: // t == End()+1: the graceful quit report
+				events = append(events, Event{User: id, State: transition.QuitState(tr.Cells[len(tr.Cells)-1])})
+			}
+			if t <= tr.End() {
+				keep = append(keep, id)
+			}
+		}
+		live = keep
+		if err := fn(t, events, active); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Subset returns a dataset containing the first n trajectories; used by the
 // scalability experiment (Figure 7). It shares underlying storage.
 func (d *Dataset) Subset(n int) *Dataset {
