@@ -10,7 +10,8 @@ package retrasyn
 // RETRASYN_EMIT_BENCH=1 go test -run TestEmitBenchPipelineJSON .
 // re-measures everything across a GOMAXPROCS sweep ∈ {1, 2, 4, NumCPU} and
 // writes the results — with a reports/sec-per-core headline and the wire
-// size of both /v1/report batch encodings — to BENCH_pipeline.json.
+// size of all four /v1/report batch encodings (sparse/packed × JSON/binary
+// frame) — to BENCH_pipeline.json.
 // RETRASYN_REQUIRE_MULTICORE=1 (set in CI) makes the emit fail on a
 // single-CPU box, so the committed parallel numbers are never fiction.
 
@@ -327,12 +328,27 @@ func TestEmitBenchPipelineJSON(t *testing.T) {
 		bestPacked.Speedup, bestPacked.ReportsSec/1e6, bestPacked.ReportsSecPerCore/1e6, bestPacked.GOMAXPROCS)
 	t.Logf("wire: sparse %dB vs packed %dB per 1000-report batch (×%.1f smaller)",
 		wire.SparseJSON, wire.PackedJSON, float64(wire.SparseJSON)/float64(wire.PackedJSON))
+	t.Logf("wire: binary packed frame %dB = %.3f× packed JSON, %.3f× sparse JSON",
+		wire.PackedBinary, wire.PackedBinaryOverPackedJSON, wire.PackedBinaryOverSparseJSON)
 
 	if bestPacked.Speedup < 10 {
 		t.Errorf("packed aggregation speedup ×%.2f below the ≥10× target", bestPacked.Speedup)
 	}
 	if nCPU > 1 && coordP.Speedup <= 1 {
 		t.Errorf("multi-shard coordinator is not faster than one shard (×%.2f)", coordP.Speedup)
+	}
+	// Binary frame gates. The packed frame must shed all of base64+framing
+	// (≤0.6× packed JSON leaves headroom over the 41/79 ≈ 0.52 raw-bits
+	// floor) and crush the sparse JSON a pre-PR-6 client shipped (≤0.3× —
+	// it measures ~0.12×). No gate asks for less than the report's entropy.
+	if wire.PackedBinaryOverPackedJSON > 0.6 {
+		t.Errorf("binary packed frame is %.3f× packed JSON, above the ≤0.6× target", wire.PackedBinaryOverPackedJSON)
+	}
+	if wire.PackedBinaryOverSparseJSON > 0.3 {
+		t.Errorf("binary packed frame is %.3f× sparse JSON, above the ≤0.3× target", wire.PackedBinaryOverSparseJSON)
+	}
+	if wire.SparseBinary >= wire.SparseJSON {
+		t.Errorf("binary sparse frame (%dB) is not smaller than sparse JSON (%dB)", wire.SparseBinary, wire.SparseJSON)
 	}
 }
 
@@ -345,13 +361,24 @@ type headlineJSON struct {
 }
 
 type wireJSON struct {
-	SparseJSON int     `json:"sparse_json"`
-	PackedJSON int     `json:"packed_json"`
-	Ratio      float64 `json:"sparse_over_packed"`
+	SparseJSON   int     `json:"sparse_json"`
+	PackedJSON   int     `json:"packed_json"`
+	SparseBinary int     `json:"sparse_binary"`
+	PackedBinary int     `json:"packed_binary"`
+	Ratio        float64 `json:"sparse_over_packed"`
+	// Binary packed vs the two JSON encodings. The packed-JSON ratio floors
+	// near 0.75× ⌈d/8⌉/base64 arithmetic would suggest because an OUE report
+	// is near-uniform noise by design: at ε=1 its Shannon entropy is ≈0.84
+	// bits/bit, so raw bits (41 B at d=328) sit close to the
+	// information-theoretic minimum (~34 B) and only the base64 and field
+	// framing can be removed, never the randomness itself.
+	PackedBinaryOverPackedJSON float64 `json:"packed_binary_over_packed_json"`
+	PackedBinaryOverSparseJSON float64 `json:"packed_binary_over_sparse_json"`
 }
 
-// measureWireBytes marshals the same 1000-report batch as both /v1/report
-// encodings and records the JSON body sizes.
+// measureWireBytes marshals the same 1000-report batch as all four
+// /v1/report encodings — sparse/packed × JSON/binary-frame — and records
+// the body sizes.
 func measureWireBytes(t *testing.T) wireJSON {
 	t.Helper()
 	benchRoundOnce()
@@ -377,9 +404,21 @@ func measureWireBytes(t *testing.T) wireJSON {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sparseFrame, err := remote.EncodeSparseReportFrame(0, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedFrame, err := remote.EncodePackedReportFrame(0, benchDomain, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return wireJSON{
-		SparseJSON: len(sparseBody),
-		PackedJSON: len(packedBody),
-		Ratio:      float64(len(sparseBody)) / float64(len(packedBody)),
+		SparseJSON:                 len(sparseBody),
+		PackedJSON:                 len(packedBody),
+		SparseBinary:               len(sparseFrame),
+		PackedBinary:               len(packedFrame),
+		Ratio:                      float64(len(sparseBody)) / float64(len(packedBody)),
+		PackedBinaryOverPackedJSON: float64(len(packedFrame)) / float64(len(packedBody)),
+		PackedBinaryOverSparseJSON: float64(len(packedFrame)) / float64(len(sparseBody)),
 	}
 }

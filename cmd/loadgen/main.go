@@ -53,6 +53,7 @@ func main() {
 		w        = flag.Int("w", 20, "window size w (ingest mode)")
 		lambda   = flag.Float64("lambda", 13.6, "synthesis termination factor λ (ingest mode)")
 		shards   = flag.Int("shards", 1, "engine shards (ingest mode)")
+		wire     = flag.String("wire", "binary", `report wire encoding in http mode: "binary" (framed application/x-retrasyn) or "json"`)
 		out      = flag.String("out", "BENCH_replay.json", "benchmark report path")
 		maxBuf   = flag.Int("max-pending", 0, "ingest buffer bound in events (ingest mode; 0 = service default)")
 		loss     = flag.Bool("allow-loss", false, "exit 0 even when the loss ledger does not balance")
@@ -100,9 +101,20 @@ func main() {
 		Gateways: *gateways, Speed: *speed, TickMS: float64(*tick) / float64(time.Millisecond),
 	}
 
+	var wireMode remote.WireMode
+	switch *wire {
+	case "binary":
+		wireMode = remote.WireBinary
+	case "json":
+		wireMode = remote.WireJSON
+	default:
+		fatal(fmt.Errorf("unknown -wire %q (want \"binary\" or \"json\")", *wire))
+	}
+
 	switch *mode {
 	case "http":
-		err = r.replayHTTP(*curator, &report)
+		report.Wire = *wire
+		err = r.replayHTTP(*curator, wireMode, &report)
 	case "ingest":
 		err = r.replayIngest(retrasyn.Options{
 			Grid: g, Epsilon: *eps, Window: *w, Lambda: *lambda, Shards: *shards, Seed: *seed,
@@ -132,6 +144,10 @@ func main() {
 		fmt.Printf("loadgen: round latency p50=%s p99=%s max=%s; %d/%d rounds behind schedule\n",
 			us(rl.P50US), us(rl.P99US), us(rl.MaxUS), report.RoundsBehind, report.Timestamps)
 	}
+	if report.BytesPerReport > 0 {
+		fmt.Printf("loadgen: wire %s, %d report bytes in (%.1f bytes/report)\n",
+			report.Wire, report.ReportBytesIn, report.BytesPerReport)
+	}
 	fmt.Printf("loadgen: report written to %s\n", *out)
 	if !report.ZeroLoss {
 		fmt.Fprintf(os.Stderr, "loadgen: LOSS DETECTED — the ledger does not balance (see %s)\n", *out)
@@ -157,6 +173,12 @@ type benchReport struct {
 	Gateways   int     `json:"gateways"`
 	Speed      float64 `json:"speed"`
 	TickMS     float64 `json:"tick_ms"`
+	// Wire is the report encoding used in http mode ("binary" or "json"),
+	// with the curator-measured request bytes the /v1/report endpoint
+	// ingested — the ledger that makes wire regressions visible per run.
+	Wire           string  `json:"wire,omitempty"`
+	ReportBytesIn  int64   `json:"report_bytes_in,omitempty"`
+	BytesPerReport float64 `json:"bytes_per_report,omitempty"`
 
 	DurationSec   float64 `json:"duration_sec"`
 	EventsEmitted int64   `json:"events_emitted"`
@@ -286,12 +308,13 @@ func eachGateway(n int, fn func(i int) error) error {
 }
 
 // replayHTTP drives the full wire protocol against a live curator.
-func (r *run) replayHTTP(baseURL string, report *benchReport) error {
+func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchReport) error {
 	gws := make([]*remote.Gateway, r.gateways)
 	rngs := make([]ldp.Rand, r.gateways)
 	oracles := make([]map[float64]*ldp.OUE, r.gateways)
 	for i := range gws {
 		gws[i] = remote.NewGateway(baseURL, nil)
+		gws[i].SetWire(wire)
 		rngs[i] = ldp.NewRand(r.seed+uint64(i), r.seed^0x9e3779b97f4a7c15)
 		oracles[i] = map[float64]*ldp.OUE{}
 	}
@@ -374,7 +397,7 @@ func (r *run) replayHTTP(baseURL string, report *benchReport) error {
 				if err != nil {
 					return err
 				}
-				err = gws[i].ReportPacked(t, packed)
+				err = gws[i].ReportPacked(t, d, packed)
 				if err != nil {
 					return err
 				}
@@ -412,6 +435,10 @@ func (r *run) replayHTTP(baseURL string, report *benchReport) error {
 		return err
 	}
 	report.Curator = &st
+	if wb, ok := st.Wire["/v1/report"]; ok && r.reportsSent > 0 {
+		report.ReportBytesIn = wb.BytesIn
+		report.BytesPerReport = float64(wb.BytesIn) / float64(r.reportsSent)
+	}
 	report.ZeroLoss = r.eventsSkipped == 0 &&
 		st.PresenceEvents == r.eventsEmitted &&
 		int64(st.Reports) == r.reportsSent &&

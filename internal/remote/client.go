@@ -41,6 +41,11 @@ func NewClient(baseURL string, httpClient *http.Client, user int, traj trajector
 // keep their defaults). Call before issuing requests.
 func (c *Client) SetRetryPolicy(p RetryPolicy) { c.tr.policy = p }
 
+// SetWire pins the wire encoding (default WireAuto: negotiate up to binary
+// frames when the curator advertises support). Call before issuing
+// requests.
+func (c *Client) SetWire(m WireMode) { c.tr.wire = m }
+
 // StateAt returns the client's transition state at timestamp t and whether
 // it has one: enter at Start, moves while continuing, and the final
 // graceful quit report at End+1.
@@ -70,7 +75,8 @@ func (c *Client) AnnouncePresence(t int) error {
 	if _, ok := c.StateAt(t); !ok {
 		return nil
 	}
-	return c.tr.postJSON("/v1/presence", presenceRequest{User: c.user, T: t}, true, nil)
+	return c.tr.postWire("/v1/presence", presenceRequest{User: c.user, T: t},
+		func() ([]byte, error) { return encodePresenceFrame(t, []int{c.user}) }, true, nil)
 }
 
 // MaybeReport polls the assignment for t and, if sampled, perturbs the
@@ -92,12 +98,27 @@ func (c *Client) MaybeReport(t int) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("remote: state %v outside domain", state)
 	}
-	oracle, err := ldp.NewOUE(c.dom.Size(), a.Epsilon)
+	d := c.dom.Size()
+	oracle, err := ldp.NewOUE(d, a.Epsilon)
 	if err != nil {
 		return false, err
 	}
+	// Pick the wire representation by round density, exactly as the gateway
+	// tier does: when the expected number of 1-bits crosses the packed
+	// crossover, ship the dense ⌈d/8⌉-byte form instead of the index list.
+	// PerturbPacked consumes the RNG identically to Perturb, so the choice
+	// changes bytes on the wire, never the report.
+	if ldp.PreferPacked(d, a.Epsilon) {
+		packed := []PackedBatchReport{{User: c.user, Bits: oracle.PerturbPacked(c.rng, idx).Bytes(d)}}
+		if err := c.tr.postWire("/v1/report", reportRequest{T: t, Packed: packed},
+			func() ([]byte, error) { return EncodePackedReportFrame(t, d, packed) }, false, nil); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
 	ones := oracle.Perturb(c.rng, idx) // the only thing that leaves the device
-	if err := c.tr.postJSON("/v1/report", reportRequest{User: c.user, T: t, Ones: ones}, false, nil); err != nil {
+	if err := c.tr.postWire("/v1/report", reportRequest{User: c.user, T: t, Ones: ones},
+		func() ([]byte, error) { return EncodeSingleReportFrame(t, c.user, ones) }, false, nil); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -137,7 +158,7 @@ func (co *Coordinator) Finalize(t, active int) error {
 // Synthetic fetches the current release.
 func (co *Coordinator) Synthetic() (*trajectory.RawDataset, []byte, error) {
 	var body rawBody
-	if err := co.tr.do(http.MethodGet, "/v1/synthetic", nil, true, &body); err != nil {
+	if err := co.tr.do(http.MethodGet, "/v1/synthetic", nil, "", true, &body); err != nil {
 		return nil, nil, err
 	}
 	return nil, body, nil

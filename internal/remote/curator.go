@@ -532,39 +532,76 @@ func PackReportBatch(batch []BatchReport, d int) ([]PackedBatchReport, error) {
 // a malformed entry yields a clean error instead of corrupting or panicking
 // the fold. Each wire payload decodes straight into its fold-buffer row
 // (ldp.UnpackReportBytesInto on a PackedBatch.Grow row) — no intermediate
-// PackedReport is materialized or copied — and the accepted batch is folded
-// through the word-parallel counter network; counts are bit-identical to
-// the sparse path. Fold time is charged to the model-construction stage,
-// the same bucket the in-process pipeline charges aggregation to.
+// PackedReport is materialized or copied — and counts are bit-identical to
+// the sparse path. The decode runs *outside* the round lock: only the
+// commit — sampling validation plus the word-parallel fold — holds it, so
+// a slow or hostile payload can't stall concurrent presence and assignment
+// traffic. A relayout racing the decode is caught by the commit's domain
+// re-check and rejected cleanly.
 func (c *Curator) ReportPackedBatch(t int, batch []PackedBatchReport) error {
+	d := c.DomainSize()
+	packed := ldp.NewPackedBatch(d, len(batch))
+	users := make([]int, len(batch))
+	for i, r := range batch {
+		users[i] = r.User
+		if err := ldp.UnpackReportBytesInto(r.Bits, d, packed.Grow()); err != nil {
+			return fmt.Errorf("remote: batch entry %d (user %d): %w", i, r.User, err)
+		}
+	}
+	return c.commitPackedBatch(t, d, users, packed)
+}
+
+// reportPackedWire is the binary-frame ingest path: bits rows alias the
+// request body and decode straight into the fold buffer outside the round
+// lock. The frame self-declares the domain it was encoded for, so a stale
+// client mid-relayout is rejected before any row is touched.
+func (c *Curator) reportPackedWire(t, d int, users []int, bits [][]byte) error {
+	if cd := c.DomainSize(); d != cd {
+		return fmt.Errorf("remote: packed frame encoded for domain %d, curator domain is %d", d, cd)
+	}
+	packed := ldp.NewPackedBatch(d, len(users))
+	for i, u := range users {
+		if err := ldp.UnpackReportBytesInto(bits[i], d, packed.Grow()); err != nil {
+			return fmt.Errorf("remote: batch entry %d (user %d): %w", i, u, err)
+		}
+	}
+	return c.commitPackedBatch(t, d, users, packed)
+}
+
+// commitPackedBatch applies a pre-decoded packed batch under the round
+// lock: open-round and domain re-checks, all-or-nothing sampling
+// validation, then the word-parallel popcount fold (charged to the
+// model-construction stage, the same bucket the in-process pipeline
+// charges aggregation to) and per-user bookkeeping.
+func (c *Curator) commitPackedBatch(t, d int, users []int, packed *ldp.PackedBatch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.phase != phasePlanned || t != c.t {
 		return fmt.Errorf("remote: batch outside an open round")
 	}
-	d := c.dom.Size()
-	packed := ldp.NewPackedBatch(d, len(batch))
-	seen := make(map[int]struct{}, len(batch))
-	eps := make([]float64, len(batch))
-	for i, r := range batch {
-		if _, dup := seen[r.User]; dup {
-			return fmt.Errorf("remote: batch entry %d: duplicate report for user %d", i, r.User)
+	if cd := c.dom.Size(); d != cd {
+		// A relayout landed between decode and commit; the rows were packed
+		// for the old bit layout and must not fold into the new one.
+		return fmt.Errorf("remote: packed batch encoded for domain %d, curator domain is %d", d, cd)
+	}
+	seen := make(map[int]struct{}, len(users))
+	eps := make([]float64, len(users))
+	for i, u := range users {
+		if _, dup := seen[u]; dup {
+			return fmt.Errorf("remote: batch entry %d: duplicate report for user %d", i, u)
 		}
-		seen[r.User] = struct{}{}
-		a, ok := c.assignments[r.User]
+		seen[u] = struct{}{}
+		a, ok := c.assignments[u]
 		if !ok || !a.Report {
-			return fmt.Errorf("remote: batch entry %d: user %d was not sampled at timestamp %d", i, r.User, t)
-		}
-		if err := ldp.UnpackReportBytesInto(r.Bits, d, packed.Grow()); err != nil {
-			return fmt.Errorf("remote: batch entry %d (user %d): %w", i, r.User, err)
+			return fmt.Errorf("remote: batch entry %d: user %d was not sampled at timestamp %d", i, u, t)
 		}
 		eps[i] = a.Epsilon
 	}
 	start := time.Now()
 	c.agg.AddPackedBatch(packed, ldp.DefaultWorkers())
 	c.timings.ModelConstruction += time.Since(start)
-	for i, r := range batch {
-		c.applyReportMetaLocked(r.User, t, eps[i])
+	for i, u := range users {
+		c.applyReportMetaLocked(u, t, eps[i])
 	}
 	return nil
 }
@@ -780,6 +817,15 @@ func (c *Curator) Domain() *transition.Domain {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.dom
+}
+
+// DomainSize returns the size of the current transition domain — the d a
+// packed report must be encoded against. It takes the lock only briefly,
+// so wire decoders can snapshot d without stalling an open round.
+func (c *Curator) DomainSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dom.Size()
 }
 
 func sortInts(s []int) {

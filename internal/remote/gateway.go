@@ -1,8 +1,11 @@
 package remote
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 )
 
 // Gateway is the aggregation tier of the protocol: it fans a shard of
@@ -12,6 +15,10 @@ import (
 // and assignment paths are set-or-read operations on the curator and retry
 // transient failures under the transport policy; the report upload, like
 // the device client's, gets exactly one attempt.
+//
+// By default the gateway negotiates the wire encoding (WireAuto): requests
+// start as JSON and switch to binary frames once the curator advertises
+// support, so the same gateway binary works against any curator version.
 //
 // A gateway never sees raw locations either: devices (or the replay
 // harness standing in for them) hand it locally perturbed OUE bits.
@@ -28,6 +35,10 @@ func NewGateway(baseURL string, httpClient *http.Client) *Gateway {
 // keep their defaults). Call before issuing requests.
 func (g *Gateway) SetRetryPolicy(p RetryPolicy) { g.tr.policy = p }
 
+// SetWire pins the wire encoding (default WireAuto: negotiate up to binary
+// when the curator advertises it). Call before issuing requests.
+func (g *Gateway) SetWire(m WireMode) { g.tr.wire = m }
+
 // AnnouncePresence registers the shard's users for timestamp t in one
 // request. Presence is a set operation, so a retried announcement cannot
 // double-register anyone.
@@ -35,7 +46,8 @@ func (g *Gateway) AnnouncePresence(users []int, t int) error {
 	if len(users) == 0 {
 		return nil
 	}
-	return g.tr.postJSON("/v1/presence", presenceRequest{T: t, Users: users}, true, nil)
+	return g.tr.postWire("/v1/presence", presenceRequest{T: t, Users: users},
+		func() ([]byte, error) { return encodePresenceFrame(t, users) }, true, nil)
 }
 
 // Assignments polls the sampling assignments for the shard, index-aligned
@@ -44,14 +56,15 @@ func (g *Gateway) Assignments(users []int, t int) ([]Assignment, error) {
 	if len(users) == 0 {
 		return nil, nil
 	}
-	var resp assignmentsResponse
-	if err := g.tr.postJSON("/v1/assignments", assignmentsRequest{T: t, Users: users}, true, &resp); err != nil {
+	var res assignmentsResult
+	if err := g.tr.postWire("/v1/assignments", assignmentsRequest{T: t, Users: users},
+		func() ([]byte, error) { return encodeAssignmentsFrame(t, users) }, true, &res); err != nil {
 		return nil, err
 	}
-	if len(resp.Assignments) != len(users) {
-		return nil, fmt.Errorf("remote: assignments response carries %d entries for %d users", len(resp.Assignments), len(users))
+	if len(res.as) != len(users) {
+		return nil, fmt.Errorf("remote: assignments response carries %d entries for %d users", len(res.as), len(users))
 	}
-	return resp.Assignments, nil
+	return res.as, nil
 }
 
 // ReportBatch ships the shard's sparse report batch — exactly one attempt,
@@ -60,14 +73,50 @@ func (g *Gateway) ReportBatch(t int, batch []BatchReport) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	return g.tr.postJSON("/v1/report", reportRequest{T: t, Reports: batch}, false, nil)
+	return g.tr.postWire("/v1/report", reportRequest{T: t, Reports: batch},
+		func() ([]byte, error) { return EncodeSparseReportFrame(t, batch) }, false, nil)
 }
 
-// ReportPacked ships the shard's bit-packed report batch — exactly one
-// attempt, all-or-nothing on the curator.
-func (g *Gateway) ReportPacked(t int, batch []PackedBatchReport) error {
+// ReportPacked ships the shard's bit-packed report batch over a domain of
+// size d — exactly one attempt, all-or-nothing on the curator. On the
+// binary wire each entry costs its varint user ID plus the raw ⌈d/8⌉
+// report bytes; d rides in the frame so a curator mid-relayout rejects the
+// stale encoding cleanly.
+func (g *Gateway) ReportPacked(t, d int, batch []PackedBatchReport) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	return g.tr.postJSON("/v1/report", reportRequest{T: t, Packed: batch}, false, nil)
+	return g.tr.postWire("/v1/report", reportRequest{T: t, Packed: batch},
+		func() ([]byte, error) { return EncodePackedReportFrame(t, d, batch) }, false, nil)
+}
+
+// assignmentsResult decodes an assignments response in whichever encoding
+// the server chose — a binary-capable curator answers a binary poll with a
+// frame, a JSON-only one answers with JSON — routed by Content-Type.
+type assignmentsResult struct {
+	as []Assignment
+}
+
+func (a *assignmentsResult) decodeWire(contentType string, r io.Reader) error {
+	if strings.HasPrefix(contentType, WireContentType) {
+		body, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		kind, payload, err := decodeFrame(body)
+		if err != nil {
+			return err
+		}
+		if kind != frameKindAssignmentsResp {
+			return fmt.Errorf("remote: assignments response carries frame kind 0x%02x", kind)
+		}
+		a.as, err = decodeAssignmentsRespPayload(payload)
+		return err
+	}
+	var resp assignmentsResponse
+	if err := json.NewDecoder(r).Decode(&resp); err != nil {
+		return err
+	}
+	a.as = resp.Assignments
+	return nil
 }

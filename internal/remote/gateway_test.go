@@ -65,7 +65,7 @@ func TestGatewayRoundsMatchDirectDrive(t *testing.T) {
 			if err != nil {
 				t.Fatalf("t=%d pack: %v", ts, err)
 			}
-			err = gw.ReportPacked(ts, packed)
+			err = gw.ReportPacked(ts, d, packed)
 			if err != nil {
 				t.Fatalf("t=%d gateway packed report: %v", ts, err)
 			}
@@ -109,7 +109,7 @@ func TestGatewayEmptyShard(t *testing.T) {
 	if err := gw.ReportBatch(0, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := gw.ReportPacked(0, nil); err != nil {
+	if err := gw.ReportPacked(0, 16, nil); err != nil {
 		t.Fatal(err)
 	}
 }

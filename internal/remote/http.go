@@ -2,14 +2,20 @@ package remote
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 
 	"retrasyn/internal/trajectory"
 )
 
-// HTTP transport for the curator. All bodies are JSON; errors map to 4xx
-// with a plain-text reason.
+// HTTP transport for the curator. Bodies are JSON by default; the framed
+// endpoints (presence, assignments, report) also speak the binary wire
+// protocol when the request's Content-Type is application/x-retrasyn (see
+// wire.go for the frame layout and negotiation rules). Errors map to 4xx
+// with a plain-text reason either way.
 
 // presenceRequest announces presence for one user (User) or a whole
 // gateway's worth at once (Users); both forms may appear in one request.
@@ -60,6 +66,12 @@ type relayoutRequest struct {
 	Force bool `json:"force"`
 }
 
+// WireBytes is one endpoint's cumulative request/response byte ledger.
+type WireBytes struct {
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+}
+
 // StatsSnapshot is the /v1/stats payload — the counters a load harness
 // polls for loss accounting (presence events vs reports) and the per-stage
 // timing decomposition.
@@ -81,22 +93,144 @@ type StatsSnapshot struct {
 	LayoutCells       int     `json:"layout_cells"`
 	DomainSize        int     `json:"domain_size"`
 	LastRelayoutDist  float64 `json:"last_relayout_distance"`
+	// Wire is the per-endpoint cumulative bytes ledger (request bodies in,
+	// response bodies out) — the counter a replay harness divides by its
+	// report count to watch bytes/report for wire regressions.
+	Wire map[string]WireBytes `json:"wire,omitempty"`
+}
+
+// wireCounter accumulates one endpoint's request/response bytes.
+type wireCounter struct{ in, out atomic.Int64 }
+
+// handler carries the per-endpoint wire ledgers alongside the curator. The
+// counter map is fixed at construction and only its atomics mutate, so
+// reads need no lock.
+type handler struct {
+	c    *Curator
+	wire map[string]*wireCounter
+}
+
+// countingWriter tallies response body bytes (headers excluded — they are
+// not payload and the JSON-vs-binary comparison should not be diluted by
+// them).
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+// countingReader tallies request body bytes actually consumed.
+type countingReader struct {
+	r io.ReadCloser
+	n int64
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	r.n += int64(n)
+	return n, err
+}
+
+func (r *countingReader) Close() error { return r.r.Close() }
+
+// route registers fn with the wire middleware: advertise binary support on
+// every response and account request/response bytes against the endpoint's
+// ledger.
+func (h *handler) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
+	path := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		path = pattern[i+1:]
+	}
+	wc := h.wire[path]
+	if wc == nil {
+		wc = &wireCounter{}
+		h.wire[path] = wc
+	}
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wireAdvertHeader, wireAdvertValue)
+		cr := &countingReader{r: r.Body}
+		r.Body = cr
+		cw := &countingWriter{ResponseWriter: w}
+		fn(cw, r)
+		in := cr.n
+		if r.ContentLength > in {
+			// The handler bailed before draining the body; the client still
+			// shipped ContentLength bytes.
+			in = r.ContentLength
+		}
+		wc.in.Add(in)
+		wc.out.Add(cw.n)
+	})
+}
+
+// isBinary reports whether the request body is a binary frame.
+func isBinary(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == WireContentType || strings.HasPrefix(ct, WireContentType+";")
+}
+
+// acceptsBinary reports whether the client asked for a binary response.
+func acceptsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), WireContentType)
+}
+
+// readFrame reads and validates one binary frame of the wanted kind,
+// writing the 400 itself on failure. The returned payload aliases the body
+// buffer.
+func readFrame(w http.ResponseWriter, r *http.Request, wantKind byte) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, wireHeaderLen+wireMaxPayload+1))
+	if err != nil {
+		http.Error(w, "remote: reading binary frame: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	kind, payload, err := decodeFrame(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if kind != wantKind {
+		http.Error(w, "remote: binary frame kind mismatch for this endpoint", http.StatusBadRequest)
+		return nil, false
+	}
+	return payload, true
 }
 
 // NewHandler exposes the curator over HTTP.
 func NewHandler(c *Curator) http.Handler {
+	h := &handler{c: c, wire: make(map[string]*wireCounter)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/presence", func(w http.ResponseWriter, r *http.Request) {
-		var req presenceRequest
-		if !decode(w, r, &req) {
-			return
+	h.route(mux, "POST /v1/presence", func(w http.ResponseWriter, r *http.Request) {
+		var t int
+		var users []int
+		single, user := false, 0
+		if isBinary(r) {
+			payload, ok := readFrame(w, r, frameKindPresence)
+			if !ok {
+				return
+			}
+			var err error
+			if t, users, err = decodePresencePayload(payload); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		} else {
+			var req presenceRequest
+			if !decode(w, r, &req) {
+				return
+			}
+			t, users = req.T, req.Users
+			single, user = len(req.Users) == 0, req.User
 		}
 		var err error
-		if len(req.Users) > 0 {
-			err = c.PresenceBatch(req.Users, req.T)
-		}
-		if err == nil && len(req.Users) == 0 {
-			err = c.Presence(req.User, req.T)
+		if single {
+			err = c.Presence(user, t)
+		} else {
+			err = c.PresenceBatch(users, t)
 		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
@@ -104,19 +238,39 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
-		var req assignmentsRequest
-		if !decode(w, r, &req) {
-			return
+	h.route(mux, "POST /v1/assignments", func(w http.ResponseWriter, r *http.Request) {
+		var t int
+		var users []int
+		if isBinary(r) {
+			payload, ok := readFrame(w, r, frameKindAssignments)
+			if !ok {
+				return
+			}
+			var err error
+			if t, users, err = decodeAssignmentsPayload(payload); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		} else {
+			var req assignmentsRequest
+			if !decode(w, r, &req) {
+				return
+			}
+			t, users = req.T, req.Users
 		}
-		as, err := c.AssignmentsFor(req.Users, req.T)
+		as, err := c.AssignmentsFor(users, t)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
+		if acceptsBinary(r) {
+			w.Header().Set("Content-Type", WireContentType)
+			w.Write(encodeAssignmentsRespFrame(as))
+			return
+		}
 		writeJSON(w, assignmentsResponse{Assignments: as})
 	})
-	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req planRequest
 		if !decode(w, r, &req) {
 			return
@@ -127,7 +281,7 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET /v1/assignment", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "GET /v1/assignment", func(w http.ResponseWriter, r *http.Request) {
 		user, err1 := strconv.Atoi(r.URL.Query().Get("user"))
 		t, err2 := strconv.Atoi(r.URL.Query().Get("t"))
 		if err1 != nil || err2 != nil {
@@ -141,19 +295,43 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		writeJSON(w, a)
 	})
-	mux.HandleFunc("POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
-		var req reportRequest
-		if !decode(w, r, &req) {
-			return
-		}
+	h.route(mux, "POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
 		var err error
-		switch {
-		case len(req.Packed) > 0:
-			err = c.ReportPackedBatch(req.T, req.Packed)
-		case len(req.Reports) > 0:
-			err = c.ReportBatch(req.T, req.Reports)
-		default:
-			err = c.Report(req.User, req.T, req.Ones)
+		if isBinary(r) {
+			// The binary hot path: the frame's packed rows alias the request
+			// body and decode straight into the fold buffer, outside the
+			// round lock. A malformed frame 400s before the curator is
+			// touched; a rejected batch leaves the round intact.
+			payload, ok := readFrame(w, r, frameKindReport)
+			if !ok {
+				return
+			}
+			rf, derr := decodeReportPayload(payload)
+			if derr != nil {
+				http.Error(w, derr.Error(), http.StatusBadRequest)
+				return
+			}
+			switch rf.form {
+			case reportFormPacked:
+				err = c.reportPackedWire(rf.t, rf.d, rf.users, rf.bits)
+			case reportFormSparse:
+				err = c.ReportBatch(rf.t, rf.batch)
+			default:
+				err = c.Report(rf.user, rf.t, rf.ones)
+			}
+		} else {
+			var req reportRequest
+			if !decode(w, r, &req) {
+				return
+			}
+			switch {
+			case len(req.Packed) > 0:
+				err = c.ReportPackedBatch(req.T, req.Packed)
+			case len(req.Reports) > 0:
+				err = c.ReportBatch(req.T, req.Reports)
+			default:
+				err = c.Report(req.User, req.T, req.Ones)
+			}
 		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
@@ -161,7 +339,7 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		st, err := c.Snapshot()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -169,7 +347,7 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		writeJSON(w, st)
 	})
-	mux.HandleFunc("POST /v1/restore", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "POST /v1/restore", func(w http.ResponseWriter, r *http.Request) {
 		var st CuratorState
 		if !decode(w, r, &st) {
 			return
@@ -180,7 +358,7 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v1/finalize", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "POST /v1/finalize", func(w http.ResponseWriter, r *http.Request) {
 		var req finalizeRequest
 		if !decode(w, r, &req) {
 			return
@@ -191,13 +369,13 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET /v1/synthetic", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "GET /v1/synthetic", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
 		if err := trajectory.WriteCells(w, c.Synthetic("remote")); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("POST /v1/relayout", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "POST /v1/relayout", func(w http.ResponseWriter, r *http.Request) {
 		var req relayoutRequest
 		if !decode(w, r, &req) {
 			return
@@ -209,10 +387,14 @@ func NewHandler(c *Curator) http.Handler {
 		}
 		writeJSON(w, status)
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	h.route(mux, "GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		rounds, reports := c.Stats()
 		timings := c.Timings()
 		layout := c.LayoutStatus()
+		wire := make(map[string]WireBytes, len(h.wire))
+		for path, wc := range h.wire {
+			wire[path] = WireBytes{BytesIn: wc.in.Load(), BytesOut: wc.out.Load()}
+		}
 		writeJSON(w, StatsSnapshot{
 			Rounds:               rounds,
 			Reports:              reports,
@@ -225,6 +407,7 @@ func NewHandler(c *Curator) http.Handler {
 			LayoutCells:          layout.Cells,
 			DomainSize:           layout.DomainSize,
 			LastRelayoutDist:     layout.Distance,
+			Wire:                 wire,
 		})
 	})
 	return mux

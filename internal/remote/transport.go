@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,13 +44,35 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// WireMode selects the request encoding a client-side transport uses on the
+// endpoints that speak the binary frame protocol (presence, assignment
+// polls, reports).
+type WireMode int
+
+const (
+	// WireAuto (the default) starts on JSON and upgrades to binary frames
+	// once a response advertises X-Retrasyn-Wire support — so the same
+	// client works against old JSON-only curators and new binary-capable
+	// ones without configuration, and never wastes a request probing.
+	WireAuto WireMode = iota
+	// WireJSON forces JSON on every request.
+	WireJSON
+	// WireBinary forces binary frames on every framed endpoint without
+	// waiting for an advert (for servers known to be binary-capable).
+	WireBinary
+)
+
 // transport is the shared request machinery under Client, Gateway and
-// Coordinator: JSON in/out, per-attempt timeouts, bounded retries, and
-// response bodies included in every non-2xx error.
+// Coordinator: JSON or binary frames out, per-attempt timeouts, bounded
+// retries, and response bodies included in every non-2xx error.
 type transport struct {
 	baseURL string
 	http    *http.Client
 	policy  RetryPolicy
+	wire    WireMode
+	// binaryOK latches once any response carries the binary-wire advert;
+	// WireAuto switches to frames from the next framed request on.
+	binaryOK atomic.Bool
 }
 
 func newTransport(baseURL string, hc *http.Client) *transport {
@@ -57,6 +80,18 @@ func newTransport(baseURL string, hc *http.Client) *transport {
 		hc = http.DefaultClient
 	}
 	return &transport{baseURL: baseURL, http: hc}
+}
+
+// useBinary reports whether the next framed request should be binary.
+func (tr *transport) useBinary() bool {
+	switch tr.wire {
+	case WireBinary:
+		return true
+	case WireJSON:
+		return false
+	default:
+		return tr.binaryOK.Load()
+	}
 }
 
 // postJSON marshals body and POSTs it. Only idempotent POSTs (presence
@@ -67,19 +102,32 @@ func (tr *transport) postJSON(path string, body any, idempotent bool, dst any) e
 	if err != nil {
 		return err
 	}
-	return tr.do(http.MethodPost, path, buf, idempotent, dst)
+	return tr.do(http.MethodPost, path, buf, "application/json", idempotent, dst)
+}
+
+// postWire POSTs to a framed endpoint, choosing the encoding by wire mode:
+// bin builds the binary frame lazily so the JSON path never pays for it.
+func (tr *transport) postWire(path string, jsonBody any, bin func() ([]byte, error), idempotent bool, dst any) error {
+	if bin != nil && tr.useBinary() {
+		frame, err := bin()
+		if err != nil {
+			return err
+		}
+		return tr.do(http.MethodPost, path, frame, WireContentType, idempotent, dst)
+	}
+	return tr.postJSON(path, jsonBody, idempotent, dst)
 }
 
 // getJSON GETs path and decodes the response into dst (GETs are always
 // idempotent).
 func (tr *transport) getJSON(path string, dst any) error {
-	return tr.do(http.MethodGet, path, nil, true, dst)
+	return tr.do(http.MethodGet, path, nil, "", true, dst)
 }
 
 // do runs the attempt loop. Retries fire on transport errors (including
 // per-attempt timeouts) and 5xx responses; a 4xx is a deterministic
 // rejection and returns immediately, body included.
-func (tr *transport) do(method, path string, body []byte, idempotent bool, dst any) error {
+func (tr *transport) do(method, path string, body []byte, contentType string, idempotent bool, dst any) error {
 	p := tr.policy.withDefaults()
 	attempts := 1
 	if idempotent {
@@ -93,7 +141,7 @@ func (tr *transport) do(method, path string, body []byte, idempotent bool, dst a
 			d = d/2 + time.Duration(rand.Int64N(int64(d)))
 			time.Sleep(d)
 		}
-		retryable, err := tr.attempt(method, path, body, p.Timeout, dst)
+		retryable, err := tr.attempt(method, path, body, contentType, p.Timeout, dst)
 		if err == nil {
 			return nil
 		}
@@ -108,9 +156,17 @@ func (tr *transport) do(method, path string, body []byte, idempotent bool, dst a
 	return lastErr
 }
 
+// wireDecoder is implemented by response destinations that can decode both
+// wire encodings; attempt routes by the response's Content-Type, so a
+// JSON-only server may answer a binary request in JSON and still be
+// understood.
+type wireDecoder interface {
+	decodeWire(contentType string, r io.Reader) error
+}
+
 // attempt issues one request under its own deadline. The bool reports
 // whether the failure is worth retrying.
-func (tr *transport) attempt(method, path string, body []byte, timeout time.Duration, dst any) (bool, error) {
+func (tr *transport) attempt(method, path string, body []byte, contentType string, timeout time.Duration, dst any) (bool, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	var rd io.Reader
@@ -122,13 +178,20 @@ func (tr *transport) attempt(method, path string, body []byte, timeout time.Dura
 		return false, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
+		if contentType == WireContentType {
+			// Ask for a binary response where one exists (assignments).
+			req.Header.Set("Accept", WireContentType)
+		}
 	}
 	resp, err := tr.http.Do(req)
 	if err != nil {
 		return true, fmt.Errorf("remote: %s %s: %w", method, path, err)
 	}
 	defer drain(resp)
+	if resp.Header.Get(wireAdvertHeader) == wireAdvertValue {
+		tr.binaryOK.Store(true)
+	}
 	if resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		err := fmt.Errorf("remote: %s %s → %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
@@ -136,9 +199,12 @@ func (tr *transport) attempt(method, path string, body []byte, timeout time.Dura
 	}
 	if dst != nil {
 		var derr error
-		if raw, ok := dst.(interface{ decodeFrom(io.Reader) error }); ok {
-			derr = raw.decodeFrom(resp.Body) // non-JSON endpoints (the synthetic CSV)
-		} else {
+		switch d := dst.(type) {
+		case wireDecoder:
+			derr = d.decodeWire(resp.Header.Get("Content-Type"), resp.Body)
+		case interface{ decodeFrom(io.Reader) error }:
+			derr = d.decodeFrom(resp.Body) // non-JSON endpoints (the synthetic CSV)
+		default:
 			derr = json.NewDecoder(resp.Body).Decode(dst)
 		}
 		if derr != nil {

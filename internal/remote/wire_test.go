@@ -1,0 +1,379 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"retrasyn/internal/ldp"
+)
+
+func TestPresenceFrameRoundTrip(t *testing.T) {
+	users := []int{0, 7, 7, 300000, 12}
+	frame, err := encodePresenceFrame(42, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != frameKindPresence {
+		t.Fatalf("kind = %d, want %d", kind, frameKindPresence)
+	}
+	ts, got, err := decodePresencePayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 42 || !reflect.DeepEqual(got, users) {
+		t.Fatalf("round-trip = t=%d %v, want t=42 %v", ts, got, users)
+	}
+}
+
+func TestAssignmentsRespFrameRoundTrip(t *testing.T) {
+	as := []Assignment{{}, {Report: true, Epsilon: 0.75}, {}, {Report: true, Epsilon: 1}}
+	kind, payload, err := decodeFrame(encodeAssignmentsRespFrame(as))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != frameKindAssignmentsResp {
+		t.Fatalf("kind = %d", kind)
+	}
+	got, err := decodeAssignmentsRespPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, as) {
+		t.Fatalf("round-trip %+v, want %+v", got, as)
+	}
+}
+
+// TestReportFrameRoundTrips covers all three report forms, including a
+// domain whose size is not a multiple of 8 (partial final byte) and
+// unsorted sparse indices with a duplicate — the delta encoding must
+// preserve the multiset even though it reorders.
+func TestReportFrameRoundTrips(t *testing.T) {
+	t.Run("single", func(t *testing.T) {
+		ones := []int{100, 3, 17, 3, 250000}
+		frame, err := EncodeSingleReportFrame(9, 31, ones)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf := mustDecodeReport(t, frame)
+		if rf.form != reportFormSingle || rf.t != 9 || rf.user != 31 {
+			t.Fatalf("decoded %+v", rf)
+		}
+		want := []int{3, 3, 17, 100, 250000} // sorted, duplicate kept
+		if !reflect.DeepEqual(rf.ones, want) {
+			t.Fatalf("ones = %v, want %v", rf.ones, want)
+		}
+	})
+	t.Run("sparse", func(t *testing.T) {
+		batch := []BatchReport{
+			{User: 4, Ones: []int{9, 2}},
+			{User: 0, Ones: nil},
+			{User: 17, Ones: []int{5}},
+		}
+		frame, err := EncodeSparseReportFrame(3, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf := mustDecodeReport(t, frame)
+		if rf.form != reportFormSparse || rf.t != 3 {
+			t.Fatalf("decoded %+v", rf)
+		}
+		want := []BatchReport{
+			{User: 4, Ones: []int{2, 9}},
+			{User: 0, Ones: []int{}},
+			{User: 17, Ones: []int{5}},
+		}
+		if !reflect.DeepEqual(rf.batch, want) {
+			t.Fatalf("batch = %+v, want %+v", rf.batch, want)
+		}
+	})
+	t.Run("packed", func(t *testing.T) {
+		const d = 21 // ⌈21/8⌉ = 3 bytes, 3 spare bits in the last byte
+		batch := []PackedBatchReport{
+			{User: 12, Bits: []byte{0xff, 0x00, 0x1f}},
+			{User: 3, Bits: []byte{0x01, 0x80, 0x00}},
+		}
+		frame, err := EncodePackedReportFrame(5, d, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf := mustDecodeReport(t, frame)
+		if rf.form != reportFormPacked || rf.t != 5 || rf.d != d {
+			t.Fatalf("decoded %+v", rf)
+		}
+		if !reflect.DeepEqual(rf.users, []int{12, 3}) {
+			t.Fatalf("users = %v", rf.users)
+		}
+		for i := range batch {
+			if !bytes.Equal(rf.bits[i], batch[i].Bits) {
+				t.Fatalf("row %d = %x, want %x", i, rf.bits[i], batch[i].Bits)
+			}
+		}
+	})
+}
+
+func mustDecodeReport(t *testing.T, frame []byte) *reportFrame {
+	t.Helper()
+	kind, payload, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != frameKindReport {
+		t.Fatalf("kind = %d, want %d", kind, frameKindReport)
+	}
+	rf, err := decodeReportPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rf
+}
+
+// TestDecodeFrameRejects: every malformed header shape is a clean error.
+func TestDecodeFrameRejects(t *testing.T) {
+	good, err := EncodeSingleReportFrame(1, 2, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    good[:7],
+		"bad magic":       append([]byte{'X', 'S'}, good[2:]...),
+		"future version":  append([]byte{'R', 'S', 99}, good[3:]...),
+		"length lies low": append(append([]byte{}, good[:4]...), append([]byte{0, 0, 0, 0}, good[8:]...)...),
+		"truncated body":  good[:len(good)-1],
+		"trailing bytes":  append(append([]byte{}, good...), 0xaa),
+		"huge length":     {0x52, 0x53, 1, 4, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, frame := range cases {
+		if name == "length lies low" {
+			// keep the header length field 0 but a non-empty body
+			binary.LittleEndian.PutUint32(frame[4:8], 0)
+		}
+		if _, _, err := decodeFrame(frame); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestDecodeReportPayloadRejects: hostile payloads inside a valid header —
+// lying counts, overflowing varints, bad forms — error without panicking
+// or allocating absurdly.
+func TestDecodeReportPayloadRejects(t *testing.T) {
+	build := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+	uv := func(v uint64) []byte { return binary.AppendUvarint(nil, v) }
+	cases := map[string][]byte{
+		"empty":           {},
+		"missing form":    uv(3),
+		"unknown form":    build(uv(3), []byte{9}),
+		"huge user count": build(uv(3), []byte{reportFormSparse}, uv(1<<30)),
+		"huge ones count": build(uv(3), []byte{reportFormSingle}, uv(7), uv(1<<30)),
+		"overflow varint": build(uv(3), []byte{reportFormSingle}, uv(7), uv(1), uv(math.MaxUint64>>1)),
+		"zero domain":     build(uv(3), []byte{reportFormPacked}, uv(0)),
+		"packed count lies": build(uv(3), []byte{reportFormPacked}, uv(64),
+			uv(1000), uv(1), []byte{0xff}),
+		"packed row truncated": build(uv(3), []byte{reportFormPacked}, uv(64),
+			uv(1), uv(1), []byte{0xff, 0xff}),
+		"delta chain overflow": build(uv(3), []byte{reportFormSingle}, uv(7),
+			uv(3), uv(math.MaxInt32), uv(math.MaxInt32), uv(2)),
+	}
+	for name, payload := range cases {
+		if _, err := decodeReportPayload(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestMalformedBinaryFramesLeaveRoundIntact is the handler-level guarantee:
+// hostile bytes on /v1/report during an open round 400 cleanly, and the
+// round then accepts a good batch and finalizes — nothing was partially
+// applied, nothing panicked.
+func TestMalformedBinaryFramesLeaveRoundIntact(t *testing.T) {
+	cur, err := NewCurator(testConfig(testGrid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(cur))
+	defer srv.Close()
+
+	users := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sampled := driveRound(t, cur, 0, users)
+	d := cur.DomainSize()
+
+	good, err := EncodeSingleReportFrame(0, 99, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleDomain, err := EncodePackedReportFrame(0, d+1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := [][]byte{
+		good[:5],                                   // truncated mid-header
+		append(good[:8:8], 0xff),                   // length lies
+		{0x52, 0x53, 2, 4, 0, 0, 0, 0},             // version skew
+		finishFrame(frameKindPresence, nil),        // wrong kind for the endpoint
+		finishFrame(frameKindReport, []byte{0x00}), // truncated payload
+		staleDomain,                                // wrong domain (409 from the curator, round intact)
+	}
+	for i, frame := range hostile {
+		resp, err := http.Post(srv.URL+"/v1/report", WireContentType, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Fatalf("frame %d: status %d, want 4xx", i, resp.StatusCode)
+		}
+	}
+
+	// The round is still open and healthy: a real batch lands and finalizes.
+	rng := ldp.NewRand(5, 6)
+	var batch []BatchReport
+	for u, a := range sampled {
+		oracle := ldp.MustOUE(d, a.Epsilon)
+		batch = append(batch, BatchReport{User: u, Ones: oracle.Perturb(rng, u%d)})
+	}
+	packed, err := PackReportBatch(batch, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodePackedReportFrame(0, d, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/report", WireContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("good batch after hostile frames: status %d", resp.StatusCode)
+	}
+	if err := cur.Finalize(0, len(users)); err != nil {
+		t.Fatal(err)
+	}
+	if _, reports := cur.Stats(); reports != len(batch) {
+		t.Fatalf("reports = %d, want %d", reports, len(batch))
+	}
+}
+
+// FuzzBinaryFrame: no byte string may panic any frame decoder, and valid
+// re-encodes of whatever decodes must round-trip. Seeds cover truncation,
+// length lies and version skew around real frames.
+func FuzzBinaryFrame(f *testing.F) {
+	presence, _ := encodePresenceFrame(3, []int{1, 2, 900})
+	assign, _ := encodeAssignmentsFrame(3, []int{1, 2})
+	resp := encodeAssignmentsRespFrame([]Assignment{{Report: true, Epsilon: 0.5}, {}})
+	single, _ := EncodeSingleReportFrame(7, 1, []int{0, 5, 2})
+	sparse, _ := EncodeSparseReportFrame(7, []BatchReport{{User: 1, Ones: []int{3}}})
+	packed, _ := EncodePackedReportFrame(7, 12, []PackedBatchReport{{User: 1, Bits: []byte{0xff, 0x0f}}})
+	for _, seed := range [][]byte{presence, assign, resp, single, sparse, packed} {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-1]) // truncated
+		lying := append([]byte{}, seed...)
+		binary.LittleEndian.PutUint32(lying[4:8], uint32(len(seed))) // length lies
+		f.Add(lying)
+		skew := append([]byte{}, seed...)
+		skew[2] = 7 // version skew
+		f.Add(skew)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x53})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case frameKindPresence:
+			decodePresencePayload(payload)
+		case frameKindAssignments:
+			decodeAssignmentsPayload(payload)
+		case frameKindAssignmentsResp:
+			if as, err := decodeAssignmentsRespPayload(payload); err == nil {
+				if !bytes.Equal(encodeAssignmentsRespFrame(as), data) {
+					t.Fatalf("assignments response did not round-trip")
+				}
+			}
+		case frameKindReport:
+			decodeReportPayload(payload)
+		}
+	})
+}
+
+// TestStatsReportsWireBytes: the per-endpoint byte ledger in /v1/stats
+// moves when traffic flows and splits in from out.
+func TestStatsReportsWireBytes(t *testing.T) {
+	cur, err := NewCurator(testConfig(testGrid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(cur))
+	defer srv.Close()
+
+	gw := NewGateway(srv.URL, nil)
+	gw.SetWire(WireBinary)
+	gw.SetRetryPolicy(fastPolicy())
+	users := []int{1, 2, 3}
+	if err := gw.AnnouncePresence(users, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Plan(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Assignments(users, 0); err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(srv.URL, nil)
+	if _, err := co.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	// An endpoint's own bytes land in the ledger after its handler returns,
+	// so poll twice to see the first stats response accounted.
+	st, err := co.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, ok := st.Wire["/v1/presence"]
+	if !ok || pres.BytesIn == 0 {
+		t.Fatalf("presence wire ledger missing or zero: %+v", st.Wire)
+	}
+	if pres.BytesOut != 0 {
+		t.Fatalf("presence responds 204 with no body, but bytes_out = %d", pres.BytesOut)
+	}
+	asgn := st.Wire["/v1/assignments"]
+	if asgn.BytesIn == 0 || asgn.BytesOut == 0 {
+		t.Fatalf("assignments wire ledger incomplete: %+v", asgn)
+	}
+	if stats := st.Wire["/v1/stats"]; stats.BytesOut == 0 {
+		t.Fatalf("stats endpoint did not account its own response: %+v", st.Wire)
+	}
+}
+
+// TestBinaryAdvertOnEveryResponse: negotiation depends on the advert being
+// unconditional, including on error responses.
+func TestBinaryAdvertOnEveryResponse(t *testing.T) {
+	cur, err := NewCurator(testConfig(testGrid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(cur))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/report", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(wireAdvertHeader); got != wireAdvertValue {
+		t.Fatalf("%s = %q on an error response, want %q", wireAdvertHeader, got, wireAdvertValue)
+	}
+}
