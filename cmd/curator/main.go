@@ -25,6 +25,12 @@
 //	POST /v1/restore    — load a checkpoint
 //	POST /v1/relayout   {force} — rebuild the layout from the released stream
 //	                    and migrate live state onto it (see -rediscretize-every)
+//	GET  /metrics       — Prometheus text exposition of the curator's
+//	                    observability series (see the README's catalog)
+//
+// Observability: -trace-rounds FILE writes one JSONL event per finalized
+// round (stage latencies, report counts, budget stats, relayout decisions);
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // Usage:
 //
@@ -42,7 +48,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,6 +84,8 @@ func main() {
 		drainGrace  = flag.Duration("drainGrace", 10*time.Second, "graceful-shutdown grace for in-flight requests")
 		rediscEvery = flag.Int("rediscretize-every", 0, "rebuild the spatial layout from the released stream every N windows at finalize and migrate when it drifted (0 = frozen layout; POST /v1/relayout still works)")
 		relayoutThr = flag.Float64("relayout-threshold", 0, "minimum layout distance in [0,1) for a rebuilt layout to replace the current one (0 = default 0.1)")
+		traceRounds = flag.String("trace-rounds", "", "write one JSONL trace event per finalized round to this file")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -113,9 +123,37 @@ func main() {
 		}
 	}
 
+	// Round-processing and relayout failures surface on stderr with
+	// timestamp context (they also count on curator.round_errors /
+	// curator.relayout_errors in the registry).
+	cur.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	if *traceRounds != "" {
+		tf, err := os.OpenFile(*traceRounds, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("curator: open -trace-rounds: %v", err)
+		}
+		defer tf.Close()
+		cur.SetTracer(slog.New(slog.NewJSONHandler(tf, nil)))
+		fmt.Printf("curator: tracing rounds to %s\n", *traceRounds)
+	}
+
+	handler := remote.NewHandler(cur)
+	if *pprofOn {
+		// Wrap the protocol mux so /debug/pprof/ resolves without exposing
+		// the default serve mux.
+		top := http.NewServeMux()
+		top.HandleFunc("/debug/pprof/", pprof.Index)
+		top.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		top.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		top.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		top.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		top.Handle("/", handler)
+		handler = top
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           remote.NewHandler(cur),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,105 +1,12 @@
 package main
 
-import (
-	"math/bits"
-	"sync"
-	"time"
-)
+import "retrasyn/internal/obs"
 
-// hist is an HDR-style log-bucketed latency histogram: 16 sub-buckets per
-// power of two (the first band holds 32), so quantile estimates carry at
-// most ~3% relative error while the whole structure is a fixed 960-entry
-// array — no allocation per sample, safe to hammer from every gateway
-// goroutine. Values are microseconds.
-type hist struct {
-	mu     sync.Mutex
-	counts [960]int64
-	n      int64
-	sum    int64
-	max    int64
-}
+// The HDR-style log-bucketed latency histogram that used to live here was
+// promoted to internal/obs so the curator's metrics registry shares it. The
+// aliases keep loadgen's report schema (BENCH_replay.json) byte-identical:
+// obs.Summary carries the exact JSON field set latencySummary always had,
+// and obs.Histogram uses the same 960-bucket layout.
+type hist = obs.Histogram
 
-func bucketOf(v int64) int {
-	if v < 0 {
-		v = 0
-	}
-	k := bits.Len64(uint64(v)) - 5
-	if k < 0 {
-		k = 0
-	}
-	idx := 16*k + int(v>>uint(k))
-	if idx >= 960 {
-		idx = 959
-	}
-	return idx
-}
-
-// bucketFloor returns the smallest value mapping to bucket idx — the
-// conservative estimate quantiles report.
-func bucketFloor(idx int) int64 {
-	if idx < 32 {
-		return int64(idx)
-	}
-	k := idx/16 - 1
-	return int64(idx-16*k) << uint(k)
-}
-
-func (h *hist) observe(d time.Duration) {
-	v := d.Microseconds()
-	h.mu.Lock()
-	h.counts[bucketOf(v)]++
-	h.n++
-	h.sum += v
-	if v > h.max {
-		h.max = v
-	}
-	h.mu.Unlock()
-}
-
-// quantile returns the value at quantile q (0 < q ≤ 1) in microseconds.
-func (h *hist) quantile(q float64) int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
-		return 0
-	}
-	rank := int64(q*float64(h.n) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			return bucketFloor(i)
-		}
-	}
-	return h.max
-}
-
-// latencySummary is the JSON face of a histogram.
-type latencySummary struct {
-	Count  int64   `json:"count"`
-	MeanUS float64 `json:"mean_us"`
-	P50US  int64   `json:"p50_us"`
-	P90US  int64   `json:"p90_us"`
-	P95US  int64   `json:"p95_us"`
-	P99US  int64   `json:"p99_us"`
-	MaxUS  int64   `json:"max_us"`
-}
-
-func (h *hist) summary() latencySummary {
-	s := latencySummary{
-		P50US: h.quantile(0.50),
-		P90US: h.quantile(0.90),
-		P95US: h.quantile(0.95),
-		P99US: h.quantile(0.99),
-	}
-	h.mu.Lock()
-	s.Count, s.MaxUS = h.n, h.max
-	if h.n > 0 {
-		s.MeanUS = float64(h.sum) / float64(h.n)
-	}
-	h.mu.Unlock()
-	return s
-}
+type latencySummary = obs.Summary

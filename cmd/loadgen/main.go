@@ -54,6 +54,7 @@ func main() {
 		lambda   = flag.Float64("lambda", 13.6, "synthesis termination factor λ (ingest mode)")
 		shards   = flag.Int("shards", 1, "engine shards (ingest mode)")
 		wire     = flag.String("wire", "binary", `report wire encoding in http mode: "binary" (framed application/x-retrasyn) or "json"`)
+		scrape   = flag.Bool("scrape", false, "poll the curator's /metrics before and after the replay (http mode) and embed the series deltas in the report")
 		out      = flag.String("out", "BENCH_replay.json", "benchmark report path")
 		maxBuf   = flag.Int("max-pending", 0, "ingest buffer bound in events (ingest mode; 0 = service default)")
 		loss     = flag.Bool("allow-loss", false, "exit 0 even when the loss ledger does not balance")
@@ -114,6 +115,7 @@ func main() {
 	switch *mode {
 	case "http":
 		report.Wire = *wire
+		r.scrape = *scrape
 		err = r.replayHTTP(*curator, wireMode, &report)
 	case "ingest":
 		err = r.replayIngest(retrasyn.Options{
@@ -198,6 +200,11 @@ type benchReport struct {
 
 	Latency map[string]latencySummary `json:"latency"`
 
+	// MetricsDelta (http mode with -scrape) is end-minus-start over the
+	// curator's /metrics scalar samples — counters, gauges and histogram
+	// _sum/_count, keyed by the exposition series line.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+
 	Curator *remote.StatsSnapshot `json:"curator,omitempty"`
 	Ingest  *service.Stats        `json:"ingest,omitempty"`
 }
@@ -210,6 +217,7 @@ type run struct {
 	gateways int
 	interval time.Duration
 	seed     uint64
+	scrape   bool
 
 	start         time.Time
 	eventsEmitted int64
@@ -264,7 +272,7 @@ func (r *run) finish(report *benchReport) {
 	}
 	report.Latency = make(map[string]latencySummary, len(r.hists))
 	for name, h := range r.hists {
-		report.Latency[name] = h.summary()
+		report.Latency[name] = h.Summary()
 	}
 }
 
@@ -325,6 +333,14 @@ func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchRepo
 		progressEvery = 1
 	}
 
+	var scrapeStart map[string]float64
+	if r.scrape {
+		var err error
+		if scrapeStart, err = scrapeMetrics(baseURL); err != nil {
+			return fmt.Errorf("pre-run scrape: %w", err)
+		}
+	}
+
 	r.start = time.Now()
 	for {
 		batch, err := r.reader.Next()
@@ -347,7 +363,7 @@ func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchRepo
 			if err := gws[i].AnnouncePresence(users[i], t); err != nil {
 				return err
 			}
-			r.hist("presence").observe(time.Since(start))
+			r.hist("presence").Observe(time.Since(start))
 			return nil
 		})
 		if err != nil {
@@ -366,7 +382,7 @@ func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchRepo
 			if err != nil {
 				return err
 			}
-			r.hist("assignments").observe(time.Since(start))
+			r.hist("assignments").Observe(time.Since(start))
 			var reports []remote.BatchReport
 			var roundEps float64 // the sampled users' ε (uniform within a round)
 			for j, a := range as {
@@ -404,7 +420,7 @@ func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchRepo
 			} else if err := gws[i].ReportBatch(t, reports); err != nil {
 				return err
 			}
-			r.hist("report").observe(time.Since(start))
+			r.hist("report").Observe(time.Since(start))
 			sent[i] = int64(len(reports))
 			return nil
 		})
@@ -417,7 +433,7 @@ func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchRepo
 		if err := co.Finalize(t, active); err != nil {
 			return fmt.Errorf("t=%d: %w", t, err)
 		}
-		r.hist("round").observe(time.Since(roundStart))
+		r.hist("round").Observe(time.Since(roundStart))
 
 		if (t+1)%progressEvery == 0 {
 			st, err := co.Stats()
@@ -435,6 +451,13 @@ func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchRepo
 		return err
 	}
 	report.Curator = &st
+	if r.scrape {
+		scrapeEnd, err := scrapeMetrics(baseURL)
+		if err != nil {
+			return fmt.Errorf("post-run scrape: %w", err)
+		}
+		report.MetricsDelta = metricsDelta(scrapeStart, scrapeEnd)
+	}
 	if wb, ok := st.Wire["/v1/report"]; ok && r.reportsSent > 0 {
 		report.ReportBytesIn = wb.BytesIn
 		report.BytesPerReport = float64(wb.BytesIn) / float64(r.reportsSent)
@@ -490,7 +513,7 @@ func (r *run) replayIngest(opts retrasyn.Options, maxPending int, report *benchR
 			if err := in.Submit(t, shardEvents[i]); err != nil {
 				return err
 			}
-			r.hist("submit").observe(time.Since(start))
+			r.hist("submit").Observe(time.Since(start))
 			return nil
 		})
 		if err != nil {
@@ -502,8 +525,8 @@ func (r *run) replayIngest(opts retrasyn.Options, maxPending int, report *benchR
 			in.Close()
 			return fmt.Errorf("t=%d: %w", t, err)
 		}
-		r.hist("seal").observe(time.Since(start))
-		r.hist("round").observe(time.Since(roundStart))
+		r.hist("seal").Observe(time.Since(start))
+		r.hist("round").Observe(time.Since(roundStart))
 	}
 	if err := in.Close(); err != nil {
 		return err

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// scrapeMetrics polls the curator's Prometheus exposition and returns the
+// sample values keyed by the full series line (name plus label set). Comment
+// lines and per-bucket histogram samples are skipped — the replay report
+// embeds scalar deltas (counters, gauges, histogram _sum/_count), not whole
+// bucket vectors.
+func scrapeMetrics(baseURL string) (map[string]float64, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape /metrics: %s", resp.Status)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; the series key is
+		// everything before it. Label values produced by the curator never
+		// contain spaces, but splitting from the right keeps this robust if
+		// one ever does.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		key, valStr := line[:cut], line[cut+1:]
+		name := key
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			name = name[:b]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// metricsDelta subtracts the start scrape from the end scrape. Series that
+// appear only at the end (registered lazily mid-run) delta against zero;
+// series missing from the end scrape are dropped.
+func metricsDelta(start, end map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(end))
+	for k, v := range end {
+		out[k] = v - start[k]
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package allocation
+
+import "retrasyn/internal/obs"
+
+// Meter is the privacy-budget ledger's observability face: it watches the
+// per-timestamp ε a run actually spends and turns it into registry series an
+// operator can scrape. The quantities mirror the w-event accounting of
+// Theorem 1 — per-window ε sums land in a histogram (in micro-ε so the
+// integer buckets resolve small budgets), the cumulative spend and trailing
+// window sum are gauges — plus the sampled-user fraction per round, the
+// population-division knob PrivTrace/LDPTrace argue an operator must see.
+//
+// The meter is run-scoped: it never enters checkpoints, and a nil *Meter
+// records nothing.
+type Meter struct {
+	w    int
+	ring []float64 // per-timestamp ε of the trailing w timestamps
+	next int       // timestamps observed so far
+
+	windowEps   *obs.Histogram // micro-ε sum of each completed disjoint window
+	cumulative  *obs.Gauge
+	roundEps    *obs.Gauge
+	windowSum   *obs.Gauge
+	sampledFrac *obs.Gauge
+	rounds      *obs.Counter
+	silent      *obs.Counter
+}
+
+// MicroEps is the fixed-point scale the window-ε histogram uses: ε × 1e6, so
+// a 0.1-ε window lands in bucket territory with ~3% resolution.
+const MicroEps = 1e6
+
+// NewMeter registers the budget series on reg for a run with window size w.
+// Returns nil (record-nothing) on a nil registry.
+func NewMeter(reg *obs.Registry, w int) *Meter {
+	if reg == nil {
+		return nil
+	}
+	if w < 1 {
+		w = 1
+	}
+	return &Meter{
+		w:           w,
+		ring:        make([]float64, w),
+		windowEps:   reg.Histogram("budget.window_eps_micro"),
+		cumulative:  reg.Gauge("budget.cumulative_eps"),
+		roundEps:    reg.Gauge("budget.round_eps"),
+		windowSum:   reg.Gauge("budget.window_sum_eps"),
+		sampledFrac: reg.Gauge("budget.sampled_fraction"),
+		rounds:      reg.Counter("budget.rounds"),
+		silent:      reg.Counter("budget.silent_rounds"),
+	}
+}
+
+// Observe records one processed timestamp: eps is the per-user budget spent
+// by this round's reporters (0 on silent timestamps), sampled/pool the
+// reporter count versus the eligible population. Must be called once per
+// timestamp in order.
+func (m *Meter) Observe(eps float64, sampled, pool int) {
+	if m == nil {
+		return
+	}
+	m.ring[m.next%m.w] = eps
+	m.next++
+
+	if eps > 0 && sampled > 0 {
+		m.rounds.Inc()
+		m.cumulative.Add(eps)
+	} else {
+		m.silent.Inc()
+	}
+	m.roundEps.Set(eps)
+	if pool > 0 {
+		m.sampledFrac.Set(float64(sampled) / float64(pool))
+	} else {
+		m.sampledFrac.Set(0)
+	}
+
+	var sum float64
+	for _, e := range m.ring {
+		sum += e
+	}
+	m.windowSum.Set(sum)
+	if m.next%m.w == 0 {
+		// One disjoint window completed: its ε sum is a per-user spend
+		// bounded by ε under Theorem 1's accounting.
+		m.windowEps.ObserveValue(int64(sum * MicroEps))
+	}
+}

@@ -1,0 +1,58 @@
+package allocation
+
+import (
+	"math"
+	"testing"
+
+	"retrasyn/internal/obs"
+)
+
+func TestMeterWindows(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMeter(reg, 4)
+
+	// Two full windows: [0.1, 0, 0.2, 0] and [0.3, 0, 0, 0.1].
+	steps := []struct {
+		eps           float64
+		sampled, pool int
+	}{
+		{0.1, 50, 100}, {0, 0, 100}, {0.2, 25, 100}, {0, 0, 100},
+		{0.3, 10, 100}, {0, 0, 100}, {0, 0, 100}, {0.1, 100, 100},
+	}
+	for _, s := range steps {
+		m.Observe(s.eps, s.sampled, s.pool)
+	}
+
+	if got := reg.Counter("budget.rounds").Value(); got != 4 {
+		t.Fatalf("rounds = %d, want 4", got)
+	}
+	if got := reg.Counter("budget.silent_rounds").Value(); got != 4 {
+		t.Fatalf("silent = %d, want 4", got)
+	}
+	if got := reg.Gauge("budget.cumulative_eps").Value(); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("cumulative = %v, want 0.7", got)
+	}
+	if got := reg.Gauge("budget.window_sum_eps").Value(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("trailing window sum = %v, want 0.4", got)
+	}
+	if got := reg.Gauge("budget.sampled_fraction").Value(); got != 1 {
+		t.Fatalf("sampled fraction = %v, want 1", got)
+	}
+	h := reg.Histogram("budget.window_eps_micro")
+	if got := h.Count(); got != 2 {
+		t.Fatalf("window histogram count = %d, want 2 completed windows", got)
+	}
+	// Both windows sum to 0.3–0.4 ε → 300k–400k micro-ε; the p99 must land in
+	// the 400k bucket band (±3%).
+	if q := h.Quantile(0.99); q < 380_000 || q > 400_000 {
+		t.Fatalf("window p99 = %d micro-eps, want ≈400000", q)
+	}
+}
+
+func TestMeterNil(t *testing.T) {
+	var m *Meter
+	m.Observe(0.5, 1, 2) // must not panic
+	if NewMeter(nil, 3) != nil {
+		t.Fatal("NewMeter(nil) must return nil")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
+	"retrasyn/internal/obs"
 	"retrasyn/internal/pipeline"
 	"retrasyn/internal/relayout"
 	"retrasyn/internal/spatial"
@@ -112,6 +113,15 @@ type Options struct {
 	AggregationWorkers int
 	// Seed drives all engine randomness; equal seeds reproduce runs exactly.
 	Seed uint64
+	// Metrics, when non-nil, receives pipeline stage-latency histograms,
+	// round/report counters and the privacy-budget meter series. Metrics are
+	// run-scoped — they never enter EngineState — and recording never touches
+	// the engine RNG, so instrumented runs stay bit-identical. Nil (the
+	// default) disables instrumentation at zero cost.
+	Metrics *obs.Registry
+	// MetricsShard labels this engine's series when several shards share one
+	// registry (the Coordinator sets it; default 0).
+	MetricsShard int
 }
 
 func (o *Options) defaults() error {
@@ -181,6 +191,11 @@ type Engine struct {
 	lastT int // last processed timestamp; -1 before the first
 	stats RunStats
 
+	// metrics/meter are the run-scoped instrumentation handles; both are nil
+	// (no-op) unless Options.Metrics was set. Never checkpointed.
+	metrics *pipeline.Metrics
+	meter   *allocation.Meter
+
 	// scratch buffer reused across timestamps
 	sampleBuf []trajectory.Event
 }
@@ -220,6 +235,8 @@ func New(opts Options) (*Engine, error) {
 		lastT: -1,
 	}
 	e.bootFP = e.configFingerprint()
+	e.metrics = pipeline.NewMetrics(opts.Metrics, opts.MetricsShard)
+	e.meter = allocation.NewMeter(opts.Metrics, opts.W)
 	e.updater = &pipeline.DMUUpdater{Model: model, DisableDMU: opts.DisableDMU}
 	e.pipe = pipeline.Pipeline{
 		Collector:   newCollector(opts, dom, rng),
@@ -476,8 +493,19 @@ func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount 
 		}
 	}
 
-	// Collector → Estimator → ModelUpdater → Synthesizer.
+	// Collector → Estimator → ModelUpdater → Synthesizer. Timings accumulate
+	// cumulatively inside the stages, so the per-step increment is the
+	// before/after delta.
+	before := e.stats.Timings
 	e.pipe.Step(ctx)
+	e.metrics.ObserveStep(ctx, pipeline.Sub(e.stats.Timings, before))
+	{
+		spent := 0.0
+		if ctx.Result.Reported {
+			spent = ctx.Epsilon
+		}
+		e.meter.Observe(spent, ctx.Result.NumReporters, len(pool))
+	}
 
 	// Post-step glue: round accounting, user lifecycle, window bookkeeping
 	// and the Eq. 9–10 trackers.

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered series in Prometheus text
+// exposition format: families sorted by name, label sets sorted within a
+// family, one # TYPE line per family. Counter and gauge series emit one
+// sample each; histograms emit cumulative le-buckets at the band edges of
+// the log-bucketed layout (up to the band containing the observed maximum),
+// plus _sum and _count, so quantiles are derivable by any Prometheus
+// quantile function.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	prevFamily := ""
+	for _, s := range r.snapshot() {
+		fam := promName(s.name)
+		if fam != prevFamily {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(fam)
+			switch {
+			case s.c != nil:
+				bw.WriteString(" counter\n")
+			case s.g != nil:
+				bw.WriteString(" gauge\n")
+			default:
+				bw.WriteString(" histogram\n")
+			}
+			prevFamily = fam
+		}
+		switch {
+		case s.c != nil:
+			writeSample(bw, fam, s.labels, "", strconv.FormatInt(s.c.Value(), 10))
+		case s.g != nil:
+			writeSample(bw, fam, s.labels, "", formatFloat(s.g.Value()))
+		case s.h != nil:
+			writeHistogram(bw, fam, s.labels, s.h.snapshot())
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket series of one histogram. The
+// le boundaries are the band edges of the log-bucketed layout: 31, 63, 127,
+// … — each the largest value its band can hold, so the cumulative count at
+// a boundary is exact, not interpolated.
+func writeHistogram(bw *bufio.Writer, fam string, labels []Label, s histSnap) {
+	// Highest band that needs emitting: the one holding the max observation
+	// (band 0 covers values 0–31 via buckets 0–31; band k ≥ 1 covers
+	// [2^(k+4), 2^(k+5)) via buckets 16(k+1)…16(k+1)+15).
+	maxBand := 0
+	if s.max > 31 {
+		maxBand = BucketOf(s.max)/16 - 1
+	}
+	var cum int64
+	bucket := 0
+	for band := 0; band <= maxBand; band++ {
+		// Band 0 ends before bucket 32, band k ≥ 1 before bucket 16k+32.
+		hi := 16*band + 32
+		for ; bucket < hi && bucket < NumBuckets; bucket++ {
+			cum += s.counts[bucket]
+		}
+		if band+5 >= 63 {
+			// The top band's edge would overflow int64; +Inf covers it.
+			break
+		}
+		le := int64(1)<<(uint(band)+5) - 1
+		writeSample(bw, fam+"_bucket", labels, "le=\""+strconv.FormatInt(le, 10)+"\"", strconv.FormatInt(cum, 10))
+	}
+	writeSample(bw, fam+"_bucket", labels, `le="+Inf"`, strconv.FormatInt(s.n, 10))
+	writeSample(bw, fam+"_sum", labels, "", strconv.FormatInt(s.sum, 10))
+	writeSample(bw, fam+"_count", labels, "", strconv.FormatInt(s.n, 10))
+}
+
+// writeSample emits one `name{labels} value` line. extra is a pre-rendered
+// label pair (the histogram le) appended after the series labels.
+func writeSample(bw *bufio.Writer, name string, labels []Label, extra, value string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extra != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(promName(l.Key))
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(l.Value))
+			bw.WriteByte('"')
+		}
+		if extra != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// promName rewrites a dot-separated series name into a Prometheus metric
+// name: dots become underscores, and any character outside [a-zA-Z0-9_:]
+// is replaced with an underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a gauge value the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

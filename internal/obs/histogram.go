@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// NumBuckets is the fixed size of the histogram's count array.
+const NumBuckets = 960
+
+// Histogram is an HDR-style log-bucketed histogram: 16 sub-buckets per
+// power of two (the first band holds the values 0–31 exactly), so quantile
+// estimates carry at most ~3% relative error while the whole structure is a
+// fixed 960-entry array — no allocation per sample, safe to hammer from
+// every goroutine. Values are int64 with unit chosen by the caller (the
+// latency series use microseconds, the budget ledger micro-ε).
+//
+// Histograms merge associatively (Merge), so per-shard instances can fold
+// into fleet-wide ones in any grouping. A nil *Histogram is a valid no-op.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [NumBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+// BucketOf maps a value onto its bucket index. Negative values clamp to
+// bucket 0, values beyond the top band to the last bucket.
+func BucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	k := bits.Len64(uint64(v)) - 5
+	if k < 0 {
+		k = 0
+	}
+	idx := 16*k + int(v>>uint(k))
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return idx
+}
+
+// BucketFloor returns the smallest value mapping to bucket idx — the
+// conservative estimate quantiles report.
+func BucketFloor(idx int) int64 {
+	if idx < 32 {
+		return int64(idx)
+	}
+	k := idx/16 - 1
+	return int64(idx-16*k) << uint(k)
+}
+
+// Observe records a duration in microseconds — the convention every latency
+// series in the tree follows.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(d.Microseconds()) }
+
+// ObserveValue records a raw value.
+func (h *Histogram) ObserveValue(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.counts[BucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Quantile returns the value at quantile q (0 < q ≤ 1).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return BucketFloor(i)
+		}
+	}
+	return h.max
+}
+
+// Merge folds o's observations into h. Merging is associative and
+// commutative — (a∪b)∪c ≡ a∪(b∪c) bucket for bucket — so per-shard
+// histograms can aggregate in any order. o is snapshotted under its own
+// lock first, so concurrent Merge calls in both directions cannot deadlock.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	s := o.snapshot()
+	h.mu.Lock()
+	for i, c := range s.counts {
+		h.counts[i] += c
+	}
+	h.n += s.n
+	h.sum += s.sum
+	if s.max > h.max {
+		h.max = s.max
+	}
+	h.mu.Unlock()
+}
+
+// histSnap is a consistent point-in-time copy of a histogram.
+type histSnap struct {
+	counts [NumBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+func (h *Histogram) snapshot() histSnap {
+	h.mu.Lock()
+	s := histSnap{counts: h.counts, n: h.n, sum: h.sum, max: h.max}
+	h.mu.Unlock()
+	return s
+}
+
+// Summary is the JSON face of a histogram — the schema the replay
+// harness's BENCH_replay.json latency entries have always used.
+type Summary struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P90US  int64   `json:"p90_us"`
+	P95US  int64   `json:"p95_us"`
+	P99US  int64   `json:"p99_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+// Summary computes the quantile summary.
+func (h *Histogram) Summary() Summary {
+	if h == nil {
+		return Summary{}
+	}
+	s := Summary{
+		P50US: h.Quantile(0.50),
+		P90US: h.Quantile(0.90),
+		P95US: h.Quantile(0.95),
+		P99US: h.Quantile(0.99),
+	}
+	h.mu.Lock()
+	s.Count, s.MaxUS = h.n, h.max
+	if h.n > 0 {
+		s.MeanUS = float64(h.sum) / float64(h.n)
+	}
+	h.mu.Unlock()
+	return s
+}

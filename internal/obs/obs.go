@@ -1,0 +1,227 @@
+// Package obs is the curator's dependency-free metrics subsystem: atomic
+// counters and gauges plus the log-bucketed HDR-style histogram shared with
+// the replay harness, collected behind a Registry of stable dot-separated
+// series names and exposed in Prometheus text format (expose.go).
+//
+// Design constraints, in order:
+//
+//   - Zero interference with the engine: recording never touches the random
+//     stream, never allocates on the hot path once a series exists, and a
+//     nil *Registry (or any series handle obtained from one) disables
+//     instrumentation entirely, so golden bit-identity tests hold with
+//     metrics live and un-instrumented builds pay nothing.
+//   - Run-scoped: metrics describe this process's lifetime and must never
+//     enter engine or curator checkpoints — a restored curator counts from
+//     zero (pinned by regression tests in internal/remote).
+//   - Concurrent: counters and gauges are single atomics, histograms take a
+//     short mutex per observation; a scraping reader sees a consistent
+//     point-in-time snapshot of each series while writers hammer on.
+//
+// Series are named with dot-separated lowercase paths ("curator.rounds",
+// "pipeline.stage.latency_us") and optional key=value labels; exposition
+// rewrites dots to underscores for Prometheus compatibility.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing series. The zero value of the
+// pointer (nil) is a valid no-op counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be ≥ 0 for Prometheus counter semantics; Add does not
+// enforce it).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64-valued series that can move both ways. The zero value
+// of the pointer (nil) is a valid no-op gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v atomically.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// series ties one registered name+labels to its typed value.
+type series struct {
+	name   string // dot-separated family name
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds the process's series, keyed by name+labels. All methods
+// are safe for concurrent use; a nil *Registry hands out nil series
+// handles, which record nothing.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// key canonicalizes name+labels into the registry key. Labels are sorted by
+// key so call-site order never splits a series.
+func key(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String(), ls
+}
+
+// lookup returns the series for name+labels, creating it with mk on first
+// use. Registering the same series under two different types is a
+// programming error and panics with the offending name.
+func (r *Registry) lookup(name string, labels []Label, mk func(*series)) *series {
+	k, ls := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[k]; ok {
+		return s
+	}
+	s := &series{name: name, labels: ls}
+	mk(s)
+	r.series[k] = s
+	return s
+}
+
+// Counter returns the counter series for name+labels, creating it on first
+// use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, func(s *series) { s.c = &Counter{} })
+	if s.c == nil {
+		panic(fmt.Sprintf("obs: series %q already registered with a different type", name))
+	}
+	return s.c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first use.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, func(s *series) { s.g = &Gauge{} })
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: series %q already registered with a different type", name))
+	}
+	return s.g
+}
+
+// Histogram returns the histogram series for name+labels, creating it on
+// first use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, func(s *series) { s.h = &Histogram{} })
+	if s.h == nil {
+		panic(fmt.Sprintf("obs: series %q already registered with a different type", name))
+	}
+	return s.h
+}
+
+// snapshot returns the registered series sorted by (name, labels) — the
+// stable exposition order.
+func (r *Registry) snapshot() []*series {
+	r.mu.Lock()
+	out := make([]*series, 0, len(r.series))
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, r.series[k])
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// NumSeries returns how many distinct series are registered.
+func (r *Registry) NumSeries() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series)
+}

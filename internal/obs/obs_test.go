@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBuckets pins the bucket geometry the replay harness has always used:
+// band edges land where the scheme says, floors invert BucketOf, and
+// indices stay in range across the whole int64 span.
+func TestBuckets(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 127, 1 << 20, 1<<62 + 12345} {
+		idx := BucketOf(v)
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("BucketOf(%d) = %d out of range", v, idx)
+		}
+		floor := BucketFloor(idx)
+		if floor > v {
+			t.Fatalf("BucketFloor(BucketOf(%d)) = %d exceeds the value", v, floor)
+		}
+		// ~3% relative error bound (one sub-bucket width).
+		if v >= 32 && float64(v-floor) > float64(v)/16 {
+			t.Fatalf("bucket floor %d too far below %d", floor, v)
+		}
+	}
+	if BucketOf(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+// TestHistogramQuantiles checks estimated quantiles against exact ones on a
+// random sample: within the structure's relative error bound.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var h Histogram
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = rng.Int64N(2_000_000) // up to 2s in µs
+		h.Observe(time.Duration(vals[i]) * time.Microsecond)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := h.Quantile(q)
+		if diff := float64(got - exact); diff < -float64(exact)/8 || diff > float64(exact)/8 {
+			t.Fatalf("q=%.2f: estimate %d vs exact %d", q, got, exact)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 10000 || s.MaxUS != vals[len(vals)-1] || s.MeanUS <= 0 {
+		t.Fatalf("summary %+v inconsistent", s)
+	}
+}
+
+// TestHistogramMergeAssociativity: folding per-shard histograms in any
+// grouping must land on identical counts — (a∪b)∪c ≡ a∪(b∪c) ≡ one
+// histogram fed everything.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	var a, b, c, direct Histogram
+	parts := []*Histogram{&a, &b, &c}
+	for i := 0; i < 30000; i++ {
+		v := rng.Int64N(1 << 40)
+		parts[i%3].ObserveValue(v)
+		direct.ObserveValue(v)
+	}
+
+	var left Histogram // (a ∪ b) ∪ c
+	left.Merge(&a)
+	left.Merge(&b)
+	left.Merge(&c)
+
+	var bc Histogram // a ∪ (b ∪ c)
+	bc.Merge(&b)
+	bc.Merge(&c)
+	var right Histogram
+	right.Merge(&a)
+	right.Merge(&bc)
+
+	for name, m := range map[string]*Histogram{"left-assoc": &left, "right-assoc": &right} {
+		if m.counts != direct.counts || m.n != direct.n || m.sum != direct.sum || m.max != direct.max {
+			t.Fatalf("%s merge diverged from the directly-fed histogram", name)
+		}
+	}
+}
+
+// TestNilHandlesAreNoOps: a nil registry and nil series handles must be
+// safely callable — that is the "instrumentation off" mode every
+// instrumented package relies on.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Gauge("b").Add(2)
+	r.Histogram("c").ObserveValue(5)
+	if r.NumSeries() != 0 {
+		t.Fatal("nil registry grew series")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var h *Histogram
+	h.Merge(nil)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("nil histogram not a no-op")
+	}
+}
+
+// TestRegistryConcurrency hammers counters, gauges and histograms from many
+// writers while a reader scrapes — the -race gate for the registry.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // the scraping reader
+		defer close(readerDone)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("test.events")
+			g := r.Gauge("test.level")
+			h := r.Histogram("test.latency_us", Label{Key: "writer", Value: string(rune('a' + i))})
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Add(1)
+				h.ObserveValue(int64(j))
+			}
+		}(i)
+	}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				// Same-name lookups from many goroutines must converge on
+				// one series.
+				r.Counter("test.events").Add(0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := r.Counter("test.events").Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Gauge("test.level").Value(); got != writers*perWriter {
+		t.Fatalf("gauge = %v, want %d", got, writers*perWriter)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte: stable
+// ordering, label sorting and escaping, histogram bucket edges.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("curator.rounds").Add(3)
+	r.Counter("wire.bytes_in", Label{Key: "path", Value: "/v1/report"}).Add(1234)
+	r.Counter("wire.bytes_in", Label{Key: "path", Value: "/v1/plan"}).Add(77)
+	r.Gauge("budget.sampled_fraction").Set(0.25)
+	r.Gauge("weird.name-with#chars", Label{Key: "k", Value: `quote"back\slash`}).Set(-1.5)
+	h := r.Histogram("pipeline.stage.latency_us", Label{Key: "stage", Value: "dmu"})
+	h.ObserveValue(10)  // band 0
+	h.ObserveValue(40)  // band 1 (32..63)
+	h.ObserveValue(100) // band 2 (64..127)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE budget_sampled_fraction gauge`,
+		`budget_sampled_fraction 0.25`,
+		`# TYPE curator_rounds counter`,
+		`curator_rounds 3`,
+		`# TYPE pipeline_stage_latency_us histogram`,
+		`pipeline_stage_latency_us_bucket{stage="dmu",le="31"} 1`,
+		`pipeline_stage_latency_us_bucket{stage="dmu",le="63"} 2`,
+		`pipeline_stage_latency_us_bucket{stage="dmu",le="127"} 3`,
+		`pipeline_stage_latency_us_bucket{stage="dmu",le="+Inf"} 3`,
+		`pipeline_stage_latency_us_sum{stage="dmu"} 150`,
+		`pipeline_stage_latency_us_count{stage="dmu"} 3`,
+		`# TYPE weird_name_with_chars gauge`,
+		`weird_name_with_chars{k="quote\"back\\slash"} -1.5`,
+		`# TYPE wire_bytes_in counter`,
+		`wire_bytes_in{path="/v1/plan"} 77`,
+		`wire_bytes_in{path="/v1/report"} 1234`,
+		``,
+	}, "\n")
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+}

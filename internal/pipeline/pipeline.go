@@ -41,6 +41,7 @@ type StepResult struct {
 	NumReporters   int
 	Epsilon        float64 // per-user budget spent by reporters
 	NumSignificant int     // |S*| of the DMU selection (domain size at init)
+	Packed         bool    // collection round used the bit-packed representation
 }
 
 // Timings accumulates per-component wall time, matching the paper's Table V

@@ -59,6 +59,7 @@ func (c *OUEPerUserCollector) Collect(ctx *StepContext) {
 // bits in place into one contiguous packed batch, and the fold counts all
 // columns of a word at once.
 func (c *OUEPerUserCollector) collectPacked(ctx *StepContext, oracle *ldp.OUE) {
+	ctx.Result.Packed = true
 	batch := ldp.NewPackedBatch(c.Dom.Size(), len(ctx.Reporters))
 	start := time.Now()
 	for _, ev := range ctx.Reporters {

@@ -3,6 +3,7 @@ package relayout
 import (
 	"fmt"
 
+	"retrasyn/internal/obs"
 	"retrasyn/internal/spatial"
 )
 
@@ -80,6 +81,13 @@ type Controller struct {
 	tracker   *DensityTracker
 	relayouts int
 	lastDist  float64
+
+	// Run-scoped instrumentation (nil-safe no-ops unless SetMetrics ran);
+	// never part of ControllerState.
+	mProposals *obs.Counter
+	mSwitches  *obs.Counter
+	mDecision  *obs.Histogram
+	mLastDist  *obs.Gauge
 }
 
 // NewController validates the options and creates a controller.
@@ -91,6 +99,21 @@ func NewController(opts ControllerOptions) (*Controller, error) {
 		opts:    opts,
 		tracker: NewDensityTracker(opts.SketchWindows * opts.W),
 	}, nil
+}
+
+// SetMetrics registers the controller's observability series on reg: rebuild
+// proposals, committed switches, the layout distance measured at each
+// decision (micro-distance histogram: distance × 1e6, so the [0,1) range
+// resolves), and the distance of the last committed switch. A nil registry
+// leaves instrumentation off.
+func (c *Controller) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mProposals = reg.Counter("relayout.proposals")
+	c.mSwitches = reg.Counter("relayout.switches")
+	c.mDecision = reg.Histogram("relayout.decision_distance_micro")
+	c.mLastDist = reg.Gauge("relayout.last_distance")
 }
 
 // Observe records the released synthetic positions at timestamp t.
@@ -126,6 +149,8 @@ func (c *Controller) Propose(current spatial.Discretizer) (Proposal, error) {
 		return Proposal{}, err
 	}
 	d := mig.Distance()
+	c.mProposals.Inc()
+	c.mDecision.ObserveValue(int64(d * 1e6))
 	return Proposal{Target: qt, Distance: d, Switch: d >= c.opts.Threshold}, nil
 }
 
@@ -133,6 +158,8 @@ func (c *Controller) Propose(current spatial.Discretizer) (Proposal, error) {
 func (c *Controller) NoteSwitch(distance float64) {
 	c.relayouts++
 	c.lastDist = distance
+	c.mSwitches.Inc()
+	c.mLastDist.Set(distance)
 }
 
 // Relayouts returns how many layout switches have been committed.

@@ -23,12 +23,14 @@ package remote
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
+	"retrasyn/internal/obs"
 	"retrasyn/internal/pipeline"
 	"retrasyn/internal/relayout"
 	"retrasyn/internal/spatial"
@@ -160,6 +162,19 @@ type Curator struct {
 	updater    *pipeline.DMUUpdater
 	synthStage *pipeline.SynthesisStage
 	timings    pipeline.Timings
+
+	// Observability (always on, run-scoped — never checkpointed). reg is the
+	// registry NewHandler serves at GET /metrics; lastTimings is the Timings
+	// snapshot at the previous Finalize, so each round's stage-latency delta
+	// (including report folds charged during ingestion) lands in histograms.
+	reg          *obs.Registry
+	metrics      curatorMetrics
+	logger       *slog.Logger
+	tracer       *slog.Logger
+	lastTimings  pipeline.Timings
+	roundPool    int // eligible users at the last Plan
+	roundSampled int // assignments issued at the last Plan
+	roundReports int // reports ingested since the last Plan
 }
 
 // UserRoster is the curator's view of user states; it reuses the engine's
@@ -230,6 +245,10 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 	if cfg.Division == allocation.Budget {
 		c.budgetWin = allocation.NewBudgetWindow(cfg.W)
 	}
+	c.reg = obs.NewRegistry()
+	c.metrics = newCuratorMetrics(c.reg, cfg.W)
+	c.metrics.domainSize.Set(float64(dom.Size()))
+	c.logger = discardLogger()
 	c.dev.Push(make([]float64, dom.Size()))
 	c.bootFP = c.configFingerprint()
 	// The density tracker always runs (the manual /v1/relayout endpoint
@@ -249,6 +268,7 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctl.SetMetrics(c.reg)
 	c.ctl = ctl
 	return c, nil
 }
@@ -279,6 +299,8 @@ func (c *Curator) Presence(user, t int) error {
 	if !c.present[user] {
 		c.present[user] = true
 		c.presenceEvents++
+		c.metrics.presenceEvents.Inc()
+		c.metrics.presentUsers.Set(float64(len(c.present)))
 	}
 	return nil
 }
@@ -297,8 +319,10 @@ func (c *Curator) PresenceBatch(users []int, t int) error {
 		if !c.present[user] {
 			c.present[user] = true
 			c.presenceEvents++
+			c.metrics.presenceEvents.Inc()
 		}
 	}
+	c.metrics.presentUsers.Set(float64(len(c.present)))
 	return nil
 }
 
@@ -316,10 +340,10 @@ func (c *Curator) Plan(t int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.phase != phaseIdle {
-		return fmt.Errorf("remote: Plan(%d) while a round is open", t)
+		return c.roundError("plan", t, fmt.Errorf("remote: Plan(%d) while a round is open", t))
 	}
 	if t <= c.t {
-		return fmt.Errorf("remote: Plan(%d) after timestamp %d", t, c.t)
+		return c.roundError("plan", t, fmt.Errorf("remote: Plan(%d) after timestamp %d", t, c.t))
 	}
 	c.t = t
 	c.users.begin(t)
@@ -380,6 +404,13 @@ func (c *Curator) Plan(t int) error {
 		c.oracle, c.agg = nil, nil
 	}
 	c.phase = phasePlanned
+	c.roundPool = len(pool)
+	c.roundSampled = len(c.assignments)
+	c.roundReports = 0
+	c.metrics.openRound.Set(1)
+	c.metrics.poolSize.Set(float64(c.roundPool))
+	c.metrics.sampledUsers.Set(float64(c.roundSampled))
+	c.metrics.pendingAsgn.Set(float64(len(c.assignments)))
 	return nil
 }
 
@@ -427,6 +458,7 @@ func (c *Curator) reportLocked(user, t int, ones []int) error {
 		return err
 	}
 	c.agg.Add(ones)
+	c.metrics.reportsSparse.Inc()
 	c.applyReportMetaLocked(user, t, a.Epsilon)
 	return nil
 }
@@ -452,6 +484,9 @@ func (c *Curator) applyReportMetaLocked(user, t int, eps float64) {
 	delete(c.assignments, user) // one report per assignment
 	c.users.markReported(user, t)
 	c.reports++
+	c.roundReports++
+	c.metrics.reports.Inc()
+	c.metrics.pendingAsgn.Set(float64(len(c.assignments)))
 	if c.ledger != nil {
 		c.ledger.RecordRound(t, eps, []int{user})
 	}
@@ -495,6 +530,7 @@ func (c *Curator) ReportBatch(t int, batch []BatchReport) error {
 		c.agg.Add(r.Ones)
 	}
 	c.timings.ModelConstruction += time.Since(start)
+	c.metrics.reportsSparse.Add(int64(len(batch)))
 	for i, r := range batch {
 		c.applyReportMetaLocked(r.User, t, eps[i])
 	}
@@ -600,6 +636,7 @@ func (c *Curator) commitPackedBatch(t, d int, users []int, packed *ldp.PackedBat
 	start := time.Now()
 	c.agg.AddPackedBatch(packed, ldp.DefaultWorkers())
 	c.timings.ModelConstruction += time.Since(start)
+	c.metrics.reportsPacked.Add(int64(len(users)))
 	for i, u := range users {
 		c.applyReportMetaLocked(u, t, eps[i])
 	}
@@ -613,7 +650,7 @@ func (c *Curator) Finalize(t, activeCount int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.phase != phasePlanned || t != c.t {
-		return fmt.Errorf("remote: Finalize(%d) without a matching Plan", t)
+		return c.roundError("finalize", t, fmt.Errorf("remote: Finalize(%d) without a matching Plan", t))
 	}
 
 	ctx := &pipeline.StepContext{
@@ -622,22 +659,28 @@ func (c *Curator) Finalize(t, activeCount int) error {
 		Epsilon:     c.epsRound,
 		Timings:     &c.timings,
 	}
-	if c.agg != nil && c.agg.N() > 0 {
+	reported := c.agg != nil && c.agg.N() > 0
+	if reported {
 		ctx.Aggregate = c.agg
 		ctx.ErrUpd = c.oracle.Variance(c.agg.N())
 		c.estimator.Estimate(ctx)
 		c.updater.Update(ctx)
 		c.dev.Push(ctx.Estimates)
 		c.rounds++
+		c.metrics.rounds.Inc()
+		c.metrics.reportCount.ObserveValue(int64(c.roundReports))
+		c.metrics.sigRatio.Set(ctx.SigRatio)
+		c.metrics.significant.Set(float64(ctx.Result.NumSignificant))
 	}
 	c.sig.Push(ctx.SigRatio)
+	spent := 0.0
+	if reported {
+		spent = c.epsRound
+	}
 	if c.budgetWin != nil {
-		spent := 0.0
-		if c.agg != nil && c.agg.N() > 0 {
-			spent = c.epsRound
-		}
 		c.budgetWin.Record(spent)
 	}
+	c.metrics.meter.Observe(spent, c.roundReports, c.roundPool)
 
 	// Quit inference: users present at t−1 but silent at t have stopped
 	// sharing.
@@ -651,16 +694,31 @@ func (c *Curator) Finalize(t, activeCount int) error {
 	c.synthStage.Step(ctx)
 	c.phase = phaseIdle
 	c.assignments = nil
+	c.metrics.openRound.Set(0)
+	c.metrics.pendingAsgn.Set(0)
 
 	// Online re-discretization: sketch the released positions, and at the
 	// end of every rebuild period grow a fresh layout and migrate when it
 	// differs enough from the current one.
 	c.ctl.Observe(t, c.releasedPositionsLocked())
+	relayoutSwitched := false
 	if c.ctl.Due(t) {
-		if _, err := c.relayoutLocked(false); err != nil {
-			return fmt.Errorf("remote: periodic relayout at timestamp %d: %w", t, err)
+		status, err := c.relayoutLocked(false)
+		if err != nil {
+			return c.relayoutError(t, fmt.Errorf("remote: periodic relayout at timestamp %d: %w", t, err))
 		}
+		relayoutSwitched = status.Switched
 	}
+
+	// Per-round stage-latency deltas: timings accumulate cumulatively (the
+	// report folds were already charged during ingestion), so the increment
+	// since the previous Finalize is this round's cost.
+	delta := pipeline.Sub(c.timings, c.lastTimings)
+	c.lastTimings = c.timings
+	c.metrics.stageModel.Observe(delta.ModelConstruction)
+	c.metrics.stageDMU.Observe(delta.DMU)
+	c.metrics.stageSynth.Observe(delta.Synthesis)
+	c.traceRound(t, reported, c.roundReports, spent, ctx.SigRatio, ctx.Result.NumSignificant, delta, relayoutSwitched)
 	return nil
 }
 
@@ -725,9 +783,10 @@ func (c *Curator) Relayout(force bool) (RelayoutStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.phase != phaseIdle {
-		return c.statusLocked(false, 0), fmt.Errorf("remote: relayout while a round is open — finalize timestamp %d first", c.t)
+		return c.statusLocked(false, 0), c.relayoutError(c.t, fmt.Errorf("remote: relayout while a round is open — finalize timestamp %d first", c.t))
 	}
-	return c.relayoutLocked(force)
+	st, err := c.relayoutLocked(force)
+	return st, c.relayoutError(c.t, err)
 }
 
 // relayoutLocked proposes a rebuild and applies the migration when the
@@ -744,6 +803,7 @@ func (c *Curator) relayoutLocked(force bool) (RelayoutStatus, error) {
 	if !prop.Switch && !force {
 		return c.statusLocked(false, prop.Distance), nil
 	}
+	migStart := time.Now()
 	mig, err := relayout.NewMigration(c.space, prop.Target)
 	if err != nil {
 		return c.statusLocked(false, prop.Distance), err
@@ -776,6 +836,9 @@ func (c *Curator) relayoutLocked(force bool) (RelayoutStatus, error) {
 	c.oracle, c.agg = nil, nil
 	c.generation++
 	c.ctl.NoteSwitch(prop.Distance)
+	c.metrics.generation.Set(float64(c.generation))
+	c.metrics.domainSize.Set(float64(newDom.Size()))
+	c.metrics.observeMigration(time.Since(migStart))
 	return c.statusLocked(true, prop.Distance), nil
 }
 

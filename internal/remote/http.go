@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"retrasyn/internal/obs"
 	"retrasyn/internal/trajectory"
 )
 
@@ -110,6 +111,26 @@ type handler struct {
 	wire map[string]*wireCounter
 }
 
+// wireSeries are the registry mirrors of one endpoint's ledger: cumulative
+// body bytes each way plus per-format request counts. Pre-created at route
+// registration so the request path only touches atomics.
+type wireSeries struct {
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	reqJSON  *obs.Counter
+	reqBin   *obs.Counter
+}
+
+func newWireSeries(reg *obs.Registry, path string) wireSeries {
+	p := obs.Label{Key: "path", Value: path}
+	return wireSeries{
+		bytesIn:  reg.Counter("wire.bytes_in", p),
+		bytesOut: reg.Counter("wire.bytes_out", p),
+		reqJSON:  reg.Counter("wire.requests", p, obs.Label{Key: "format", Value: "json"}),
+		reqBin:   reg.Counter("wire.requests", p, obs.Label{Key: "format", Value: "binary"}),
+	}
+}
+
 // countingWriter tallies response body bytes (headers excluded — they are
 // not payload and the JSON-vs-binary comparison should not be diluted by
 // them).
@@ -151,8 +172,14 @@ func (h *handler) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc)
 		wc = &wireCounter{}
 		h.wire[path] = wc
 	}
+	ws := newWireSeries(h.c.Metrics(), path)
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(wireAdvertHeader, wireAdvertValue)
+		if isBinary(r) {
+			ws.reqBin.Inc()
+		} else {
+			ws.reqJSON.Inc()
+		}
 		cr := &countingReader{r: r.Body}
 		r.Body = cr
 		cw := &countingWriter{ResponseWriter: w}
@@ -165,6 +192,8 @@ func (h *handler) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc)
 		}
 		wc.in.Add(in)
 		wc.out.Add(cw.n)
+		ws.bytesIn.Add(in)
+		ws.bytesOut.Add(cw.n)
 	})
 }
 
@@ -386,6 +415,15 @@ func NewHandler(c *Curator) http.Handler {
 			return
 		}
 		writeJSON(w, status)
+	})
+	// GET /metrics bypasses h.route on purpose: scrapes are observability
+	// traffic, not protocol traffic, and must not inflate the wire ledger
+	// the replay harness divides by report counts.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := c.Metrics().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	h.route(mux, "GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		rounds, reports := c.Stats()

@@ -284,6 +284,10 @@ func (c *Curator) Restore(st *CuratorState) error {
 	c.reports = st.Reports
 	c.synthStage.Synth.Restore(st.Synth)
 	c.timings = st.Timings
+	// Stage-latency metrics are per-round deltas off the cumulative timings;
+	// re-baseline so the first post-restore round doesn't charge the donor's
+	// whole pre-checkpoint runtime as one observation.
+	c.lastTimings = st.Timings
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"retrasyn/internal/obs"
 	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
 )
@@ -63,6 +64,10 @@ type Options struct {
 	// A batch larger than the whole buffer is admitted alone when the
 	// buffer is empty. Default 65536.
 	MaxPendingEvents int
+	// Metrics, when non-nil, mirrors the Stats counters and the live buffer
+	// occupancy into registry series under "ingest." — see the README's
+	// observability catalog. Nil leaves instrumentation off.
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -111,6 +116,43 @@ type Ingestor struct {
 	failed        error // sticky engine error
 	stats         Stats
 	done          chan struct{}
+	metrics       ingestMetrics
+}
+
+// ingestMetrics mirrors the Stats counters and live buffer occupancy into
+// registry series. The zero value (nil handles) records nothing.
+type ingestMetrics struct {
+	batches    *obs.Counter
+	events     *obs.Counter
+	processed  *obs.Counter
+	waits      *obs.Counter
+	dropped    *obs.Counter
+	pending    *obs.Gauge // buffered (unprocessed) events
+	buffered   *obs.Gauge // distinct timestamps currently buffered
+	sealedOpen *obs.Gauge // sealed timestamps not yet drained
+}
+
+func newIngestMetrics(reg *obs.Registry) ingestMetrics {
+	if reg == nil {
+		return ingestMetrics{}
+	}
+	return ingestMetrics{
+		batches:    reg.Counter("ingest.batches_accepted"),
+		events:     reg.Counter("ingest.events_accepted"),
+		processed:  reg.Counter("ingest.timestamps_processed"),
+		waits:      reg.Counter("ingest.backpressure_waits"),
+		dropped:    reg.Counter("ingest.events_dropped"),
+		pending:    reg.Gauge("ingest.pending_events"),
+		buffered:   reg.Gauge("ingest.buffered_timestamps"),
+		sealedOpen: reg.Gauge("ingest.sealed_waiting"),
+	}
+}
+
+// sync refreshes the occupancy gauges; callers hold in.mu.
+func (in *Ingestor) syncOccupancy() {
+	in.metrics.pending.Set(float64(in.pendingEvents))
+	in.metrics.buffered.Set(float64(len(in.buf)))
+	in.metrics.sealedOpen.Set(float64(len(in.sealed)))
 }
 
 // New starts an ingestor over eng. The caller must not drive eng directly
@@ -118,12 +160,13 @@ type Ingestor struct {
 func New(eng Engine, opts Options) *Ingestor {
 	opts.defaults()
 	in := &Ingestor{
-		eng:    eng,
-		opts:   opts,
-		next:   eng.Timestamp(),
-		buf:    make(map[int][]trajectory.Event),
-		sealed: make(map[int]int),
-		done:   make(chan struct{}),
+		eng:     eng,
+		opts:    opts,
+		next:    eng.Timestamp(),
+		buf:     make(map[int][]trajectory.Event),
+		sealed:  make(map[int]int),
+		done:    make(chan struct{}),
+		metrics: newIngestMetrics(opts.Metrics),
 	}
 	in.space = sync.NewCond(&in.mu)
 	in.work = sync.NewCond(&in.mu)
@@ -167,12 +210,16 @@ func (in *Ingestor) Submit(t int, events []trajectory.Event) error {
 			break
 		}
 		in.stats.BackpressureWaits++
+		in.metrics.waits.Inc()
 		in.space.Wait()
 	}
 	in.buf[t] = append(in.buf[t], events...)
 	in.pendingEvents += len(events)
 	in.stats.BatchesAccepted++
 	in.stats.EventsAccepted += int64(len(events))
+	in.metrics.batches.Inc()
+	in.metrics.events.Add(int64(len(events)))
+	in.syncOccupancy()
 	return nil
 }
 
@@ -238,6 +285,7 @@ func (in *Ingestor) drain() {
 		in.next = t + 1
 		in.pendingEvents -= len(events)
 		in.stats.TimestampsProcessed++
+		in.metrics.processed.Inc()
 		if err != nil && in.failed == nil {
 			in.failed = fmt.Errorf("service: engine failed at timestamp %d: %w", t, err)
 			// A failed engine must never be fed another timestamp: the
@@ -248,6 +296,7 @@ func (in *Ingestor) drain() {
 			// instead of waiting for space that will never drain.
 			for ts, evs := range in.buf {
 				in.stats.EventsDropped += int64(len(evs))
+				in.metrics.dropped.Add(int64(len(evs)))
 				delete(in.buf, ts)
 			}
 			for ts := range in.sealed {
@@ -255,15 +304,18 @@ func (in *Ingestor) drain() {
 			}
 			in.pendingEvents = 0
 		}
+		in.syncOccupancy()
 		in.space.Broadcast()
 		in.idle.Broadcast()
 	}
 	// Closed with work drained: discard whatever was never sealed.
 	for t, events := range in.buf {
 		in.stats.EventsDropped += int64(len(events))
+		in.metrics.dropped.Add(int64(len(events)))
 		delete(in.buf, t)
 	}
 	in.pendingEvents = 0
+	in.syncOccupancy()
 	in.idle.Broadcast()
 	in.mu.Unlock()
 }

@@ -10,6 +10,7 @@ import (
 
 	"retrasyn"
 	"retrasyn/internal/ldp"
+	"retrasyn/internal/obs"
 	"retrasyn/internal/service"
 	"retrasyn/internal/trajectory"
 	"retrasyn/internal/transition"
@@ -565,5 +566,63 @@ func TestBackpressureWaitsCountsEpisodes(t *testing.T) {
 	}
 	if got := eng.processed.Load(); got != 6 {
 		t.Fatalf("engine processed %d timestamps, want 6", got)
+	}
+}
+
+// TestIngestMetricsMirrorStats: with a registry wired in, the ingest.*
+// series must agree with the ingestor's own Stats ledger after a full
+// concurrent replay, and the occupancy gauges must read empty once closed.
+func TestIngestMetricsMirrorStats(t *testing.T) {
+	orig, g := testData(t)
+	events, active := retrasyn.NewStreamEvents(orig)
+	reg := obs.NewRegistry()
+	fw := newFramework(t, g, orig, 1)
+	in := service.New(fw, service.Options{Metrics: reg})
+	ingestConcurrently(t, in, events, active)
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	for name, want := range map[string]int64{
+		"ingest.batches_accepted":     st.BatchesAccepted,
+		"ingest.events_accepted":      st.EventsAccepted,
+		"ingest.timestamps_processed": st.TimestampsProcessed,
+		"ingest.backpressure_waits":   st.BackpressureWaits,
+		"ingest.events_dropped":       0,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d (stats %+v)", name, got, want, st)
+		}
+	}
+	if st.EventsAccepted == 0 || st.TimestampsProcessed != int64(orig.T) {
+		t.Fatalf("replay did not exercise the ingestor: %+v", st)
+	}
+	for _, name := range []string{"ingest.pending_events", "ingest.buffered_timestamps", "ingest.sealed_waiting"} {
+		if got := reg.Gauge(name).Value(); got != 0 {
+			t.Fatalf("%s = %v after close, want 0", name, got)
+		}
+	}
+}
+
+// TestIngestMetricsCountCloseDrops: events buffered for a never-sealed
+// timestamp are purged on Close and must land in ingest.events_dropped.
+func TestIngestMetricsCountCloseDrops(t *testing.T) {
+	orig, g := testData(t)
+	reg := obs.NewRegistry()
+	in := service.New(newFramework(t, g, orig, 1), service.Options{Metrics: reg})
+	if err := in.Submit(0, []trajectory.Event{{User: 1}, {User: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("ingest.pending_events").Value(); got != 2 {
+		t.Fatalf("pending_events = %v, want 2", got)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ingest.events_dropped").Value(); got != 2 {
+		t.Fatalf("events_dropped = %d, want 2", got)
+	}
+	if got := reg.Gauge("ingest.pending_events").Value(); got != 0 {
+		t.Fatalf("pending_events = %v after close, want 0", got)
 	}
 }

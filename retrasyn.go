@@ -35,6 +35,7 @@ import (
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldpids"
 	"retrasyn/internal/metrics"
+	"retrasyn/internal/obs"
 	"retrasyn/internal/pipeline"
 	"retrasyn/internal/relayout"
 	"retrasyn/internal/spatial"
@@ -226,7 +227,22 @@ type Options struct {
 	RelayoutLeaves int
 	// Seed drives all randomness; equal seeds reproduce runs.
 	Seed uint64
+	// Metrics, when non-nil, receives the run's observability series:
+	// per-shard pipeline stage-latency histograms, round/report counters, the
+	// privacy-budget meter and relayout gauges. Expose it with
+	// Metrics.WritePrometheus. Metrics are run-scoped (never checkpointed)
+	// and recording never touches the engine RNG, so instrumented runs stay
+	// bit-identical. Nil (the default) disables instrumentation at zero cost.
+	Metrics *Metrics
 }
+
+// Metrics is the framework's metrics registry — see internal/obs for the
+// series model (counters, gauges, mergeable log-bucketed histograms,
+// Prometheus text exposition via WritePrometheus).
+type Metrics = obs.Registry
+
+// NewMetrics creates an empty metrics registry to pass as Options.Metrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Framework is the streaming curator: feed events per timestamp, read the
 // synthetic database at any point. With Options.Shards > 1 it drives a
@@ -258,7 +274,7 @@ func New(opts Options) (*Framework, error) {
 	if opts.FaithfulClients {
 		mode = core.PerUser
 	}
-	newEngine := func(seed uint64) (*core.Engine, error) {
+	newEngine := func(seed uint64, shard int) (*core.Engine, error) {
 		strategy, err := buildStrategy(opts.Strategy, division)
 		if err != nil {
 			return nil, err
@@ -275,6 +291,8 @@ func New(opts Options) (*Framework, error) {
 			OracleMode:       mode,
 			SynthesisWorkers: opts.SynthesisWorkers,
 			Seed:             seed,
+			Metrics:          opts.Metrics,
+			MetricsShard:     shard,
 		})
 	}
 	f := &Framework{space: space}
@@ -296,6 +314,7 @@ func New(opts Options) (*Framework, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctl.SetMetrics(opts.Metrics)
 		f.ctl = ctl
 	} else if opts.RediscretizeEvery < 0 {
 		return nil, fmt.Errorf("retrasyn: RediscretizeEvery must be ≥ 0, got %d", opts.RediscretizeEvery)
@@ -304,7 +323,7 @@ func New(opts Options) (*Framework, error) {
 		shards := make([]pipeline.Runner, opts.Shards)
 		f.engines = make([]*core.Engine, opts.Shards)
 		for i := range shards {
-			engine, err := newEngine(opts.Seed + uint64(i)*0x9e3779b97f4a7c15)
+			engine, err := newEngine(opts.Seed+uint64(i)*0x9e3779b97f4a7c15, i)
 			if err != nil {
 				return nil, err
 			}
@@ -318,7 +337,7 @@ func New(opts Options) (*Framework, error) {
 		f.coord = coord
 		return f, nil
 	}
-	engine, err := newEngine(opts.Seed)
+	engine, err := newEngine(opts.Seed, 0)
 	if err != nil {
 		return nil, err
 	}

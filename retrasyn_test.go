@@ -1,8 +1,11 @@
 package retrasyn
 
 import (
+	"strconv"
+
 	"bytes"
 	"math"
+	"retrasyn/internal/obs"
 	"strings"
 	"testing"
 )
@@ -372,5 +375,76 @@ func TestProcessTimestampValidation(t *testing.T) {
 	}
 	if fw.Timestamp() != 1 {
 		t.Fatalf("framework did not advance on valid input")
+	}
+}
+
+// TestFrameworkMetricsBitIdentical is the golden bit-identity gate for the
+// observability layer: a framework run with a live metrics registry must
+// release the exact synthetic database an uninstrumented run does — the
+// instrumentation never touches the RNG stream — while the registry's
+// pipeline and budget series actually move.
+func TestFrameworkMetricsBitIdentical(t *testing.T) {
+	orig, g := smallDataset(t)
+	opts := func() Options {
+		return Options{Grid: g, Epsilon: 1, Window: 10, Lambda: 8, Seed: 3, Shards: 2}
+	}
+	run := func(o Options) *Dataset {
+		fw, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, active := NewStreamEvents(orig)
+		for ts := range events {
+			if err := fw.ProcessTimestamp(events[ts], active[ts]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fw.Synthetic("syn")
+	}
+	plain := run(opts())
+	reg := NewMetrics()
+	o := opts()
+	o.Metrics = reg
+	instrumented := run(o)
+
+	if pa, pb := plain.ActiveCounts(), instrumented.ActiveCounts(); len(pa) != len(pb) {
+		t.Fatal("timeline length diverged under instrumentation")
+	}
+	for i := range plain.Trajs {
+		a, b := plain.Trajs[i], instrumented.Trajs[i]
+		if a.Start != b.Start || len(a.Cells) != len(b.Cells) {
+			t.Fatalf("trajectory %d diverged under instrumentation", i)
+		}
+		for j := range a.Cells {
+			if a.Cells[j] != b.Cells[j] {
+				t.Fatalf("trajectory %d cell %d diverged under instrumentation", i, j)
+			}
+		}
+	}
+
+	var stepped int64
+	for shard := 0; shard < 2; shard++ {
+		sh := obs.Label{Key: "shard", Value: strconv.Itoa(shard)}
+		stepped += reg.Counter("pipeline.rounds", sh).Value() +
+			reg.Counter("pipeline.silent_timestamps", sh).Value()
+	}
+	if want := int64(2 * orig.T); stepped != want {
+		t.Fatalf("pipeline stepped %d shard-rounds, want %d", stepped, want)
+	}
+	if reg.Counter("budget.rounds").Value()+reg.Counter("budget.silent_rounds").Value() == 0 {
+		t.Fatal("budget meter never observed a round")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`pipeline_stage_latency_us_count{shard="0",stage="dmu"}`,
+		`pipeline_stage_latency_us_count{shard="1",stage="dmu"}`,
+		"budget_cumulative_eps",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("facade exposition missing %q", want)
+		}
 	}
 }
