@@ -51,16 +51,50 @@ func relayoutBenchWorkload() *RawDataset {
 }
 
 // relayoutBench prepares the frozen and adaptive layouts once: the frozen
-// quadtree grows from the opening window's sketch; the adaptive layout is
+// quadtree grows from the opening window's sketch; the adaptive layouts are
 // whatever the real engine — sketching its own released synthetic stream —
-// migrated onto by the end of the run.
+// migrated onto by the end of the run, under the geometric trigger and under
+// the degradation trigger (geometric OR monitor alarm). A stationary twin of
+// the workload measures how often each trigger fires when nothing drifts.
 var relayoutBench struct {
-	once     sync.Once
-	raw      *RawDataset
-	frozen   *Quadtree
-	adaptive Discretizer
-	gens     int
-	err      error
+	once       sync.Once
+	raw        *RawDataset
+	frozen     *Quadtree
+	adaptive   Discretizer
+	gens       int
+	degraded   Discretizer
+	degradGens int
+	stableGens map[TriggerPolicy]int
+	err        error
+}
+
+func relayoutBenchOptions(boot *Quadtree, policy TriggerPolicy) Options {
+	o := Options{
+		Discretizer:       boot,
+		Epsilon:           relayoutBenchEps,
+		Window:            5,
+		Strategy:          StrategySample,
+		Lambda:            10,
+		RediscretizeEvery: 2,
+		RelayoutThreshold: 0.05,
+		Seed:              20240715,
+	}
+	if policy != TriggerGeometric {
+		o.TriggerPolicy = policy
+		o.MonitorWindow = 5
+	}
+	return o
+}
+
+func relayoutAdaptiveRun(raw *RawDataset, boot *Quadtree, policy TriggerPolicy) (Discretizer, int, error) {
+	fw, err := New(relayoutBenchOptions(boot, policy))
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, _, err := fw.RunAdaptive(raw); err != nil {
+		return nil, 0, err
+	}
+	return fw.Space(), fw.LayoutGeneration(), nil
 }
 
 func relayoutSetups(tb testing.TB) (raw *RawDataset, frozen *Quadtree, adaptive Discretizer, gens int) {
@@ -82,31 +116,51 @@ func relayoutSetups(tb testing.TB) (raw *RawDataset, frozen *Quadtree, adaptive 
 		if b.err != nil {
 			return
 		}
-		fw, err := New(Options{
-			Discretizer:       b.frozen,
-			Epsilon:           relayoutBenchEps,
-			Window:            5,
-			Strategy:          StrategySample,
-			Lambda:            10,
-			RediscretizeEvery: 2,
-			RelayoutThreshold: 0.05,
-			Seed:              20240715,
+		if b.adaptive, b.gens, b.err = relayoutAdaptiveRun(b.raw, b.frozen, TriggerGeometric); b.err != nil {
+			return
+		}
+		if b.degraded, b.degradGens, b.err = relayoutAdaptiveRun(b.raw, b.frozen, TriggerDegradationOr); b.err != nil {
+			return
+		}
+		// The stationary twin: identical scale and hotspot geometry, but the
+		// hotspot never moves, so a well-behaved trigger should leave the
+		// layout alone.
+		stable, err := GenerateDriftingHotspot(DriftConfig{
+			T:             relayoutBenchT,
+			InitialUsers:  4000,
+			ArrivalsPerTs: 300,
+			MeanLength:    10,
+			HotspotShare:  0.85,
+			DriftRate:     1e-9,
+			MaxX:          32, MaxY: 32,
+			Seed: 20240601,
 		})
 		if err != nil {
 			b.err = err
 			return
 		}
-		if _, _, err := fw.RunAdaptive(b.raw); err != nil {
-			b.err = err
-			return
+		b.stableGens = map[TriggerPolicy]int{}
+		for _, policy := range []TriggerPolicy{TriggerGeometric, TriggerDegradationOr} {
+			if _, g, err := relayoutAdaptiveRun(stable, b.frozen, policy); err != nil {
+				b.err = err
+				return
+			} else {
+				b.stableGens[policy] = g
+			}
 		}
-		b.adaptive = fw.Space()
-		b.gens = fw.LayoutGeneration()
 	})
 	if relayoutBench.err != nil {
 		tb.Fatal(relayoutBench.err)
 	}
 	return relayoutBench.raw, relayoutBench.frozen, relayoutBench.adaptive, relayoutBench.gens
+}
+
+// relayoutDegradationResults returns the degradation-or run's final layout
+// and migration count on the drifting workload, plus each policy's migration
+// count on the stationary twin.
+func relayoutDegradationResults(tb testing.TB) (degraded Discretizer, degradGens int, stableGens map[TriggerPolicy]int) {
+	relayoutSetups(tb)
+	return relayoutBench.degraded, relayoutBench.degradGens, relayoutBench.stableGens
 }
 
 // latePositions returns every user's true position at the measured late
@@ -226,6 +280,33 @@ func TestRelayoutAdaptiveBeatsFrozen(t *testing.T) {
 	}
 }
 
+// TestRelayoutDegradationTrigger pins this PR's acceptance numbers: on the
+// drifting workload the degradation-or trigger keeps late-round density error
+// within the geometric trigger's (≤ 1.0×, the alarm leg only ever adds
+// migrations the geometry already justifies), and on the stationary twin it
+// fires no more relayouts than the geometric trigger does.
+func TestRelayoutDegradationTrigger(t *testing.T) {
+	raw, _, adaptive, gens := relayoutSetups(t)
+	degraded, degradGens, stableGens := relayoutDegradationResults(t)
+	if degradGens < 1 {
+		t.Fatal("degradation-or never migrated on the drifting workload")
+	}
+	pts := latePositions(raw, relayoutBenchT-3)
+	geoL1 := relayoutL1(adaptive, pts, 3)
+	degL1 := relayoutL1(degraded, pts, 3)
+	t.Logf("late-round density L1: geometric %.4f (%d migrations), degradation-or %.4f (%d migrations)",
+		geoL1, gens, degL1, degradGens)
+	if degL1 > geoL1 {
+		t.Fatalf("degradation-or L1 %.4f exceeds geometric %.4f", degL1, geoL1)
+	}
+	t.Logf("stationary-twin migrations: geometric %d, degradation-or %d",
+		stableGens[TriggerGeometric], stableGens[TriggerDegradationOr])
+	if stableGens[TriggerDegradationOr] > stableGens[TriggerGeometric] {
+		t.Fatalf("degradation-or fired %d relayouts on the stationary twin, geometric fired %d",
+			stableGens[TriggerDegradationOr], stableGens[TriggerGeometric])
+	}
+}
+
 // BenchmarkRelayoutRoundFrozen measures one occupancy round + projection on
 // the frozen layout.
 func BenchmarkRelayoutRoundFrozen(b *testing.B) {
@@ -275,28 +356,40 @@ func TestEmitBenchRelayoutJSON(t *testing.T) {
 	}
 	fr := measure("frozen-boot-quadtree", frozen)
 	ad := measure("adaptive-relayout", adaptive)
+	degraded, degradGens, stableGens := relayoutDegradationResults(t)
+	dg := measure("adaptive-degradation-or", degraded)
 	out := struct {
-		Workload    string  `json:"workload"`
-		Epsilon     float64 `json:"epsilon"`
-		Reports     int     `json:"reports_per_round"`
-		RefGrid     int     `json:"reference_grid"`
-		Migrations  int     `json:"migrations"`
-		GOMAXPROCS  int     `json:"gomaxprocs"`
-		Frozen      entry   `json:"frozen"`
-		Adaptive    entry   `json:"adaptive"`
-		L1Ratio     float64 `json:"l1_ratio_adaptive_vs_frozen"`
-		DomainRatio float64 `json:"domain_ratio_adaptive_vs_frozen"`
+		Workload      string  `json:"workload"`
+		Epsilon       float64 `json:"epsilon"`
+		Reports       int     `json:"reports_per_round"`
+		RefGrid       int     `json:"reference_grid"`
+		Migrations    int     `json:"migrations"`
+		GOMAXPROCS    int     `json:"gomaxprocs"`
+		Frozen        entry   `json:"frozen"`
+		Adaptive      entry   `json:"adaptive"`
+		Degradation   entry   `json:"degradation_or"`
+		L1Ratio       float64 `json:"l1_ratio_adaptive_vs_frozen"`
+		DomainRatio   float64 `json:"domain_ratio_adaptive_vs_frozen"`
+		DegradL1Ratio float64 `json:"l1_ratio_degradation_vs_geometric"`
+		DegradGens    int     `json:"degradation_migrations"`
+		StableGeoGens int     `json:"stable_twin_migrations_geometric"`
+		StableDegGens int     `json:"stable_twin_migrations_degradation_or"`
 	}{
-		Workload:    "drifting hotspot: 85% of ~6600 sessions inside a hotspot crossing a 32×32 space over 60 timestamps",
-		Epsilon:     relayoutBenchEps,
-		Reports:     len(pts),
-		RefGrid:     relayoutRefK,
-		Migrations:  gens,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Frozen:      fr,
-		Adaptive:    ad,
-		L1Ratio:     ad.DensityL1 / fr.DensityL1,
-		DomainRatio: float64(ad.DomainSize) / float64(fr.DomainSize),
+		Workload:      "drifting hotspot: 85% of ~6600 sessions inside a hotspot crossing a 32×32 space over 60 timestamps",
+		Epsilon:       relayoutBenchEps,
+		Reports:       len(pts),
+		RefGrid:       relayoutRefK,
+		Migrations:    gens,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Frozen:        fr,
+		Adaptive:      ad,
+		Degradation:   dg,
+		L1Ratio:       ad.DensityL1 / fr.DensityL1,
+		DomainRatio:   float64(ad.DomainSize) / float64(fr.DomainSize),
+		DegradL1Ratio: dg.DensityL1 / ad.DensityL1,
+		DegradGens:    degradGens,
+		StableGeoGens: stableGens[TriggerGeometric],
+		StableDegGens: stableGens[TriggerDegradationOr],
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -306,7 +399,16 @@ func TestEmitBenchRelayoutJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("density L1 ratio %.3f (adaptive/frozen), %d migrations", out.L1Ratio, out.Migrations)
+	t.Logf("degradation-or: L1 ratio %.3f vs geometric, %d migrations (stable twin: %d vs geometric's %d)",
+		out.DegradL1Ratio, out.DegradGens, out.StableDegGens, out.StableGeoGens)
 	if out.L1Ratio >= 1 {
 		t.Errorf("adaptive layout did not reduce late-round density error (ratio %.3f)", out.L1Ratio)
+	}
+	if out.DegradL1Ratio > 1 {
+		t.Errorf("degradation-or trigger cost utility vs geometric (ratio %.3f)", out.DegradL1Ratio)
+	}
+	if out.StableDegGens > out.StableGeoGens {
+		t.Errorf("degradation-or fired more relayouts than geometric on the stationary twin (%d vs %d)",
+			out.StableDegGens, out.StableGeoGens)
 	}
 }

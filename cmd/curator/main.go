@@ -60,6 +60,7 @@ import (
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/geofence"
 	"retrasyn/internal/grid"
+	"retrasyn/internal/relayout"
 	"retrasyn/internal/remote"
 	"retrasyn/internal/spatial"
 	"retrasyn/internal/trajectory"
@@ -84,6 +85,8 @@ func main() {
 		drainGrace  = flag.Duration("drainGrace", 10*time.Second, "graceful-shutdown grace for in-flight requests")
 		rediscEvery = flag.Int("rediscretize-every", 0, "rebuild the spatial layout from the released stream every N windows at finalize and migrate when it drifted (0 = frozen layout; POST /v1/relayout still works)")
 		relayoutThr = flag.Float64("relayout-threshold", 0, "minimum layout distance in [0,1) for a rebuilt layout to replace the current one (0 = default 0.1)")
+		monitorWin  = flag.Int("monitor-window", 0, "utility monitor release-sketch length in timestamps (0 = default: w)")
+		trigger     = flag.String("trigger", "", `relayout trigger policy: "geometric" (default), "degradation-or" or "degradation-and" (combine the distance threshold with utility-monitor alarms)`)
 		traceRounds = flag.String("trace-rounds", "", "write one JSONL trace event per finalized round to this file")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
@@ -110,9 +113,17 @@ func main() {
 	if *relayoutThr < 0 || *relayoutThr >= 1 {
 		log.Fatalf("curator: -relayout-threshold must be in [0,1), got %v", *relayoutThr)
 	}
+	if *monitorWin < 0 {
+		log.Fatalf("curator: -monitor-window must be ≥ 0, got %d", *monitorWin)
+	}
+	policy := relayout.TriggerPolicy(*trigger)
+	if err := policy.Validate(); err != nil {
+		log.Fatalf("curator: -trigger: %v", err)
+	}
 	cur, err := remote.NewCurator(remote.CuratorConfig{
 		Space: space, Epsilon: *eps, W: *w, Division: div, Lambda: *lambda, Seed: *seed,
 		RediscretizeEvery: *rediscEvery, RelayoutThreshold: *relayoutThr,
+		MonitorWindow: *monitorWin, TriggerPolicy: policy,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -150,6 +150,10 @@ func main() {
 		fmt.Printf("loadgen: wire %s, %d report bytes in (%.1f bytes/report)\n",
 			report.Wire, report.ReportBytesIn, report.BytesPerReport)
 	}
+	if len(report.ReleaseDivergence) > 0 {
+		fmt.Printf("loadgen: release divergence js=%.4f l1=%.4f at end of run\n",
+			report.ReleaseDivergence["js"], report.ReleaseDivergence["l1"])
+	}
 	fmt.Printf("loadgen: report written to %s\n", *out)
 	if !report.ZeroLoss {
 		fmt.Fprintf(os.Stderr, "loadgen: LOSS DETECTED — the ledger does not balance (see %s)\n", *out)
@@ -204,6 +208,11 @@ type benchReport struct {
 	// curator's /metrics scalar samples — counters, gauges and histogram
 	// _sum/_count, keyed by the exposition series line.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	// ReleaseDivergence (http mode with -scrape) is the utility monitor's
+	// end-of-run released-vs-estimated divergence gauges: the
+	// monitor.release_divergence{metric=...} values at the final scrape
+	// (absolute, not deltas — divergence is a level, not a rate).
+	ReleaseDivergence map[string]float64 `json:"release_divergence,omitempty"`
 
 	Curator *remote.StatsSnapshot `json:"curator,omitempty"`
 	Ingest  *service.Stats        `json:"ingest,omitempty"`
@@ -457,6 +466,7 @@ func (r *run) replayHTTP(baseURL string, wire remote.WireMode, report *benchRepo
 			return fmt.Errorf("post-run scrape: %w", err)
 		}
 		report.MetricsDelta = metricsDelta(scrapeStart, scrapeEnd)
+		report.ReleaseDivergence = releaseDivergence(scrapeEnd)
 	}
 	if wb, ok := st.Wire["/v1/report"]; ok && r.reportsSent > 0 {
 		report.ReportBytesIn = wb.BytesIn

@@ -60,6 +60,25 @@ func scrapeMetrics(baseURL string) (map[string]float64, error) {
 	return out, nil
 }
 
+// releaseDivergence extracts the utility monitor's end-of-run divergence
+// gauges from a scrape, keyed by the metric label ("js", "l1"). Empty when
+// the curator exposes no monitor series.
+func releaseDivergence(scrape map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for key, v := range scrape {
+		name, rest, ok := strings.Cut(key, "{")
+		if !ok || name != "monitor_release_divergence" {
+			continue
+		}
+		if m, ok := strings.CutPrefix(rest, `metric="`); ok {
+			if metric, _, ok := strings.Cut(m, `"`); ok {
+				out[metric] = v
+			}
+		}
+	}
+	return out
+}
+
 // metricsDelta subtracts the start scrape from the end scrape. Series that
 // appear only at the end (registered lazily mid-run) delta against zero;
 // series missing from the end scrape are dropped.

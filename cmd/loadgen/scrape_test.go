@@ -1,0 +1,73 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+const scrapeFixture = `# TYPE curator_rounds counter
+curator_rounds 42
+# TYPE budget_window_eps_micro histogram
+budget_window_eps_micro_bucket{le="1"} 0
+budget_window_eps_micro_bucket{le="+Inf"} 5
+budget_window_eps_micro_sum 900000
+budget_window_eps_micro_count 5
+# TYPE monitor_release_divergence gauge
+monitor_release_divergence{metric="js"} 0.042
+monitor_release_divergence{metric="l1"} 0.31
+# TYPE monitor_alarm gauge
+monitor_alarm{signal="divergence"} 0
+`
+
+// TestScrapeKeepsHistogramScalars pins what the replay report depends on:
+// per-bucket samples are dropped, but a histogram's _sum and _count survive
+// the scrape so the report can embed their deltas.
+func TestScrapeKeepsHistogramScalars(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(scrapeFixture))
+	}))
+	defer srv.Close()
+
+	got, err := scrapeMetrics(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"curator_rounds":                          42,
+		"budget_window_eps_micro_sum":             900000,
+		"budget_window_eps_micro_count":           5,
+		`monitor_release_divergence{metric="js"}`: 0.042,
+	} {
+		if got[key] != want {
+			t.Errorf("scrape[%s] = %v, want %v", key, got[key], want)
+		}
+	}
+	for key := range got {
+		if key == `budget_window_eps_micro_bucket{le="+Inf"}` || key == `budget_window_eps_micro_bucket{le="1"}` {
+			t.Errorf("bucket sample %s leaked into the scrape", key)
+		}
+	}
+}
+
+// TestReleaseDivergence pins the monitor-gauge extraction the replay summary
+// prints.
+func TestReleaseDivergence(t *testing.T) {
+	scrape := map[string]float64{
+		`monitor_release_divergence{metric="js"}`: 0.042,
+		`monitor_release_divergence{metric="l1"}`: 0.31,
+		`monitor_alarm{signal="divergence"}`:      0,
+		"curator_rounds":                          42,
+	}
+	got := releaseDivergence(scrape)
+	if len(got) != 2 || got["js"] != 0.042 || got["l1"] != 0.31 {
+		t.Fatalf("releaseDivergence = %v", got)
+	}
+	if len(releaseDivergence(map[string]float64{"curator_rounds": 1})) != 0 {
+		t.Fatal("divergence extracted from a scrape without monitor series")
+	}
+}

@@ -41,6 +41,8 @@ func main() {
 		density     = flag.String("density", "", "public/historical raw-trajectory CSV seeding the quadtree density sketch; omitted, the sketch falls back to the input itself (simulation only — see the printed warning)")
 		rediscEvery = flag.Int("rediscretize-every", 0, "rebuild the spatial layout from the released stream every N windows and migrate when it drifted (0 = frozen layout)")
 		relayoutThr = flag.Float64("relayout-threshold", 0, "minimum layout distance in [0,1) for a rebuilt layout to replace the current one (0 = default 0.1)")
+		monitorWin  = flag.Int("monitor-window", 0, "enable the live utility monitor with a release sketch of N timestamps (0 = off)")
+		trigger     = flag.String("trigger", "", `relayout trigger policy: "geometric" (default), "degradation-or" or "degradation-and" (combine the distance threshold with utility-monitor alarms; need -monitor-window and -rediscretize-every)`)
 		seed        = flag.Uint64("seed", 2024, "run seed")
 		out         = flag.String("out", "", "write the synthetic cell streams to this CSV path")
 		quiet       = flag.Bool("quiet", false, "suppress the utility report")
@@ -55,6 +57,12 @@ func main() {
 	}
 	if *relayoutThr < 0 || *relayoutThr >= 1 {
 		fatal(fmt.Errorf("-relayout-threshold must be in [0,1), got %v", *relayoutThr))
+	}
+	if *monitorWin < 0 {
+		fatal(fmt.Errorf("-monitor-window must be ≥ 0, got %d", *monitorWin))
+	}
+	if err := retrasyn.TriggerPolicy(*trigger).Validate(); err != nil {
+		fatal(fmt.Errorf("-trigger: %v", err))
 	}
 	raw, bounds, err := loadData(*in, *dataset, *scale, *seed, *boundMin, *boundMax)
 	if err != nil {
@@ -114,6 +122,8 @@ func main() {
 			Shards:            *shards,
 			RediscretizeEvery: *rediscEvery,
 			RelayoutThreshold: *relayoutThr,
+			MonitorWindow:     *monitorWin,
+			TriggerPolicy:     retrasyn.TriggerPolicy(*trigger),
 			Seed:              *seed,
 		})
 		if err != nil {
@@ -139,6 +149,15 @@ func main() {
 			// The release is coherent in the final layout (migrations remap
 			// stored cells), so utility compares there.
 			evalSpace = final
+		}
+		if *monitorWin > 0 {
+			h := fw.Health()
+			alarms := int64(0)
+			for _, s := range h.Signals {
+				alarms += s.Alarms
+			}
+			fmt.Printf("monitor: status %s, release divergence js %.4f / l1 %.4f, %d alarms\n",
+				h.Status, h.DivergenceJS, h.DivergenceL1, alarms)
 		}
 	case "lbd", "lba", "lpd", "lpa":
 		if *spatialKind != "uniform" {

@@ -196,6 +196,15 @@ type Engine struct {
 	metrics *pipeline.Metrics
 	meter   *allocation.Meter
 
+	// lastEstimates/lastSigRatio retain the most recent reported round's DP
+	// estimate vector (domain-indexed, shared with the dev tracker) and
+	// significance ratio for the utility monitor. Run-scoped, never
+	// checkpointed, and dropped on relayout — the vector indexes the old
+	// domain.
+	lastEstimates []float64
+	lastSigRatio  float64
+	lastRoundT    int
+
 	// scratch buffer reused across timestamps
 	sampleBuf []trajectory.Event
 }
@@ -376,6 +385,7 @@ func (e *Engine) rewire(sp spatial.Discretizer, dom *transition.Domain, model *m
 	e.space = sp
 	e.dom = dom
 	e.model = model
+	e.lastEstimates = nil // indexed by the old domain; see LastReportedRound
 	e.updater = &pipeline.DMUUpdater{Model: model, DisableDMU: e.opts.DisableDMU}
 	e.updater.SetBootstrapped(bootstrapped)
 	e.pipe = pipeline.Pipeline{
@@ -547,8 +557,23 @@ func (e *Engine) ProcessTimestamp(t int, events []trajectory.Event, activeCount 
 	// permanently silence the adaptive strategy after a starved round.)
 	if ctx.Result.Reported {
 		e.dev.Push(ctx.Estimates)
+		e.lastEstimates = ctx.Estimates
+		e.lastSigRatio = ctx.SigRatio
+		e.lastRoundT = t
 	}
 	return ctx.Result, nil
+}
+
+// LastReportedRound returns the DP estimate vector (domain-indexed, shared —
+// treat as read-only), the significance ratio and the timestamp of the most
+// recent reported round. ok is false before the first reported round and
+// again right after a relayout, whose migration invalidates the retained
+// vector's indexing, until the next reported round refills it.
+func (e *Engine) LastReportedRound() (estimates []float64, sigRatio float64, t int, ok bool) {
+	if e.lastEstimates == nil {
+		return nil, 0, -1, false
+	}
+	return e.lastEstimates, e.lastSigRatio, e.lastRoundT, true
 }
 
 // eligible filters the timestamp's events down to sampleable ones: states

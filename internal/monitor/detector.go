@@ -1,0 +1,167 @@
+// Package monitor is the online utility sentinel: it watches the released
+// synthetic stream against the DP-estimated cell histogram the engine already
+// computed and raises deterministic change-point alarms when the two drift
+// apart. Everything here is post-processing over data that is already public
+// under the LDP guarantee (the released stream and the noisy estimates), so
+// the monitor consumes no privacy budget, never touches the engine RNG, and
+// its state is run-scoped — it is excluded from checkpoints by construction.
+package monitor
+
+import "math"
+
+// DetectorOptions tunes one EWMA + Page–Hinkley change-point detector.
+// The zero value selects the defaults noted per field.
+type DetectorOptions struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]; higher tracks faster.
+	// Default 0.3.
+	Alpha float64
+	// Delta is the Page–Hinkley drift tolerance: per-sample deviations
+	// below Delta never accumulate. Default 0.02.
+	Delta float64
+	// Lambda is the Page–Hinkley alarm threshold on the accumulated
+	// deviation. Default 0.15.
+	Lambda float64
+	// Warmup is the number of samples consumed before the test arms; the
+	// EWMA baseline still learns during warmup. Default 5.
+	Warmup int
+	// ClearAfter is the number of consecutive calm samples (accumulator
+	// drained to zero) required to clear an active alarm — the hysteresis
+	// that keeps borderline workloads from flapping. Default 3.
+	ClearAfter int
+}
+
+func (o DetectorOptions) withDefaults() DetectorOptions {
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.02
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 0.15
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 5
+	}
+	if o.ClearAfter <= 0 {
+		o.ClearAfter = 3
+	}
+	return o
+}
+
+// Detector is a one-sided (upward) change-point detector: an EWMA baseline
+// plus a Page–Hinkley cumulative test with clear-side hysteresis. It is
+// fully deterministic — same sample sequence, same alarm sequence — and
+// RNG-free, so running it beside the engine cannot perturb releases.
+//
+// While an alarm is active the baseline is frozen: the detector must not
+// absorb the degraded regime into its notion of normal, or a sustained
+// degradation would silently become the new baseline and the alarm would
+// clear while the system is still broken. The accumulator is capped at
+// 2×Lambda so recovery is bounded: once the signal returns below baseline
+// the alarm clears after at most cap/Delta + ClearAfter calm samples.
+type Detector struct {
+	opts DetectorOptions
+
+	n      int     // samples seen
+	ewma   float64 // baseline
+	ph     float64 // Page–Hinkley accumulator, ≥ 0
+	active bool    // alarm currently raised
+	calm   int     // consecutive drained samples while active
+
+	alarms     int64   // total raise events
+	lastAlarmT int     // timestamp of the last raise, -1 if never
+	lastValue  float64 // last sample fed
+}
+
+// NewDetector builds a detector with the given options (zero fields take
+// defaults).
+func NewDetector(opts DetectorOptions) *Detector {
+	return &Detector{opts: opts.withDefaults(), lastAlarmT: -1}
+}
+
+// Step feeds one sample observed at timestamp t and returns true when this
+// sample raised a new alarm (a rising edge, not the level).
+func (d *Detector) Step(t int, x float64) bool {
+	d.n++
+	d.lastValue = x
+	if d.n == 1 {
+		d.ewma = x
+		return false
+	}
+	raised := false
+	if d.n > d.opts.Warmup {
+		dev := x - d.ewma - d.opts.Delta
+		d.ph += dev
+		if d.ph < 0 {
+			d.ph = 0
+		}
+		if cap := 2 * d.opts.Lambda; d.ph > cap {
+			d.ph = cap
+		}
+		switch {
+		case !d.active && d.ph > d.opts.Lambda:
+			d.active = true
+			d.calm = 0
+			d.alarms++
+			d.lastAlarmT = t
+			raised = true
+		case d.active && d.ph == 0:
+			d.calm++
+			if d.calm >= d.opts.ClearAfter {
+				d.active = false
+				d.calm = 0
+			}
+		case d.active:
+			d.calm = 0
+		}
+	}
+	// Freeze the baseline while degraded (see type comment).
+	if !d.active {
+		d.ewma = d.opts.Alpha*x + (1-d.opts.Alpha)*d.ewma
+	}
+	return raised
+}
+
+// Reset returns the detector to its pre-warmup state — baseline unlearned,
+// accumulator drained, alarm cleared — while preserving the run-cumulative
+// alarm count and last-alarm timestamp. Used when the signal's stationary
+// level legitimately changes (a layout migration shifts what "normal"
+// divergence looks like) and the old baseline would otherwise latch the
+// alarm forever.
+func (d *Detector) Reset() {
+	d.n = 0
+	d.ewma = 0
+	d.ph = 0
+	d.active = false
+	d.calm = 0
+}
+
+// Active reports whether the alarm is currently raised.
+func (d *Detector) Active() bool { return d.active }
+
+// Alarms returns the total number of raise events.
+func (d *Detector) Alarms() int64 { return d.alarms }
+
+// LastAlarmT returns the timestamp of the most recent raise, or -1.
+func (d *Detector) LastAlarmT() int { return d.lastAlarmT }
+
+// Baseline returns the current EWMA baseline.
+func (d *Detector) Baseline() float64 { return d.ewma }
+
+// Deviation returns the current Page–Hinkley accumulator value.
+func (d *Detector) Deviation() float64 { return d.ph }
+
+// LastValue returns the most recent sample fed, NaN before the first.
+func (d *Detector) LastValue() float64 {
+	if d.n == 0 {
+		return math.NaN()
+	}
+	return d.lastValue
+}
+
+// Samples returns the number of samples consumed.
+func (d *Detector) Samples() int { return d.n }
+
+// Warm reports whether the detector has consumed its warmup.
+func (d *Detector) Warm() bool { return d.n > d.opts.Warmup }

@@ -1,0 +1,90 @@
+package monitor
+
+// Health statuses, from best to worst.
+const (
+	StatusOK       = "ok"
+	StatusDegraded = "degraded"
+	StatusFailing  = "failing"
+)
+
+// SignalHealth is the health of one monitored signal.
+type SignalHealth struct {
+	// Status is "warming" (detector not armed yet), "ok" or "alarm".
+	Status string `json:"status"`
+	// Value is the most recent sample fed to the detector.
+	Value float64 `json:"value"`
+	// Baseline is the detector's EWMA baseline.
+	Baseline float64 `json:"baseline"`
+	// Deviation is the Page–Hinkley accumulator (0 = tracking baseline).
+	Deviation float64 `json:"deviation"`
+	// Alarms is the total number of raise events this run.
+	Alarms int64 `json:"alarms"`
+	// LastAlarmT is the timestamp of the most recent raise, -1 if never.
+	LastAlarmT int `json:"last_alarm_t"`
+}
+
+// Health is the structured monitor state served by GET /v1/health.
+type Health struct {
+	// Status is the overall verdict: "ok" (no alarms), "degraded" (an
+	// indirect signal is alarming), "failing" (the divergence signal — the
+	// direct utility measurement — is alarming, or more than one signal is).
+	Status string `json:"status"`
+	// Rounds is the number of rounds the monitor has closed.
+	Rounds int `json:"rounds"`
+	// DivergenceL1 and DivergenceJS are the latest computed divergences
+	// between the released sketch and the DP cell estimates.
+	DivergenceL1 float64 `json:"divergence_l1"`
+	DivergenceJS float64 `json:"divergence_js"`
+	// DivergenceT is the timestamp of the latest computation, -1 if none.
+	DivergenceT int `json:"divergence_t"`
+	// Signals maps signal name → per-signal health.
+	Signals map[string]SignalHealth `json:"signals"`
+}
+
+// Health snapshots the monitor for /v1/health. Nil-safe: a nil monitor
+// reports ok with no signals.
+func (m *Monitor) Health() Health {
+	if m == nil {
+		return Health{Status: StatusOK, DivergenceT: -1}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{
+		Rounds:       m.rounds,
+		DivergenceL1: m.l1,
+		DivergenceJS: m.js,
+		DivergenceT:  m.computedT,
+		Signals:      make(map[string]SignalHealth, len(signalOrder)),
+	}
+	active := 0
+	for _, s := range signalOrder {
+		d := m.det[s]
+		sh := SignalHealth{
+			Status:     "ok",
+			Baseline:   d.Baseline(),
+			Deviation:  d.Deviation(),
+			Alarms:     d.Alarms(),
+			LastAlarmT: d.LastAlarmT(),
+		}
+		if d.Samples() > 0 {
+			sh.Value = d.LastValue()
+		}
+		switch {
+		case d.Active():
+			sh.Status = "alarm"
+			active++
+		case !d.Warm():
+			sh.Status = "warming"
+		}
+		h.Signals[s] = sh
+	}
+	switch {
+	case active == 0:
+		h.Status = StatusOK
+	case m.det[SignalDivergence].Active() || active > 1:
+		h.Status = StatusFailing
+	default:
+		h.Status = StatusDegraded
+	}
+	return h
+}

@@ -1,0 +1,42 @@
+package monitor
+
+import "retrasyn/internal/transition"
+
+// CellMasses folds a transition-domain estimate vector onto per-cell mass:
+// every state deposits its (clamped non-negative) estimated count on the
+// cell where the user is located *after* the transition — a move or enter
+// lands on its destination, a quit leaves from its source. The result is
+// comparable against a histogram of released positions for the same round.
+//
+// out is reused when it has the domain's cell count, else reallocated; the
+// filled slice is returned.
+func CellMasses(dom *transition.Domain, estimates []float64, out []float64) []float64 {
+	numCells := dom.Space().NumCells()
+	if cap(out) >= numCells {
+		out = out[:numCells]
+		for i := range out {
+			out[i] = 0
+		}
+	} else {
+		out = make([]float64, numCells)
+	}
+	n := dom.Size()
+	if n > len(estimates) {
+		n = len(estimates)
+	}
+	for i := 0; i < n; i++ {
+		est := estimates[i]
+		if est <= 0 {
+			continue
+		}
+		s := dom.StateAt(i)
+		c := s.To
+		if s.Kind == transition.Quit {
+			c = s.From
+		}
+		if c >= 0 && int(c) < numCells {
+			out[int(c)] += est
+		}
+	}
+	return out
+}

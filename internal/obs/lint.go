@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text exposition (format 0.0.4)
+// against the invariants scrapers rely on, returning the first violation:
+//
+//   - every sample line parses as `name{labels} value` with a finite or
+//     ±Inf value and a metric name matching [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - every family has exactly one # TYPE line, emitted before its samples,
+//     with a known type
+//   - every histogram family emits, per label set, an explicit le="+Inf"
+//     bucket whose value equals the family's _count sample, a _sum and a
+//     _count, with cumulative bucket counts non-decreasing in le
+//
+// It is the exposition-side pin for WritePrometheus: run it over every
+// registry a server exposes and regressions in the writer (a missing +Inf
+// bucket, duplicate TYPE lines, broken escaping) fail loudly instead of
+// silently breaking scrapes.
+func LintExposition(r io.Reader) error {
+	types := map[string]string{}     // family → declared type
+	samplesSeen := map[string]bool{} // family → a sample was emitted
+	type histSeries struct {
+		infBucket  *float64
+		lastLe     float64
+		lastCum    float64
+		sum, count *float64
+	}
+	hists := map[string]*histSeries{} // histogram family + label set (le stripped)
+
+	histKey := func(fam, labels string) string { return fam + "\xff" + labels }
+	base := func(name string) (fam, suffix string) {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, s); ok && types[f] == "histogram" {
+				return f, s
+			}
+		}
+		return name, ""
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || fields[1] != "TYPE" {
+				continue // other comments are free-form
+			}
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			fam, typ := fields[2], fields[3]
+			if prev, dup := types[fam]; dup {
+				return fmt.Errorf("line %d: duplicate # TYPE for family %s (already %s)", lineNo, fam, prev)
+			}
+			if samplesSeen[fam] {
+				return fmt.Errorf("line %d: # TYPE for %s after its samples", lineNo, fam)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q for family %s", lineNo, fam, typ)
+			}
+			types[fam] = typ
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, suffix := base(name)
+		samplesSeen[fam] = true
+		if _, declared := types[fam]; !declared {
+			return fmt.Errorf("line %d: sample %s before any # TYPE for family %s", lineNo, name, fam)
+		}
+		if types[fam] != "histogram" {
+			continue
+		}
+		le, rest := cutLabel(labels, "le")
+		key := histKey(fam, rest)
+		hs := hists[key]
+		if hs == nil {
+			hs = &histSeries{lastLe: -1}
+			hists[key] = hs
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+			}
+			if le == "+Inf" {
+				v := value
+				hs.infBucket = &v
+				break
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: unparseable le %q", lineNo, le)
+			}
+			if hs.infBucket != nil {
+				return fmt.Errorf("line %d: finite bucket le=%q after the +Inf bucket", lineNo, le)
+			}
+			if b <= hs.lastLe {
+				return fmt.Errorf("line %d: bucket boundaries not increasing (le %v after %v)", lineNo, b, hs.lastLe)
+			}
+			if value < hs.lastCum {
+				return fmt.Errorf("line %d: cumulative bucket count decreased (%v after %v)", lineNo, value, hs.lastCum)
+			}
+			hs.lastLe, hs.lastCum = b, value
+		case "_sum":
+			v := value
+			hs.sum = &v
+		case "_count":
+			v := value
+			hs.count = &v
+		default:
+			return fmt.Errorf("line %d: bare sample %s for histogram family %s", lineNo, name, fam)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for key, hs := range hists {
+		fam := key[:strings.IndexByte(key, '\xff')]
+		labels := key[strings.IndexByte(key, '\xff')+1:]
+		where := fam
+		if labels != "" {
+			where = fam + "{" + labels + "}"
+		}
+		switch {
+		case hs.infBucket == nil:
+			return fmt.Errorf("histogram %s: missing explicit le=\"+Inf\" bucket", where)
+		case hs.count == nil:
+			return fmt.Errorf("histogram %s: missing _count", where)
+		case hs.sum == nil:
+			return fmt.Errorf("histogram %s: missing _sum", where)
+		case *hs.infBucket != *hs.count:
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", where, *hs.infBucket, *hs.count)
+		case hs.lastCum > *hs.infBucket:
+			return fmt.Errorf("histogram %s: finite bucket %v exceeds +Inf bucket %v", where, hs.lastCum, *hs.infBucket)
+		}
+	}
+	return nil
+}
+
+// parseSample splits one exposition sample into name, raw label body and
+// value, validating the metric name and the value syntax.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if b := strings.IndexByte(rest, '{'); b >= 0 {
+		name = rest[:b]
+		end := strings.LastIndexByte(rest, '}')
+		if end < b {
+			return "", "", 0, fmt.Errorf("unterminated label set: %q", line)
+		}
+		labels = rest[b+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		cut := strings.IndexByte(rest, ' ')
+		if cut <= 0 {
+			return "", "", 0, fmt.Errorf("malformed sample: %q", line)
+		}
+		name = rest[:cut]
+		rest = strings.TrimSpace(rest[cut+1:])
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// The value is the first field of the remainder (an optional timestamp
+	// may follow).
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", 0, fmt.Errorf("sample without value: %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparseable value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// cutLabel removes `key="value"` from a raw label body, returning the value
+// and the remaining labels (normalized without the removed pair).
+func cutLabel(labels, key string) (value, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if ok && k == key {
+			value = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return value, strings.Join(kept, ",")
+}
+
+// splitLabels splits a raw label body on commas outside quoted values.
+func splitLabels(labels string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -31,6 +31,11 @@ type ControllerOptions struct {
 	// SketchWindows is the sliding sketch length in windows (default:
 	// max(Every, 1)) — how much released history a rebuild looks at.
 	SketchWindows int
+	// Trigger selects how Propose turns a measured distance into a switch
+	// recommendation (trigger.go). Empty means TriggerGeometric. The
+	// degradation policies additionally need SetAlarmSource; without one
+	// they see a permanently calm monitor.
+	Trigger TriggerPolicy
 }
 
 func (o *ControllerOptions) defaults() error {
@@ -55,7 +60,7 @@ func (o *ControllerOptions) defaults() error {
 	if o.Quadtree.MaxLeaves < 1 {
 		return fmt.Errorf("relayout: controller quadtree MaxLeaves must be ≥ 1, got %d", o.Quadtree.MaxLeaves)
 	}
-	return nil
+	return o.Trigger.Validate()
 }
 
 // Proposal is the outcome of one rebuild: the candidate layout, its distance
@@ -66,7 +71,13 @@ type Proposal struct {
 	// Distance is the layout distance between the current layout and Target
 	// (0 when the fingerprints already match).
 	Distance float64
-	// Switch reports whether Distance crossed the threshold.
+	// Geometric reports whether Distance crossed the threshold.
+	Geometric bool
+	// Alarmed reports whether the monitor was alarming at decision time
+	// (always false under TriggerGeometric or without an alarm source).
+	Alarmed bool
+	// Switch is the trigger policy's verdict over Geometric and Alarmed —
+	// whether the controller recommends migrating onto Target.
 	Switch bool
 }
 
@@ -82,8 +93,9 @@ type Controller struct {
 	relayouts int
 	lastDist  float64
 
-	// Run-scoped instrumentation (nil-safe no-ops unless SetMetrics ran);
+	// Run-scoped collaborators (nil-safe no-ops unless the setters ran);
 	// never part of ControllerState.
+	alarms     AlarmSource
 	mProposals *obs.Counter
 	mSwitches  *obs.Counter
 	mDecision  *obs.Histogram
@@ -114,6 +126,18 @@ func (c *Controller) SetMetrics(reg *obs.Registry) {
 	c.mSwitches = reg.Counter("relayout.switches")
 	c.mDecision = reg.Histogram("relayout.decision_distance_micro")
 	c.mLastDist = reg.Gauge("relayout.last_distance")
+}
+
+// SetAlarmSource wires the utility monitor's alarm state into the trigger
+// policy. Like the metrics, the source is run-scoped and never serialized.
+func (c *Controller) SetAlarmSource(src AlarmSource) { c.alarms = src }
+
+// Trigger returns the configured trigger policy (normalized: never empty).
+func (c *Controller) Trigger() TriggerPolicy {
+	if c.opts.Trigger == "" {
+		return TriggerGeometric
+	}
+	return c.opts.Trigger
 }
 
 // Observe records the released synthetic positions at timestamp t.
@@ -151,7 +175,18 @@ func (c *Controller) Propose(current spatial.Discretizer) (Proposal, error) {
 	d := mig.Distance()
 	c.mProposals.Inc()
 	c.mDecision.ObserveValue(int64(d * 1e6))
-	return Proposal{Target: qt, Distance: d, Switch: d >= c.opts.Threshold}, nil
+	geometric := d >= c.opts.Threshold
+	alarmed := false
+	if c.alarms != nil && c.Trigger().UsesAlarms() {
+		alarmed = c.alarms.Alarming()
+	}
+	return Proposal{
+		Target:    qt,
+		Distance:  d,
+		Geometric: geometric,
+		Alarmed:   alarmed,
+		Switch:    c.Trigger().Decide(geometric, alarmed),
+	}, nil
 }
 
 // NoteSwitch records that the caller migrated onto a proposed layout.

@@ -1,0 +1,59 @@
+package relayout
+
+import "fmt"
+
+// TriggerPolicy decides when a proposed relayout actually switches, combining
+// the geometric layout-distance threshold with the utility monitor's alarm
+// state. The policy is run configuration, not controller state — it is never
+// serialized into checkpoints.
+type TriggerPolicy string
+
+const (
+	// TriggerGeometric is the classic policy: switch when the layout
+	// distance crosses the threshold. Monitor alarms are ignored. This is
+	// the default (an empty policy means geometric).
+	TriggerGeometric TriggerPolicy = "geometric"
+	// TriggerDegradationOr switches when the distance crosses the threshold
+	// OR the monitor is alarming — a drifting layout is caught geometrically
+	// and a degraded model forces a rebuild even below the threshold.
+	TriggerDegradationOr TriggerPolicy = "degradation-or"
+	// TriggerDegradationAnd switches only when the distance crosses the
+	// threshold AND the monitor is alarming — geometric drift alone is not
+	// worth migration churn unless utility has measurably degraded.
+	TriggerDegradationAnd TriggerPolicy = "degradation-and"
+)
+
+// Validate rejects unknown policies. The empty string is valid and means
+// TriggerGeometric.
+func (p TriggerPolicy) Validate() error {
+	switch p {
+	case "", TriggerGeometric, TriggerDegradationOr, TriggerDegradationAnd:
+		return nil
+	}
+	return fmt.Errorf("relayout: unknown trigger policy %q (want %s, %s or %s)",
+		string(p), TriggerGeometric, TriggerDegradationOr, TriggerDegradationAnd)
+}
+
+// UsesAlarms reports whether the policy consumes the monitor's alarm state.
+func (p TriggerPolicy) UsesAlarms() bool {
+	return p == TriggerDegradationOr || p == TriggerDegradationAnd
+}
+
+// Decide applies the policy to one proposal's inputs: whether the layout
+// distance crossed the threshold, and whether the monitor is alarming.
+func (p TriggerPolicy) Decide(geometric, alarmed bool) bool {
+	switch p {
+	case TriggerDegradationOr:
+		return geometric || alarmed
+	case TriggerDegradationAnd:
+		return geometric && alarmed
+	default:
+		return geometric
+	}
+}
+
+// AlarmSource is the monitor-side interface the controller polls at each
+// proposal; *monitor.Monitor implements it (nil-safely).
+type AlarmSource interface {
+	Alarming() bool
+}

@@ -1,0 +1,116 @@
+package relayout_test
+
+import (
+	"testing"
+
+	"retrasyn/internal/relayout"
+	"retrasyn/internal/spatial"
+)
+
+func TestTriggerPolicyValidate(t *testing.T) {
+	for _, p := range []relayout.TriggerPolicy{"", relayout.TriggerGeometric, relayout.TriggerDegradationOr, relayout.TriggerDegradationAnd} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("policy %q rejected: %v", p, err)
+		}
+	}
+	if err := relayout.TriggerPolicy("bogus").Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestTriggerPolicyDecide(t *testing.T) {
+	cases := []struct {
+		policy             relayout.TriggerPolicy
+		geometric, alarmed bool
+		want               bool
+	}{
+		{relayout.TriggerGeometric, false, false, false},
+		{relayout.TriggerGeometric, false, true, false}, // alarms ignored
+		{relayout.TriggerGeometric, true, false, true},
+		{relayout.TriggerDegradationOr, false, false, false},
+		{relayout.TriggerDegradationOr, true, false, true},
+		{relayout.TriggerDegradationOr, false, true, true},
+		{relayout.TriggerDegradationAnd, true, false, false},
+		{relayout.TriggerDegradationAnd, false, true, false},
+		{relayout.TriggerDegradationAnd, true, true, true},
+		{"", true, false, true}, // empty means geometric
+		{"", false, true, false},
+	}
+	for _, tc := range cases {
+		if got := tc.policy.Decide(tc.geometric, tc.alarmed); got != tc.want {
+			t.Errorf("%q.Decide(%v, %v) = %v, want %v", tc.policy, tc.geometric, tc.alarmed, got, tc.want)
+		}
+	}
+	if relayout.TriggerGeometric.UsesAlarms() || !relayout.TriggerDegradationOr.UsesAlarms() || !relayout.TriggerDegradationAnd.UsesAlarms() {
+		t.Error("UsesAlarms mislabels a policy")
+	}
+}
+
+// stubAlarms is a deterministic AlarmSource.
+type stubAlarms bool
+
+func (s stubAlarms) Alarming() bool { return bool(s) }
+
+// TestControllerTriggerWiring pins Propose's policy plumbing: the proposal
+// carries the geometric verdict and the alarm state separately, and Switch
+// is their policy combination. A controller without an alarm source treats
+// degradation policies as not-alarmed rather than failing.
+func TestControllerTriggerWiring(t *testing.T) {
+	boot := mustQuadtree(t, cornerSketch(3000, 0, 0, 7), 32)
+	newCtl := func(policy relayout.TriggerPolicy, threshold float64, drifted bool) *relayout.Controller {
+		t.Helper()
+		ctl, err := relayout.NewController(relayout.ControllerOptions{
+			Every: 2, W: 5, Threshold: threshold,
+			Quadtree: spatial.QuadtreeOptions{MaxLeaves: 32},
+			Bounds:   unitBounds(),
+			Trigger:  policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cx, cy := 0.0, 0.0
+		if drifted {
+			cx, cy = 0.75, 0.75 // opposite corner: large layout distance
+		}
+		for ts := 0; ts < 10; ts++ {
+			ctl.Observe(ts, cornerSketch(300, cx, cy, 8))
+		}
+		return ctl
+	}
+	propose := func(ctl *relayout.Controller) relayout.Proposal {
+		t.Helper()
+		prop, err := ctl.Propose(boot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prop
+	}
+
+	// Geometric leg satisfied, no alarm source: degradation-or still fires
+	// on geometry alone; degradation-and cannot.
+	prop := propose(newCtl(relayout.TriggerDegradationOr, 0.01, true))
+	if !prop.Geometric || prop.Alarmed || !prop.Switch {
+		t.Fatalf("degradation-or without alarms: %+v", prop)
+	}
+	andCtl := newCtl(relayout.TriggerDegradationAnd, 0.01, true)
+	if prop = propose(andCtl); !prop.Geometric || prop.Switch {
+		t.Fatalf("degradation-and fired without an alarm: %+v", prop)
+	}
+	andCtl.SetAlarmSource(stubAlarms(true))
+	if prop = propose(andCtl); !prop.Alarmed || !prop.Switch {
+		t.Fatalf("degradation-and with alarm + geometry did not fire: %+v", prop)
+	}
+
+	// Geometric leg unsatisfied (stable sketch): only degradation-or with
+	// an alarm fires; the geometric policy never consults alarms.
+	geoCtl := newCtl(relayout.TriggerGeometric, 0.999, false)
+	geoCtl.SetAlarmSource(stubAlarms(true))
+	if prop = propose(geoCtl); prop.Alarmed || prop.Switch {
+		t.Fatalf("geometric policy consulted alarms: %+v", prop)
+	}
+	orCtl := newCtl(relayout.TriggerDegradationOr, 0.999, false)
+	orCtl.SetAlarmSource(stubAlarms(true))
+	if prop = propose(orCtl); prop.Geometric || !prop.Alarmed || !prop.Switch {
+		t.Fatalf("degradation-or with alarm below threshold did not fire: %+v", prop)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"retrasyn/internal/allocation"
 	"retrasyn/internal/ldp"
 	"retrasyn/internal/mobility"
+	"retrasyn/internal/monitor"
 	"retrasyn/internal/obs"
 	"retrasyn/internal/pipeline"
 	"retrasyn/internal/relayout"
@@ -71,6 +72,16 @@ type CuratorConfig struct {
 	// boot discretizer's cell count). Requires Space to expose cell boxes
 	// (spatial.Boxed) when rebuilds are possible.
 	RelayoutLeaves int
+	// MonitorWindow is the utility monitor's sliding release-sketch length
+	// in timestamps (default W). The monitor is always on — like the
+	// metrics registry it is run-scoped post-processing and never enters
+	// checkpoints.
+	MonitorWindow int
+	// TriggerPolicy selects how relayout proposals turn into switches:
+	// geometric (default), degradation-or, or degradation-and
+	// (relayout.TriggerPolicy). Degradation policies consult the utility
+	// monitor's alarms.
+	TriggerPolicy relayout.TriggerPolicy
 }
 
 func (c *CuratorConfig) validate() error {
@@ -107,6 +118,15 @@ func (c *CuratorConfig) validate() error {
 	}
 	if c.RelayoutLeaves < 0 {
 		return fmt.Errorf("remote: RelayoutLeaves must be ≥ 0, got %d", c.RelayoutLeaves)
+	}
+	if c.MonitorWindow < 0 {
+		return fmt.Errorf("remote: MonitorWindow must be ≥ 0, got %d", c.MonitorWindow)
+	}
+	if c.MonitorWindow == 0 {
+		c.MonitorWindow = c.W
+	}
+	if err := c.TriggerPolicy.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -169,6 +189,8 @@ type Curator struct {
 	// (including report folds charged during ingestion) lands in histograms.
 	reg          *obs.Registry
 	metrics      curatorMetrics
+	mon          *monitor.Monitor // utility sentinel; run-scoped like reg
+	cellMassBuf  []float64        // CellMasses scratch, resized on relayout
 	logger       *slog.Logger
 	tracer       *slog.Logger
 	lastTimings  pipeline.Timings
@@ -264,12 +286,23 @@ func NewCurator(cfg CuratorConfig) (*Curator, error) {
 		Threshold: cfg.RelayoutThreshold,
 		Quadtree:  spatial.QuadtreeOptions{MaxLeaves: leaves},
 		Bounds:    cfg.Space.Bounds(),
+		Trigger:   cfg.TriggerPolicy,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctl.SetMetrics(c.reg)
 	c.ctl = ctl
+	// The utility monitor is always on, like the registry: it only reads
+	// public data (the released stream and the DP estimates), so it costs
+	// no budget and cannot perturb the protocol.
+	mon, err := monitor.New(monitor.Options{Window: cfg.MonitorWindow})
+	if err != nil {
+		return nil, err
+	}
+	mon.SetMetrics(c.reg)
+	ctl.SetAlarmSource(mon)
+	c.mon = mon
 	return c, nil
 }
 
@@ -697,17 +730,33 @@ func (c *Curator) Finalize(t, activeCount int) error {
 	c.metrics.openRound.Set(0)
 	c.metrics.pendingAsgn.Set(0)
 
-	// Online re-discretization: sketch the released positions, and at the
-	// end of every rebuild period grow a fresh layout and migrate when it
-	// differs enough from the current one.
-	c.ctl.Observe(t, c.releasedPositionsLocked())
-	relayoutSwitched := false
+	// Online re-discretization and utility monitoring both consume this
+	// round's released positions — sketch them once. The monitor closes
+	// its round before any relayout decision so the degradation trigger
+	// sees alarms that include timestamp t. Divergence compares this
+	// round's estimates against the sketch *before* folding in this
+	// round's release: the synthesizer adapts to the estimates within the
+	// round, so including it would dilute a regime change with the
+	// already-adapted stream and the sentinel would miss exactly the
+	// shifts it exists to catch.
+	pts := c.releasedPositionsLocked()
+	c.ctl.Observe(t, pts)
+	var cellEst []float64
+	if reported {
+		c.cellMassBuf = monitor.CellMasses(c.dom, ctx.Estimates, c.cellMassBuf)
+		cellEst = c.cellMassBuf
+	}
+	monRep := c.mon.Round(t, c.space, cellEst, ctx.SigRatio,
+		c.metrics.roundErrors.Value()+c.metrics.relayoutErrors.Value())
+	c.mon.ObserveRelease(t, pts)
+	relayoutSwitched, triggerFired := false, false
 	if c.ctl.Due(t) {
 		status, err := c.relayoutLocked(false)
 		if err != nil {
 			return c.relayoutError(t, fmt.Errorf("remote: periodic relayout at timestamp %d: %w", t, err))
 		}
 		relayoutSwitched = status.Switched
+		triggerFired = status.TriggerFired
 	}
 
 	// Per-round stage-latency deltas: timings accumulate cumulatively (the
@@ -718,8 +767,38 @@ func (c *Curator) Finalize(t, activeCount int) error {
 	c.metrics.stageModel.Observe(delta.ModelConstruction)
 	c.metrics.stageDMU.Observe(delta.DMU)
 	c.metrics.stageSynth.Observe(delta.Synthesis)
-	c.traceRound(t, reported, c.roundReports, spent, ctx.SigRatio, ctx.Result.NumSignificant, delta, relayoutSwitched)
+	c.traceRound(t, reported, c.roundReports, spent, ctx.SigRatio, ctx.Result.NumSignificant, delta, relayoutSwitched, monRep, triggerFired)
 	return nil
+}
+
+// Health snapshots the utility monitor plus run identity for GET /v1/health.
+func (c *Curator) Health() HealthReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return HealthReport{
+		Health:     c.mon.Health(),
+		T:          c.t,
+		Rounds:     c.rounds,
+		Generation: c.generation,
+		Window:     c.mon.Window(),
+		Trigger:    string(c.ctl.Trigger()),
+	}
+}
+
+// HealthReport is the GET /v1/health payload: the monitor's verdict plus
+// enough run identity to correlate it with traces and stats.
+type HealthReport struct {
+	monitor.Health
+	// T is the last closed timestamp (-1 before the first round).
+	T int `json:"t"`
+	// Rounds counts reported rounds since boot.
+	Rounds int `json:"rounds"`
+	// Generation counts layout migrations applied since boot.
+	Generation int `json:"generation"`
+	// Window is the monitor's release-sketch length in timestamps.
+	Window int `json:"monitor_window"`
+	// Trigger is the relayout trigger policy in effect.
+	Trigger string `json:"trigger"`
 }
 
 // releasedPositionsLocked returns the current positions of the released
@@ -759,6 +838,13 @@ type RelayoutStatus struct {
 	Cells       int    `json:"cells"`
 	DomainSize  int    `json:"domain_size"`
 	Fingerprint string `json:"fingerprint"`
+	// TriggerFired is the trigger policy's verdict at the most recent
+	// proposal (false when no proposal was evaluated — empty sketch or
+	// unchanged fingerprint). It can differ from Switched only under force.
+	TriggerFired bool `json:"trigger_fired"`
+	// Alarmed reports whether the utility monitor was alarming when the
+	// proposal was decided (always false under the geometric policy).
+	Alarmed bool `json:"alarmed"`
 }
 
 func (c *Curator) statusLocked(switched bool, distance float64) RelayoutStatus {
@@ -797,29 +883,35 @@ func (c *Curator) relayoutLocked(force bool) (RelayoutStatus, error) {
 	if err != nil {
 		return c.statusLocked(false, 0), err
 	}
+	decided := func(switched bool) RelayoutStatus {
+		st := c.statusLocked(switched, prop.Distance)
+		st.TriggerFired = prop.Switch
+		st.Alarmed = prop.Alarmed
+		return st
+	}
 	if prop.Target == nil || prop.Target.Fingerprint() == c.space.Fingerprint() {
-		return c.statusLocked(false, prop.Distance), nil
+		return decided(false), nil
 	}
 	if !prop.Switch && !force {
-		return c.statusLocked(false, prop.Distance), nil
+		return decided(false), nil
 	}
 	migStart := time.Now()
 	mig, err := relayout.NewMigration(c.space, prop.Target)
 	if err != nil {
-		return c.statusLocked(false, prop.Distance), err
+		return decided(false), err
 	}
 	newDom := transition.NewDomain(prop.Target)
 	newFreq, err := mig.RemapFreqs(c.dom, newDom, c.model.Freqs())
 	if err != nil {
-		return c.statusLocked(false, prop.Distance), err
+		return decided(false), err
 	}
 	devSt, err := mig.RemapDevState(c.dom, newDom, c.dev.State())
 	if err != nil {
-		return c.statusLocked(false, prop.Distance), err
+		return decided(false), err
 	}
 	newModel := mobility.NewModel(newDom)
 	if err := newModel.Restore(mobility.State{Freq: newFreq, Init: c.model.Initialized()}); err != nil {
-		return c.statusLocked(false, prop.Distance), err
+		return decided(false), err
 	}
 	c.dev.Restore(devSt)
 	c.synthStage.Synth.Relayout(prop.Target, mig.MapCell)
@@ -836,10 +928,13 @@ func (c *Curator) relayoutLocked(force bool) (RelayoutStatus, error) {
 	c.oracle, c.agg = nil, nil
 	c.generation++
 	c.ctl.NoteSwitch(prop.Distance)
+	// The stationary level of the layout-dependent monitor signals moves
+	// with the discretization: re-learn their baselines on the new layout.
+	c.mon.NoteRelayout()
 	c.metrics.generation.Set(float64(c.generation))
 	c.metrics.domainSize.Set(float64(newDom.Size()))
 	c.metrics.observeMigration(time.Since(migStart))
-	return c.statusLocked(true, prop.Distance), nil
+	return decided(true), nil
 }
 
 // LayoutStatus returns the current layout identity without proposing a

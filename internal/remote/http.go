@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"retrasyn/internal/monitor"
 	"retrasyn/internal/obs"
 	"retrasyn/internal/trajectory"
 )
@@ -422,6 +423,21 @@ func NewHandler(c *Curator) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", obs.ContentType)
 		if err := c.Metrics().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	// GET /v1/health bypasses h.route for the same reason as /metrics:
+	// load-balancer probes are observability traffic. The status code is
+	// machine-checkable — 200 while the curator is usable (ok or degraded),
+	// 503 once the utility monitor judges the release stream failing — and
+	// the body carries the full per-signal breakdown.
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		hr := c.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if hr.Status == monitor.StatusFailing {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if err := json.NewEncoder(w).Encode(hr); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

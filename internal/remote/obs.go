@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"retrasyn/internal/allocation"
+	"retrasyn/internal/monitor"
 	"retrasyn/internal/obs"
 	"retrasyn/internal/pipeline"
 )
@@ -128,10 +129,21 @@ func (c *Curator) relayoutError(t int, err error) error {
 
 // traceRound emits the per-round tracer event. delta is the Timings
 // increment this round charged (report folds since the last Finalize plus
-// the estimate/DMU/synthesis work of this one). Called under c.mu.
-func (c *Curator) traceRound(t int, reported bool, reports int, eps float64, sigRatio float64, significant int, delta pipeline.Timings, relayoutSwitched bool) {
+// the estimate/DMU/synthesis work of this one). mon is the utility
+// monitor's round report; divergence keys carry −1 on rounds where it was
+// not computed (unreported round or empty release sketch). Called under
+// c.mu.
+func (c *Curator) traceRound(t int, reported bool, reports int, eps float64, sigRatio float64, significant int, delta pipeline.Timings, relayoutSwitched bool, mon monitor.RoundReport, triggerFired bool) {
 	if c.tracer == nil {
 		return
+	}
+	divL1, divJS := -1.0, -1.0
+	if mon.Computed {
+		divL1, divJS = mon.L1, mon.JS
+	}
+	alarms := mon.Alarms
+	if alarms == nil {
+		alarms = []string{}
 	}
 	c.tracer.Info("round",
 		"t", t,
@@ -148,6 +160,10 @@ func (c *Curator) traceRound(t int, reported bool, reports int, eps float64, sig
 		"domain_size", c.dom.Size(),
 		"generation", c.generation,
 		"relayout_switched", relayoutSwitched,
+		"divergence", divJS,
+		"divergence_l1", divL1,
+		"alarms", alarms,
+		"trigger_fired", triggerFired,
 	)
 }
 

@@ -318,6 +318,7 @@ func TestTracerSchema(t *testing.T) {
 		"t", "reported", "reports", "epsilon", "pool", "sampled",
 		"sig_ratio", "significant", "model_construction_us", "dmu_us",
 		"synthesis_us", "domain_size", "generation", "relayout_switched",
+		"divergence", "divergence_l1", "alarms", "trigger_fired",
 	} {
 		if _, ok := ev[key]; !ok {
 			t.Fatalf("tracer event missing %q: %s", key, lines[len(lines)-1])

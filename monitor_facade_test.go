@@ -1,0 +1,195 @@
+package retrasyn
+
+// End-to-end tests of the utility monitor through the public facade: the
+// divergence sentinel, the degradation-triggered relayout path, and the
+// bit-identity guarantee that monitoring never perturbs releases.
+
+import (
+	"testing"
+
+	"retrasyn/internal/monitor"
+)
+
+// jumpRaw builds the abrupt-regime-change workload: a stationary hotspot at
+// the lower-left for t < T/2, then its sessions end and a mirrored hotspot
+// population appears at the upper right for the rest of the run. Unlike the
+// gradual drifting workload — which the synthesizer tracks closely enough to
+// keep release-vs-estimate divergence flat — a jump leaves the released
+// window stranded at the old region while fresh estimates concentrate at the
+// new one, which is exactly the discrepancy the sentinel watches.
+func jumpRaw(t *testing.T, T int, seed uint64) *RawDataset {
+	t.Helper()
+	mk := func(T int, seed uint64) *RawDataset {
+		raw, err := GenerateDriftingHotspot(DriftConfig{
+			T:             T,
+			InitialUsers:  20000,
+			ArrivalsPerTs: 2500,
+			MeanLength:    8,
+			HotspotShare:  0.9,
+			DriftRate:     1e-9, // stationary hotspot
+			MaxX:          32, MaxY: 32,
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a := mk(T/2, seed)
+	b := mk(T-T/2, seed^0xdecafbad)
+	out := &RawDataset{Name: "jump", T: T}
+	out.Trajs = append(out.Trajs, a.Trajs...)
+	for _, tr := range b.Trajs {
+		for i := range tr.Points {
+			tr.Points[i].X = 32 - tr.Points[i].X
+			tr.Points[i].Y = 32 - tr.Points[i].Y
+		}
+		tr.Start += T / 2
+		out.Trajs = append(out.Trajs, tr)
+	}
+	return out
+}
+
+// monitoredOptions is adaptiveOptions plus a live monitor and a geometric
+// threshold parked so high it can never fire — any migration in these runs
+// is monitor-initiated.
+func monitoredOptions(boot *Quadtree, policy TriggerPolicy) Options {
+	o := adaptiveOptions(boot, 1)
+	o.Strategy = StrategyUniform // a divergence sample every timestamp
+	o.RelayoutThreshold = 0.999
+	o.MonitorWindow = 5
+	o.TriggerPolicy = policy
+	return o
+}
+
+// TestFrameworkDegradationTriggerOnJump drives the whole degradation loop:
+// the regime jump at T/2 raises the divergence alarm within the next sketch
+// window, the degradation-or trigger fires a relayout at the following
+// rebuild boundary, the detectors re-learn the migrated layout's baseline,
+// and the run ends healthy — exactly one migration, no alarm latch-up, no
+// relayout storm.
+func TestFrameworkDegradationTriggerOnJump(t *testing.T) {
+	const T = 40
+	raw := jumpRaw(t, T, 77)
+	boot := bootQuadtree(t, raw, 8)
+	fw, err := New(monitoredOptions(boot, TriggerDegradationOr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fw.RunAdaptive(raw); err != nil {
+		t.Fatal(err)
+	}
+	h := fw.Health()
+	div := h.Signals[monitor.SignalDivergence]
+	if div.Alarms < 1 {
+		t.Fatal("regime jump never raised the divergence alarm")
+	}
+	if div.LastAlarmT < T/2 || div.LastAlarmT >= 30 {
+		t.Fatalf("divergence alarm at t=%d, want within a window of the jump at t=%d", div.LastAlarmT, T/2)
+	}
+	if gen := fw.LayoutGeneration(); gen != 1 {
+		t.Fatalf("degradation trigger fired %d migrations, want exactly 1 (alarm must clear after the relayout)", gen)
+	}
+	// Recovery: the post-migration baseline re-learned and the alarm
+	// cleared — the run ends healthy.
+	if div.Status == "alarm" {
+		t.Fatal("divergence alarm still active at end of run despite the migration")
+	}
+	if h.Status == monitor.StatusFailing {
+		t.Fatalf("run ended failing: %+v", h)
+	}
+}
+
+// TestFrameworkDegradationAndRequiresGeometric pins the AND policy: with the
+// geometric threshold parked out of reach, an active alarm alone must not
+// migrate.
+func TestFrameworkDegradationAndRequiresGeometric(t *testing.T) {
+	const T = 40
+	raw := jumpRaw(t, T, 77)
+	boot := bootQuadtree(t, raw, 8)
+	fw, err := New(monitoredOptions(boot, TriggerDegradationAnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fw.RunAdaptive(raw); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Health().Signals[monitor.SignalDivergence].Alarms < 1 {
+		t.Fatal("regime jump never raised the divergence alarm")
+	}
+	if gen := fw.LayoutGeneration(); gen != 0 {
+		t.Fatalf("degradation-and migrated %d times with the geometric leg unsatisfied", gen)
+	}
+}
+
+// TestFrameworkStableMonitorQuiet is the facade-level hysteresis property:
+// the same workload shape without the jump — a stationary hotspot for the
+// whole run — raises zero alarms and initiates zero relayouts under the
+// degradation-or policy.
+func TestFrameworkStableMonitorQuiet(t *testing.T) {
+	const T = 40
+	raw, err := GenerateDriftingHotspot(DriftConfig{
+		T:             T,
+		InitialUsers:  20000,
+		ArrivalsPerTs: 2500,
+		MeanLength:    8,
+		HotspotShare:  0.9,
+		DriftRate:     1e-9,
+		MaxX:          32, MaxY: 32,
+		Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := bootQuadtree(t, raw, 8)
+	fw, err := New(monitoredOptions(boot, TriggerDegradationOr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fw.RunAdaptive(raw); err != nil {
+		t.Fatal(err)
+	}
+	h := fw.Health()
+	for sig, sh := range h.Signals {
+		if sh.Alarms != 0 {
+			t.Errorf("signal %q raised %d alarms on a stationary workload", sig, sh.Alarms)
+		}
+	}
+	if h.Status != monitor.StatusOK {
+		t.Fatalf("stationary run ended with status %q", h.Status)
+	}
+	if gen := fw.LayoutGeneration(); gen != 0 {
+		t.Fatalf("monitor initiated %d relayouts on a stationary workload", gen)
+	}
+}
+
+// TestFrameworkMonitorBitIdentical is the monitor's golden bit-identity
+// gate: under the geometric policy, a run with the monitor live must release
+// the exact synthetic database — and make the exact migration decisions — a
+// monitor-off run does. The sentinel observes; it never touches engine
+// randomness.
+func TestFrameworkMonitorBitIdentical(t *testing.T) {
+	raw := driftingRaw(t, 40, 11)
+	boot := bootQuadtree(t, raw, 8)
+	run := func(window int) (*Dataset, int) {
+		o := adaptiveOptions(boot, 1)
+		o.MonitorWindow = window
+		fw, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, _, err := fw.RunAdaptive(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return syn, fw.LayoutGeneration()
+	}
+	off, offGen := run(0)
+	on, onGen := run(5)
+	if onGen != offGen {
+		t.Fatalf("monitor changed migration decisions under the geometric policy: %d vs %d generations", onGen, offGen)
+	}
+	if datasetFingerprint(on) != datasetFingerprint(off) {
+		t.Fatal("monitor-live release differs from monitor-off release")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"retrasyn/internal/grid"
 	"retrasyn/internal/ldpids"
 	"retrasyn/internal/metrics"
+	"retrasyn/internal/monitor"
 	"retrasyn/internal/obs"
 	"retrasyn/internal/pipeline"
 	"retrasyn/internal/relayout"
@@ -225,6 +226,21 @@ type Options struct {
 	// boot discretizer's cell count, keeping the LDP report size stable
 	// across migrations.
 	RelayoutLeaves int
+	// MonitorWindow > 0 enables the live utility monitor: a sliding sketch
+	// of that many released timestamps is compared each round against the
+	// DP-estimated cell histogram (privacy-free post-processing — both
+	// inputs are already public), and deterministic change-point detectors
+	// raise alarms on sustained degradation. Like Metrics, the monitor is
+	// run-scoped (never checkpointed) and never touches the engine RNG, so
+	// monitored runs release bit-identical streams. 0 (default) disables
+	// monitoring at zero cost.
+	MonitorWindow int
+	// TriggerPolicy selects how relayout proposals turn into switches:
+	// TriggerGeometric (default — the distance threshold alone),
+	// TriggerDegradationOr or TriggerDegradationAnd (which OR/AND the
+	// threshold with the monitor's alarms). The degradation policies
+	// require RediscretizeEvery > 0 and MonitorWindow > 0.
+	TriggerPolicy TriggerPolicy
 	// Seed drives all randomness; equal seeds reproduce runs.
 	Seed uint64
 	// Metrics, when non-nil, receives the run's observability series:
@@ -244,6 +260,21 @@ type Metrics = obs.Registry
 // NewMetrics creates an empty metrics registry to pass as Options.Metrics.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
+// TriggerPolicy decides when a proposed relayout switches — see
+// internal/relayout.TriggerPolicy.
+type TriggerPolicy = relayout.TriggerPolicy
+
+// Trigger policies for Options.TriggerPolicy.
+const (
+	TriggerGeometric      = relayout.TriggerGeometric
+	TriggerDegradationOr  = relayout.TriggerDegradationOr
+	TriggerDegradationAnd = relayout.TriggerDegradationAnd
+)
+
+// Health is the utility monitor's structured verdict — see
+// internal/monitor.Health.
+type Health = monitor.Health
+
 // Framework is the streaming curator: feed events per timestamp, read the
 // synthetic database at any point. With Options.Shards > 1 it drives a
 // pipeline.Coordinator over that many independent engines; otherwise a
@@ -257,7 +288,10 @@ type Framework struct {
 	// layouts; space is the layout currently in effect across all shards.
 	ctl   *relayout.Controller
 	space Discretizer
-	t     int
+	// mon is the live utility monitor (nil unless Options.MonitorWindow >
+	// 0): run-scoped, RNG-free and excluded from checkpoints.
+	mon *monitor.Monitor
+	t   int
 }
 
 // New constructs a Framework.
@@ -310,6 +344,7 @@ func New(opts Options) (*Framework, error) {
 			Threshold: opts.RelayoutThreshold,
 			Quadtree:  spatial.QuadtreeOptions{MaxLeaves: leaves},
 			Bounds:    space.Bounds(),
+			Trigger:   opts.TriggerPolicy,
 		})
 		if err != nil {
 			return nil, err
@@ -318,6 +353,31 @@ func New(opts Options) (*Framework, error) {
 		f.ctl = ctl
 	} else if opts.RediscretizeEvery < 0 {
 		return nil, fmt.Errorf("retrasyn: RediscretizeEvery must be ≥ 0, got %d", opts.RediscretizeEvery)
+	}
+	if err := opts.TriggerPolicy.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MonitorWindow < 0 {
+		return nil, fmt.Errorf("retrasyn: MonitorWindow must be ≥ 0, got %d", opts.MonitorWindow)
+	}
+	if opts.MonitorWindow > 0 {
+		mon, err := monitor.New(monitor.Options{Window: opts.MonitorWindow})
+		if err != nil {
+			return nil, err
+		}
+		mon.SetMetrics(opts.Metrics)
+		f.mon = mon
+		if f.ctl != nil {
+			f.ctl.SetAlarmSource(mon)
+		}
+	}
+	if opts.TriggerPolicy.UsesAlarms() {
+		if f.ctl == nil {
+			return nil, fmt.Errorf("retrasyn: TriggerPolicy %q requires RediscretizeEvery > 0", opts.TriggerPolicy)
+		}
+		if f.mon == nil {
+			return nil, fmt.Errorf("retrasyn: TriggerPolicy %q requires MonitorWindow > 0 — the degradation trigger consumes the monitor's alarms", opts.TriggerPolicy)
+		}
 	}
 	if opts.Shards > 1 {
 		shards := make([]pipeline.Runner, opts.Shards)
@@ -407,7 +467,7 @@ func (f *Framework) ProcessTimestamp(events []Event, activeUsers int) error {
 	}
 	t := f.t
 	f.t++
-	if f.ctl != nil {
+	if f.ctl != nil || f.mon != nil {
 		if err := f.adaptLayout(t); err != nil {
 			return err
 		}
@@ -415,17 +475,21 @@ func (f *Framework) ProcessTimestamp(events []Event, activeUsers int) error {
 	return nil
 }
 
-// adaptLayout runs the online re-discretization loop after timestamp t:
-// sketch the released positions, and at every rebuild boundary grow a fresh
-// layout from the sketch and migrate all shards when it differs enough from
-// the current one.
+// adaptLayout runs the post-timestamp observation loop: sketch the released
+// positions for the re-discretization controller and the utility monitor,
+// close the monitor's round (so the degradation trigger sees alarms that
+// include timestamp t), and at every rebuild boundary grow a fresh layout
+// from the sketch and migrate all shards when the trigger policy says to.
 func (f *Framework) adaptLayout(t int) error {
 	var pts []Point
 	for _, e := range f.engines {
 		pts = e.ReleasedPositions(pts)
 	}
-	f.ctl.Observe(t, pts)
-	if !f.ctl.Due(t) {
+	if f.ctl != nil {
+		f.ctl.Observe(t, pts)
+	}
+	f.observeMonitor(t, pts)
+	if f.ctl == nil || !f.ctl.Due(t) {
 		return nil
 	}
 	prop, err := f.ctl.Propose(f.space)
@@ -439,8 +503,54 @@ func (f *Framework) adaptLayout(t int) error {
 		return fmt.Errorf("retrasyn: re-discretization after timestamp %d: %w", t, err)
 	}
 	f.ctl.NoteSwitch(prop.Distance)
+	// The stationary level of the layout-dependent monitor signals moves
+	// with the discretization: re-learn their baselines on the new layout.
+	f.mon.NoteRelayout()
 	return nil
 }
+
+// observeMonitor feeds the utility monitor after timestamp t: the released
+// positions plus the shards' last reported DP estimates folded onto the
+// current layout (summed across shards — every shard runs the same layout,
+// so the per-cell masses align). Rounds where no shard reported at t are
+// closed without a divergence sample. The round closes against the sketch
+// *before* this timestamp's release is folded in — the synthesizer adapts
+// to the estimates within the round, so sketching first would dilute a
+// regime change with the already-adapted stream.
+func (f *Framework) observeMonitor(t int, pts []Point) {
+	if f.mon == nil {
+		return
+	}
+	var cellEst []float64
+	var sigSum float64
+	reported := 0
+	for _, e := range f.engines {
+		est, sig, lt, ok := e.LastReportedRound()
+		if !ok || lt != t {
+			continue
+		}
+		masses := monitor.CellMasses(e.Domain(), est, nil)
+		if cellEst == nil {
+			cellEst = masses
+		} else {
+			for i := range cellEst {
+				cellEst[i] += masses[i]
+			}
+		}
+		sigSum += sig
+		reported++
+	}
+	var sigRatio float64
+	if reported > 0 {
+		sigRatio = sigSum / float64(reported)
+	}
+	f.mon.Round(t, f.space, cellEst, sigRatio, 0)
+	f.mon.ObserveRelease(t, pts)
+}
+
+// Health returns the utility monitor's structured verdict. Without a
+// monitor (Options.MonitorWindow == 0) it reports "ok" with no signals.
+func (f *Framework) Health() Health { return f.mon.Health() }
 
 // Relayout migrates the framework — every engine shard, atomically between
 // timestamps — onto a new spatial discretization, resampling all live state
